@@ -1,0 +1,21 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one experiment from the paper's evaluation
+(Section 5) and *asserts the qualitative claims* while pytest-benchmark
+times the run: the numbers land in the benchmark table, the shape checks
+land in the assertions.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def table1_results():
+    """Run the whole Table 1 once per session; benchmarks measure the
+    individual workloads, shape tests read from here."""
+    from repro.bench.table1 import generate
+    return {r.workload: r for r in generate()}

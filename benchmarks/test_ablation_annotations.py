@@ -1,0 +1,46 @@
+"""The annotation-sweep ablation: Sections 1 and 5's usability claim.
+
+"As the user adds more annotations, false warnings are reduced, and
+performance improves."  The benchmark runs the pfscan model at each
+annotation level; the assertions pin monotonicity and the zero-report end
+state.
+"""
+
+import pytest
+
+from repro.bench.ablation_annot import sweep_pfscan
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_pfscan()
+
+
+def test_annotation_sweep(benchmark):
+    points = benchmark.pedantic(sweep_pfscan, rounds=1, iterations=1)
+    assert len(points) == 5
+
+
+class TestSweepShape:
+    def test_every_level_type_checks(self, sweep):
+        assert all(p.static_ok for p in sweep)
+
+    def test_reports_monotonically_non_increasing(self, sweep):
+        reports = [p.reports for p in sweep]
+        assert all(a >= b for a, b in zip(reports, reports[1:])), reports
+
+    def test_unannotated_program_is_noisy(self, sweep):
+        assert sweep[0].reports > 10
+
+    def test_fully_annotated_program_is_clean(self, sweep):
+        assert sweep[-1].reports == 0
+
+    def test_each_annotation_group_helps(self, sweep):
+        """At least two distinct strict drops across the sweep (each
+        lock family removes its own cluster of false positives)."""
+        reports = [p.reports for p in sweep]
+        drops = sum(1 for a, b in zip(reports, reports[1:]) if a > b)
+        assert drops >= 2
+
+    def test_dynamic_share_decreases_with_annotations(self, sweep):
+        assert sweep[-1].pct_dynamic < sweep[0].pct_dynamic

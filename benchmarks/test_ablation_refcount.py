@@ -1,0 +1,54 @@
+"""Section 4.3 ablation: naive atomic RC vs the Levanoni–Petrank
+adaptation.
+
+The paper: applying eager atomic reference counting to all candidate
+pointer writes costs "over 60% in many cases"; the LP adaptation is what
+made the overhead acceptable.  The benchmark times all three
+configurations of the pointer-churn workload; the assertions pin the
+ordering (baseline < LP < naive) and the magnitude gap.
+"""
+
+import pytest
+
+from repro.bench.ablation_rc import SOURCE, run_ablation
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+
+
+@pytest.fixture(scope="module")
+def checked():
+    result = check_source(SOURCE, "rc_ablation.c")
+    assert result.ok, result.render_diagnostics()
+    return result
+
+
+@pytest.mark.parametrize("scheme", ["off", "lp", "naive"])
+def test_rc_scheme_run(scheme, benchmark, checked):
+    def run():
+        return run_checked(checked, seed=2,
+                           instrument=(scheme != "off"),
+                           rc_scheme=scheme, max_steps=4_000_000)
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.error is None and result.deadlock is None
+    benchmark.extra_info["steps"] = result.stats.steps_total
+    benchmark.extra_info["rc_steps"] = result.stats.steps_rc
+
+
+class TestRCAblationShape:
+    @pytest.fixture(scope="class")
+    def ablation(self):
+        return run_ablation()
+
+    def test_lp_strictly_cheaper_than_naive(self, ablation):
+        assert ablation.lp_overhead < ablation.naive_overhead
+
+    def test_naive_overhead_substantial(self, ablation):
+        """The paper's 'unacceptable on current hardware' finding."""
+        assert ablation.naive_overhead > 0.30
+
+    def test_lp_overhead_acceptable(self, ablation):
+        assert ablation.lp_overhead < 0.30
+
+    def test_gap_is_large(self, ablation):
+        assert ablation.naive_overhead > 2 * ablation.lp_overhead or \
+            ablation.naive_overhead - ablation.lp_overhead > 0.15

@@ -1,0 +1,59 @@
+"""Section 6.2 comparison: SharC vs an Eraser-style lockset detector.
+
+The paper positions SharC against Eraser-class tools on two axes:
+overhead (Eraser: 10x-30x, monitoring every access; SharC: 2-14%) and
+false positives (lockset state machines cannot model ownership transfer;
+SharC's sharing casts model it directly).  Both axes are measured here on
+the same correctly synchronized handoff pipeline.
+"""
+
+import pytest
+
+from repro.bench.comparison_eraser import SOURCE, run_comparison
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+
+
+@pytest.fixture(scope="module")
+def checked():
+    result = check_source(SOURCE, "handoff.c")
+    assert result.ok, result.render_diagnostics()
+    return result
+
+
+@pytest.mark.parametrize("mode", ["baseline", "sharc", "eraser"])
+def test_handoff_pipeline(mode, benchmark, checked):
+    def run():
+        if mode == "baseline":
+            return run_checked(checked, seed=4, instrument=False,
+                               max_steps=4_000_000)
+        if mode == "sharc":
+            return run_checked(checked, seed=4, max_steps=4_000_000)
+        return run_checked(checked, seed=4, checker="eraser",
+                           max_steps=4_000_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.error is None and result.deadlock is None
+    benchmark.extra_info["reports"] = len(result.reports)
+    benchmark.extra_info["steps"] = result.stats.steps_total
+
+
+class TestComparisonShape:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return run_comparison()
+
+    def test_sharc_has_no_false_positives(self, comparison):
+        assert comparison.sharc_reports == 0
+
+    def test_eraser_false_positive_on_ownership_transfer(self,
+                                                         comparison):
+        assert comparison.eraser_reports > 0
+
+    def test_eraser_overhead_an_order_of_magnitude_higher(self,
+                                                          comparison):
+        assert comparison.eraser_overhead > \
+            5 * max(comparison.sharc_overhead, 0.01)
+
+    def test_sharc_overhead_production_tolerable(self, comparison):
+        assert comparison.sharc_overhead < 0.15

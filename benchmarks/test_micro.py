@@ -1,0 +1,72 @@
+"""Micro-benchmarks of the pipeline's own phases: the per-phase costs a
+user of the tool experiences (parse / infer+check / execute)."""
+
+import pytest
+
+from repro.bench.workloads import get_workload
+from repro.cfront.parser import parse_program
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+from repro.runtime.shadow import ShadowMemory
+from repro.runtime.refcount import LPRefCount
+from repro.errors import Loc
+
+
+@pytest.fixture(scope="module")
+def pfscan_source():
+    return get_workload("pfscan").annotated_source
+
+
+def test_parse_speed(benchmark, pfscan_source):
+    program = benchmark(parse_program, pfscan_source, "pfscan.c")
+    assert program.functions()
+
+
+def test_static_pipeline_speed(benchmark, pfscan_source):
+    checked = benchmark(check_source, pfscan_source, "pfscan.c")
+    assert checked.ok
+
+
+def test_interpreter_throughput(benchmark):
+    """Steps per second on a tight compute loop."""
+    checked = check_source("""
+    int main() {
+      long s = 0;
+      int i;
+      for (i = 0; i < 3000; i++)
+        s = s + i * 3 - (i >> 1);
+      printf("%ld\\n", s);
+      return 0;
+    }
+    """, "hot.c")
+    assert checked.ok
+    result = benchmark.pedantic(
+        lambda: run_checked(checked, max_steps=10_000_000),
+        rounds=1, iterations=1)
+    assert result.clean
+    benchmark.extra_info["steps"] = result.stats.steps_total
+
+
+def test_shadow_check_speed(benchmark):
+    """Raw chkread/chkwrite throughput on the hot (already-set) path."""
+    shadow = ShadowMemory()
+    loc = Loc("bench.c", 1)
+    shadow.chkwrite(0x1000, 4, 1, "x", loc)
+
+    def hammer():
+        for _ in range(1000):
+            shadow.chkread(0x1000, 4, 1, "x", loc)
+        return shadow
+
+    benchmark(hammer)
+
+
+def test_lp_refcount_write_speed(benchmark):
+    scheme = LPRefCount()
+
+    def hammer():
+        for i in range(1000):
+            scheme.record_write(1, 0x100 + (i % 64) * 8, 0, 0x1000)
+        return scheme
+
+    benchmark(hammer)

@@ -1,0 +1,121 @@
+"""Table 1 (Section 5): the six-benchmark evaluation.
+
+One pytest-benchmark entry per program measures the instrumented run;
+the shape assertions pin the paper's qualitative findings:
+
+- all annotated programs run clean (the 60 annotations removed every
+  false positive);
+- pfscan has by far the highest share of dynamic accesses (~80% in the
+  paper);
+- pbzip2 and stunnel run at ~0% dynamic accesses;
+- aget is network-bound (time overhead lost in the noise);
+- dillo has the highest memory overhead (bogus pointers refcounted);
+- average time overhead stays well under Eraser's 10x-30x.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.bench.workloads import ALL_WORKLOADS, get_workload
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_workload_sharc_run(name, benchmark):
+    """Times one SharC-instrumented run of each Table 1 workload."""
+    workload = get_workload(name)
+    checked = check_source(workload.annotated_source, f"{name}.c")
+    assert checked.ok, checked.render_diagnostics()
+
+    def run():
+        return run_checked(checked, seed=workload.seed,
+                           world=workload.world_factory(),
+                           max_steps=workload.max_steps)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.clean, result.render_reports()
+    benchmark.extra_info["steps"] = result.stats.steps_total
+    benchmark.extra_info["pct_dynamic"] = round(
+        result.stats.pct_dynamic, 4)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_workload_baseline_run(name, benchmark):
+    """Times the uninstrumented baseline (the 'Orig.' column)."""
+    workload = get_workload(name)
+    checked = check_source(workload.annotated_source, f"{name}.c")
+
+    def run():
+        return run_checked(checked, seed=workload.seed,
+                           world=workload.world_factory(),
+                           instrument=False,
+                           max_steps=workload.max_steps)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.error is None and result.deadlock is None
+
+
+class TestTable1Shape:
+    """The orderings the paper's narrative relies on."""
+
+    def test_all_annotated_runs_clean(self, table1_results):
+        for name, row in table1_results.items():
+            assert row.clean, f"{name} reported violations"
+
+    def test_pfscan_has_highest_dynamic_share(self, table1_results):
+        pfscan = table1_results["pfscan"].pct_dynamic
+        assert pfscan > 0.5
+        for name, row in table1_results.items():
+            if name != "pfscan":
+                assert pfscan > row.pct_dynamic, name
+
+    def test_ownership_transfer_workloads_near_zero_dynamic(
+            self, table1_results):
+        assert table1_results["pbzip2"].pct_dynamic < 0.02
+        assert table1_results["stunnel"].pct_dynamic < 0.02
+        assert table1_results["fftw"].pct_dynamic < 0.05
+
+    def test_aget_time_overhead_unmeasurable(self, table1_results):
+        """Network-bound: lost in the noise (paper reports n/a) — a few
+        percent at most, and the smallest measurable of the six."""
+        aget = abs(table1_results["aget"].time_overhead)
+        assert aget < 0.04
+
+    def test_dillo_highest_memory_overhead(self, table1_results):
+        dillo = table1_results["dillo"].mem_overhead
+        for name, row in table1_results.items():
+            if name not in ("dillo", "stunnel"):
+                assert dillo > row.mem_overhead, name
+        assert dillo > 0.2
+
+    def test_time_overheads_far_below_eraser(self, table1_results):
+        """Eraser is 10x-30x; SharC's point is production-tolerable
+        overheads (2-14% in the paper)."""
+        for name, row in table1_results.items():
+            assert row.time_overhead < 0.5, name
+
+    def test_thread_counts_match_paper(self, table1_results):
+        for name, row in table1_results.items():
+            expected = row.paper.threads
+            assert abs(row.threads_peak - expected) <= 2, name
+
+    def test_annotation_totals_comparable(self, table1_results):
+        ours = sum(r.annotations for r in table1_results.values())
+        assert 30 <= ours <= 90  # paper: 60
+
+    def test_unannotated_variants_type_check_and_report(self):
+        """The baseline claim: SharC 'can check any C program' without
+        annotations — it just reports the intentional sharing."""
+        noisy = 0
+        for name in ("pfscan", "dillo"):
+            workload = get_workload(name)
+            checked = check_source(workload.unannotated_source,
+                                   f"{name}-un.c")
+            assert checked.ok, checked.render_diagnostics()
+            result = run_checked(checked, seed=workload.seed,
+                                 world=workload.world_factory(),
+                                 max_steps=workload.max_steps)
+            assert result.error is None and result.deadlock is None
+            noisy += len(result.reports)
+        assert noisy > 0

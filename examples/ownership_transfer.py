@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Ownership transfer with sharing casts (Sections 2 and 4.2.3).
+
+A producer builds buffers privately, *publishes* them into a
+lock-protected mailbox with ``SCAST`` (which nulls the source and checks
+the reference count is one), and a consumer *claims* them back to
+``private``.  We then break the protocol on purpose:
+
+- keeping a second reference across the cast makes ``oneref`` fail
+  (reported with the reference count, as in Figure 7);
+- dropping the cast makes the program fail the *static* check, with
+  SharC suggesting the exact SCAST to insert — the paper's workflow.
+
+Run:  python examples/ownership_transfer.py
+"""
+
+import sys
+
+from repro import check_source, run_checked
+
+GOOD = r"""
+mutex lk;
+cond full;
+cond empty;
+char dynamic * locked(lk) mailbox = NULL;
+int racy rounds_done = 0;
+
+void *producer(void *arg) {
+  char *buf;
+  int r;
+  for (r = 0; r < 5; r++) {
+    buf = malloc(32);
+    memset(buf, r + 65, 31);
+    mutexLock(&lk);
+    while (mailbox != NULL)
+      condWait(&empty, &lk);
+    mailbox = SCAST(char dynamic *, buf);
+    condSignal(&full);
+    mutexUnlock(&lk);
+  }
+  return NULL;
+}
+
+void *consumer(void *arg) {
+  char *mine;
+  int r;
+  long total = 0;
+  for (r = 0; r < 5; r++) {
+    mutexLock(&lk);
+    while (mailbox == NULL)
+      condWait(&full, &lk);
+    mine = SCAST(char private *, mailbox);
+    condSignal(&empty);
+    mutexUnlock(&lk);
+    total = total + strlen(mine);
+    free(mine);
+  }
+  printf("consumed %ld bytes\n", total);
+  rounds_done = 1;
+  return NULL;
+}
+
+int main() {
+  int t1 = thread_create(producer, NULL);
+  int t2 = thread_create(consumer, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+# The producer stashes a second reference before casting: oneref fails.
+LEAKY = GOOD.replace(
+    "void *producer(void *arg) {\n  char *buf;",
+    "char *stash[8];\n\nvoid *producer(void *arg) {\n  char *buf;"
+).replace(
+    "    mutexLock(&lk);\n    while (mailbox != NULL)",
+    "    stash[r] = buf;   // second reference survives the cast!\n"
+    "    mutexLock(&lk);\n    while (mailbox != NULL)")
+
+# No casts: with the consumer's pointer annotated private (it frees the
+# buffer, so it must own it), the assignment cannot type-check and SharC
+# suggests the exact casts.  Without any annotation everything would just
+# be inferred dynamic and the races would surface at run time instead.
+UNCAST = (GOOD
+          .replace("mailbox = SCAST(char dynamic *, buf);",
+                   "mailbox = buf;")
+          .replace("mine = SCAST(char private *, mailbox);",
+                   "mine = mailbox;")
+          .replace("char *mine;", "char private *mine;"))
+
+
+def main() -> int:
+    print("1) correct ownership transfer through the mailbox")
+    checked = check_source(GOOD, "mailbox.c")
+    assert checked.ok, checked.render_diagnostics()
+    result = run_checked(checked, seed=2)
+    print(f"   clean: {result.clean}  output: {result.output.strip()!r}")
+
+    print("\n2) a second reference survives the cast -> oneref fails")
+    checked = check_source(LEAKY, "mailbox_leaky.c")
+    assert checked.ok, checked.render_diagnostics()
+    result = run_checked(checked, seed=2)
+    oneref = [r for r in result.reports
+              if "reference" in r.kind.value]
+    print(f"   oneref violations: {len(oneref)}")
+    if oneref:
+        print("   " + oneref[0].render().replace("\n", "\n   "))
+
+    print("\n3) the casts removed -> static errors with suggestions")
+    checked = check_source(UNCAST, "mailbox_uncast.c")
+    print(f"   type-checks: {checked.ok}")
+    for diag in checked.suggestions[:2]:
+        print(f"   suggestion: {diag.message}")
+    return 0 if not checked.ok and oneref else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+// The paper's Figure 1 pipeline, fully annotated (Section 2.1).
+// Sharing strategy: stage structs are dynamic; the data buffer is
+// handed between threads, protected by each stage's lock while queued
+// (locked(mut)), and private while a stage works on it.
+#define NITEMS 4
+
+typedef struct stage {
+  struct stage *next;
+  cond *cv;
+  mutex *mut;
+  char locked(mut) *locked(mut) sdata;
+  void (*fun)(char private *fdata);
+} stage_t;
+
+int racy progress = 0;
+
+void *thrFunc(void *d) {
+  stage_t *S = d;
+  stage_t *nextS = S->next;
+  char *ldata;
+  int k;
+  for (k = 0; k < NITEMS; k++) {
+    mutexLock(S->mut);
+    while (S->sdata == NULL)
+      condWait(S->cv, S->mut);
+    ldata = SCAST(char private *, S->sdata);
+    S->sdata = NULL;
+    condSignal(S->cv);
+    mutexUnlock(S->mut);
+    S->fun(ldata);
+    progress++;
+    if (nextS) {
+      mutexLock(nextS->mut);
+      while (nextS->sdata)
+        condWait(nextS->cv, nextS->mut);
+      nextS->sdata = SCAST(char locked(mut) *, ldata);
+      condSignal(nextS->cv);
+      mutexUnlock(nextS->mut);
+    } else {
+      free(ldata);
+    }
+  }
+  return NULL;
+}
+
+void work(char private *fdata) {
+  int i;
+  for (i = 0; i < 16; i++)
+    fdata[i] = fdata[i] + 1;
+}
+
+mutex m1; mutex m2; cond c1; cond c2;
+
+stage_t dynamic *mkstage(stage_t dynamic *next, mutex racy *m,
+                         cond racy *c) {
+  // Initialize while private (locked/readonly fields of a private
+  // struct are writable), then move to dynamic with a sharing cast.
+  stage_t *st = malloc(sizeof(stage_t));
+  st->next = next;
+  st->cv = c;
+  st->mut = m;
+  st->sdata = NULL;
+  st->fun = work;
+  return SCAST(stage_t dynamic *, st);
+}
+
+int main() {
+  stage_t dynamic *s1;
+  stage_t dynamic *s2;
+  int t1; int t2; int i;
+  s2 = mkstage(NULL, &m2, &c2);
+  s1 = mkstage(s2, &m1, &c1);
+  t1 = thread_create(thrFunc, s1);
+  t2 = thread_create(thrFunc, s2);
+  for (i = 0; i < NITEMS; i++) {
+    char *buf = malloc(16);
+    memset(buf, i, 16);
+    mutexLock(s1->mut);
+    while (s1->sdata)
+      condWait(s1->cv, s1->mut);
+    s1->sdata = SCAST(char locked(mut) *, buf);
+    condSignal(s1->cv);
+    mutexUnlock(s1->mut);
+  }
+  thread_join(t1);
+  thread_join(t2);
+  printf("processed %d items\n", progress);
+  return 0;
+}

@@ -1,0 +1,45 @@
+"""Reproduction of *SharC: Checking Data Sharing Strategies for
+Multithreaded C* (Anderson, Gay, Ennals, Brewer — PLDI 2008).
+
+Top-level convenience API::
+
+    from repro import check_source, run_checked
+
+    checked = check_source(annotated_c_source)
+    result = run_checked(checked, seed=1)
+    for report in result.reports:
+        print(report)
+
+Sub-packages:
+
+- :mod:`repro.cfront`  — mini-C frontend (lexer/parser/types/printer),
+- :mod:`repro.sharc`   — sharing modes, inference, type checking,
+  instrumentation (the paper's contribution),
+- :mod:`repro.runtime` — the dynamic checker: address space, shadow memory,
+  lock logs, concurrent reference counting, deterministic interpreter,
+- :mod:`repro.formal`  — the Section 3 formal model and soundness oracle,
+- :mod:`repro.bench`   — the Table 1 harness and ablation benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "check_source",
+    "run_checked",
+    "check_and_run",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Lazy imports keep `import repro` cheap and avoid import cycles.
+    if name == "check_source":
+        from repro.sharc.checker import check_source
+        return check_source
+    if name == "run_checked":
+        from repro.runtime.interp import run_checked
+        return run_checked
+    if name == "check_and_run":
+        from repro.sharc.checker import check_and_run
+        return check_and_run
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,23 @@
+"""The evaluation harness: Table 1 and the ablation benchmarks.
+
+- :mod:`repro.bench.workloads` — mini-C models of the paper's six
+  benchmarks (pfscan, aget, pbzip2, dillo, fftw, stunnel), each with an
+  annotated and an unannotated variant,
+- :mod:`repro.bench.harness`   — runs a workload original-vs-SharC and
+  computes the Table 1 metrics,
+- :mod:`repro.bench.table1`    — regenerates the whole table,
+- :mod:`repro.bench.ablation_rc`    — naive vs Levanoni–Petrank RC,
+- :mod:`repro.bench.ablation_annot` — annotations vs false positives and
+  overhead.
+"""
+
+from repro.bench.harness import BenchResult, Workload, run_workload
+from repro.bench.workloads import ALL_WORKLOADS, get_workload
+
+__all__ = [
+    "BenchResult",
+    "Workload",
+    "run_workload",
+    "ALL_WORKLOADS",
+    "get_workload",
+]

@@ -1,0 +1,116 @@
+"""Annotation-sweep ablation: the paper's central usability claim.
+
+Sections 1 and 5: "SharC's baseline dynamic analysis can check any C
+program, but is slow, and will generate false warnings about intentional
+data sharing.  As the user adds more annotations, false warnings are
+reduced, and performance improves."
+
+This benchmark runs a workload at increasing annotation levels — from the
+fully unannotated program to the fully annotated one — and records, per
+level, the number of runtime reports (false positives: all the sharing
+here is intentional) and the time overhead.  Both should be monotonically
+non-increasing, reaching zero reports at full annotation.
+
+Run as a module::
+
+    python -m repro.bench.ablation_annot [workload]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import Workload
+from repro.bench.workloads import get_workload
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+from repro.runtime.stats import time_overhead
+
+
+@dataclass
+class SweepPoint:
+    """One annotation level of the sweep."""
+
+    label: str
+    annotations: str  # which annotation groups are applied
+    static_ok: bool
+    reports: int
+    overhead: float
+    pct_dynamic: float
+
+
+def _pfscan_levels() -> list[tuple[str, list[str]]]:
+    """Annotation groups for the pfscan model, in the order a user would
+    plausibly add them (queue locks first — that is where the error
+    reports point)."""
+    return [
+        ("none", []),
+        ("queue locked", ["locked(qlock) "]),
+        ("+ results locked", ["locked(qlock) ", "locked(rlock) "]),
+        ("+ pool locked", ["locked(qlock) ", "locked(rlock) ",
+                           "locked(plock) "]),
+        ("full", ["locked(qlock) ", "locked(rlock) ", "locked(plock) ",
+                  "readonly"]),
+    ]
+
+
+def sweep_pfscan(seed: int = 5) -> list[SweepPoint]:
+    """Runs the pfscan model at each annotation level."""
+    workload = get_workload("pfscan")
+    full = workload.annotated_source
+    points: list[SweepPoint] = []
+    for label, keep_groups in _pfscan_levels():
+        source = full
+        if "locked(qlock) " not in keep_groups:
+            source = source.replace("locked(qlock) ", "")
+        if "locked(rlock) " not in keep_groups:
+            source = source.replace("locked(rlock) ", "")
+        if "locked(plock) " not in keep_groups:
+            source = source.replace("locked(plock) ", "")
+        if "readonly" not in keep_groups:
+            source = (source
+                      .replace("char readonly * readonly pattern",
+                               "char *pattern")
+                      .replace("int readonly patlen", "int patlen"))
+        points.append(_run_point(workload, label, source, seed))
+    return points
+
+
+def _run_point(workload: Workload, label: str, source: str,
+               seed: int) -> SweepPoint:
+    checked = check_source(source, f"{workload.name}-{label}.c")
+    if not checked.ok:
+        return SweepPoint(label, label, False, -1, 0.0, 0.0)
+    base = run_checked(checked, seed=seed,
+                       world=workload.world_factory(),
+                       instrument=False, max_steps=workload.max_steps)
+    sharc = run_checked(checked, seed=seed,
+                        world=workload.world_factory(),
+                        instrument=True, max_steps=workload.max_steps)
+    return SweepPoint(
+        label=label,
+        annotations=label,
+        static_ok=True,
+        reports=len(sharc.reports),
+        overhead=time_overhead(base.stats, sharc.stats),
+        pct_dynamic=sharc.stats.pct_dynamic,
+    )
+
+
+def main() -> int:
+    points = sweep_pfscan()
+    print("Annotation sweep (pfscan model):")
+    print(f"{'level':>18}  {'reports':>7}  {'overhead':>8}  {'%dyn':>6}")
+    for p in points:
+        print(f"{p.label:>18}  {p.reports:>7}  {p.overhead:>8.1%}  "
+              f"{p.pct_dynamic:>6.1%}")
+    reports = [p.reports for p in points if p.static_ok]
+    monotone = all(a >= b for a, b in zip(reports, reports[1:]))
+    print(f"reports monotonically non-increasing: {monotone}; "
+          f"final reports: {reports[-1]}")
+    return 0 if monotone and reports[-1] == 0 else 1
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""SharC vs an Eraser-style lockset detector (Section 6.2).
+
+The paper's positioning: Eraser-class dynamic detectors monitor every
+access (10x–30x overhead) and their lockset state machine "may not be an
+accurate model of the data sharing protocol in a program.  This
+inaccuracy leads to false positives"; SharC "is the first to attack the
+root of the problem by modeling ownership transfer directly."
+
+This benchmark runs the *correct, fully annotated* ownership-transfer
+pipeline under both checkers:
+
+- SharC: zero reports (the sharing casts model the handoff), checks only
+  on the declared-dynamic/locked accesses;
+- Eraser: the handed-off buffer is accessed under no consistent lock
+  (it is owned, not locked), so the candidate lockset empties and a
+  *false positive* is reported — and every single access pays the
+  monitoring cost.
+
+Run as a module::
+
+    python -m repro.bench.comparison_eraser
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+from repro.runtime.stats import time_overhead
+
+# The mailbox pipeline: ownership transfer, correctly synchronized.
+SOURCE = r"""
+#define ROUNDS 12
+
+mutex lk;
+cond full;
+cond empty;
+char dynamic * locked(lk) mailbox = NULL;
+
+void *producer(void *arg) {
+  char *buf;
+  int r;
+  int i;
+  for (r = 0; r < ROUNDS; r++) {
+    buf = malloc(64);
+    for (i = 0; i < 64; i++)
+      buf[i] = (r + i) % 251;
+    mutexLock(&lk);
+    while (mailbox != NULL)
+      condWait(&empty, &lk);
+    mailbox = SCAST(char dynamic *, buf);
+    condSignal(&full);
+    mutexUnlock(&lk);
+  }
+  return NULL;
+}
+
+void *consumer(void *arg) {
+  char *mine;
+  long sum = 0;
+  int r;
+  int i;
+  for (r = 0; r < ROUNDS; r++) {
+    mutexLock(&lk);
+    while (mailbox == NULL)
+      condWait(&full, &lk);
+    mine = SCAST(char private *, mailbox);
+    condSignal(&empty);
+    mutexUnlock(&lk);
+    for (i = 0; i < 64; i++) {
+      mine[i] = mine[i] ^ 42;   // the consumer transforms its buffer
+      sum = sum + mine[i];
+    }
+    free(mine);
+  }
+  printf("sum %ld\n", sum);
+  return NULL;
+}
+
+int main() {
+  int t1 = thread_create(producer, NULL);
+  int t2 = thread_create(consumer, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+
+@dataclass
+class ComparisonResult:
+    sharc_reports: int
+    eraser_reports: int
+    sharc_overhead: float
+    eraser_overhead: float
+
+    @property
+    def sharc_wins(self) -> bool:
+        """No false positives and lower overhead."""
+        return (self.sharc_reports == 0 and self.eraser_reports > 0
+                and self.sharc_overhead < self.eraser_overhead)
+
+
+def run_comparison(seed: int = 4,
+                   max_steps: int = 4_000_000) -> ComparisonResult:
+    checked = check_source(SOURCE, "handoff.c")
+    assert checked.ok, checked.render_diagnostics()
+    base = run_checked(checked, seed=seed, instrument=False,
+                       max_steps=max_steps)
+    sharc = run_checked(checked, seed=seed, max_steps=max_steps)
+    eraser = run_checked(checked, seed=seed, checker="eraser",
+                         max_steps=max_steps)
+    for r, label in ((base, "base"), (sharc, "sharc"),
+                     (eraser, "eraser")):
+        assert not r.error and not r.deadlock and not r.timeout, \
+            f"{label}: {r.error or r.deadlock or 'timeout'}"
+    return ComparisonResult(
+        sharc_reports=len(sharc.reports),
+        eraser_reports=len(eraser.reports),
+        sharc_overhead=time_overhead(base.stats, sharc.stats),
+        eraser_overhead=time_overhead(base.stats, eraser.stats),
+    )
+
+
+def main() -> int:
+    result = run_comparison()
+    print("SharC vs Eraser-style lockset checking")
+    print("(correctly synchronized ownership-transfer pipeline):")
+    print(f"  SharC : {result.sharc_reports} reports, "
+          f"{result.sharc_overhead:6.1%} overhead")
+    print(f"  Eraser: {result.eraser_reports} report(s) — FALSE "
+          f"positives on the handoff, {result.eraser_overhead:6.1%} "
+          "overhead")
+    print("  (paper: Eraser 10x-30x overhead; lockset state machine")
+    print("   cannot model ownership transfer; SharC models it directly)")
+    return 0 if result.sharc_wins else 1
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

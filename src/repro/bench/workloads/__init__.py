@@ -1,0 +1,50 @@
+"""Workload models of the paper's six Table 1 benchmarks.
+
+Each module exposes ``WORKLOAD``, a configured
+:class:`repro.bench.harness.Workload` with an annotated variant (the end
+state the paper reached) and an unannotated variant (the starting point,
+used for the annotation-sweep ablation and the false-positive counts).
+
+The models preserve each benchmark's *threading architecture and sharing
+idioms* — that is what Table 1's shape depends on — while shrinking the
+data sizes to interpreter scale (see DESIGN.md's substitution table):
+
+========  ====================================================judgment
+pfscan    work queue of file indices + searcher threads over a shared
+          buffer pool (high share of checked dynamic accesses)
+aget      chunked download into one shared buffer, I/O-bound
+pbzip2    block compression pipeline with ownership transfer, racy
+          done-flag (the paper's benign race)
+dillo     DNS worker pool, bogus integer-pointers get reference counts
+fftw      array-partitioned transform with private ownership transfer
+stunnel   thread-per-client tunnel with locked global counters
+========  ====================================================
+"""
+
+from repro.bench.harness import Workload
+
+
+def _registry() -> dict[str, Workload]:
+    from repro.bench.workloads import (
+        aget, dillo, fftw, pbzip2, pfscan, stunnel,
+    )
+    return {
+        "pfscan": pfscan.WORKLOAD,
+        "aget": aget.WORKLOAD,
+        "pbzip2": pbzip2.WORKLOAD,
+        "dillo": dillo.WORKLOAD,
+        "fftw": fftw.WORKLOAD,
+        "stunnel": stunnel.WORKLOAD,
+    }
+
+
+ALL_WORKLOADS = ("pfscan", "aget", "pbzip2", "dillo", "fftw", "stunnel")
+
+
+def get_workload(name: str) -> Workload:
+    return _registry()[name]
+
+
+def all_workloads() -> list[Workload]:
+    registry = _registry()
+    return [registry[name] for name in ALL_WORKLOADS]

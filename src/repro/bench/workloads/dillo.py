@@ -1,0 +1,177 @@
+"""dillo — a small web browser; threads hide DNS-lookup latency.
+
+Paper row: 4 threads, 49k lines, 8 annotations, 8 changes, 14% time
+overhead, **78.8% memory overhead** (the highest of the six), 31.7%
+dynamic accesses.  The paper explains the memory outlier: "integers are
+cast to pointer type, and SharC infers they need to be reference counted.
+These bogus pointers are never dereferenced, but we incur minor
+pagefaults when their reference counts are adjusted."
+
+Architecture preserved by the model: main enqueues lookup requests (the
+hostname strings are transferred to the queue with sharing casts, staying
+``dynamic`` — parsing them in the workers is the checked 31.7%); worker
+threads take requests, resolve them against the simulated resolver
+(``world_read`` latency), and store the resolved address *as an integer
+cast to a char pointer* into the request — dillo's bogus-pointer quirk,
+which drags every such write into reference counting and inflates the RC
+metadata exactly as the paper describes.
+"""
+
+from repro.bench.harness import PaperRow, Workload
+from repro.runtime.world import World
+
+ANNOTATED = r"""
+// dillo model: DNS worker pool with bogus integer "pointers".
+#define NREQ 32
+#define QN 6
+#define NWORKERS 3
+
+typedef struct dreq {
+  char *host;
+  long hash;
+  char *addr_bogus;   // an IP stored as a bogus pointer (dillo quirk)
+  int done;
+} dreq_t;
+
+mutex qlock;
+cond qnotempty;
+cond qnotfull;
+dreq_t dynamic * locked(qlock) queue[QN];
+int locked(qlock) qcount = 0;
+int locked(qlock) qhead = 0;
+int locked(qlock) qtail = 0;
+int locked(qlock) qclosed = 0;
+
+mutex dlock;
+int locked(dlock) resolved = 0;
+long locked(dlock) hash_sum = 0;
+
+void submit(dreq_t dynamic *r) {
+  mutexLock(&qlock);
+  while (qcount == QN)
+    condWait(&qnotfull, &qlock);
+  queue[qtail] = SCAST(dreq_t dynamic *, r);
+  qtail = (qtail + 1) % QN;
+  qcount = qcount + 1;
+  condSignal(&qnotempty);
+  mutexUnlock(&qlock);
+}
+
+dreq_t private *take() {
+  dreq_t private *r;
+  mutexLock(&qlock);
+  while (qcount == 0 && !qclosed)
+    condWait(&qnotempty, &qlock);
+  if (qcount == 0) {
+    mutexUnlock(&qlock);
+    return NULL;
+  }
+  r = SCAST(dreq_t private *, queue[qhead]);
+  qhead = (qhead + 1) % QN;
+  qcount = qcount - 1;
+  condSignal(&qnotfull);
+  mutexUnlock(&qlock);
+  return r;
+}
+
+// Hostname hashing walks the dynamic string: checked reads.
+long hash_host(char *h) {
+  long v = 5381;
+  long i = 0;
+  while (h[i] != 0) {
+    v = (v * 33 + h[i]) % 1000003;
+    i = i + 1;
+  }
+  return v;
+}
+
+void *dns_worker(void *arg) {
+  dreq_t private *r;
+  char scratch[8];
+  long h;
+  long ip;
+  int attempt;
+  while (1) {
+    r = take();
+    if (r == NULL)
+      break;
+    h = hash_host(r->host);
+    r->hash = h;
+    // "gethostbyname" with retries: each attempt stores the candidate
+    // address as a pointer-typed value — bogus, never dereferenced, but
+    // reference-counted by SharC (the paper's memory-overhead outlier).
+    for (attempt = 0; attempt < 4; attempt++) {
+      world_read(h % 4, scratch, 0, 8);
+      ip = (h % 254) * 65536 + attempt * 256 + 16842753;
+      r->addr_bogus = (char *) ip;
+    }
+    r->done = 1;
+    mutexLock(&dlock);
+    resolved = resolved + 1;
+    hash_sum = hash_sum + h;
+    mutexUnlock(&dlock);
+    free(r->host);
+    free(r);
+  }
+  return NULL;
+}
+
+int main() {
+  int i;
+  int tids[NWORKERS];
+  dreq_t private *r;
+  char *host;
+  char name[32];
+  for (i = 0; i < NWORKERS; i++)
+    tids[i] = thread_create(dns_worker, NULL);
+  for (i = 0; i < NREQ; i++) {
+    snprintf(name, 32, "host%d.example.org", i * 7);
+    host = strdup(name);
+    r = malloc(sizeof(dreq_t));
+    r->host = SCAST(char dynamic *, host);
+    r->hash = 0;
+    r->addr_bogus = NULL;
+    r->done = 0;
+    submit(SCAST(dreq_t dynamic *, r));
+  }
+  mutexLock(&qlock);
+  qclosed = 1;
+  condBroadcast(&qnotempty);
+  mutexUnlock(&qlock);
+  for (i = 0; i < NWORKERS; i++)
+    thread_join(tids[i]);
+  mutexLock(&dlock);
+  printf("dillo: resolved %d hosts, hash %ld\n", resolved, hash_sum);
+  mutexUnlock(&dlock);
+  return 0;
+}
+"""
+
+UNANNOTATED = (ANNOTATED
+               .replace("locked(qlock) ", "")
+               .replace("locked(dlock) ", "")
+               .replace("dreq_t dynamic *", "dreq_t *")
+               .replace("dreq_t private *", "dreq_t *")
+               .replace("char dynamic *", "char *")
+               .replace("SCAST(dreq_t *, ", "(")
+               .replace("SCAST(char *, ", "("))
+
+
+def make_world() -> World:
+    world = World.with_random_files(count=4, size=8, seed=21)
+    world.read_latency = 150   # DNS round-trip
+    return world
+
+
+WORKLOAD = Workload(
+    name="dillo",
+    description="DNS worker pool with bogus pointer refcounts",
+    annotated_source=ANNOTATED,
+    unannotated_source=UNANNOTATED,
+    paper=PaperRow("dillo", 4, "49k", 8, 8, 0.14, 0.788, 0.317),
+    world_factory=make_world,
+    annotations=10,
+    changes=4,
+    max_steps=8_000_000,
+    seed=13,
+)

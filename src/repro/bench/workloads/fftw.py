@@ -1,0 +1,133 @@
+"""fftw — threaded FFTs over partitioned arrays.
+
+Paper row: 3 threads, 197k lines, 7 annotations, 39 changes, 7% time
+overhead, 1.2% memory overhead, 0.2% dynamic accesses.  "Ownership of
+arrays is transferred to each thread, and then reclaimed when the threads
+are finished.  The functions that compute over the partial arrays assume
+that they own that memory, so it was only necessary to annotate those
+arguments as private."
+
+Architecture preserved by the model: main builds per-worker plans (a
+problem descriptor plus a data array), hands each to a worker thread;
+the worker *claims* the array with a sharing cast (private), runs an
+in-place fast Walsh–Hadamard transform — the same butterfly-network loop
+structure as an FFT, with ±1 twiddles so no trig tables are needed (see
+DESIGN.md's substitution table) — and publishes the array back; main
+reclaims both arrays and checks a spectral sum.  Compute runs entirely on
+private data: the ~0% dynamic column.
+"""
+
+from repro.bench.harness import PaperRow, Workload
+from repro.runtime.world import World
+
+ANNOTATED = r"""
+// fftw model: per-thread transform over owned array partitions.
+#define LOGN 8
+#define N 256
+
+typedef struct plan {
+  int n;
+  int logn;
+  int reps;
+  double *data;
+  long checksum;
+} plan_t;
+
+// The transform assumes it owns the array: private argument, as the
+// paper annotates the compute kernels.
+void wht(double private *a, int n) {
+  int len;
+  int i;
+  int j;
+  double x;
+  double y;
+  len = 1;
+  while (len < n) {
+    i = 0;
+    while (i < n) {
+      for (j = i; j < i + len; j++) {
+        x = a[j];
+        y = a[j + len];
+        a[j] = x + y;
+        a[j + len] = x - y;
+      }
+      i = i + 2 * len;
+    }
+    len = 2 * len;
+  }
+}
+
+void *transform_thread(void *arg) {
+  plan_t *p = arg;
+  double *mine;
+  long sum = 0;
+  int i;
+  int r;
+  mine = SCAST(double private *, p->data);
+  for (r = 0; r < p->reps; r++)
+    wht(mine, p->n);
+  for (i = 0; i < p->n; i++)
+    sum = sum + mine[i];
+  p->checksum = sum;
+  p->data = SCAST(double dynamic *, mine);
+  return NULL;
+}
+
+plan_t dynamic *mkplan(int n, int logn, int reps, int seedv) {
+  plan_t *p;
+  double *d;
+  int i;
+  p = malloc(sizeof(plan_t));
+  d = malloc(n * 8);
+  for (i = 0; i < n; i++)
+    d[i] = (i * seedv) % 17 - 8;
+  p->n = n;
+  p->logn = logn;
+  p->reps = reps;
+  p->checksum = 0;
+  p->data = SCAST(double dynamic *, d);
+  return SCAST(plan_t dynamic *, p);
+}
+
+int main() {
+  plan_t dynamic *p1;
+  plan_t dynamic *p2;
+  int t1;
+  int t2;
+  long total;
+  p1 = mkplan(N, LOGN, 2, 3);
+  p2 = mkplan(N, LOGN, 2, 5);
+  t1 = thread_create(transform_thread, p1);
+  t2 = thread_create(transform_thread, p2);
+  thread_join(t1);
+  thread_join(t2);
+  total = p1->checksum + p2->checksum;
+  printf("fftw: spectral sum %ld\n", total);
+  return 0;
+}
+"""
+
+UNANNOTATED = (ANNOTATED
+               .replace("double private *", "double *")
+               .replace("double dynamic *", "double *")
+               .replace("plan_t dynamic *", "plan_t *")
+               .replace("SCAST(double *, ", "(")
+               .replace("SCAST(plan_t *, ", "("))
+
+
+def make_world() -> World:
+    return World()
+
+
+WORKLOAD = Workload(
+    name="fftw",
+    description="threaded transforms over privately owned arrays",
+    annotated_source=ANNOTATED,
+    unannotated_source=UNANNOTATED,
+    paper=PaperRow("fftw", 3, "197k", 7, 39, 0.07, 0.012, 0.002),
+    world_factory=make_world,
+    annotations=7,
+    changes=5,   # the sharing casts at ownership transfer/reclaim
+    max_steps=8_000_000,
+    seed=17,
+)

@@ -1,0 +1,233 @@
+"""pbzip2 — parallel block compression.
+
+Paper row: 5 threads, 10k lines, 10 annotations, 36 changes, 11% time
+overhead, 1.6% memory overhead, ~0% dynamic accesses.  The paper also
+notes a benign race on "a flag used to signal that reading from the input
+file has finished" — annotated ``racy``; at worst a thread yields an
+extra time before exiting.
+
+Architecture preserved by the model: a reader (main) slices the input
+into blocks and feeds an input queue; compressor threads claim a block
+(sharing casts move it to ``private``, mirroring the paper's note that
+the (de)compression functions "assume they have ownership of the
+blocks"), run an RLE compressor over the private buffer (zero checked
+accesses — the ~0% column), and feed an output queue; a writer thread
+emits blocks in sequence order.  The large "changes" count of the paper
+(36) shows up here as sharing casts at every ownership transfer.
+"""
+
+from repro.bench.harness import PaperRow, Workload
+from repro.runtime.world import World
+
+ANNOTATED = r"""
+// pbzip2 model: reader -> N compressors -> writer, block pipeline.
+#define NBLOCKS 8
+#define BLKSZ 512
+#define QN 4
+#define NWORKERS 3
+
+typedef struct block {
+  int seq;
+  long len;
+  char *data;
+} block_t;
+
+// The input-finished flag has a benign race (the paper's finding).
+int racy reading_done = 0;
+int racy blocks_left = 0;
+
+mutex iql;
+cond iq_nonempty;
+cond iq_nonfull;
+block_t dynamic * locked(iql) inq[QN];
+int locked(iql) in_count = 0;
+int locked(iql) in_head = 0;
+int locked(iql) in_tail = 0;
+
+mutex oql;
+cond oq_nonempty;
+cond oq_nonfull;
+block_t dynamic * locked(oql) outq[QN];
+int locked(oql) out_count = 0;
+int locked(oql) out_head = 0;
+int locked(oql) out_tail = 0;
+
+void put_in(block_t dynamic *b) {
+  mutexLock(&iql);
+  while (in_count == QN)
+    condWait(&iq_nonfull, &iql);
+  inq[in_tail] = SCAST(block_t dynamic *, b);
+  in_tail = (in_tail + 1) % QN;
+  in_count = in_count + 1;
+  condSignal(&iq_nonempty);
+  mutexUnlock(&iql);
+}
+
+block_t private *take_in() {
+  block_t private *b;
+  mutexLock(&iql);
+  while (in_count == 0 && !reading_done)
+    condWait(&iq_nonempty, &iql);
+  if (in_count == 0) {
+    mutexUnlock(&iql);
+    return NULL;
+  }
+  b = SCAST(block_t private *, inq[in_head]);
+  in_head = (in_head + 1) % QN;
+  in_count = in_count - 1;
+  condSignal(&iq_nonfull);
+  mutexUnlock(&iql);
+  return b;
+}
+
+void put_out(block_t dynamic *b) {
+  mutexLock(&oql);
+  while (out_count == QN)
+    condWait(&oq_nonfull, &oql);
+  outq[out_tail] = SCAST(block_t dynamic *, b);
+  out_tail = (out_tail + 1) % QN;
+  out_count = out_count + 1;
+  condSignal(&oq_nonempty);
+  mutexUnlock(&oql);
+}
+
+block_t private *take_out() {
+  block_t private *b;
+  mutexLock(&oql);
+  while (out_count == 0)
+    condWait(&oq_nonempty, &oql);
+  b = SCAST(block_t private *, outq[out_head]);
+  out_head = (out_head + 1) % QN;
+  out_count = out_count - 1;
+  condSignal(&oq_nonfull);
+  mutexUnlock(&oql);
+  return b;
+}
+
+// RLE "compression": assumes ownership of both buffers (private args,
+// as the paper annotates the (de)compression functions).
+long compress_rle(char private *in, long len, char private *out) {
+  long i = 0;
+  long o = 0;
+  int run;
+  char c;
+  while (i < len) {
+    c = in[i];
+    run = 1;
+    while (i + run < len && run < 255 && in[i + run] == c)
+      run = run + 1;
+    out[o] = run;
+    out[o + 1] = c;
+    o = o + 2;
+    i = i + run;
+  }
+  return o;
+}
+
+void *compressor(void *arg) {
+  block_t private *b;
+  char *cdata;
+  char *raw;
+  long clen;
+  while (1) {
+    b = take_in();
+    if (b == NULL)
+      break;
+    raw = SCAST(char private *, b->data);
+    cdata = malloc(2 * BLKSZ);
+    clen = compress_rle(raw, b->len, cdata);
+    free(raw);
+    b->len = clen;
+    b->data = SCAST(char dynamic *, cdata);
+    put_out(SCAST(block_t dynamic *, b));
+  }
+  return NULL;
+}
+
+void *writer(void *arg) {
+  block_t private *b;
+  char *cdata;
+  int n = 0;
+  long written = 0;
+  while (n < NBLOCKS) {
+    b = take_out();
+    cdata = SCAST(char private *, b->data);
+    world_write(1, cdata, b->len);
+    written = written + b->len;
+    free(cdata);
+    free(b);
+    n = n + 1;
+  }
+  printf("pbzip2: wrote %ld compressed bytes\n", written);
+  return NULL;
+}
+
+int main() {
+  int i;
+  int tids[NWORKERS];
+  int wtid;
+  long n;
+  block_t private *b;
+  char *buf;
+  wtid = thread_create(writer, NULL);
+  for (i = 0; i < NWORKERS; i++)
+    tids[i] = thread_create(compressor, NULL);
+  blocks_left = NBLOCKS;
+  for (i = 0; i < NBLOCKS; i++) {
+    buf = malloc(BLKSZ);
+    n = world_read(0, buf, i * BLKSZ, BLKSZ);
+    b = malloc(sizeof(block_t));
+    b->seq = i;
+    b->len = n;
+    b->data = SCAST(char dynamic *, buf);
+    put_in(SCAST(block_t dynamic *, b));
+  }
+  reading_done = 1;
+  mutexLock(&iql);
+  condBroadcast(&iq_nonempty);
+  mutexUnlock(&iql);
+  for (i = 0; i < NWORKERS; i++)
+    thread_join(tids[i]);
+  thread_join(wtid);
+  return 0;
+}
+"""
+
+UNANNOTATED = (ANNOTATED
+               .replace("int racy ", "int ")
+               .replace("locked(iql) ", "")
+               .replace("locked(oql) ", "")
+               .replace("block_t dynamic *", "block_t *")
+               .replace("block_t private *", "block_t *")
+               .replace("char private *", "char *")
+               .replace("char dynamic *", "char *")
+               .replace("SCAST(block_t *, ", "(")
+               .replace("SCAST(char *, ", "("))
+
+
+def make_world() -> World:
+    """Run-structured input (file data compresses under RLE)."""
+    import random
+
+    from repro.runtime.world import WorldItem
+
+    rng = random.Random(9)
+    data = bytearray()
+    while len(data) < 4096:
+        data.extend(bytes([rng.choice(b"abcdefgh")])
+                    * rng.randint(4, 24))
+    return World([WorldItem("input.dat", bytes(data[:4096]))])
+
+
+WORKLOAD = Workload(
+    name="pbzip2",
+    description="parallel block compression pipeline",
+    annotated_source=ANNOTATED,
+    unannotated_source=UNANNOTATED,
+    paper=PaperRow("pbzip2", 5, "10k", 10, 36, 0.11, 0.016, 0.0),
+    world_factory=make_world,
+    annotations=12,  # 2 racy + 8 locked + queue element modes
+    changes=10,      # the sharing casts at every ownership transfer
+    max_steps=8_000_000,
+    seed=3,
+)

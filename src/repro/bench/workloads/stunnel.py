@@ -1,0 +1,138 @@
+"""stunnel — TLS tunnelling with a thread per client.
+
+Paper row: 3 threads (max concurrent), 361k lines (OpenSSL is processed
+too), 20 annotations, 22 changes, 2% time overhead, 43.5% memory
+overhead, ~0% dynamic accesses.  "The main thread initializes data for
+each client thread before spawning them.  There are also global flags and
+counters, which are protected by locks."  SharC verified stunnel's use of
+the (non-thread-safe) OpenSSL to be free of thread-safety issues.
+
+Architecture preserved by the model: main initializes a per-client
+session object *while private* (the paper's init-before-spawn idiom),
+moves it to the new thread with a sharing cast; each handler thread runs
+an encrypt-and-forward loop over private buffers using an RC4-style
+keystream (standing in for OpenSSL — a pure-compute kernel with private
+arguments, see DESIGN.md); connection counters are ``locked(glock)``.
+"""
+
+from repro.bench.harness import PaperRow, Workload
+from repro.runtime.world import World
+
+NCLIENTS = 3
+NMSGS = 18
+MSG = 48
+
+ANNOTATED = r"""
+// stunnel model: thread-per-client encrypting relay.
+#define NCLIENTS 3
+#define NMSGS 18
+#define MSG 48
+
+mutex glock;
+int locked(glock) active = 0;
+int locked(glock) total_conns = 0;
+long locked(glock) total_bytes = 0;
+
+typedef struct session {
+  int chan;
+  int key;
+  int state;
+  long processed;
+} session_t;
+
+// The "SSL" kernel: a keystream cipher over a private buffer, standing
+// in for OpenSSL's record processing (private args; OpenSSL itself is
+// not thread-safe, so each session owns its state).
+void crypt_buf(char private *buf, long n, session_t private *s) {
+  long i;
+  int k;
+  k = s->state;
+  for (i = 0; i < n; i++) {
+    k = (k * 1103515245 + 12345 + s->key) % 2147483647;
+    buf[i] = buf[i] ^ (k % 256);
+  }
+  s->state = k;
+}
+
+void *handler(void *arg) {
+  session_t *s = arg;
+  session_t private *mine;
+  char buf[MSG];
+  long got;
+  int rounds = 0;
+  mine = SCAST(session_t private *, s);
+  mutexLock(&glock);
+  active = active + 1;
+  total_conns = total_conns + 1;
+  mutexUnlock(&glock);
+  while (rounds < NMSGS) {
+    got = world_recv(mine->chan, buf, MSG);
+    if (got <= 0)
+      break;
+    crypt_buf(buf, got, mine);
+    world_send(mine->chan + 100, buf, got);
+    mine->processed = mine->processed + got;
+    rounds = rounds + 1;
+  }
+  mutexLock(&glock);
+  active = active - 1;
+  total_bytes = total_bytes + mine->processed;
+  mutexUnlock(&glock);
+  free(mine);
+  return NULL;
+}
+
+int main() {
+  int i;
+  int tids[NCLIENTS];
+  session_t private *s;
+  for (i = 0; i < NCLIENTS; i++) {
+    // Initialize the session while private, then hand it to the thread.
+    s = malloc(sizeof(session_t));
+    s->chan = i;
+    s->key = 40503 + i * 17;
+    s->state = 1;
+    s->processed = 0;
+    tids[i] = thread_create(handler, SCAST(session_t dynamic *, s));
+  }
+  for (i = 0; i < NCLIENTS; i++)
+    thread_join(tids[i]);
+  mutexLock(&glock);
+  printf("stunnel: %d conns, %ld bytes relayed\n",
+         total_conns, total_bytes);
+  mutexUnlock(&glock);
+  return 0;
+}
+"""
+
+UNANNOTATED = (ANNOTATED
+               .replace("locked(glock) ", "")
+               .replace("session_t private *", "session_t *")
+               .replace("char private *", "char *")
+               .replace("session_t dynamic *", "session_t *")
+               .replace("SCAST(session_t *, ", "("))
+
+
+def make_world() -> World:
+    world = World(read_latency=120, write_latency=120, seed=33)
+    rng_data = bytes((i * 37 + c * 11) % 251
+                     for c in range(NCLIENTS) for i in range(MSG))
+    for chan in range(NCLIENTS):
+        for _ in range(NMSGS):
+            world.feed_channel(
+                chan, rng_data[chan * MSG:(chan + 1) * MSG])
+    return world
+
+
+WORKLOAD = Workload(
+    name="stunnel",
+    description="thread-per-client encrypting relay",
+    annotated_source=ANNOTATED,
+    unannotated_source=UNANNOTATED,
+    paper=PaperRow("stunnel", 3, "361k", 20, 22, 0.02, 0.435, 0.0),
+    world_factory=make_world,
+    annotations=7,
+    changes=2,
+    max_steps=8_000_000,
+    seed=23,
+)

@@ -1,0 +1,30 @@
+"""A self-contained frontend for the C subset SharC operates on.
+
+The original SharC is built on CIL and consumes real C augmented with
+sharing-mode qualifiers (``private``, ``readonly``, ``locked(e)``, ``racy``,
+``dynamic``) and sharing casts (``SCAST(type, expr)``).  Those qualifiers are
+not valid C, so instead of patching an existing parser we provide a small,
+complete frontend that parses them natively:
+
+- :mod:`repro.cfront.lexer` — tokenizer,
+- :mod:`repro.cfront.cast` — AST dataclasses ("cast" = C AST),
+- :mod:`repro.cfront.ctypes` — the qualified type representation,
+- :mod:`repro.cfront.parser` — a recursive-descent parser,
+- :mod:`repro.cfront.symtab` — scopes and struct/typedef tables,
+- :mod:`repro.cfront.pretty` — an AST printer used to show rewritten
+  (annotated / instrumented) sources.
+"""
+
+from repro.cfront.lexer import Lexer, Token, TokenKind, tokenize
+from repro.cfront.parser import Parser, parse_program
+from repro.cfront.pretty import pretty_program
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "pretty_program",
+]

@@ -1,0 +1,394 @@
+"""AST node definitions for the mini-C subset ("cast" = C AST).
+
+Nodes are plain dataclasses.  Two attributes are filled in by later phases
+and start out empty:
+
+- ``Expr.ctype`` — the qualified type computed by the SharC type checker,
+- ``Expr.checks`` — the runtime checks attached by the instrumenter
+  (the ``when`` guards of the paper's Figure 4, generalized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import Loc
+from repro.cfront.ctypes import QualType, StructTable
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class for expressions."""
+
+    loc: Loc = field(default_factory=Loc, kw_only=True)
+    ctype: Optional[QualType] = field(default=None, kw_only=True, repr=False)
+    checks: list = field(default_factory=list, kw_only=True, repr=False)
+
+
+@dataclass
+class Ident(Expr):
+    name: str
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class CharLit(Expr):
+    value: int
+
+
+@dataclass
+class StrLit(Expr):
+    value: str
+
+
+@dataclass
+class NullLit(Expr):
+    """The ``NULL`` literal (also produced by integer 0 in pointer
+    contexts during type checking)."""
+
+
+@dataclass
+class Unop(Expr):
+    """Unary operator.  ``op`` is one of ``- ! ~ * & ++ --``; for the
+    increment/decrement forms ``postfix`` distinguishes ``x++`` from
+    ``++x``."""
+
+    op: str
+    operand: Expr
+    postfix: bool = False
+
+
+@dataclass
+class Binop(Expr):
+    """Binary operator (arithmetic, comparison, logical, bitwise)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment; ``op`` is ``=`` or a compound form such as ``+=``."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: Expr
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Member(Expr):
+    """``obj.name`` (``arrow`` False) or ``obj->name`` (``arrow`` True)."""
+
+    obj: Expr
+    name: str
+    arrow: bool = False
+
+
+@dataclass
+class Index(Expr):
+    arr: Expr
+    idx: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    """A plain C cast ``(type) expr`` — cannot change sharing modes."""
+
+    to: QualType
+    expr: Expr
+
+
+@dataclass
+class SCastExpr(Expr):
+    """A sharing cast ``SCAST(type, expr)`` (Section 2): nulls out the
+    source l-value and checks the reference count is one."""
+
+    to: QualType
+    expr: Expr
+
+
+@dataclass
+class CondExpr(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass
+class CommaExpr(Expr):
+    parts: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class SizeofExpr(Expr):
+    """``sizeof(type)`` or ``sizeof expr``."""
+
+    of_type: Optional[QualType] = None
+    of_expr: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    loc: Loc = field(default_factory=Loc, kw_only=True)
+
+
+@dataclass
+class VarDecl:
+    """One declared variable (local or global)."""
+
+    name: str
+    qtype: QualType
+    init: Optional[Expr] = None
+    storage: Optional[str] = None  # "extern" | "static" | None
+    loc: Loc = field(default_factory=Loc)
+
+
+@dataclass
+class DeclStmt(Stmt):
+    decls: list[VarDecl] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Compound(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Stmt = None  # type: ignore[assignment]
+    other: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt = None  # type: ignore[assignment]
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Union[Expr, DeclStmt]] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FuncDef:
+    """A function definition (or prototype when ``body`` is None)."""
+
+    name: str
+    qtype: QualType  # base is FuncType
+    param_names: list[str] = field(default_factory=list)
+    body: Optional[Compound] = None
+    loc: Loc = field(default_factory=Loc)
+
+    @property
+    def is_prototype(self) -> bool:
+        return self.body is None
+
+
+@dataclass
+class StructDef:
+    """A struct definition at the top level."""
+
+    name: str
+    fields: list[tuple[str, QualType]] = field(default_factory=list)
+    loc: Loc = field(default_factory=Loc)
+
+
+@dataclass
+class TypedefDecl:
+    """A typedef; ``racy`` marks inherently racy types (Section 4.1)."""
+
+    name: str
+    qtype: QualType
+    racy: bool = False
+    loc: Loc = field(default_factory=Loc)
+
+
+TopLevel = Union[VarDecl, FuncDef, StructDef, TypedefDecl]
+
+
+@dataclass
+class Program:
+    """A parsed translation unit."""
+
+    decls: list[TopLevel] = field(default_factory=list)
+    structs: StructTable = field(default_factory=StructTable)
+    typedefs: dict[str, QualType] = field(default_factory=dict)
+    filename: str = "<input>"
+
+    def functions(self) -> list[FuncDef]:
+        return [d for d in self.decls
+                if isinstance(d, FuncDef) and d.body is not None]
+
+    def prototypes(self) -> list[FuncDef]:
+        return [d for d in self.decls
+                if isinstance(d, FuncDef) and d.body is None]
+
+    def globals(self) -> list[VarDecl]:
+        return [d for d in self.decls if isinstance(d, VarDecl)]
+
+    def function(self, name: str) -> Optional[FuncDef]:
+        best: Optional[FuncDef] = None
+        for d in self.decls:
+            if isinstance(d, FuncDef) and d.name == name:
+                best = d if d.body is not None or best is None else best
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def child_exprs(e: Expr) -> list[Expr]:
+    """Immediate sub-expressions of ``e``."""
+    if isinstance(e, Unop):
+        return [e.operand]
+    if isinstance(e, (Binop, Assign)):
+        return [e.lhs, e.rhs]
+    if isinstance(e, Call):
+        return [e.callee, *e.args]
+    if isinstance(e, Member):
+        return [e.obj]
+    if isinstance(e, Index):
+        return [e.arr, e.idx]
+    if isinstance(e, (CastExpr, SCastExpr)):
+        return [e.expr]
+    if isinstance(e, CondExpr):
+        return [e.cond, e.then, e.other]
+    if isinstance(e, CommaExpr):
+        return list(e.parts)
+    if isinstance(e, SizeofExpr):
+        return [e.of_expr] if e.of_expr is not None else []
+    return []
+
+
+def walk_expr(e: Expr):
+    """Yields ``e`` and every nested sub-expression, pre-order."""
+    yield e
+    for child in child_exprs(e):
+        yield from walk_expr(child)
+
+
+def stmt_exprs(s: Stmt) -> list[Expr]:
+    """Immediate expressions of a statement (not recursing into
+    sub-statements)."""
+    if isinstance(s, ExprStmt):
+        return [s.expr]
+    if isinstance(s, DeclStmt):
+        return [d.init for d in s.decls if d.init is not None]
+    if isinstance(s, If):
+        return [s.cond]
+    if isinstance(s, (While, DoWhile)):
+        return [s.cond]
+    if isinstance(s, For):
+        out = []
+        if isinstance(s.init, Expr):
+            out.append(s.init)
+        elif isinstance(s.init, DeclStmt):
+            out.extend(d.init for d in s.init.decls if d.init is not None)
+        if s.cond is not None:
+            out.append(s.cond)
+        if s.step is not None:
+            out.append(s.step)
+        return out
+    if isinstance(s, Return):
+        return [s.value] if s.value is not None else []
+    return []
+
+
+def child_stmts(s: Stmt) -> list[Stmt]:
+    """Immediate sub-statements of ``s``."""
+    if isinstance(s, Compound):
+        return list(s.stmts)
+    if isinstance(s, If):
+        return [s.then] + ([s.other] if s.other is not None else [])
+    if isinstance(s, While):
+        return [s.body]
+    if isinstance(s, DoWhile):
+        return [s.body]
+    if isinstance(s, For):
+        out: list[Stmt] = []
+        if isinstance(s.init, DeclStmt):
+            out.append(s.init)
+        out.append(s.body)
+        return out
+    return []
+
+
+def walk_stmts(s: Stmt):
+    """Yields ``s`` and all nested statements, pre-order."""
+    yield s
+    for child in child_stmts(s):
+        yield from walk_stmts(child)
+
+
+def all_exprs(s: Stmt):
+    """Yields every expression (recursively) under statement ``s``."""
+    for stmt in walk_stmts(s):
+        for e in stmt_exprs(stmt):
+            yield from walk_expr(e)

@@ -1,0 +1,276 @@
+"""Tokenizer for the mini-C subset, including SharC's qualifier keywords.
+
+The token set is standard C plus:
+
+- the sharing-mode keywords ``private``, ``readonly``, ``locked``, ``racy``,
+  ``dynamic`` (Section 2 of the paper),
+- ``SCAST`` for sharing casts,
+- ``sreadonly`` — trusted "read summary" marker for library declarations
+  (Section 4.4).
+
+Comments (``//`` and ``/* */``) and a tiny preprocessor subset (``#include``
+lines are skipped; ``#define NAME value`` of integer literals is expanded)
+are handled here so the parser sees a clean token stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexError, Loc
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories."""
+
+    IDENT = "identifier"
+    KEYWORD = "keyword"
+    INT = "integer"
+    FLOAT = "float"
+    CHAR = "char"
+    STRING = "string"
+    PUNCT = "punctuator"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    # Standard C subset.
+    "void", "char", "short", "int", "long", "unsigned", "signed",
+    "float", "double", "struct", "union", "typedef", "extern",
+    "static", "const", "sizeof", "return", "if", "else", "while",
+    "for", "do", "break", "continue", "NULL", "enum", "switch",
+    "case", "default", "goto", "volatile",
+    # SharC sharing modes (Section 2).
+    "private", "readonly", "locked", "racy", "dynamic",
+    # SharC sharing cast and library summaries (Sections 2 and 4.4).
+    "SCAST", "sreadonly", "swrite",
+})
+
+# Longest-match first.
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "?", ":", ";", ",", ".", "(", ")", "[", "]", "{", "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location."""
+
+    kind: TokenKind
+    text: str
+    loc: Loc
+    value: int | float | str | None = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.loc})"
+
+    def is_(self, kind: TokenKind, text: str | None = None) -> bool:
+        return self.kind is kind and (text is None or self.text == text)
+
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+    "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f", "v": "\v",
+}
+
+
+class Lexer:
+    """Converts source text into a list of :class:`Token`."""
+
+    def __init__(self, source: str, filename: str = "<input>") -> None:
+        self.src = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+        self.defines: dict[str, Token] = {}
+
+    def loc(self) -> Loc:
+        return Loc(self.filename, self.line, self.col)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.src[index] if index < len(self.src) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.src[self.pos:self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+        self.pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        """Skips whitespace, comments, and preprocessor lines."""
+        while self.pos < len(self.src):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self.loc()
+                self._advance(2)
+                while self.pos < len(self.src):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start)
+            elif ch == "#" and self.col == 1:
+                self._preprocessor_line()
+            else:
+                return
+
+    def _preprocessor_line(self) -> None:
+        start = self.loc()
+        line_start = self.pos
+        while self.pos < len(self.src) and self._peek() != "\n":
+            self._advance()
+        text = self.src[line_start:self.pos].strip()
+        parts = text.split()
+        if len(parts) >= 3 and parts[0] == "#define":
+            name, value = parts[1], parts[2]
+            try:
+                literal = int(value, 0)
+            except ValueError:
+                raise LexError(
+                    f"only integer #define supported, got {value!r}", start)
+            self.defines[name] = Token(TokenKind.INT, value, start, literal)
+        elif parts and parts[0] not in ("#include", "#define", "#pragma"):
+            raise LexError(f"unsupported preprocessor directive {parts[0]}",
+                           start)
+
+    def _lex_number(self) -> Token:
+        # Note: every membership test guards against the empty string
+        # _peek returns at EOF ("" in "eE" is True in Python).
+        start = self.loc()
+        begin = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.src[begin:self.pos]
+            return Token(TokenKind.INT, text, start, int(text, 16))
+        is_float = False
+        while self._peek().isdigit():
+            self._advance()
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+                self._peek(1).isdigit()
+                or (self._peek(1) in ("+", "-")
+                    and self._peek(2).isdigit())):
+            is_float = True
+            self._advance()
+            if self._peek() in ("+", "-"):
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.src[begin:self.pos]
+        # Integer / float suffixes are accepted and ignored.
+        while self._peek() and self._peek() in "uUlLfF":
+            self._advance()
+        if is_float:
+            return Token(TokenKind.FLOAT, text, start, float(text))
+        return Token(TokenKind.INT, text, start, int(text))
+
+    def _lex_escape(self, start: Loc) -> str:
+        self._advance()  # backslash
+        ch = self._advance()
+        if ch == "x":
+            digits = ""
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                digits += self._advance()
+            if not digits:
+                raise LexError("empty hex escape", start)
+            return chr(int(digits, 16))
+        if ch in _ESCAPES:
+            return _ESCAPES[ch]
+        raise LexError(f"unknown escape \\{ch}", start)
+
+    def _lex_string(self) -> Token:
+        start = self.loc()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError("unterminated string literal", start)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                chars.append(self._lex_escape(start))
+            else:
+                chars.append(self._advance())
+        value = "".join(chars)
+        return Token(TokenKind.STRING, value, start, value)
+
+    def _lex_char(self) -> Token:
+        start = self.loc()
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            char = self._lex_escape(start)
+        else:
+            char = self._advance()
+        if self._peek() != "'":
+            raise LexError("unterminated character literal", start)
+        self._advance()
+        return Token(TokenKind.CHAR, char, start, ord(char))
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        start = self.loc()
+        if self.pos >= len(self.src):
+            return Token(TokenKind.EOF, "", start)
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch == '"':
+            return self._lex_string()
+        if ch == "'":
+            return self._lex_char()
+        if ch.isalpha() or ch == "_":
+            begin = self.pos
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.src[begin:self.pos]
+            if text in self.defines:
+                macro = self.defines[text]
+                return Token(macro.kind, macro.text, start, macro.value)
+            if text in KEYWORDS:
+                return Token(TokenKind.KEYWORD, text, start)
+            return Token(TokenKind.IDENT, text, start)
+        for punct in PUNCTUATORS:
+            if self.src.startswith(punct, self.pos):
+                self._advance(len(punct))
+                return Token(TokenKind.PUNCT, punct, start)
+        raise LexError(f"unexpected character {ch!r}", start)
+
+    def tokens(self) -> list[Token]:
+        result: list[Token] = []
+        while True:
+            token = self.next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+
+def tokenize(source: str, filename: str = "<input>") -> list[Token]:
+    """Tokenizes ``source``, returning tokens ending with one EOF token."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,244 @@
+"""AST -> source rendering.
+
+Used for three purposes:
+
+1. rendering ``locked(...)`` lock expressions to their canonical string form
+   (the :class:`~repro.sharc.modes.Mode` stores the rendered text),
+2. showing the *inferred* program (the paper's Figure 2: all qualifiers made
+   explicit), and
+3. showing the instrumented program (runtime checks as calls, mirroring the
+   source-to-source rewriting the real SharC performs via CIL).
+"""
+
+from __future__ import annotations
+
+from repro.cfront import cast as A
+from repro.cfront.ctypes import (
+    ArrayType, FuncType, Prim, PtrType, QualType, StructType,
+)
+
+_PRECEDENCE_PARENS = True
+
+
+def pretty_expr(e: A.Expr) -> str:
+    """Renders an expression.  Output is fully parenthesized except for
+    simple atoms, so it re-parses to the same tree."""
+    if isinstance(e, A.Ident):
+        return e.name
+    if isinstance(e, A.IntLit):
+        return str(e.value)
+    if isinstance(e, A.FloatLit):
+        return repr(e.value)
+    if isinstance(e, A.CharLit):
+        ch = chr(e.value)
+        escaped = {"\n": "\\n", "\t": "\\t", "\0": "\\0", "'": "\\'",
+                   "\\": "\\\\"}.get(ch, ch)
+        return f"'{escaped}'"
+    if isinstance(e, A.StrLit):
+        escaped = (e.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t")
+                   .replace("\0", "\\0"))
+        return f'"{escaped}"'
+    if isinstance(e, A.NullLit):
+        return "NULL"
+    if isinstance(e, A.Unop):
+        inner = pretty_expr(e.operand)
+        if e.op in ("++", "--"):
+            return f"{inner}{e.op}" if e.postfix else f"{e.op}{inner}"
+        if isinstance(e.operand, (A.Ident, A.IntLit, A.Member, A.Index)):
+            return f"{e.op}{inner}"
+        return f"{e.op}({inner})"
+    if isinstance(e, A.Binop):
+        return f"({pretty_expr(e.lhs)} {e.op} {pretty_expr(e.rhs)})"
+    if isinstance(e, A.Assign):
+        return f"{pretty_expr(e.lhs)} {e.op} {pretty_expr(e.rhs)}"
+    if isinstance(e, A.Call):
+        args = ", ".join(pretty_expr(a) for a in e.args)
+        return f"{pretty_expr(e.callee)}({args})"
+    if isinstance(e, A.Member):
+        sep = "->" if e.arrow else "."
+        return f"{pretty_expr(e.obj)}{sep}{e.name}"
+    if isinstance(e, A.Index):
+        return f"{pretty_expr(e.arr)}[{pretty_expr(e.idx)}]"
+    if isinstance(e, A.CastExpr):
+        return f"({pretty_type(e.to)})({pretty_expr(e.expr)})"
+    if isinstance(e, A.SCastExpr):
+        return f"SCAST({pretty_type(e.to)}, {pretty_expr(e.expr)})"
+    if isinstance(e, A.CondExpr):
+        return (f"({pretty_expr(e.cond)} ? {pretty_expr(e.then)} : "
+                f"{pretty_expr(e.other)})")
+    if isinstance(e, A.CommaExpr):
+        return "(" + ", ".join(pretty_expr(p) for p in e.parts) + ")"
+    if isinstance(e, A.SizeofExpr):
+        if e.of_type is not None:
+            return f"sizeof({pretty_type(e.of_type)})"
+        return f"sizeof({pretty_expr(e.of_expr)})"
+    raise TypeError(f"unknown expression {e!r}")
+
+
+def pretty_type(t: QualType, name: str = "",
+                show_inferred: bool = True) -> str:
+    """Renders a qualified type around an optional declared name, using the
+    paper's qualifier placement."""
+    mode_of = (lambda q: "" if q.mode is None or
+               (not show_inferred and not q.explicit)
+               else f" {q.mode}")
+    if isinstance(t.base, PtrType):
+        target = t.base.target
+        mode_txt = (str(t.mode) + " " if t.mode is not None and
+                    (show_inferred or t.explicit) else "")
+        if isinstance(target.base, FuncType):
+            func = target.base
+            params = ", ".join(
+                pretty_type(p, "", show_inferred) for p in func.params)
+            if func.varargs:
+                params = params + ", ..." if params else "..."
+            ret = pretty_type(func.ret, "", show_inferred)
+            return f"{ret} (*{mode_txt}{name})({params})"
+        inner = pretty_type(target, "", show_inferred)
+        star = "*" + mode_txt
+        out = f"{inner} {star}{name}" if name else f"{inner} {star}"
+        return out.rstrip()
+    if isinstance(t.base, ArrayType):
+        length = "" if t.base.length is None else str(t.base.length)
+        elem = pretty_type(t.base.elem, "", show_inferred)
+        # An array is one object of its base type: the cell mode equals
+        # the element mode by construction — print it once.
+        mode_txt = "" if t.base.elem.mode == t.mode else mode_of(t)
+        return f"{elem}{mode_txt} {name}[{length}]".strip()
+    if isinstance(t.base, FuncType):
+        params = ", ".join(
+            pretty_type(p, "", show_inferred) for p in t.base.params)
+        if t.base.varargs:
+            params = params + ", ..." if params else "..."
+        ret = pretty_type(t.base.ret, "", show_inferred)
+        return f"{ret} {name}({params})"
+    if isinstance(t.base, StructType):
+        return f"struct {t.base.name}{mode_of(t)} {name}".strip()
+    if isinstance(t.base, Prim):
+        return f"{t.base.name}{mode_of(t)} {name}".strip()
+    raise TypeError(f"unknown type {t!r}")
+
+
+class _Printer:
+    def __init__(self, show_inferred: bool) -> None:
+        self.lines: list[str] = []
+        self.indent = 0
+        self.show_inferred = show_inferred
+
+    def emit(self, text: str) -> None:
+        self.lines.append("  " * self.indent + text)
+
+    def type_str(self, t: QualType, name: str = "") -> str:
+        return pretty_type(t, name, self.show_inferred)
+
+    def stmt(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Compound):
+            self.emit("{")
+            self.indent += 1
+            for sub in s.stmts:
+                self.stmt(sub)
+            self.indent -= 1
+            self.emit("}")
+        elif isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                init = f" = {pretty_expr(d.init)}" if d.init else ""
+                self.emit(f"{self.type_str(d.qtype, d.name)}{init};")
+        elif isinstance(s, A.ExprStmt):
+            self.emit(f"{pretty_expr(s.expr)};")
+        elif isinstance(s, A.If):
+            self.emit(f"if ({pretty_expr(s.cond)})")
+            self.block(s.then)
+            if s.other is not None:
+                self.emit("else")
+                self.block(s.other)
+        elif isinstance(s, A.While):
+            self.emit(f"while ({pretty_expr(s.cond)})")
+            self.block(s.body)
+        elif isinstance(s, A.DoWhile):
+            self.emit("do")
+            self.block(s.body)
+            self.emit(f"while ({pretty_expr(s.cond)});")
+        elif isinstance(s, A.For):
+            init = ""
+            if isinstance(s.init, A.DeclStmt):
+                parts = []
+                for d in s.init.decls:
+                    text = self.type_str(d.qtype, d.name)
+                    if d.init:
+                        text += f" = {pretty_expr(d.init)}"
+                    parts.append(text)
+                init = ", ".join(parts)
+            elif s.init is not None:
+                init = pretty_expr(s.init)
+            cond = pretty_expr(s.cond) if s.cond is not None else ""
+            step = pretty_expr(s.step) if s.step is not None else ""
+            self.emit(f"for ({init}; {cond}; {step})")
+            self.block(s.body)
+        elif isinstance(s, A.Return):
+            if s.value is None:
+                self.emit("return;")
+            else:
+                self.emit(f"return {pretty_expr(s.value)};")
+        elif isinstance(s, A.Break):
+            self.emit("break;")
+        elif isinstance(s, A.Continue):
+            self.emit("continue;")
+        else:
+            raise TypeError(f"unknown statement {s!r}")
+
+    def block(self, s: A.Stmt) -> None:
+        if isinstance(s, A.Compound):
+            self.stmt(s)
+        else:
+            self.indent += 1
+            self.stmt(s)
+            self.indent -= 1
+
+    def top(self, d) -> None:
+        if isinstance(d, A.StructDef):
+            self.emit(f"struct {d.name} {{")
+            self.indent += 1
+            for fname, ftype in d.fields:
+                self.emit(f"{self.type_str(ftype, fname)};")
+            self.indent -= 1
+            self.emit("};")
+        elif isinstance(d, A.TypedefDecl):
+            racy = " racy" if d.racy else ""
+            self.emit(f"typedef {self.type_str(d.qtype)}{racy} {d.name};")
+        elif isinstance(d, A.VarDecl):
+            init = f" = {pretty_expr(d.init)}" if d.init else ""
+            storage = f"{d.storage} " if d.storage else ""
+            self.emit(f"{storage}{self.type_str(d.qtype, d.name)}{init};")
+        elif isinstance(d, A.FuncDef):
+            func = d.qtype.base
+            assert isinstance(func, FuncType)
+            params = ", ".join(
+                self.type_str(p, n)
+                for p, n in zip(func.params, d.param_names))
+            if func.varargs:
+                params = params + ", ..." if params else "..."
+            ret = self.type_str(func.ret)
+            if d.body is None:
+                self.emit(f"{ret} {d.name}({params});")
+            else:
+                self.emit(f"{ret} {d.name}({params})")
+                self.stmt(d.body)
+        else:
+            raise TypeError(f"unknown top-level {d!r}")
+
+
+def pretty_program(program: A.Program, show_inferred: bool = True) -> str:
+    """Renders a whole program.
+
+    With ``show_inferred`` True, inferred qualifiers are printed as well —
+    this reproduces the paper's Figure 2 view of the pipeline example.
+    """
+    printer = _Printer(show_inferred)
+    for d in program.decls:
+        # Struct defs parsed from the prelude are skipped for readability.
+        if isinstance(d, (A.StructDef, A.TypedefDecl)) and \
+                d.name.startswith("__"):
+            continue
+        printer.top(d)
+    return "\n".join(printer.lines) + "\n"

@@ -1,0 +1,143 @@
+"""Command-line interface: the ``sharc`` tool.
+
+Subcommands mirror how the paper's tool is used:
+
+- ``sharc check FILE``   — parse, infer, type-check; print diagnostics
+  and SCAST suggestions (exit 1 on errors);
+- ``sharc infer FILE``   — print the program with all inferred
+  qualifiers made explicit (the paper's Figure 2 view);
+- ``sharc run FILE``     — check then execute under the dynamic checker,
+  printing conflict reports in the paper's format;
+- ``sharc table1``       — regenerate the evaluation table;
+- ``sharc ablate-rc`` / ``sharc ablate-annot`` — the ablations;
+- ``sharc compare-eraser`` — SharC vs the lockset baseline (§6.2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    checked = check_source(_read(args.file), args.file)
+    output = checked.render_diagnostics()
+    if output:
+        print(output)
+    if checked.ok:
+        stats = checked.check_stats
+        print(f"ok: {stats.read_checks} read checks, "
+              f"{stats.write_checks} write checks, "
+              f"{stats.lock_checks} lock checks, "
+              f"{stats.oneref_checks} oneref checks")
+    return 0 if checked.ok else 1
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    checked = check_source(_read(args.file), args.file)
+    print(checked.inferred_source())
+    return 0 if checked.ok else 1
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    checked = check_source(_read(args.file), args.file)
+    if not checked.ok:
+        print(checked.render_diagnostics())
+        return 1
+    result = run_checked(checked, seed=args.seed,
+                         rc_scheme=args.rc,
+                         checker=getattr(args, "checker", "sharc"),
+                         max_steps=args.max_steps)
+    if result.output:
+        print(result.output, end="")
+    for report in result.reports:
+        print(report.render())
+    if result.deadlock:
+        print(f"deadlock: {result.deadlock}")
+    if result.error:
+        print(f"runtime error: {result.error}")
+    if args.stats:
+        print(result.stats.summary())
+    return 0 if result.clean else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.bench import table1
+    argv = ["--json"] if args.json else []
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    return table1.main(argv)
+
+
+def cmd_ablate_rc(_args: argparse.Namespace) -> int:
+    from repro.bench import ablation_rc
+    return ablation_rc.main()
+
+
+def cmd_ablate_annot(_args: argparse.Namespace) -> int:
+    from repro.bench import ablation_annot
+    return ablation_annot.main()
+
+
+def cmd_compare_eraser(_args: argparse.Namespace) -> int:
+    from repro.bench import comparison_eraser
+    return comparison_eraser.main()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sharc",
+        description="SharC reproduction: check data sharing strategies "
+                    "for multithreaded C (PLDI 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="static check a file")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("infer", help="show inferred qualifiers")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_infer)
+
+    p = sub.add_parser("run", help="check and execute a file")
+    p.add_argument("file")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--rc", choices=("lp", "naive", "off"), default="lp")
+    p.add_argument("--checker", choices=("sharc", "eraser"),
+                   default="sharc")
+    p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("ablate-rc", help="refcounting ablation")
+    p.set_defaults(func=cmd_ablate_rc)
+
+    p = sub.add_parser("ablate-annot", help="annotation sweep ablation")
+    p.set_defaults(func=cmd_ablate_annot)
+
+    p = sub.add_parser("compare-eraser",
+                       help="SharC vs Eraser-style lockset baseline")
+    p.set_defaults(func=cmd_compare_eraser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The Section 3 formal model: a core language with ``private`` and
+``dynamic`` sharing modes, its typing judgments (which insert ``when``
+guards), a small-step parallel operational semantics, and an executable
+check of the soundness theorem's invariants (Definition 1).
+
+This package is deliberately independent of the full-language pipeline in
+:mod:`repro.sharc`/:mod:`repro.runtime`: it is the paper's proof vehicle,
+reproduced so the soundness claims can be property-tested (see
+``tests/formal``).
+"""
+
+from repro.formal.lang import (
+    FAIL_STMT, Assign, Deref, Global, IntType, Mode, New, Null, Num,
+    Program, RefType, Scast, Seq, Skip, Spawn, ThreadDef, Type, Var,
+)
+from repro.formal.statics import TypeError_, typecheck
+from repro.formal.semantics import Machine, MachineConfig
+from repro.formal.soundness import ConsistencyError, check_consistency
+
+__all__ = [
+    "Mode", "Type", "IntType", "RefType",
+    "Var", "Deref", "Num", "Null", "New", "Scast",
+    "Assign", "Seq", "Skip", "Spawn",
+    "Global", "ThreadDef", "Program", "FAIL_STMT",
+    "typecheck", "TypeError_",
+    "Machine", "MachineConfig",
+    "check_consistency", "ConsistencyError",
+]

@@ -1,0 +1,134 @@
+"""Random well-typed program generation for the soundness property tests.
+
+Programs are correct by construction: every statement is built from
+variables whose declared types satisfy the corresponding Figure 4 rule, so
+``typecheck`` accepts them (a property the tests assert) and the machine
+can run them under arbitrary schedules.
+
+The generated shapes deliberately exercise the interesting transitions:
+globals shared through ``dynamic``, heap cells moving between threads via
+``scast``, private cells dereferenced by their owners, and spawns that
+overlap thread lifetimes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.formal.lang import (
+    Assign, Deref, Global, IntType, Mode, New, Null, Num, Program,
+    RefType, Scast, Seq, Skip, Spawn, ThreadDef, Var, seq_of,
+)
+
+# The type vocabulary.
+D_INT = IntType(Mode.DYNAMIC)
+P_INT = IntType(Mode.PRIVATE)
+D_REF_D = RefType(Mode.DYNAMIC, D_INT)
+P_REF_D = RefType(Mode.PRIVATE, D_INT)
+P_REF_P = RefType(Mode.PRIVATE, P_INT)
+
+LOCAL_TYPES = [P_INT, P_REF_D, P_REF_P, D_INT]
+GLOBAL_TYPES = [D_INT, D_REF_D]
+
+
+def gen_program(rng: random.Random, n_threads: int = 3,
+                n_stmts: int = 8, n_globals: int = 3,
+                n_locals: int = 4) -> Program:
+    """One random well-typed program."""
+    globals_ = [Global(f"g{i}", rng.choice(GLOBAL_TYPES))
+                for i in range(n_globals)]
+    thread_names = [f"t{i}" for i in range(n_threads)]
+    threads = []
+    for i, name in enumerate(thread_names):
+        locals_ = [(f"{name}_x{j}", rng.choice(LOCAL_TYPES))
+                   for j in range(n_locals)]
+        # Worker threads may spawn later workers (never earlier ones, so
+        # spawn graphs are acyclic and runs terminate).
+        spawnable = thread_names[i + 1:]
+        body = _gen_body(rng, globals_, locals_, spawnable, n_stmts)
+        threads.append(ThreadDef(name, locals_, body))
+    # main spawns a few workers and also runs a body of its own.
+    main_locals = [(f"m_x{j}", rng.choice(LOCAL_TYPES))
+                   for j in range(n_locals)]
+    stmts = [Spawn(rng.choice(thread_names))
+             for _ in range(rng.randint(1, max(1, n_threads)))]
+    body = _gen_body(rng, globals_, main_locals, thread_names, n_stmts)
+    main = ThreadDef("main", main_locals, Seq(seq_of(stmts), body))
+    return Program(globals_, threads + [main], main="main")
+
+
+def _vars_of(pool, wanted) -> list[str]:
+    return [name for name, ty in pool if ty == wanted]
+
+
+def _gen_body(rng: random.Random, globals_, locals_, spawnable,
+              n_stmts: int):
+    pool = [(g.name, g.type) for g in globals_] + list(locals_)
+    stmts = []
+    for _ in range(n_stmts):
+        stmt = _gen_stmt(rng, pool, locals_, spawnable)
+        if stmt is not None:
+            stmts.append(stmt)
+    return seq_of(stmts) if stmts else Skip()
+
+
+def _gen_stmt(rng: random.Random, pool, locals_, spawnable):
+    choices = ["const", "copy_int", "new", "null", "copy_ref",
+               "deref_read", "deref_write", "scast", "spawn"]
+    kind = rng.choice(choices)
+    int_vars = _vars_of(pool, D_INT) + _vars_of(pool, P_INT)
+    if kind == "const" and int_vars:
+        return Assign(Var(rng.choice(int_vars)), Num(rng.randint(0, 9)))
+    if kind == "copy_int" and len(int_vars) >= 2:
+        dst, src = rng.sample(int_vars, 2)
+        return Assign(Var(dst), Var(src))
+    ref_vars = (_vars_of(pool, D_REF_D) + _vars_of(pool, P_REF_D)
+                + _vars_of(pool, P_REF_P))
+    if kind == "new" and ref_vars:
+        name = rng.choice(ref_vars)
+        ty = dict(pool)[name]
+        return Assign(Var(name), New(ty.target()))
+    if kind == "null" and ref_vars:
+        return Assign(Var(rng.choice(ref_vars)), Null())
+    if kind == "copy_ref":
+        # Same target type required (ASSIGN is invariant below the top).
+        to_d = _vars_of(pool, D_REF_D) + _vars_of(pool, P_REF_D)
+        if len(to_d) >= 2:
+            dst, src = rng.sample(to_d, 2)
+            return Assign(Var(dst), Var(src))
+    # Deref needs a *private* reference (DEREF rule).
+    local_p_ref_d = [n for n, t in locals_ if t == P_REF_D]
+    local_p_ref_p = [n for n, t in locals_ if t == P_REF_P]
+    if kind == "deref_read" and int_vars and (
+            local_p_ref_d or local_p_ref_p):
+        src = rng.choice(local_p_ref_d + local_p_ref_p)
+        return Assign(Var(rng.choice(int_vars)), Deref(src))
+    if kind == "deref_write" and (local_p_ref_d or local_p_ref_p):
+        dst = rng.choice(local_p_ref_d + local_p_ref_p)
+        return Assign(Deref(dst), Num(rng.randint(0, 9)))
+    if kind == "scast":
+        # l := scast_{m1 int} x: x : private ref (m2 int) local;
+        # l : m ref (m1 int).  Generate both directions:
+        #   private ref (private int) := scast[private int] x_prd
+        #   (dynamic->private: claim a shared cell)
+        #   dyn/private ref (dynamic int) := scast[dynamic int] x_prp
+        #   (private->dynamic: publish a private cell)
+        direction = rng.choice(["claim", "publish"])
+        if direction == "claim":
+            srcs = [n for n, t in locals_ if t == P_REF_D]
+            dsts = _vars_of(pool, P_REF_P)
+            if srcs and dsts:
+                return Assign(Var(rng.choice(dsts)),
+                              Scast(P_INT, rng.choice(srcs)))
+        else:
+            srcs = [n for n, t in locals_ if t == P_REF_P]
+            dsts = _vars_of(pool, P_REF_D) + _vars_of(pool, D_REF_D)
+            if srcs and dsts:
+                return Assign(Var(rng.choice(dsts)),
+                              Scast(D_INT, rng.choice(srcs)))
+    if kind == "spawn" and spawnable:
+        return Spawn(rng.choice(spawnable))
+    # Fall back to something always possible.
+    if int_vars:
+        return Assign(Var(rng.choice(int_vars)), Num(rng.randint(0, 9)))
+    return None

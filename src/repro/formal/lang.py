@@ -1,0 +1,275 @@
+"""Figure 3: the grammar of the core language.
+
+::
+
+    Core Type    s ::= int | ref t
+    Sharing Mode m ::= dynamic | private
+    Type         t ::= m s | thread
+    Program      P ::= t x | f(){t1 x1 ... tn xn; s} | P; P
+    L-expression l ::= x | *x | a
+    Expression   e ::= l | scast_t x | n | null | new_t
+    Statement    s ::= s1; s2 | spawn f()
+                     | l := e [when phi_1(l1), ..., phi_n(ln)]
+                     | skip | done | fail
+    Predicate  phi ::= chkread | chkwrite | oneref
+
+``done``, ``skip``, ``fail`` and runtime addresses appear only in the
+operational semantics.  Control flow is omitted (it has no effect on the
+type system or the runtime checks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class Mode(enum.Enum):
+    """The two sharing modes of the core language."""
+
+    PRIVATE = "private"
+    DYNAMIC = "dynamic"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CoreType:
+    """s ::= int | ref t"""
+
+
+@dataclass(frozen=True)
+class IntBase(CoreType):
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class RefBase(CoreType):
+    target: "Type"
+
+    def __str__(self) -> str:
+        return f"ref ({self.target})"
+
+
+@dataclass(frozen=True)
+class Type:
+    """t ::= m s (the ``thread`` type is implicit on thread names)."""
+
+    mode: Mode
+    base: CoreType
+
+    def __str__(self) -> str:
+        return f"{self.mode} {self.base}"
+
+    @property
+    def is_ref(self) -> bool:
+        return isinstance(self.base, RefBase)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self.base, IntBase)
+
+    def target(self) -> "Type":
+        assert isinstance(self.base, RefBase)
+        return self.base.target
+
+
+def IntType(mode: Mode) -> Type:
+    return Type(mode, IntBase())
+
+
+def RefType(mode: Mode, target: Type) -> Type:
+    return Type(mode, RefBase(target))
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Var:
+    """l ::= x"""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Deref:
+    """l ::= *x  (only variables may be dereferenced; see DEREF)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"*{self.name}"
+
+
+LValue = Union[Var, Deref]
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Null:
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class New:
+    """new_t — allocates a fresh cell of type t."""
+
+    cell_type: Type
+
+    def __str__(self) -> str:
+        return f"new {self.cell_type}"
+
+
+@dataclass(frozen=True)
+class Scast:
+    """scast_t x — changes *x's sharing mode; nulls out x."""
+
+    to: Type  # the new type of the referenced cell
+    var: str
+
+    def __str__(self) -> str:
+        return f"scast[{self.to}] {self.var}"
+
+
+Expr = Union[Var, Deref, Num, Null, New, Scast]
+
+
+# -- runtime checks (inserted by the static semantics) --------------------------
+
+
+class CheckKind(enum.Enum):
+    CHKREAD = "chkread"
+    CHKWRITE = "chkwrite"
+    ONEREF = "oneref"
+
+
+@dataclass(frozen=True)
+class Check:
+    """One ``when`` guard on an assignment."""
+
+    kind: CheckKind
+    lval: LValue
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.lval})"
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass
+class Skip:
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass
+class Done:
+    def __str__(self) -> str:
+        return "done"
+
+
+@dataclass
+class Fail:
+    def __str__(self) -> str:
+        return "fail"
+
+
+@dataclass
+class Spawn:
+    func: str
+
+    def __str__(self) -> str:
+        return f"spawn {self.func}()"
+
+
+@dataclass
+class Assign:
+    """l := e when phi_1, ..., phi_n"""
+
+    target: LValue
+    value: Expr
+    checks: list[Check] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        out = f"{self.target} := {self.value}"
+        if self.checks:
+            out += " when " + ", ".join(str(c) for c in self.checks)
+        return out
+
+
+@dataclass
+class Seq:
+    first: "Stmt"
+    second: "Stmt"
+
+    def __str__(self) -> str:
+        return f"{self.first}; {self.second}"
+
+
+Stmt = Union[Skip, Done, Fail, Spawn, Assign, Seq]
+
+FAIL_STMT = Fail()
+
+
+def seq_of(stmts: list[Stmt]) -> Stmt:
+    """Builds a right-nested Seq from a statement list."""
+    if not stmts:
+        return Skip()
+    result = stmts[-1]
+    for s in reversed(stmts[:-1]):
+        result = Seq(s, result)
+    return result
+
+
+# -- programs ----------------------------------------------------------------------
+
+
+@dataclass
+class Global:
+    name: str
+    type: Type
+
+
+@dataclass
+class ThreadDef:
+    """f(){t1 x1 ... tn xn; s}"""
+
+    name: str
+    locals: list[tuple[str, Type]] = field(default_factory=list)
+    body: Stmt = field(default_factory=Skip)
+
+
+@dataclass
+class Program:
+    globals: list[Global] = field(default_factory=list)
+    threads: list[ThreadDef] = field(default_factory=list)
+    #: the initially running thread (by name)
+    main: str = "main"
+
+    def thread(self, name: str) -> ThreadDef:
+        for t in self.threads:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def __str__(self) -> str:
+        lines = [f"{g.type} {g.name};" for g in self.globals]
+        for t in self.threads:
+            decls = " ".join(f"{ty} {x};" for x, ty in t.locals)
+            lines.append(f"{t.name}() {{ {decls} {t.body} }}")
+        return "\n".join(lines)

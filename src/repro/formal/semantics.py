@@ -1,0 +1,336 @@
+"""Figures 5 and 6: the small-step parallel operational semantics.
+
+The runtime state is:
+
+- **Memory** ``M : addr -> (value, type, owner, readers, writers)`` —
+  exactly the five-tuple of Section 3.3 (the real implementation never
+  reads the type/owner components; the formal model tracks them so the
+  soundness invariants can be checked),
+- per-thread **environments** ``E : var -> addr``,
+- a positive **thread id** per thread.
+
+Each machine step advances one nondeterministically chosen thread by one
+micro-transition: an l-value resolution, one ``when`` check (executed in
+one big step once its argument is known, per Figure 6), or the guarded
+assignment itself.  A failing check sends the thread to ``fail``, leaving
+it blocked — the paper's semantics of detection.
+
+``enforce`` selects what a failing check does:
+
+- ``"fail"``  — the paper's semantics (thread blocks);
+- ``"record"`` — the violation is recorded and execution continues, which
+  lets tests demonstrate that *without* blocking, the Definition 1
+  invariants break (the negative half of the soundness argument);
+- ``"skip"``  — checks are not executed at all (baseline).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.formal.lang import (
+    Assign, Check, CheckKind, Deref, Mode, New, Null, Num, Program,
+    RefBase, Scast, Seq, Skip, Spawn, Stmt, Type, Var,
+)
+
+
+@dataclass
+class Cell:
+    """One memory cell: Z x t x owner x P(tid) x P(tid)."""
+
+    value: int
+    type: Type
+    owner: int
+    readers: set[int] = field(default_factory=set)
+    writers: set[int] = field(default_factory=set)
+
+
+@dataclass
+class Event:
+    """One successful memory access or sharing cast (the trace the race
+    oracle inspects)."""
+
+    step: int
+    tid: int
+    kind: str  # "read" | "write" | "scast"
+    addr: int
+
+
+@dataclass
+class Violation:
+    """A failed runtime check (only recorded when enforce="record")."""
+
+    step: int
+    tid: int
+    check: str
+    addr: int
+
+
+class ThreadFailed(Exception):
+    """Internal: a check failed under enforce="fail"."""
+
+    def __init__(self, check: Check, addr: int):
+        self.check = check
+        self.addr = addr
+
+
+@dataclass
+class ThreadRec:
+    tid: int
+    name: str
+    env: dict[str, int]
+    local_addrs: list[int]
+    gen: Optional[Iterator] = None
+    done: bool = False
+    failed: Optional[str] = None
+
+
+@dataclass
+class MachineConfig:
+    seed: int = 0
+    enforce: str = "fail"  # "fail" | "record" | "skip"
+    max_steps: int = 10_000
+
+
+class Machine:
+    """Executes a *checked* program (output of ``typecheck``)."""
+
+    def __init__(self, program: Program,
+                 config: Optional[MachineConfig] = None) -> None:
+        self.program = program
+        self.config = config or MachineConfig()
+        self.rng = random.Random(self.config.seed)
+        self.memory: dict[int, Cell] = {}
+        self._next_addr = 1  # 0 is the invalid address
+        self.threads: list[ThreadRec] = []
+        self._next_tid = 1
+        self.global_env: dict[str, int] = {}
+        self.steps = 0
+        self.trace: list[Event] = []
+        self.violations: list[Violation] = []
+        self.failures: list[tuple[int, str]] = []  # (tid, failed check)
+        #: tid -> step at which the thread exited (threads whose
+        #: executions do not overlap cannot race)
+        self.exit_step: dict[int, int] = {}
+
+        for g in program.globals:
+            addr = self._alloc(g.type, owner=0)
+            self.global_env[g.name] = addr
+        self._spawn(program.main)
+
+    # -- memory helpers ----------------------------------------------------
+
+    def _alloc(self, cell_type: Type, owner: int) -> int:
+        addr = self._next_addr
+        self._next_addr += 1
+        self.memory[addr] = Cell(0, cell_type, owner)
+        return addr
+
+    def var_addresses(self) -> set[int]:
+        """Addresses bound to variables (for the not-addressable check)."""
+        addrs = set(self.global_env.values())
+        for t in self.threads:
+            addrs |= set(t.env.values())
+        return addrs
+
+    # -- threads -------------------------------------------------------------
+
+    def _spawn(self, name: str) -> ThreadRec:
+        tdef = self.program.thread(name)
+        tid = self._next_tid
+        self._next_tid += 1
+        env = dict(self.global_env)
+        local_addrs = []
+        for x, ty in tdef.locals:
+            addr = self._alloc(ty, owner=tid)
+            env[x] = addr
+            local_addrs.append(addr)
+        rec = ThreadRec(tid, name, env, local_addrs)
+        rec.gen = self._exec_stmt(rec, tdef.body)
+        self.threads.append(rec)
+        return rec
+
+    def _thread_exit(self, rec: ThreadRec) -> None:
+        """threadexit: zero the locals, remove the tid from all
+        reader/writer sets."""
+        for addr in rec.local_addrs:
+            self.memory[addr].value = 0
+        for cell in self.memory.values():
+            cell.readers.discard(rec.tid)
+            cell.writers.discard(rec.tid)
+        self.exit_step[rec.tid] = self.steps
+
+    # -- l-values and checks ----------------------------------------------------
+
+    def _resolve(self, rec: ThreadRec, lv) -> int:
+        """M,E : l ->_t a (a null deref fails the thread)."""
+        if isinstance(lv, Var):
+            return rec.env[lv.name]
+        if isinstance(lv, Deref):
+            cell = self.memory[rec.env[lv.name]]
+            self._note_access(rec, "read", rec.env[lv.name])
+            if cell.value == 0:
+                raise ThreadFailed(
+                    Check(CheckKind.CHKREAD, lv), 0)
+            return cell.value
+        raise TypeError(f"not an l-value: {lv!r}")
+
+    def _note_access(self, rec: ThreadRec, kind: str, addr: int) -> None:
+        self.trace.append(Event(self.steps, rec.tid, kind, addr))
+
+    def _run_check(self, rec: ThreadRec, check: Check) -> None:
+        """Figure 6, one big step."""
+        if self.config.enforce == "skip":
+            return
+        addr = self._resolve(rec, check.lval)
+        cell = self.memory[addr]
+        tid = rec.tid
+        ok: bool
+        record = self.config.enforce == "record"
+        if check.kind is CheckKind.CHKREAD:
+            ok = not (cell.writers - {tid})
+            if ok or record:
+                # In record mode the access proceeds anyway, so the sets
+                # reflect reality — which is exactly how Definition 1
+                # becomes observably violated without enforcement.
+                cell.readers.add(tid)
+        elif check.kind is CheckKind.CHKWRITE:
+            ok = not (cell.readers - {tid}) and not (cell.writers - {tid})
+            if ok or record:
+                cell.writers.add(tid)
+        else:  # ONEREF: |{b : M(b).value = a and M(b) is a ref}| = 1
+            refs = sum(
+                1 for other in self.memory.values()
+                if isinstance(other.type.base, RefBase)
+                and other.value == addr)
+            ok = refs == 1
+        if not ok:
+            if self.config.enforce == "fail":
+                raise ThreadFailed(check, addr)
+            self.violations.append(
+                Violation(self.steps, tid, str(check), addr))
+
+    # -- statement execution (generators; one yield per micro-step) ---------------
+
+    def _exec_stmt(self, rec: ThreadRec, s: Stmt):
+        if isinstance(s, Skip):
+            yield  # skip; s -> s is one transition
+            return
+        if isinstance(s, Seq):
+            yield from self._exec_stmt(rec, s.first)
+            yield from self._exec_stmt(rec, s.second)
+            return
+        if isinstance(s, Spawn):
+            yield
+            self._spawn(s.func)
+            return
+        if isinstance(s, Assign):
+            # Checks run left-to-right before the assignment they guard.
+            for check in s.checks:
+                yield
+                self._run_check(rec, check)
+            yield
+            self._do_assign(rec, s)
+            return
+        raise TypeError(f"cannot execute {s!r}")
+
+    def _do_assign(self, rec: ThreadRec, s: Assign) -> None:
+        target_addr = self._resolve(rec, s.target)
+        value = s.value
+        if isinstance(value, Num):
+            v = value.value
+        elif isinstance(value, Null):
+            v = 0
+        elif isinstance(value, New):
+            v = self._alloc(value.cell_type, owner=rec.tid)
+        elif isinstance(value, (Var, Deref)):
+            src_addr = self._resolve(rec, value)
+            self._note_access(rec, "read", src_addr)
+            v = self.memory[src_addr].value
+        elif isinstance(value, Scast):
+            x_addr = rec.env[value.var]
+            self._note_access(rec, "read", x_addr)
+            v = self.memory[x_addr].value
+            # Null out the source; retype and re-own the referenced cell;
+            # clear its reader/writer sets (the scast transition).
+            self.memory[x_addr].value = 0
+            self._note_access(rec, "write", x_addr)
+            if v != 0:
+                target_cell = self.memory[v]
+                target_cell.type = value.to
+                target_cell.owner = rec.tid
+                target_cell.readers = set()
+                target_cell.writers = set()
+                self.trace.append(
+                    Event(self.steps, rec.tid, "scast", v))
+        else:
+            raise TypeError(f"cannot evaluate {value!r}")
+        self.memory[target_addr].value = v
+        self._note_access(rec, "write", target_addr)
+
+    # -- the machine loop ------------------------------------------------------------
+
+    def runnable(self) -> list[ThreadRec]:
+        return [t for t in self.threads
+                if not t.done and t.failed is None]
+
+    def step(self) -> bool:
+        """One transition of one thread.  Returns False when no thread can
+        move (all done or failed)."""
+        candidates = self.runnable()
+        if not candidates:
+            return False
+        rec = self.rng.choice(candidates)
+        self.steps += 1
+        try:
+            next(rec.gen)
+        except StopIteration:
+            rec.done = True
+            self._thread_exit(rec)
+        except ThreadFailed as tf:
+            rec.failed = str(tf.check)
+            self.failures.append((rec.tid, str(tf.check)))
+        return True
+
+    def run(self, invariant_hook=None) -> None:
+        """Runs to quiescence or the step budget.  ``invariant_hook`` is
+        called after every step (used by the soundness tests)."""
+        for _ in range(self.config.max_steps):
+            if not self.step():
+                return
+            if invariant_hook is not None:
+                invariant_hook(self)
+
+    # -- the race oracle -----------------------------------------------------------------
+
+    def races_in_trace(self) -> list[tuple[Event, Event]]:
+        """Conflicting accesses (same dynamic cell, different threads, at
+        least one write) with no intervening sharing cast on that cell —
+        the property the soundness theorem says cannot happen under
+        enforce="fail"."""
+        races = []
+        by_addr: dict[int, list[Event]] = {}
+        for ev in self.trace:
+            by_addr.setdefault(ev.addr, []).append(ev)
+        for addr, events in by_addr.items():
+            cell = self.memory.get(addr)
+            if cell is None or cell.type.mode is not Mode.DYNAMIC:
+                continue
+            window: list[Event] = []
+            for ev in events:
+                if ev.kind == "scast":
+                    window = []
+                    continue
+                for prev in window:
+                    if prev.tid == ev.tid:
+                        continue
+                    if prev.kind != "write" and ev.kind != "write":
+                        continue
+                    exited = self.exit_step.get(prev.tid)
+                    if exited is not None and exited <= ev.step:
+                        continue  # executions did not overlap
+                    races.append((prev, ev))
+                window.append(ev)
+        return races

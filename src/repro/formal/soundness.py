@@ -1,0 +1,113 @@
+"""Definition 1 (consistency) as an executable invariant, plus the
+access-safety assertions the soundness theorem (Section 3.4) guarantees.
+
+The theorem: at all times, all threads are well-typed, well-checked, and
+consistent with memory, from which it follows that
+
+- private cells are only accessed by the thread that owns them, and
+- no two threads race on a dynamic cell (access it with at least one
+  write) unless there has been an intervening sharing cast.
+
+``check_consistency`` validates Definition 1 against a machine state; the
+property tests drive random well-typed programs through random schedules,
+calling it after every step, and separately assert the no-race property on
+the access trace (``Machine.races_in_trace``).
+"""
+
+from __future__ import annotations
+
+from repro.formal.lang import Mode, Program, RefBase
+from repro.formal.semantics import Machine
+
+
+class ConsistencyError(AssertionError):
+    """A Definition 1 invariant is violated."""
+
+
+def check_consistency(machine: Machine,
+                      program: Program | None = None) -> None:
+    """Raises :class:`ConsistencyError` if any invariant fails."""
+    program = program or machine.program
+    memory = machine.memory
+    var_addrs = machine.var_addresses()
+
+    # Variable types are preserved; locals are owned by their thread.
+    global_types = {g.name: g.type for g in program.globals}
+    for rec in machine.threads:
+        tdef = program.thread(rec.name)
+        local_types = dict(tdef.locals)
+        for x, addr in rec.env.items():
+            cell = memory[addr]
+            declared = local_types.get(x, global_types.get(x))
+            if declared is None:
+                raise ConsistencyError(f"{rec.name}: unknown variable {x}")
+            if cell.type != declared:
+                raise ConsistencyError(
+                    f"type of {x} changed: declared {declared}, "
+                    f"memory has {cell.type}")
+            if x in local_types and not rec.done and \
+                    cell.owner != rec.tid:
+                raise ConsistencyError(
+                    f"local {x} of thread {rec.tid} owned by "
+                    f"{cell.owner}")
+
+    for addr, cell in memory.items():
+        value = cell.value
+        if isinstance(cell.type.base, RefBase) and value != 0:
+            # Variables are not addressable.
+            if value in var_addrs and value not in _heap_addrs(machine):
+                raise ConsistencyError(
+                    f"cell 0x{addr:x} points at a variable")
+            target = memory.get(value)
+            if target is None:
+                raise ConsistencyError(
+                    f"cell 0x{addr:x} points at unallocated 0x{value:x}")
+            # Types are consistent between a ref and its referent.
+            if target.type != cell.type.target():
+                raise ConsistencyError(
+                    f"ref 0x{addr:x} : {cell.type} points at cell of "
+                    f"type {target.type}")
+            # Owners are consistent for private ref (private s).
+            if cell.type.mode is Mode.PRIVATE and \
+                    cell.type.target().mode is Mode.PRIVATE and \
+                    cell.owner != target.owner:
+                raise ConsistencyError(
+                    f"private ref 0x{addr:x} (owner {cell.owner}) points "
+                    f"at private cell owned by {target.owner}")
+        # No more than one writer; no readers besides the writer.
+        if len(cell.writers) > 1:
+            raise ConsistencyError(
+                f"cell 0x{addr:x} has writers {cell.writers}")
+        if cell.writers and not cell.readers <= cell.writers:
+            raise ConsistencyError(
+                f"cell 0x{addr:x} has readers {cell.readers} besides "
+                f"writer {cell.writers}")
+
+
+def _heap_addrs(machine: Machine) -> set[int]:
+    """Addresses created by ``new`` (i.e. not variable storage)."""
+    var_addrs = machine.var_addresses()
+    return {a for a in machine.memory if a not in var_addrs}
+
+
+def check_private_accesses(machine: Machine) -> list[str]:
+    """The first soundness conclusion: every access to a private cell was
+    performed by its owner at that time.
+
+    Because ownership changes only at scast (recorded in the trace), we
+    can replay the trace: a private cell's owner between scasts is the
+    owner recorded by the machine.  This simplified validator checks the
+    *current* state only; the property tests call it after every step, so
+    every access is checked while its effects are fresh.
+    """
+    problems: list[str] = []
+    for ev in machine.trace[-2:]:
+        cell = machine.memory.get(ev.addr)
+        if cell is None or ev.kind == "scast":
+            continue
+        if cell.type.mode is Mode.PRIVATE and cell.owner not in (0,
+                                                                 ev.tid):
+            problems.append(
+                f"step {ev.step}: thread {ev.tid} accessed private cell "
+                f"0x{ev.addr:x} owned by {cell.owner}")
+    return problems

@@ -1,0 +1,221 @@
+"""Figure 4: the typing judgments of the core language.
+
+``typecheck`` validates a program and *returns a copy with runtime checks
+inserted* — the ``when`` guards — exactly as the compilation judgment
+``G |- s ~> s'`` does:
+
+- GLOBAL: globals use the dynamic sharing mode;
+- REF-CTOR / INT-CTOR: ``m ref (m' s)`` is well-formed iff ``m = m'`` or
+  ``m = private`` (no dynamic reference to a private cell);
+- NAME / DEREF: ``*x`` requires ``x : private ref t`` (so no other thread
+  can change ``x`` between a check and the access it guards);
+- the five assignment rules compute checks with
+  ``R(t, dynamic) = chkread``, ``W(t, dynamic) = chkwrite`` and nothing
+  for private;
+- CAST-ASSIGN: ``l := scast_t x`` with ``l : m ref (m1 s)``,
+  ``x : private ref (m2 s)`` and ``t = m1 s`` — conversion is allowed only
+  at the first target level, guarded by ``oneref(*x)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.formal.lang import (
+    Assign, Check, CheckKind, Deref, Done, Fail, Global, Mode, New, Null,
+    Num, Program, RefBase, Scast, Seq, Skip, Spawn, Stmt, ThreadDef, Type,
+    Var,
+)
+
+
+class TypeError_(Exception):
+    """A static type error in the core language."""
+
+
+def wellformed(t: Type) -> None:
+    """REF-CTOR / INT-CTOR: no dynamic reference to a private type."""
+    if isinstance(t.base, RefBase):
+        target = t.base.target
+        if t.mode is not Mode.PRIVATE and target.mode is Mode.PRIVATE:
+            raise TypeError_(
+                f"ill-formed type {t}: a {t.mode} ref may not reference "
+                "a private type (REF-CTOR)")
+        wellformed(target)
+
+
+@dataclass
+class Env:
+    """G: the typing environment (globals + current thread's locals)."""
+
+    globals: dict[str, Type]
+    locals: dict[str, Type]
+    threads: set[str]
+
+    def lookup(self, name: str) -> Type:
+        if name in self.locals:
+            return self.locals[name]
+        if name in self.globals:
+            return self.globals[name]
+        raise TypeError_(f"unbound variable {name!r}")
+
+    def is_local(self, name: str) -> bool:
+        return name in self.locals
+
+
+def lval_type(env: Env, lv) -> Type:
+    """NAME and DEREF."""
+    if isinstance(lv, Var):
+        return env.lookup(lv.name)
+    if isinstance(lv, Deref):
+        t = env.lookup(lv.name)
+        if not t.is_ref:
+            raise TypeError_(f"*{lv.name}: not a reference ({t})")
+        if t.mode is not Mode.PRIVATE:
+            raise TypeError_(
+                f"*{lv.name}: DEREF requires a private reference, "
+                f"got {t.mode}")
+        return t.target()
+    raise TypeError_(f"not an l-value: {lv!r}")
+
+
+def _read_check(lv, t: Type) -> list[Check]:
+    """R(t, m): dynamic cells need chkread."""
+    if t.mode is Mode.DYNAMIC:
+        return [Check(CheckKind.CHKREAD, lv)]
+    return []
+
+
+def _write_check(lv, t: Type) -> list[Check]:
+    """W(t, m): dynamic cells need chkwrite."""
+    if t.mode is Mode.DYNAMIC:
+        return [Check(CheckKind.CHKWRITE, lv)]
+    return []
+
+
+def check_stmt(env: Env, s: Stmt) -> Stmt:
+    """G |- s ~> s': validates and returns s with checks inserted."""
+    if isinstance(s, (Skip, Done)):
+        return Skip()
+    if isinstance(s, Fail):
+        return Fail()
+    if isinstance(s, Seq):
+        return Seq(check_stmt(env, s.first), check_stmt(env, s.second))
+    if isinstance(s, Spawn):
+        if s.func not in env.threads:
+            raise TypeError_(f"spawn of non-thread {s.func!r}")
+        return Spawn(s.func)
+    if isinstance(s, Assign):
+        return _check_assign(env, s)
+    raise TypeError_(f"unknown statement {s!r}")
+
+
+def _check_assign(env: Env, s: Assign) -> Assign:
+    target_t = lval_type(env, s.target)
+    checks: list[Check] = []
+    value = s.value
+
+    if isinstance(value, Num):
+        # CONSTANT-ASSIGN: t := n when W(t, m) — t must be m int.
+        if not target_t.is_int:
+            raise TypeError_(f"{s}: integer assigned to {target_t}")
+        checks = _write_check(s.target, target_t)
+    elif isinstance(value, Null):
+        # NULL-ASSIGN: t must be a reference.
+        if not target_t.is_ref:
+            raise TypeError_(f"{s}: null assigned to {target_t}")
+        checks = _write_check(s.target, target_t)
+    elif isinstance(value, New):
+        # NEW-ASSIGN: t := new t' with t : m ref t'.
+        if not target_t.is_ref:
+            raise TypeError_(f"{s}: new assigned to {target_t}")
+        if target_t.target() != value.cell_type:
+            raise TypeError_(
+                f"{s}: new {value.cell_type} assigned to ref "
+                f"{target_t.target()}")
+        wellformed(value.cell_type)
+        checks = _write_check(s.target, target_t)
+    elif isinstance(value, (Var, Deref)):
+        # ASSIGN: t1 := t2 — both sides must have the same core type
+        # shape; modes may differ only at the outermost level (the cells
+        # are distinct), deeper levels are invariant.
+        source_t = lval_type(env, value)
+        if not _same_below(target_t, source_t):
+            raise TypeError_(
+                f"{s}: incompatible types {target_t} vs {source_t}")
+        checks = (_write_check(s.target, target_t)
+                  + _read_check(value, source_t))
+    elif isinstance(value, Scast):
+        # CAST-ASSIGN.
+        if not target_t.is_ref:
+            raise TypeError_(f"{s}: scast assigned to {target_t}")
+        x_t = env.lookup(value.var)
+        if not env.is_local(value.var) or not x_t.is_ref or \
+                x_t.mode is not Mode.PRIVATE:
+            raise TypeError_(
+                f"{s}: scast source must be a private (local) reference, "
+                f"got {x_t}")
+        m1 = target_t.target()   # m1 s
+        m2 = x_t.target()        # m2 s
+        if value.to != m1:
+            raise TypeError_(
+                f"{s}: cast type {value.to} does not match target "
+                f"reference {m1}")
+        if type(m1.base) is not type(m2.base) or not _same_strict(
+                _target_or_none(m1), _target_or_none(m2)):
+            raise TypeError_(
+                f"{s}: scast may only convert the first target level "
+                f"({m1} vs {m2})")
+        checks = ([Check(CheckKind.ONEREF, Deref(value.var))]
+                  + _write_check(s.target, target_t))
+    else:
+        raise TypeError_(f"unknown expression {value!r}")
+
+    return Assign(s.target, value, checks)
+
+
+def _target_or_none(t: Type) -> Optional[Type]:
+    return t.target() if t.is_ref else None
+
+
+def _same_strict(a: Optional[Type], b: Optional[Type]) -> bool:
+    """Exact equality of types below the converted level."""
+    return a == b
+
+
+def _same_below(a: Type, b: Type) -> bool:
+    """Same core-type shape; modes equal at every level below the
+    outermost (pointer targets are invariant)."""
+    if type(a.base) is not type(b.base):
+        return False
+    if a.is_ref:
+        return a.target() == b.target()
+    return True
+
+
+def typecheck(program: Program) -> Program:
+    """G |- P ~> P': validates the program, returning it with checks."""
+    globals_env: dict[str, Type] = {}
+    for g in program.globals:
+        if g.type.mode is not Mode.DYNAMIC:
+            raise TypeError_(
+                f"global {g.name} must use the dynamic sharing mode "
+                f"(GLOBAL), got {g.type.mode}")
+        wellformed(g.type)
+        globals_env[g.name] = g.type
+
+    thread_names = {t.name for t in program.threads}
+    checked_threads: list[ThreadDef] = []
+    for t in program.threads:
+        locals_env: dict[str, Type] = {}
+        for x, ty in t.locals:
+            wellformed(ty)
+            if x in globals_env:
+                raise TypeError_(
+                    f"local {x} of {t.name} shadows a global "
+                    "(identifiers must be distinct)")
+            locals_env[x] = ty
+        env = Env(globals_env, locals_env, thread_names)
+        checked_threads.append(
+            ThreadDef(t.name, list(t.locals), check_stmt(env, t.body)))
+    return Program(list(program.globals), checked_threads, program.main)

@@ -1,0 +1,26 @@
+"""The dynamic half of SharC: a deterministic execution substrate.
+
+The paper instruments C programs and runs them natively; we interpret the
+mini-C AST under a seeded cooperative scheduler, which preserves exactly
+what the dynamic analysis depends on — the interleaving semantics of the
+threads and the atomicity of the runtime's own bookkeeping — while making
+every race reproducible.
+
+- :mod:`repro.runtime.addrspace` — flat byte-addressed memory with a
+  16-byte-aligned allocator (Section 4.5's malloc alignment guarantee),
+- :mod:`repro.runtime.shadow`    — per-16-byte reader/writer bitmaps
+  (Section 4.2.1),
+- :mod:`repro.runtime.locks`     — mutexes, condvars, held-lock logs
+  (Section 4.2.2),
+- :mod:`repro.runtime.refcount`  — naive and Levanoni–Petrank-style
+  reference counting (Section 4.3),
+- :mod:`repro.runtime.scheduler` — the seeded thread scheduler,
+- :mod:`repro.runtime.world`     — the simulated external world (files,
+  network, screen) the Table 1 workloads interact with,
+- :mod:`repro.runtime.builtins`  — implementations of the library calls,
+- :mod:`repro.runtime.interp`    — the interpreter tying it together.
+"""
+
+from repro.runtime.interp import RunResult, run_checked, run_source
+
+__all__ = ["RunResult", "run_checked", "run_source"]

@@ -1,0 +1,179 @@
+"""Flat byte-addressed memory for the interpreter.
+
+Scalar cells live at their byte addresses in a dictionary; layout (struct
+offsets, array strides) is computed statically from the LP64 size model in
+:mod:`repro.cfront.ctypes`.  The allocator is a bump allocator that never
+reuses addresses and aligns every block to 16 bytes — the paper's SharC
+makes malloc do exactly this so that no two objects share a shadow granule
+(Section 4.5).
+
+Never reusing addresses is deliberate: dangling pointers (whose absence the
+paper assumes via Deputy/Heapsafe) cannot corrupt unrelated objects'
+reference counts or shadow state in our runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InterpError, Loc
+
+PAGE_SIZE = 4096
+GRANULE = 16
+
+
+@dataclass
+class Block:
+    """One allocation (heap block, global, or stack frame slab)."""
+
+    start: int
+    size: int
+    kind: str  # "heap" | "global" | "stack" | "literal"
+    freed: bool = False
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+
+class AddressSpace:
+    """Memory cells plus the allocation map."""
+
+    def __init__(self) -> None:
+        self.cells: dict[int, object] = {}
+        self._brk = 0x1000
+        self.blocks: dict[int, Block] = {}
+        self._block_starts: list[int] = []  # sorted, for bisect lookup
+        #: pages written/read by the program itself (memory-overhead base)
+        self.pages_touched: set[int] = set()
+
+    # -- allocation -------------------------------------------------------
+
+    def alloc(self, size: int, kind: str = "heap") -> int:
+        """Allocates ``size`` bytes, 16-byte aligned, never reused."""
+        size = max(1, size)
+        start = (self._brk + GRANULE - 1) // GRANULE * GRANULE
+        self._brk = start + size
+        block = Block(start, size, kind)
+        self.blocks[start] = block
+        self._block_starts.append(start)
+        return start
+
+    def free(self, addr: int, loc: Loc | None = None) -> Block:
+        block = self.blocks.get(addr)
+        if block is None:
+            raise InterpError(f"free() of non-block address 0x{addr:x}",
+                              loc)
+        if block.freed:
+            raise InterpError(f"double free of 0x{addr:x}", loc)
+        block.freed = True
+        return block
+
+    def block_of(self, addr: int) -> Block | None:
+        """The block containing ``addr``, if any (linear probe over a
+        small tail is enough because blocks are allocated in order)."""
+        import bisect
+        idx = bisect.bisect_right(self._block_starts, addr) - 1
+        if idx < 0:
+            return None
+        block = self.blocks[self._block_starts[idx]]
+        if block.start <= addr < block.end:
+            return block
+        return None
+
+    def check_access(self, addr: int, loc: Loc | None = None) -> None:
+        """Traps wild and use-after-free accesses (the memory-safety the
+        paper assumes an external tool provides)."""
+        block = self.block_of(addr)
+        if block is None:
+            raise InterpError(f"wild access at 0x{addr:x}", loc)
+        if block.freed:
+            raise InterpError(f"use after free at 0x{addr:x}", loc)
+
+    # -- typed scalar access -----------------------------------------------
+
+    def read(self, addr: int, loc: Loc | None = None) -> object:
+        self.check_access(addr, loc)
+        self.pages_touched.add(addr // PAGE_SIZE)
+        return self.cells.get(addr, 0)
+
+    def write(self, addr: int, value: object,
+              loc: Loc | None = None) -> object:
+        """Writes a scalar; returns the previous value (for RC logging)."""
+        self.check_access(addr, loc)
+        self.pages_touched.add(addr // PAGE_SIZE)
+        old = self.cells.get(addr, 0)
+        self.cells[addr] = value
+        return old
+
+    def peek(self, addr: int) -> object:
+        """Reads without page accounting or safety checks (runtime
+        internals such as the RC collector)."""
+        return self.cells.get(addr, 0)
+
+    # -- byte-range helpers (memcpy / memset / strings) ----------------------
+
+    def copy_range(self, dst: int, src: int, n: int,
+                   loc: Loc | None = None) -> None:
+        """Copies the cells within [src, src+n) preserving offsets.
+
+        Cells are typed scalars, so this mirrors memcpy for the type-safe
+        programs the paper targets (same layout on both sides).
+        """
+        self.check_access(src, loc)
+        self.check_access(dst, loc)
+        if n > 0:
+            self.check_access(src + n - 1, loc)
+            self.check_access(dst + n - 1, loc)
+        updates = {}
+        for addr in range(src, src + n):
+            if addr in self.cells:
+                updates[dst + (addr - src)] = self.cells[addr]
+        removals = [dst + i for i in range(n)
+                    if dst + i in self.cells and dst + i not in updates]
+        for addr in removals:
+            self.cells[addr] = 0
+        self.cells.update(updates)
+        for addr in range(dst, dst + n, PAGE_SIZE):
+            self.pages_touched.add(addr // PAGE_SIZE)
+        if n:
+            self.pages_touched.add((dst + n - 1) // PAGE_SIZE)
+
+    def set_range(self, dst: int, value: int, n: int,
+                  loc: Loc | None = None) -> None:
+        """memset: writes ``value`` into every *byte* cell of the range.
+
+        Existing wider cells in the range are overwritten with the byte
+        value, which matches the dominant uses (zeroing buffers).
+        """
+        self.check_access(dst, loc)
+        if n > 0:
+            self.check_access(dst + n - 1, loc)
+        for addr in range(dst, dst + n):
+            self.cells[addr] = value
+        for addr in range(dst, dst + n, PAGE_SIZE):
+            self.pages_touched.add(addr // PAGE_SIZE)
+
+    def write_bytes(self, addr: int, data: bytes,
+                    loc: Loc | None = None) -> None:
+        for i, b in enumerate(data):
+            self.write(addr + i, b, loc)
+
+    def read_c_string(self, addr: int, loc: Loc | None = None,
+                      limit: int = 1 << 20) -> str:
+        """Reads a NUL-terminated byte string."""
+        out = []
+        for i in range(limit):
+            b = self.read(addr + i, loc)
+            if not isinstance(b, int):
+                raise InterpError(
+                    f"non-character cell in string at 0x{addr + i:x}", loc)
+            if b == 0:
+                return "".join(map(chr, out))
+            out.append(b & 0xFF)
+        raise InterpError(f"unterminated string at 0x{addr:x}", loc)
+
+    def alloc_c_string(self, text: str, kind: str = "literal") -> int:
+        addr = self.alloc(len(text) + 1, kind)
+        self.write_bytes(addr, text.encode("latin-1", "replace") + b"\0")
+        return addr

@@ -1,0 +1,1067 @@
+"""The instrumented-program interpreter — SharC's dynamic analysis.
+
+The type checker attached :class:`~repro.sharc.typecheck.AccessInfo` to
+every l-value occurrence needing a runtime check, ``sharc_oneref`` /
+``sharc_src_write`` to sharing casts, and ``rc_track`` marks to pointer
+writes needing reference-count updates.  This interpreter executes the AST
+under a seeded scheduler and performs those checks:
+
+- ``chkread``/``chkwrite`` against the 16-byte-granule shadow memory
+  (Figure 6's judgments) — conflicts become reports in the paper's format;
+- lock-held checks against the per-thread lock log;
+- ``oneref`` + null-out for sharing casts (Figure 7's procedure), clearing
+  the object's reader/writer sets afterwards (the scast semantics rule);
+- reference-count updates through the selected scheme (Levanoni–Petrank by
+  default), normalized to object base addresses so interior pointers count
+  toward their object, as Heapsafe does.
+
+Running with ``instrument=False`` executes the same program with every
+check skipped and RC off — the baseline for the time-overhead metric.
+
+Threads are Python generators yielding accumulated step costs (or
+``("block", predicate, note)``); the scheduler interleaves them
+deterministically per seed, so every reported race is replayable.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import DiagKind, InterpError, Loc
+from repro.cfront import cast as A
+from repro.cfront.ctypes import ArrayType, FuncType, QualType, StructType
+from repro.sharc.checker import CheckedProgram
+from repro.sharc.reports import (
+    Access, Report, lock_not_held, oneref_failed, read_conflict,
+    write_conflict,
+)
+from repro.sharc.typecheck import AccessInfo
+from repro.runtime.addrspace import AddressSpace
+from repro.runtime.builtins import IMPLS
+from repro.runtime.locks import LockTable
+from repro.runtime.refcount import make_scheme
+from repro.runtime.scheduler import (
+    DeadlockError, Scheduler, Thread, ThreadState,
+)
+from repro.runtime.shadow import ShadowMemory, TooManyThreads
+from repro.runtime.stats import RunStats
+from repro.runtime.world import World
+
+
+class ThreadExit(Exception):
+    """thread_exit() unwinding."""
+
+    def __init__(self, value):
+        self.value = value
+
+
+class ProgramExit(Exception):
+    """exit() unwinding."""
+
+    def __init__(self, code: int):
+        self.code = code
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass
+class Frame:
+    """One activation record; locals live in a 16-aligned slab."""
+
+    func: A.FuncDef
+    env: dict[str, int] = field(default_factory=dict)
+    rc_slots: list[int] = field(default_factory=list)
+    slab: int = 0
+    slab_size: int = 0
+
+
+@dataclass
+class RunResult:
+    """Everything one dynamic run produced."""
+
+    reports: list[Report] = field(default_factory=list)
+    report_counts: dict[str, int] = field(default_factory=dict)
+    output: str = ""
+    stats: RunStats = field(default_factory=RunStats)
+    thread_results: dict[int, object] = field(default_factory=dict)
+    deadlock: Optional[str] = None
+    error: Optional[str] = None
+    timeout: bool = False
+    exit_code: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when the run finished with no sharing violations and no
+        runtime errors."""
+        return (not self.reports and self.error is None
+                and self.deadlock is None and not self.timeout)
+
+    def render_reports(self) -> str:
+        return "\n".join(r.render() for r in self.reports)
+
+
+class Interp:
+    """One configured execution of a checked program."""
+
+    def __init__(self, checked: CheckedProgram, *, seed: int = 0,
+                 world: Optional[World] = None, policy: str = "random",
+                 rc_scheme: str = "lp", instrument: bool = True,
+                 shadow_bytes: int = 1, max_burst: int = 8,
+                 checker: str = "sharc") -> None:
+        self.checked = checked
+        self.program = checked.program
+        self.structs = self.program.structs
+        self.instrument = instrument
+        #: "sharc" (mode-targeted checks) or "eraser" (the lockset
+        #: baseline of Section 6.2: every access monitored)
+        self.eraser = None
+        if checker == "eraser" and instrument:
+            from repro.runtime.eraser import EraserChecker
+            self.eraser = EraserChecker()
+            self.instrument = False  # SharC checks off; Eraser on
+        elif checker not in ("sharc", "eraser"):
+            raise ValueError(f"unknown checker {checker!r}")
+        self.space = AddressSpace()
+        self.shadow = ShadowMemory(shadow_bytes)
+        self.locks = LockTable()
+        from repro.runtime.locks import BarrierTable
+        self.barriers = BarrierTable()
+        self.rc = make_scheme(rc_scheme if instrument else "off")
+        self.sched = Scheduler(seed, policy, max_burst)
+        self.world = world if world is not None else World()
+        self.rng = random.Random(seed ^ 0x5EED)
+        self.output: list[str] = []
+        self.reports: list[Report] = []
+        self._report_keys: dict[tuple, int] = {}
+        self.stats = RunStats()
+        self.functions = {f.name: f for f in self.program.functions()}
+        self.globals_env: dict[str, int] = {}
+        self._strings: dict[str, int] = {}
+        self._exit_code = 0
+        self._halted = False
+        self._pending = 0
+
+    # -- cost accounting ------------------------------------------------------
+
+    def _tick(self, n: int = 1) -> None:
+        self._pending += n
+        self.stats.steps_total += n
+
+    def _charge_check(self, n: int = 1) -> None:
+        self._tick(n)
+        self.stats.steps_checks += n
+
+    def _charge_rc(self, n: int) -> None:
+        self._tick(n)
+        self.stats.steps_rc += n
+
+    def _flush(self) -> int:
+        cost, self._pending = self._pending, 0
+        return cost
+
+    # -- reports -----------------------------------------------------------------
+
+    def _report(self, report: Report) -> None:
+        key = (report.kind.value, report.who.lvalue, report.who.loc.line,
+               report.last.loc.line if report.last else -1)
+        if key in self._report_keys:
+            self._report_keys[key] += 1
+            return
+        self._report_keys[key] = 1
+        self.reports.append(report)
+
+    # -- runtime checks -------------------------------------------------------------
+
+    def _solo(self) -> bool:
+        """True while only one thread is live (single-threaded phases of
+        the program: before the first spawn, after the last join)."""
+        live = 0
+        for t in self.sched.threads.values():
+            if t.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
+                live += 1
+                if live > 1:
+                    return False
+        return True
+
+    def _eraser_access(self, node: A.Expr, addr: int, size: int,
+                       thread: Thread, is_write: bool) -> None:
+        """Lockset-baseline monitoring: every (non-register) access."""
+        from repro.cfront.pretty import pretty_expr
+        from repro.runtime.eraser import ACCESS_COST
+        held = frozenset(self.locks.held_by(thread.tid))
+        try:
+            lvalue = pretty_expr(node)
+        except TypeError:
+            lvalue = "<expr>"
+        for report in self.eraser.on_access(addr, size, thread.tid,
+                                            is_write, held, lvalue,
+                                            node.loc):
+            self._report(report)
+        self._charge_check(ACCESS_COST)
+
+    def _apply_check(self, info: AccessInfo, addr: int, size: int,
+                     thread: Thread, frame: Frame, is_write: bool):
+        """Performs one attached runtime check (a generator: lock
+        expressions are evaluated in the current environment)."""
+        mode = info.mode
+        if mode.is_locked:
+            self._charge_check(1)
+            lock_addr = 0
+            if info.lock_ast is not None:
+                lock_qt = info.lock_ast.ctype
+                if lock_qt is not None and (lock_qt.is_struct
+                                            or lock_qt.is_array):
+                    # locked(m) naming a mutex object denotes its address.
+                    lock_addr = yield from self.eval_lvalue(
+                        info.lock_ast, thread, frame)
+                else:
+                    lock_addr = yield from self.eval_expr(
+                        info.lock_ast, thread, frame)
+            if not self.locks.holds_for_access(thread.tid,
+                                               int(lock_addr), is_write):
+                self._report(lock_not_held(
+                    addr, Access(thread.tid, info.lvalue_text, info.loc),
+                    str(mode)))
+            self.stats.accesses_locked += 1
+            return
+        # dynamic / dynamic_in: the n-readers-or-1-writer discipline.
+        self.stats.accesses_dynamic += 1
+        if self._solo():
+            # Only one live thread: a spawn happens-after every access
+            # made so far, so these accesses can never be part of a race;
+            # recording them would only manufacture init-then-share false
+            # positives.  The check degenerates to a thread-count test.
+            self._charge_check(1)
+            return
+        who = Access(thread.tid, info.lvalue_text, info.loc)
+        if is_write:
+            conflict, slow = self.shadow.chkwrite(
+                addr, size, thread.tid, info.lvalue_text, info.loc)
+            if conflict is not None:
+                self._report(write_conflict(addr, who,
+                                            conflict.as_access()))
+        else:
+            conflict, slow = self.shadow.chkread(
+                addr, size, thread.tid, info.lvalue_text, info.loc)
+            if conflict is not None:
+                self._report(read_conflict(addr, who,
+                                           conflict.as_access()))
+        # Fast path (bits already set): a load + test.  Slow path:
+        # a cmpxchg per granule.
+        self._charge_check(1 + 3 * slow)
+
+    def summary_access(self, node: A.Call, arg_index: int, addr: int,
+                       length: int, thread: Thread) -> None:
+        """Applies a library call's read/write summary over the byte range
+        it actually touched (Section 4.4)."""
+        if not self.instrument:
+            return
+        access = getattr(node, "arg_access", None)
+        if not access or arg_index not in access:
+            return
+        rw, info = access[arg_index]
+        self.stats.accesses_dynamic += 1
+        self.stats.accesses_total += 1
+        if self._solo():
+            self._charge_check(1)
+            return
+        who = Access(thread.tid, info.lvalue_text, info.loc)
+        slow = 0
+        if "w" in rw:
+            conflict, slow = self.shadow.chkwrite(
+                addr, length, thread.tid, info.lvalue_text, info.loc)
+            if conflict is not None:
+                self._report(write_conflict(addr, who,
+                                            conflict.as_access()))
+        elif "r" in rw:
+            conflict, slow = self.shadow.chkread(
+                addr, length, thread.tid, info.lvalue_text, info.loc)
+            if conflict is not None:
+                self._report(read_conflict(addr, who,
+                                           conflict.as_access()))
+        self._charge_check(1 + 3 * slow)
+
+    # -- reference counting -----------------------------------------------------------
+
+    def _object_base(self, value: object) -> int:
+        """Normalizes a pointer to its object's base address, so interior
+        pointers count toward the whole object (Heapsafe-style)."""
+        if not isinstance(value, int) or value == 0:
+            return 0
+        block = self.space.block_of(value)
+        return block.start if block is not None else value
+
+    def _rc_peek(self, slot: int) -> int:
+        """Collector-side slot read, normalized to object bases so an
+        interior pointer counts toward its whole object."""
+        return self._object_base(self.space.peek(slot))
+
+    def _rc_write(self, thread: Thread, slot: int, old: object,
+                  new: object) -> None:
+        if not self.instrument:
+            return
+        cost = self.rc.record_write(thread.tid, slot,
+                                    self._object_base(old),
+                                    self._object_base(new))
+        self._charge_rc(cost)
+        self.stats.rc_writes += 1
+
+    # -- memory access helpers ------------------------------------------------------
+
+    def _sizeof_node(self, node: A.Expr) -> int:
+        qt = node.ctype
+        if qt is None:
+            return 8
+        try:
+            return qt.base.size(self.structs)
+        except KeyError:
+            return 8
+
+    def _do_read(self, node: A.Expr, addr: int, thread: Thread,
+                 frame: Frame):
+        if getattr(node, "sharc_reg", False):
+            # Register-allocatable local: not a memory access in compiled
+            # C, never racy — no census, no scheduling point.
+            return self.space.read(addr, node.loc)
+        size = self._sizeof_node(node)
+        self.stats.accesses_total += 1
+        self.stats.reads += 1
+        if self.eraser is not None:
+            self._eraser_access(node, addr, size, thread, False)
+        if self.instrument:
+            info = getattr(node, "sharc_read", None)
+            if info is not None:
+                yield from self._apply_check(info, addr, size, thread,
+                                             frame, is_write=False)
+        yield self._flush()
+        return self.space.read(addr, node.loc)
+
+    def _do_write(self, node: A.Expr, addr: int, value: object,
+                  thread: Thread, frame: Frame,
+                  rc_track: bool = False):
+        size = self._sizeof_node(node)
+        if size == 1 and isinstance(value, int):
+            value &= 0xFF
+        if getattr(node, "sharc_reg", False):
+            old = self.space.write(addr, value, node.loc)
+            if rc_track:
+                self._rc_write(thread, addr, old, value)
+            return old
+        self.stats.accesses_total += 1
+        self.stats.writes += 1
+        if self.eraser is not None:
+            self._eraser_access(node, addr, size, thread, True)
+        if self.instrument:
+            info = getattr(node, "sharc_write", None)
+            if info is not None:
+                yield from self._apply_check(info, addr, size, thread,
+                                             frame, is_write=True)
+        yield self._flush()
+        old = self.space.write(addr, value, node.loc)
+        if rc_track:
+            self._rc_write(thread, addr, old, value)
+        return old
+
+    # -- l-values ------------------------------------------------------------------
+
+    def eval_lvalue(self, e: A.Expr, thread: Thread, frame: Frame):
+        """Generator: resolves an l-value expression to an address."""
+        self._tick()
+        if isinstance(e, A.Ident):
+            if e.name in frame.env:
+                return frame.env[e.name]
+            if e.name in self.globals_env:
+                return self.globals_env[e.name]
+            raise InterpError(f"no storage for {e.name!r}", e.loc)
+        if isinstance(e, A.Unop) and e.op == "*":
+            addr = yield from self.eval_expr(e.operand, thread, frame)
+            if not addr:
+                raise InterpError("null pointer dereference", e.loc)
+            return int(addr)
+        if isinstance(e, A.Member):
+            offset = getattr(e, "sharc_offset", None)
+            if offset is None:
+                raise InterpError(
+                    f"member {e.name!r} was not resolved statically",
+                    e.loc)
+            if e.arrow:
+                base = yield from self.eval_expr(e.obj, thread, frame)
+            else:
+                base = yield from self.eval_lvalue(e.obj, thread, frame)
+            if not base:
+                raise InterpError("null pointer dereference", e.loc)
+            return int(base) + offset
+        if isinstance(e, A.Index):
+            elem_size = getattr(e, "sharc_elem_size", None)
+            if elem_size is None:
+                raise InterpError("index was not resolved statically",
+                                  e.loc)
+            if getattr(e, "sharc_on_array", False):
+                base = yield from self.eval_lvalue(e.arr, thread, frame)
+            else:
+                base = yield from self.eval_expr(e.arr, thread, frame)
+            idx = yield from self.eval_expr(e.idx, thread, frame)
+            if not base:
+                raise InterpError("null pointer indexing", e.loc)
+            return int(base) + int(idx) * elem_size
+        raise InterpError(f"not an l-value: {type(e).__name__}", e.loc)
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def eval_expr(self, e: A.Expr, thread: Thread, frame: Frame):
+        """Generator: evaluates an expression to a runtime value."""
+        self._tick()
+        if isinstance(e, (A.IntLit, A.CharLit)):
+            return e.value
+        if isinstance(e, A.FloatLit):
+            return e.value
+        if isinstance(e, A.NullLit):
+            return 0
+        if isinstance(e, A.StrLit):
+            if e.value not in self._strings:
+                self._strings[e.value] = self.space.alloc_c_string(e.value)
+            return self._strings[e.value]
+        if isinstance(e, A.SizeofExpr):
+            if e.of_type is not None:
+                return e.of_type.base.size(self.structs)
+            return self._sizeof_node(e.of_expr)
+        if isinstance(e, A.Ident):
+            if e.name not in frame.env and e.name in self.functions:
+                return ("fn", e.name)
+            if e.name not in frame.env and \
+                    e.name not in self.globals_env and e.name in IMPLS:
+                return ("fn", e.name)
+            if e.ctype is not None and e.ctype.is_array:
+                addr = yield from self.eval_lvalue(e, thread, frame)
+                return addr
+            addr = yield from self.eval_lvalue(e, thread, frame)
+            value = yield from self._do_read(e, addr, thread, frame)
+            return value
+        if isinstance(e, (A.Member, A.Index)) or (
+                isinstance(e, A.Unop) and e.op == "*"):
+            if e.ctype is not None and e.ctype.is_array:
+                addr = yield from self.eval_lvalue(e, thread, frame)
+                return addr
+            addr = yield from self.eval_lvalue(e, thread, frame)
+            value = yield from self._do_read(e, addr, thread, frame)
+            return value
+        if isinstance(e, A.Unop):
+            value = yield from self._eval_unop(e, thread, frame)
+            return value
+        if isinstance(e, A.Binop):
+            value = yield from self._eval_binop(e, thread, frame)
+            return value
+        if isinstance(e, A.Assign):
+            value = yield from self._eval_assign(e, thread, frame)
+            return value
+        if isinstance(e, A.Call):
+            value = yield from self._eval_call(e, thread, frame)
+            return value
+        if isinstance(e, A.CastExpr):
+            value = yield from self.eval_expr(e.expr, thread, frame)
+            if isinstance(value, float) and e.to.is_integral:
+                return int(value)
+            if isinstance(value, int) and e.to.is_integral and \
+                    e.to.base.size(self.structs) == 1:
+                return value & 0xFF
+            if isinstance(value, int) and e.to.is_arith and \
+                    not e.to.is_integral:
+                return float(value)
+            return value
+        if isinstance(e, A.SCastExpr):
+            value = yield from self._eval_scast(e, thread, frame)
+            return value
+        if isinstance(e, A.CondExpr):
+            cond = yield from self.eval_expr(e.cond, thread, frame)
+            if _truthy(cond):
+                value = yield from self.eval_expr(e.then, thread, frame)
+            else:
+                value = yield from self.eval_expr(e.other, thread, frame)
+            return value
+        if isinstance(e, A.CommaExpr):
+            value = 0
+            for part in e.parts:
+                value = yield from self.eval_expr(part, thread, frame)
+            return value
+        raise InterpError(f"cannot evaluate {type(e).__name__}", e.loc)
+
+    def _eval_unop(self, e: A.Unop, thread: Thread, frame: Frame):
+        if e.op == "&":
+            addr = yield from self.eval_lvalue(e.operand, thread, frame)
+            return addr
+        if e.op in ("++", "--"):
+            addr = yield from self.eval_lvalue(e.operand, thread, frame)
+            old = yield from self._do_read(e.operand, addr, thread, frame)
+            scale = 1
+            qt = e.operand.ctype
+            if qt is not None and qt.is_pointer:
+                scale = qt.pointee().base.size(self.structs)
+            delta = scale if e.op == "++" else -scale
+            new = (old or 0) + delta
+            yield from self._do_write(
+                e.operand, addr, new, thread, frame,
+                rc_track=getattr(e, "rc_track", False))
+            return old if e.postfix else new
+        value = yield from self.eval_expr(e.operand, thread, frame)
+        if e.op == "-":
+            return -value
+        if e.op == "!":
+            return 0 if _truthy(value) else 1
+        if e.op == "~":
+            return ~int(value)
+        raise InterpError(f"unknown unary {e.op}", e.loc)
+
+    def _ptr_scale(self, qt: Optional[QualType]) -> int:
+        if qt is None:
+            return 1
+        if qt.is_pointer or qt.is_array:
+            return qt.pointee().base.size(self.structs)
+        return 1
+
+    def _eval_binop(self, e: A.Binop, thread: Thread, frame: Frame):
+        op = e.op
+        if op == "&&":
+            lhs = yield from self.eval_expr(e.lhs, thread, frame)
+            if not _truthy(lhs):
+                return 0
+            rhs = yield from self.eval_expr(e.rhs, thread, frame)
+            return 1 if _truthy(rhs) else 0
+        if op == "||":
+            lhs = yield from self.eval_expr(e.lhs, thread, frame)
+            if _truthy(lhs):
+                return 1
+            rhs = yield from self.eval_expr(e.rhs, thread, frame)
+            return 1 if _truthy(rhs) else 0
+        lhs = yield from self.eval_expr(e.lhs, thread, frame)
+        rhs = yield from self.eval_expr(e.rhs, thread, frame)
+        lq, rq = e.lhs.ctype, e.rhs.ctype
+        l_ptr = lq is not None and (lq.is_pointer or lq.is_array)
+        r_ptr = rq is not None and (rq.is_pointer or rq.is_array)
+        if op == "+":
+            if l_ptr and not r_ptr:
+                return int(lhs) + int(rhs) * self._ptr_scale(lq)
+            if r_ptr and not l_ptr:
+                return int(rhs) + int(lhs) * self._ptr_scale(rq)
+            return lhs + rhs
+        if op == "-":
+            if l_ptr and r_ptr:
+                return (int(lhs) - int(rhs)) // self._ptr_scale(lq)
+            if l_ptr:
+                return int(lhs) - int(rhs) * self._ptr_scale(lq)
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            if rhs == 0:
+                raise InterpError("division by zero", e.loc)
+            if isinstance(lhs, float) or isinstance(rhs, float):
+                return lhs / rhs
+            return int(lhs / rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs
+        if op == "%":
+            if rhs == 0:
+                raise InterpError("modulo by zero", e.loc)
+            return int(lhs) - int(int(lhs) / int(rhs)) * int(rhs)
+        if op == "==":
+            return 1 if lhs == rhs else 0
+        if op == "!=":
+            return 1 if lhs != rhs else 0
+        if op == "<":
+            return 1 if lhs < rhs else 0
+        if op == ">":
+            return 1 if lhs > rhs else 0
+        if op == "<=":
+            return 1 if lhs <= rhs else 0
+        if op == ">=":
+            return 1 if lhs >= rhs else 0
+        if op == "&":
+            return int(lhs) & int(rhs)
+        if op == "|":
+            return int(lhs) | int(rhs)
+        if op == "^":
+            return int(lhs) ^ int(rhs)
+        if op == "<<":
+            return int(lhs) << int(rhs)
+        if op == ">>":
+            return int(lhs) >> int(rhs)
+        raise InterpError(f"unknown operator {op}", e.loc)
+
+    _COMPOUND = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+                 "&=": "&", "|=": "|", "^=": "^", "<<=": "<<",
+                 ">>=": ">>"}
+
+    def _eval_assign(self, e: A.Assign, thread: Thread, frame: Frame):
+        lhs_qt = e.lhs.ctype
+        if e.op == "=" and lhs_qt is not None and lhs_qt.is_struct:
+            # Struct assignment: block copy.
+            src = yield from self.eval_lvalue(e.rhs, thread, frame)
+            dst = yield from self.eval_lvalue(e.lhs, thread, frame)
+            size = lhs_qt.base.size(self.structs)
+            if self.instrument:
+                info = getattr(e.lhs, "sharc_write", None)
+                if info is not None:
+                    yield from self._apply_check(info, dst, size, thread,
+                                                 frame, is_write=True)
+                rinfo = getattr(e.rhs, "sharc_read", None)
+                if rinfo is not None:
+                    yield from self._apply_check(rinfo, src, size, thread,
+                                                 frame, is_write=False)
+            self.space.copy_range(dst, src, size, e.loc)
+            self.stats.accesses_total += 2
+            self.stats.writes += 1
+            self.stats.reads += 1
+            return 0
+        value = yield from self.eval_expr(e.rhs, thread, frame)
+        addr = yield from self.eval_lvalue(e.lhs, thread, frame)
+        if e.op != "=":
+            old = yield from self._do_read(e.lhs, addr, thread, frame)
+            synthetic = A.Binop(self._COMPOUND[e.op], e.lhs, e.rhs,
+                                loc=e.loc)
+            value = self._apply_binop(synthetic, old, value, e.lhs.ctype,
+                                      e.rhs.ctype, e.loc)
+        yield from self._do_write(e.lhs, addr, value, thread, frame,
+                                  rc_track=getattr(e, "rc_track", False))
+        return value
+
+    def _apply_binop(self, node, lhs, rhs, lq, rq, loc):
+        """Pure arithmetic used by compound assignment."""
+        op = node.op
+        l_ptr = lq is not None and (lq.is_pointer or lq.is_array)
+        if op == "+" and l_ptr:
+            return int(lhs) + int(rhs) * self._ptr_scale(lq)
+        if op == "-" and l_ptr:
+            return int(lhs) - int(rhs) * self._ptr_scale(lq)
+        table = {
+            "+": lambda: lhs + rhs, "-": lambda: lhs - rhs,
+            "*": lambda: lhs * rhs,
+            "/": lambda: (lhs / rhs if isinstance(lhs, float)
+                          or isinstance(rhs, float) else lhs // rhs),
+            "%": lambda: lhs % rhs,
+            "&": lambda: int(lhs) & int(rhs),
+            "|": lambda: int(lhs) | int(rhs),
+            "^": lambda: int(lhs) ^ int(rhs),
+            "<<": lambda: int(lhs) << int(rhs),
+            ">>": lambda: int(lhs) >> int(rhs),
+        }
+        if (op in ("/", "%")) and rhs == 0:
+            raise InterpError(f"{op} by zero", loc)
+        return table[op]()
+
+    def _eval_scast(self, e: A.SCastExpr, thread: Thread, frame: Frame):
+        """Figure 7: null out the source slot, then check the reference
+        count; also clears the object's reader/writer sets (the operational
+        scast rule)."""
+        addr = yield from self.eval_lvalue(e.expr, thread, frame)
+        value = yield from self._do_read(e.expr, addr, thread, frame)
+        # Null out the source (checked as a write to the source's cell).
+        if self.instrument:
+            info = getattr(e, "sharc_src_write", None)
+            if info is not None:
+                size = self._sizeof_node(e.expr)
+                yield from self._apply_check(info, addr, size, thread,
+                                             frame, is_write=True)
+        old = self.space.write(addr, 0, e.loc)
+        self.stats.accesses_total += 1
+        self.stats.writes += 1
+        if getattr(e, "rc_track", False):
+            self._rc_write(thread, addr, old, 0)
+        if self.instrument and getattr(e, "sharc_oneref", False) and value:
+            base = self._object_base(value)
+            count, cost = self.rc.count(thread.tid, base, self._rc_peek)
+            self._charge_rc(cost)
+            self.stats.rc_collections += 1
+            if count > 0:
+                from repro.cfront.pretty import pretty_expr
+                self._report(oneref_failed(
+                    base, Access(thread.tid, pretty_expr(e.expr), e.loc),
+                    count + 1))
+            block = self.space.block_of(int(value))
+            if block is not None:
+                # Past accesses no longer constitute unintended sharing.
+                self.shadow.reset_granules(block.start, block.size)
+        return value
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _eval_call(self, e: A.Call, thread: Thread, frame: Frame):
+        callee_name: Optional[str] = None
+        if isinstance(e.callee, A.Ident) and e.callee.name not in frame.env:
+            callee_name = e.callee.name
+        else:
+            value = yield from self.eval_expr(e.callee, thread, frame)
+            if isinstance(value, tuple) and value and value[0] == "fn":
+                callee_name = value[1]
+            else:
+                raise InterpError("call through non-function value",
+                                  e.loc)
+        args = []
+        for arg in e.args:
+            value = yield from self.eval_expr(arg, thread, frame)
+            args.append(value)
+        if callee_name in self.functions:
+            result = yield from self.call_function(
+                thread, self.functions[callee_name], args)
+            return result
+        if callee_name in IMPLS:
+            self._tick(1)
+            result = IMPLS[callee_name](self, thread, e, args)
+            if hasattr(result, "__next__"):
+                result = yield from result
+            return result if result is not None else 0
+        raise InterpError(f"call of undefined function {callee_name!r}",
+                          e.loc)
+
+    def _make_frame(self, func: A.FuncDef) -> Frame:
+        from repro.sharc.defaults import collect_local_decls
+        ftype = func.qtype.base
+        assert isinstance(ftype, FuncType)
+        entries: list[tuple[str, QualType]] = list(
+            zip(func.param_names, ftype.params))
+        decls = collect_local_decls(func)
+        entries.extend((d.name, d.qtype) for d in decls)
+        offset = 0
+        offsets: dict[str, int] = {}
+        for name, qtype in entries:
+            size = qtype.base.size(self.structs)
+            align = qtype.base.align(self.structs)
+            offset = (offset + align - 1) // align * align
+            offsets[name] = offset
+            offset += size
+        frame = Frame(func, slab_size=max(offset, 1))
+        frame.slab = self.space.alloc(frame.slab_size, "stack")
+        for name, off in offsets.items():
+            frame.env[name] = frame.slab + off
+        tracked = set(getattr(func, "rc_locals", []))
+        frame.rc_slots = [frame.env[n] for n in tracked if n in frame.env]
+        return frame
+
+    def call_function(self, thread: Thread, func: A.FuncDef, args: list):
+        """Generator: executes a user function body in a fresh frame."""
+        if func.body is None:
+            raise InterpError(f"call of undefined function {func.name!r}",
+                              func.loc)
+        frame = self._make_frame(func)
+        ftype = func.qtype.base
+        tracked = set(getattr(func, "rc_locals", []))
+        for name, value in zip(func.param_names, args):
+            addr = frame.env[name]
+            old = self.space.write(addr, value, func.loc)
+            if name in tracked:
+                self._rc_write(thread, addr, old, value)
+        try:
+            yield from self.exec_stmt(func.body, thread, frame)
+            result = 0
+        except _Return as ret:
+            result = ret.value
+        finally:
+            self._pop_frame(thread, frame)
+        return result
+
+    def _pop_frame(self, thread: Thread, frame: Frame) -> None:
+        for slot in frame.rc_slots:
+            old = self.space.peek(slot)
+            if old:
+                self._rc_write(thread, slot, old, 0)
+                # The cell must actually be zeroed (threadexit semantics):
+                # the LP collector reads current slot values via peek.
+                self.space.cells[slot] = 0
+        block = self.space.blocks.get(frame.slab)
+        if block is not None:
+            block.freed = True
+            self.shadow.clear_range(block.start, block.size)
+
+    # -- statements -------------------------------------------------------------------------
+
+    def exec_stmt(self, s: A.Stmt, thread: Thread, frame: Frame):
+        """Generator: executes one statement."""
+        if self._halted:
+            raise ProgramExit(self._exit_code)
+        if isinstance(s, A.Compound):
+            for sub in s.stmts:
+                yield from self.exec_stmt(sub, thread, frame)
+            return
+        if isinstance(s, A.DeclStmt):
+            for d in s.decls:
+                if d.init is not None:
+                    value = yield from self.eval_expr(d.init, thread,
+                                                      frame)
+                    addr = frame.env[d.name]
+                    size = d.qtype.base.size(self.structs)
+                    if size == 1 and isinstance(value, int):
+                        value &= 0xFF
+                    old = self.space.write(addr, value, d.loc)
+                    self.stats.accesses_total += 1
+                    self.stats.writes += 1
+                    if getattr(d, "rc_track", False):
+                        self._rc_write(thread, addr, old, value)
+            return
+        if isinstance(s, A.ExprStmt):
+            yield from self.eval_expr(s.expr, thread, frame)
+            return
+        if isinstance(s, A.If):
+            cond = yield from self.eval_expr(s.cond, thread, frame)
+            if _truthy(cond):
+                yield from self.exec_stmt(s.then, thread, frame)
+            elif s.other is not None:
+                yield from self.exec_stmt(s.other, thread, frame)
+            return
+        if isinstance(s, A.While):
+            while True:
+                cond = yield from self.eval_expr(s.cond, thread, frame)
+                if not _truthy(cond):
+                    return
+                try:
+                    yield from self.exec_stmt(s.body, thread, frame)
+                except _Break:
+                    return
+                except _Continue:
+                    pass
+                yield self._flush()  # preemption point on back-edges
+        if isinstance(s, A.DoWhile):
+            while True:
+                try:
+                    yield from self.exec_stmt(s.body, thread, frame)
+                except _Break:
+                    return
+                except _Continue:
+                    pass
+                cond = yield from self.eval_expr(s.cond, thread, frame)
+                if not _truthy(cond):
+                    return
+                yield self._flush()
+        if isinstance(s, A.For):
+            if isinstance(s.init, A.DeclStmt):
+                yield from self.exec_stmt(s.init, thread, frame)
+            elif s.init is not None:
+                yield from self.eval_expr(s.init, thread, frame)
+            while True:
+                if s.cond is not None:
+                    cond = yield from self.eval_expr(s.cond, thread, frame)
+                    if not _truthy(cond):
+                        return
+                try:
+                    yield from self.exec_stmt(s.body, thread, frame)
+                except _Break:
+                    return
+                except _Continue:
+                    pass
+                if s.step is not None:
+                    yield from self.eval_expr(s.step, thread, frame)
+                yield self._flush()
+        if isinstance(s, A.Return):
+            value = 0
+            if s.value is not None:
+                value = yield from self.eval_expr(s.value, thread, frame)
+            raise _Return(value)
+        if isinstance(s, A.Break):
+            raise _Break()
+        if isinstance(s, A.Continue):
+            raise _Continue()
+
+    # -- threads ------------------------------------------------------------------------------
+
+    def spawn_function(self, name: str, args: list) -> Thread:
+        func = self.functions.get(name)
+        if func is None:
+            raise InterpError(f"thread entry {name!r} is not defined")
+        thread = self.sched.spawn(None, name)  # type: ignore[arg-type]
+        thread.gen = self._thread_body(thread, func, args)
+        self.stats.threads_peak = max(
+            self.stats.threads_peak,
+            len([t for t in self.sched.threads.values()
+                 if t.state in (ThreadState.RUNNABLE,
+                                ThreadState.BLOCKED)]))
+        return thread
+
+    def _thread_body(self, thread: Thread, func: A.FuncDef, args: list):
+        try:
+            result = yield from self.call_function(thread, func, args)
+        except ThreadExit as te:
+            result = te.value
+        return result
+
+    def _thread_exited(self, thread: Thread) -> None:
+        self.shadow.clear_thread(thread.tid)
+        leaked = self.locks.thread_exit(thread.tid)
+        for addr in leaked:
+            self._report(Report(
+                DiagKind.RUNTIME, addr,
+                Access(thread.tid, f"mutex(0x{addr:x})", Loc()),
+                detail="thread exited still holding this lock"))
+
+    # -- program setup and main loop ----------------------------------------------------------
+
+    def _init_globals(self, thread: Thread) -> None:
+        """Allocates globals; initializers run in main's prologue."""
+        for g in self.program.globals():
+            if g.storage == "extern":
+                continue
+            size = g.qtype.base.size(self.structs)
+            addr = self.space.alloc(size, "global")
+            self.globals_env[g.name] = addr
+
+    def _global_init_gen(self, thread: Thread, frame: Frame):
+        for g in self.program.globals():
+            if g.init is None or g.name not in self.globals_env:
+                continue
+            value = yield from self.eval_expr(g.init, thread, frame)
+            addr = self.globals_env[g.name]
+            size = g.qtype.base.size(self.structs)
+            if size == 1 and isinstance(value, int):
+                value &= 0xFF
+            old = self.space.write(addr, value, g.loc)
+            if getattr(g, "rc_track", False):
+                self._rc_write(thread, addr, old, value)
+
+    def _main_body(self, thread: Thread):
+        main = self.functions.get("main")
+        if main is None:
+            raise InterpError("program has no main()")
+        boot = Frame(main)
+        yield from self._global_init_gen(thread, boot)
+        try:
+            result = yield from self.call_function(thread, main, [])
+        except ThreadExit as te:
+            result = te.value
+        return result
+
+    def run(self, max_steps: int = 2_000_000) -> RunResult:
+        result = RunResult()
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 20000))
+        try:
+            main_thread = self.sched.spawn(None, "main")  # type: ignore
+            self._init_globals(main_thread)
+            main_thread.gen = self._main_body(main_thread)
+            self.stats.threads_peak = 1
+            self._run_loop(result, max_steps)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self._finalize(result)
+        return result
+
+    def _run_loop(self, result: RunResult, max_steps: int) -> None:
+        steps = 0
+        while steps < max_steps and not self._halted:
+            try:
+                thread, burst = self.sched.pick()
+            except DeadlockError as dead:
+                result.deadlock = str(dead)
+                return
+            if thread is None:
+                return  # all threads done
+            for _ in range(burst):
+                try:
+                    item = next(thread.gen)
+                except StopIteration as stop:
+                    self.sched.finish(thread, stop.value)
+                    self._thread_exited(thread)
+                    break
+                except ProgramExit as pe:
+                    self._exit_code = pe.code
+                    self._halted = True
+                    self.sched.finish(thread, pe.code)
+                    self._thread_exited(thread)
+                    return
+                except TooManyThreads as tmt:
+                    result.error = str(tmt)
+                    self.sched.fail(thread, tmt)
+                    return
+                except InterpError as ie:
+                    result.error = str(ie)
+                    self.sched.fail(thread, ie)
+                    self._thread_exited(thread)
+                    break
+                if isinstance(item, tuple) and item and item[0] == "block":
+                    self.sched.block(thread, item[1], item[2])
+                    steps += 1
+                    break
+                if isinstance(item, tuple) and item and item[0] == "io":
+                    # Explicit I/O latency / atomic-op cost from builtins.
+                    cost = int(item[1])
+                    self.stats.steps_total += cost
+                    self.stats.steps_io += cost
+                else:
+                    # _flush() yields already-charged evaluation cost.
+                    cost = item if isinstance(item, int) else 0
+                steps += max(cost, 1)
+                thread.steps += max(cost, 1)
+
+    def _finalize(self, result: RunResult) -> None:
+        result.reports = list(self.reports)
+        result.report_counts = {
+            f"{k[0]} {k[1]}@{k[2]}": count
+            for k, count in self._report_keys.items()}
+        result.output = "".join(self.output)
+        result.exit_code = self._exit_code
+        result.thread_results = {
+            t.tid: t.result for t in self.sched.threads.values()}
+        for t in self.sched.threads.values():
+            if t.error is not None and result.error is None:
+                result.error = str(t.error)
+        self.stats.pages_program = len(self.space.pages_touched)
+        self.stats.pages_shadow = (self.shadow.shadow_pages()
+                                   if self.instrument else 0)
+        self.stats.pages_rc = self.rc.metadata_pages()
+        self.stats.data_bytes = sum(b.size
+                                    for b in self.space.blocks.values())
+        self.stats.shadow_bytes = (len(self.shadow.touched)
+                                   * self.shadow.nbytes
+                                   if self.instrument else 0)
+        self.stats.rc_bytes = self.rc.metadata_bytes()
+        self.stats.context_switches = self.sched.context_switches
+        self.stats.shadow_updates = self.shadow.updates
+        self.stats.lock_acquisitions = self.locks.acquisitions
+        self.stats.rc_collections = self.rc.stats.collections
+        result.stats = self.stats
+        live = [t for t in self.sched.threads.values()
+                if t.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED)]
+        if live and result.deadlock is None and result.error is None \
+                and not self._halted:
+            result.timeout = True
+
+
+def _truthy(value) -> bool:
+    if isinstance(value, tuple):
+        return True
+    return bool(value)
+
+
+def run_checked(checked: CheckedProgram, *, seed: int = 0,
+                world: Optional[World] = None, policy: str = "random",
+                rc_scheme: str = "lp", instrument: bool = True,
+                shadow_bytes: int = 1, max_burst: int = 8,
+                max_steps: int = 2_000_000,
+                checker: str = "sharc") -> RunResult:
+    """Executes a statically checked program once."""
+    interp = Interp(checked, seed=seed, world=world, policy=policy,
+                    rc_scheme=rc_scheme, instrument=instrument,
+                    shadow_bytes=shadow_bytes, max_burst=max_burst,
+                    checker=checker)
+    return interp.run(max_steps=max_steps)
+
+
+def run_source(source: str, filename: str = "<input>", **kwargs
+               ) -> RunResult:
+    """Checks and runs a source program, raising on static errors."""
+    from repro.errors import SharcError
+    from repro.sharc.checker import check_source
+
+    checked = check_source(source, filename)
+    if not checked.ok:
+        raise SharcError("static checking failed:\n"
+                         + checked.render_diagnostics())
+    return run_checked(checked, **kwargs)

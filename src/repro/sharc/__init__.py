@@ -1,0 +1,35 @@
+"""SharC proper: the paper's primary contribution.
+
+This package implements, on top of the :mod:`repro.cfront` frontend:
+
+- the five sharing modes and their compatibility rules
+  (:mod:`repro.sharc.modes`),
+- well-formedness of qualified types (:mod:`repro.sharc.wellformed`),
+- the Section 4.1 defaulting rules (:mod:`repro.sharc.defaults`),
+- the flow-insensitive qualifier-constraint analysis with ``dynamic_in``
+  (:mod:`repro.sharc.constraints`),
+- thread-reachability seeding (:mod:`repro.sharc.seeds`),
+- inference orchestration (:mod:`repro.sharc.inference`),
+- the static type checker with SCAST legality and suggestions
+  (:mod:`repro.sharc.typecheck`),
+- runtime-check instrumentation (:mod:`repro.sharc.instrument`),
+- conflict-report rendering (:mod:`repro.sharc.reports`), and
+- the one-call pipeline (:mod:`repro.sharc.checker`).
+"""
+
+from repro.sharc.modes import Mode, ModeKind
+
+__all__ = [
+    "Mode",
+    "ModeKind",
+    "CheckedProgram",
+    "check_program",
+    "check_source",
+]
+
+
+def __getattr__(name):
+    if name in ("CheckedProgram", "check_program", "check_source"):
+        from repro.sharc import checker
+        return getattr(checker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

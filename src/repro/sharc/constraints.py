@@ -1,0 +1,198 @@
+"""Flow-insensitive qualifier constraints (Section 4.1).
+
+The analysis decides, for every type position left unannotated after the
+defaulting rules, whether it must be checked dynamically or may be treated
+as private.  We follow CQual-style flow-insensitive rules: assignments link
+the *nested* positions of the two sides (pointer targets are invariant), and
+the linked positions form a constraint graph over qualifier variables.
+
+Solving uses a three-point lattice per position::
+
+    PRIVATE  <  DYN_IN  <  DYNAMIC
+
+- ``DYNAMIC`` flows in both directions along *body* edges (ordinary
+  assignments, returns) and from actuals to formals along *call* edges.
+- A formal only pushes ``DYNAMIC`` back to its actuals when the formal
+  itself became ``DYNAMIC`` through the function body (it was stored into a
+  dynamic location, or had a dynamic location stored into it) — this is the
+  paper's internal ``dynamic_in`` qualifier: a formal that merely *receives*
+  a shared object is ``DYN_IN``; its accesses are checked at run time, but
+  private actuals at other call sites stay private.
+
+Fixed positions (explicit annotations, defaults, seeds) act as constant
+sources; flows *into* a fixed non-dynamic position are ignored here — the
+type checker reports the mismatch at the offending assignment and suggests
+a sharing cast.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict, deque
+from dataclasses import dataclass, field as dc_field
+
+from repro.cfront.ctypes import QualType, fresh_qvar
+from repro.sharc import modes as M
+
+
+class Level(enum.IntEnum):
+    """Solver lattice for one qualifier variable."""
+
+    PRIVATE = 0
+    DYN_IN = 1
+    DYNAMIC = 2
+
+
+class EdgeKind(enum.Enum):
+    BODY = "body"            # bidirectional, full strength
+    CALL_IN = "call-in"      # actual -> formal (capped at DYN_IN)
+    CALL_OUT = "call-out"    # formal -> actual (active only when the
+    #                          formal is fully DYNAMIC — the leak case)
+
+
+@dataclass
+class Edge:
+    src: int
+    dst: int
+    kind: EdgeKind
+
+
+class ConstraintGraph:
+    """Qualifier variables, edges, and fixed-mode hints."""
+
+    def __init__(self) -> None:
+        self.edges_from: dict[int, list[Edge]] = defaultdict(list)
+        #: fixed sharing modes adjacent to each qvar via body links —
+        #: used both for seeding (dynamic neighbours) and for mode
+        #: adoption (racy / readonly neighbours).
+        self.hints: dict[int, list[M.Mode]] = defaultdict(list)
+        self.seeds: set[int] = set()
+        self.qvars: set[int] = set()
+        #: every QualType object that received a qvar (fresh builtin
+        #: instances, wrappers, ...), so final modes reach all of them.
+        self.positions: list[QualType] = []
+
+    # -- construction ------------------------------------------------------
+
+    def ensure_qvar(self, pos: QualType) -> int | None:
+        """Gives an unannotated position a qualifier variable."""
+        if pos.mode is not None:
+            return None
+        if pos.qvar is None:
+            pos.qvar = fresh_qvar()
+        self.qvars.add(pos.qvar)
+        self.positions.append(pos)
+        return pos.qvar
+
+    def extra_positions(self) -> list[QualType]:
+        """All positions that participated in constraints (including
+        per-call-site builtin instances not reachable from declarations)."""
+        return list(self.positions)
+
+    def seed_dynamic(self, pos: QualType) -> None:
+        """Forces a position to DYNAMIC (thread formals, touched globals)."""
+        qvar = self.ensure_qvar(pos)
+        if qvar is not None:
+            self.seeds.add(qvar)
+
+    def link(self, a: QualType, b: QualType, kind: EdgeKind) -> None:
+        """Links two positions.  For BODY both directions; CALL_IN is
+        a -> b with ``a`` the actual and ``b`` the formal; CALL_OUT is the
+        reverse direction, added alongside CALL_IN."""
+        a_var = self.ensure_qvar(a)
+        b_var = self.ensure_qvar(b)
+        if a_var is not None and b_var is not None:
+            if kind is EdgeKind.BODY:
+                self.edges_from[a_var].append(Edge(a_var, b_var, kind))
+                self.edges_from[b_var].append(Edge(b_var, a_var, kind))
+            else:
+                self.edges_from[a_var].append(
+                    Edge(a_var, b_var, EdgeKind.CALL_IN))
+                self.edges_from[b_var].append(
+                    Edge(b_var, a_var, EdgeKind.CALL_OUT))
+            return
+        # One side fixed: record a hint on the variable side.
+        if a_var is None and b_var is None:
+            return
+        fixed_mode = a.mode if a_var is None else b.mode
+        var = a_var if a_var is not None else b_var
+        assert fixed_mode is not None and var is not None
+        if kind is EdgeKind.BODY:
+            self.hints[var].append(fixed_mode)
+        elif kind is EdgeKind.CALL_IN:
+            if b_var is None:
+                # Fixed formal: dynamic actuals flowing into an explicitly
+                # annotated formal are a type-check matter, not inference.
+                return
+            # Fixed actual flowing into a formal variable.
+            self.hints[var].append(fixed_mode)
+
+    # -- solving -----------------------------------------------------------
+
+    def solve(self) -> dict[int, Level]:
+        """Worklist propagation to a fixpoint; returns level per qvar."""
+        level: dict[int, Level] = {q: Level.PRIVATE for q in self.qvars}
+        work: deque[int] = deque()
+
+        def raise_to(qvar: int, lvl: Level) -> None:
+            if level.get(qvar, Level.PRIVATE) < lvl:
+                level[qvar] = lvl
+                work.append(qvar)
+
+        for qvar in self.seeds:
+            raise_to(qvar, Level.DYNAMIC)
+        for qvar, hint_modes in self.hints.items():
+            for mode in hint_modes:
+                if mode.is_dynamic:
+                    raise_to(qvar, Level.DYNAMIC)
+                elif mode.kind is M.ModeKind.DYNAMIC_IN:
+                    raise_to(qvar, Level.DYN_IN)
+
+        while work:
+            qvar = work.popleft()
+            lvl = level[qvar]
+            for edge in self.edges_from[qvar]:
+                if edge.kind is EdgeKind.BODY:
+                    raise_to(edge.dst, lvl)
+                elif edge.kind is EdgeKind.CALL_IN:
+                    if lvl >= Level.DYN_IN:
+                        raise_to(edge.dst, Level.DYN_IN)
+                elif edge.kind is EdgeKind.CALL_OUT:
+                    # The leak case: the formal became fully dynamic.
+                    if lvl is Level.DYNAMIC:
+                        raise_to(edge.dst, Level.DYNAMIC)
+        return level
+
+    def adopted_mode(self, qvar: int, level: Level) -> M.Mode:
+        """Final mode for one variable.
+
+        Non-dynamic variables may adopt a safe fixed-neighbour mode:
+        ``racy`` and ``readonly`` adoption keeps e.g. a local copy of a
+        ``mutex racy *`` usable without annotations.  ``locked`` is never
+        adopted (its lock expression is only meaningful in the scope of the
+        annotation); mismatches surface as type errors with SCAST
+        suggestions, exactly as the paper describes for the pipeline.
+        """
+        if level is Level.DYNAMIC:
+            return M.DYNAMIC
+        if level is Level.DYN_IN:
+            return M.DYNAMIC_IN
+        adoptable = {m for m in self.hints.get(qvar, [])
+                     if m.kind in (M.ModeKind.RACY, M.ModeKind.READONLY)}
+        if len(adoptable) == 1:
+            return next(iter(adoptable))
+        return M.PRIVATE
+
+    def assign_modes(self, positions: list[QualType]) -> dict[int, M.Mode]:
+        """Solves and writes the inferred mode into every position."""
+        level = self.solve()
+        resolved: dict[int, M.Mode] = {}
+        for qvar in self.qvars:
+            resolved[qvar] = self.adopted_mode(
+                qvar, level.get(qvar, Level.PRIVATE))
+        for pos in positions:
+            if pos.mode is None and pos.qvar is not None:
+                pos.mode = resolved.get(pos.qvar, M.PRIVATE)
+            elif pos.mode is None:
+                pos.mode = M.PRIVATE
+        return resolved

@@ -1,0 +1,71 @@
+"""Conflict-report rendering, matching the paper's Section 2.1 format::
+
+    read conflict(0x75324464):
+     who(2) S->sdata @ pipeline_test.c: 15
+     last(1) nextS->sdata @ pipeline_test.c: 27
+
+A report names the address, the thread and l-value performing the newly
+conflicting access, and the thread and l-value of the last recorded access
+it conflicts with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DiagKind, Loc
+
+
+@dataclass(frozen=True)
+class Access:
+    """One recorded access for reporting purposes."""
+
+    tid: int
+    lvalue: str
+    loc: Loc
+
+    def render(self, label: str) -> str:
+        return (f" {label}({self.tid}) {self.lvalue} @ "
+                f"{self.loc.file}: {self.loc.line}")
+
+
+@dataclass(frozen=True)
+class Report:
+    """One runtime violation."""
+
+    kind: DiagKind
+    addr: int
+    who: Access
+    last: Optional[Access] = None
+    detail: str = ""
+
+    def render(self) -> str:
+        head = f"{self.kind.value}(0x{self.addr:08x}):"
+        lines = [head, self.who.render("who")]
+        if self.last is not None:
+            lines.append(self.last.render("last"))
+        if self.detail:
+            lines.append(f" note: {self.detail}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def read_conflict(addr: int, who: Access, last: Access) -> Report:
+    return Report(DiagKind.READ_CONFLICT, addr, who, last)
+
+
+def write_conflict(addr: int, who: Access, last: Access) -> Report:
+    return Report(DiagKind.WRITE_CONFLICT, addr, who, last)
+
+
+def lock_not_held(addr: int, who: Access, lock_text: str) -> Report:
+    return Report(DiagKind.LOCK_NOT_HELD, addr, who,
+                  detail=f"required lock: {lock_text}")
+
+
+def oneref_failed(addr: int, who: Access, count: int) -> Report:
+    return Report(DiagKind.ONEREF_FAILED, addr, who,
+                  detail=f"reference count is {count}, expected 1")

@@ -1,0 +1,142 @@
+"""Unit tests for the type representation: sizes, layout, shapes."""
+
+import pytest
+
+from repro.cfront.ctypes import (
+    ArrayType, FuncType, Prim, PtrType, QualType, StructTable, StructType,
+    make_prim, make_ptr, modes_agree, shape_equal,
+)
+from repro.cfront.parser import parse_program
+from repro.sharc import modes as M
+
+
+@pytest.fixture
+def structs():
+    return StructTable()
+
+
+class TestSizes:
+    def test_primitive_sizes(self, structs):
+        for name, size in [("char", 1), ("short", 2), ("int", 4),
+                           ("long", 8), ("float", 4), ("double", 8),
+                           ("unsigned long", 8)]:
+            assert Prim(name).size(structs) == size
+
+    def test_pointer_size(self, structs):
+        p = PtrType(make_prim("char"))
+        assert p.size(structs) == 8
+
+    def test_array_size(self, structs):
+        a = ArrayType(make_prim("int"), 10)
+        assert a.size(structs) == 40
+
+    def test_function_type_sized_as_pointer(self, structs):
+        f = FuncType(make_prim("void"), [])
+        assert f.size(structs) == 8
+
+
+class TestStructLayout:
+    def test_packing_with_alignment(self, structs):
+        structs.define("s", [("c", make_prim("char")),
+                             ("i", make_prim("int")),
+                             ("p", make_ptr(make_prim("char")))])
+        layout = structs.layout("s")
+        assert layout.field("c").offset == 0
+        assert layout.field("i").offset == 4   # aligned to 4
+        assert layout.field("p").offset == 8   # aligned to 8
+        assert layout.size == 16
+        assert layout.align == 8
+
+    def test_trailing_padding(self, structs):
+        structs.define("t", [("p", make_ptr(make_prim("int"))),
+                             ("c", make_prim("char"))])
+        assert structs.layout("t").size == 16  # 9 rounded to align 8
+
+    def test_nested_struct_size(self, structs):
+        structs.define("inner", [("a", make_prim("long"))])
+        structs.define("outer", [("i", QualType(StructType("inner"))),
+                                 ("b", make_prim("char"))])
+        assert structs.layout("outer").size == 16
+
+    def test_unknown_field_raises(self, structs):
+        structs.define("s", [("x", make_prim("int"))])
+        with pytest.raises(KeyError):
+            structs.layout("s").field("nope")
+
+    def test_undefined_struct_raises(self, structs):
+        with pytest.raises(KeyError):
+            structs.layout("ghost")
+
+    def test_redefinition_invalidates_layout_cache(self, structs):
+        structs.define("s", [("x", make_prim("int"))])
+        assert structs.layout("s").size == 4
+        structs.define("s", [("x", make_prim("long"))])
+        assert structs.layout("s").size == 8
+
+
+class TestShapes:
+    def test_shape_ignores_modes(self):
+        a = make_ptr(make_prim("char", M.PRIVATE), M.DYNAMIC)
+        b = make_ptr(make_prim("char", M.DYNAMIC), M.PRIVATE)
+        assert shape_equal(a, b)
+
+    def test_shape_distinguishes_base(self):
+        a = make_ptr(make_prim("char"))
+        b = make_ptr(make_prim("int"))
+        assert not shape_equal(a, b)
+
+    def test_function_shapes_by_signature(self):
+        f1 = QualType(FuncType(make_prim("void"), [make_prim("int")]))
+        f2 = QualType(FuncType(make_prim("void"), [make_prim("int")]))
+        f3 = QualType(FuncType(make_prim("void"), [make_prim("long")]))
+        assert shape_equal(f1, f2)
+        assert not shape_equal(f1, f3)
+
+    def test_modes_agree_below_outermost(self):
+        a = make_ptr(make_prim("char", M.DYNAMIC), M.PRIVATE)
+        b = make_ptr(make_prim("char", M.DYNAMIC), M.DYNAMIC)
+        assert modes_agree(a, b)
+        c = make_ptr(make_prim("char", M.PRIVATE), M.PRIVATE)
+        assert not modes_agree(a, c)
+
+
+class TestWalkAndClone:
+    def test_walk_visits_all_positions(self):
+        t = make_ptr(make_ptr(make_prim("int")))
+        assert len(list(t.walk())) == 3
+
+    def test_walk_function_type(self):
+        f = QualType(FuncType(make_prim("int"),
+                              [make_ptr(make_prim("char"))]))
+        positions = list(f.walk())
+        assert len(positions) == 4  # func, ret, param, param target
+
+    def test_clone_is_deep(self):
+        t = make_ptr(make_prim("char", M.DYNAMIC))
+        c = t.clone()
+        c.base.target.mode = M.PRIVATE
+        assert t.base.target.mode is M.DYNAMIC
+
+    def test_clone_resets_qvar(self):
+        t = make_prim("int")
+        t.qvar = 7
+        assert t.clone().qvar is None
+
+
+class TestConvenience:
+    def test_pointee_of_array(self):
+        t = QualType(ArrayType(make_prim("int", M.DYNAMIC), 4))
+        assert t.pointee().mode is M.DYNAMIC
+
+    def test_pointee_of_non_pointer_raises(self):
+        with pytest.raises(ValueError):
+            make_prim("int").pointee()
+
+    def test_is_void_ptr(self):
+        t = make_ptr(make_prim("void"))
+        assert t.is_void_ptr
+        assert not make_ptr(make_prim("char")).is_void_ptr
+
+    def test_prelude_mutex_layout(self):
+        prog = parse_program("mutex m;")
+        assert prog.structs.layout("__mutex").size == 8

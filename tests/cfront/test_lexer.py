@@ -1,0 +1,178 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LexError
+from repro.cfront.lexer import Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok,) = tokenize("hello")[:-1]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "hello"
+
+    def test_identifier_with_underscore_and_digits(self):
+        (tok,) = tokenize("_my_var2")[:-1]
+        assert tok.kind is TokenKind.IDENT
+
+    def test_keywords_are_not_identifiers(self):
+        for kw in ("int", "while", "private", "dynamic", "SCAST",
+                   "locked", "racy", "readonly", "struct"):
+            (tok,) = tokenize(kw)[:-1]
+            assert tok.kind is TokenKind.KEYWORD, kw
+
+    def test_sharc_qualifiers_are_keywords(self):
+        assert kinds("private readonly racy dynamic locked") == \
+            [TokenKind.KEYWORD] * 5
+
+    def test_locations_track_lines_and_columns(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].loc.line == 1 and tokens[0].loc.col == 1
+        assert tokens[1].loc.line == 2 and tokens[1].loc.col == 3
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        (tok,) = tokenize("42")[:-1]
+        assert tok.kind is TokenKind.INT and tok.value == 42
+
+    def test_hex_int(self):
+        (tok,) = tokenize("0x1F")[:-1]
+        assert tok.value == 31
+
+    def test_float(self):
+        (tok,) = tokenize("3.25")[:-1]
+        assert tok.kind is TokenKind.FLOAT and tok.value == 3.25
+
+    def test_float_with_exponent(self):
+        (tok,) = tokenize("1e3")[:-1]
+        assert tok.kind is TokenKind.FLOAT and tok.value == 1000.0
+
+    def test_float_negative_exponent(self):
+        (tok,) = tokenize("2.5e-2")[:-1]
+        assert tok.value == 0.025
+
+    def test_integer_suffixes_ignored(self):
+        (tok,) = tokenize("10UL")[:-1]
+        assert tok.kind is TokenKind.INT and tok.value == 10
+
+    def test_member_access_is_not_float(self):
+        # "x.y" must not lex the dot into a number.
+        assert texts("x.y") == ["x", ".", "y"]
+
+    @given(st.integers(min_value=0, max_value=2**62))
+    def test_any_decimal_roundtrips(self, n):
+        (tok,) = tokenize(str(n))[:-1]
+        assert tok.value == n
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        (tok,) = tokenize('"hello"')[:-1]
+        assert tok.kind is TokenKind.STRING and tok.value == "hello"
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r'"a\n\t\\\"b\0"')[:-1]
+        assert tok.value == 'a\n\t\\"b\0'
+
+    def test_hex_escape(self):
+        (tok,) = tokenize(r'"\x41"')[:-1]
+        assert tok.value == "A"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'a'")[:-1]
+        assert tok.kind is TokenKind.CHAR and tok.value == ord("a")
+
+    def test_char_escape(self):
+        (tok,) = tokenize(r"'\n'")[:-1]
+        assert tok.value == ord("\n")
+
+    def test_unterminated_char_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'ab")
+
+
+class TestPunctuation:
+    def test_longest_match_wins(self):
+        assert texts("a <<= b") == ["a", "<<=", "b"]
+        assert texts("a->b") == ["a", "->", "b"]
+        assert texts("a--b") == ["a", "--", "b"]
+
+    def test_all_compound_operators(self):
+        ops = ["->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+               "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+               "^=", "<<=", ">>=", "..."]
+        for op in ops:
+            (tok,) = tokenize(op)[:-1]
+            assert tok.text == op, op
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestTrivia:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_include_is_skipped(self):
+        assert texts('#include <stdio.h>\nint') == ["int"]
+
+    def test_define_expands_integers(self):
+        tokens = tokenize("#define N 8\nN")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].value == 8
+
+    def test_define_hex(self):
+        tokens = tokenize("#define MASK 0xFF\nMASK")
+        assert tokens[0].value == 255
+
+    def test_non_integer_define_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#define F foo\nF")
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(LexError):
+            tokenize("#ifdef X\n")
+
+
+@given(st.lists(
+    st.sampled_from(["x", "42", "+", "while", "private", '"s"',
+                     "->", "3.5", "(", ")", "{", "}"]),
+    min_size=0, max_size=30))
+def test_token_stream_roundtrip(parts):
+    """Lexing the space-joined rendering of tokens reproduces them."""
+    source = " ".join(parts)
+    tokens = tokenize(source)
+    rendered = " ".join(
+        f'"{t.text}"' if t.kind is TokenKind.STRING else t.text
+        for t in tokens[:-1])
+    again = tokenize(rendered)
+    assert [(t.kind, t.text) for t in again] == \
+        [(t.kind, t.text) for t in tokens]

@@ -1,0 +1,343 @@
+"""Unit tests for the parser: declarations, qualifier placement,
+statements, expressions, and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.cfront import cast as A
+from repro.cfront.ctypes import (
+    ArrayType, FuncType, Prim, PtrType, StructType,
+)
+from repro.cfront.parser import parse_expression, parse_program
+from repro.sharc.modes import ModeKind
+
+
+def first_global(source):
+    prog = parse_program(source)
+    return prog.globals()[0]
+
+
+def first_func(source):
+    prog = parse_program(source)
+    return prog.functions()[0]
+
+
+class TestDeclarations:
+    def test_simple_int(self):
+        decl = first_global("int x;")
+        assert decl.name == "x"
+        assert isinstance(decl.qtype.base, Prim)
+        assert decl.qtype.base.name == "int"
+
+    def test_initializer(self):
+        decl = first_global("int x = 41 + 1;")
+        assert isinstance(decl.init, A.Binop)
+
+    def test_multiple_declarators(self):
+        prog = parse_program("int a, b, c;")
+        assert [g.name for g in prog.globals()] == ["a", "b", "c"]
+
+    def test_pointer(self):
+        decl = first_global("char *p;")
+        assert isinstance(decl.qtype.base, PtrType)
+        assert decl.qtype.base.target.base.name == "char"
+
+    def test_double_pointer(self):
+        decl = first_global("int **pp;")
+        assert isinstance(decl.qtype.base.target.base, PtrType)
+
+    def test_array(self):
+        decl = first_global("long v[8];")
+        assert isinstance(decl.qtype.base, ArrayType)
+        assert decl.qtype.base.length == 8
+
+    def test_array_of_pointers(self):
+        decl = first_global("char *names[4];")
+        assert isinstance(decl.qtype.base, ArrayType)
+        assert isinstance(decl.qtype.base.elem.base, PtrType)
+
+    def test_unsigned_combinations(self):
+        for text, name in [("unsigned x;", "unsigned int"),
+                           ("unsigned long x;", "unsigned long"),
+                           ("unsigned char x;", "unsigned char"),
+                           ("long int x;", "long"),
+                           ("signed int x;", "int")]:
+            decl = first_global(text)
+            assert decl.qtype.base.name == name, text
+
+    def test_static_and_extern(self):
+        prog = parse_program("static int a; extern int b;")
+        assert prog.globals()[0].storage == "static"
+        assert prog.globals()[1].storage == "extern"
+
+    def test_const_is_accepted_and_ignored(self):
+        decl = first_global("const int x;")
+        assert decl.qtype.base.name == "int"
+
+
+class TestQualifierPlacement:
+    def test_prefix_qualifier(self):
+        decl = first_global("private int x;")
+        assert decl.qtype.mode.kind is ModeKind.PRIVATE
+        assert decl.qtype.explicit
+
+    def test_postfix_qualifier(self):
+        decl = first_global("int dynamic x;")
+        assert decl.qtype.mode.kind is ModeKind.DYNAMIC
+
+    def test_qualifier_after_star_binds_to_pointer(self):
+        decl = first_global("char * dynamic p;")
+        assert decl.qtype.mode.kind is ModeKind.DYNAMIC
+
+    def test_qualifier_before_star_binds_to_target(self):
+        decl = first_global("char readonly * p;")
+        assert decl.qtype.mode is None
+        assert decl.qtype.base.target.mode.kind is ModeKind.READONLY
+
+    def test_both_positions(self):
+        decl = first_global("char dynamic * private p;")
+        assert decl.qtype.mode.kind is ModeKind.PRIVATE
+        assert decl.qtype.base.target.mode.kind is ModeKind.DYNAMIC
+
+    def test_locked_records_expression(self):
+        prog = parse_program("""
+            typedef struct s { mutex *mut; char *locked(mut) d; } s_t;
+        """)
+        field = dict(prog.structs.fields("s"))["d"]
+        assert field.mode.kind is ModeKind.LOCKED
+        assert field.mode.lock == "mut"
+
+    def test_locked_with_path_expression(self):
+        prog = parse_program("""
+            typedef struct q { mutex *m; } q_t;
+            void f(q_t *h) { char locked(h->m) *p; }
+        """)
+        # Just checking it parses; the mode is on the pointee.
+        func = prog.functions()[0]
+        assert func.name == "f"
+
+    def test_unannotated_has_no_mode(self):
+        decl = first_global("int x;")
+        assert decl.qtype.mode is None
+        assert not decl.qtype.explicit
+
+
+class TestStructsAndTypedefs:
+    def test_struct_definition(self):
+        prog = parse_program("struct point { int x; int y; };")
+        assert prog.structs.is_defined("point")
+        assert [f for f, _ in prog.structs.fields("point")] == ["x", "y"]
+
+    def test_self_referential_struct(self):
+        prog = parse_program("struct node { struct node *next; int v; };")
+        next_t = dict(prog.structs.fields("node"))["next"]
+        assert isinstance(next_t.base, PtrType)
+        assert next_t.base.target.base.name == "node"
+
+    def test_typedef_of_struct(self):
+        prog = parse_program(
+            "typedef struct pair { int a; int b; } pair_t;"
+            "pair_t p;")
+        decl = prog.globals()[0]
+        assert isinstance(decl.qtype.base, StructType)
+        assert decl.qtype.base.name == "pair"
+
+    def test_typedef_of_pointer(self):
+        prog = parse_program("typedef char *str_t; str_t s;")
+        assert isinstance(prog.globals()[0].qtype.base, PtrType)
+
+    def test_racy_typedef_marks_struct(self):
+        prog = parse_program(
+            "typedef struct spin { int s; } racy spin_t;")
+        assert prog.structs.is_racy("spin")
+
+    def test_prelude_mutex_and_cond(self):
+        prog = parse_program("mutex m; cond c;")
+        assert prog.structs.is_racy("__mutex")
+        assert prog.structs.is_racy("__cond")
+
+    def test_function_pointer_field(self):
+        prog = parse_program(
+            "struct ops { void (*run)(int x); int id; };")
+        run_t = dict(prog.structs.fields("ops"))["run"]
+        assert isinstance(run_t.base, PtrType)
+        assert isinstance(run_t.base.target.base, FuncType)
+
+
+class TestFunctions:
+    def test_definition_and_params(self):
+        func = first_func("int add(int a, int b) { return a + b; }")
+        assert func.name == "add"
+        assert func.param_names == ["a", "b"]
+        assert len(func.qtype.base.params) == 2
+
+    def test_prototype(self):
+        prog = parse_program("int f(void);")
+        assert prog.prototypes()[0].name == "f"
+
+    def test_void_param_list(self):
+        func = first_func("int f(void) { return 0; }")
+        assert func.qtype.base.params == []
+
+    def test_varargs(self):
+        prog = parse_program("int log_it(char *fmt, ...);")
+        assert prog.prototypes()[0].qtype.base.varargs
+
+    def test_array_param_decays(self):
+        func = first_func("long sum(int v[], int n) { return 0; }")
+        assert isinstance(func.qtype.base.params[0].base, PtrType)
+
+    def test_private_param(self):
+        func = first_func("void use(char private *p) { }")
+        target = func.qtype.base.params[0].base.target
+        assert target.mode.kind is ModeKind.PRIVATE
+
+
+class TestStatements:
+    def source(self, body):
+        return f"void f() {{ {body} }}"
+
+    def stmts(self, body):
+        return first_func(self.source(body)).body.stmts
+
+    def test_if_else(self):
+        (s,) = self.stmts("if (1) ; else ;")
+        assert isinstance(s, A.If) and s.other is not None
+
+    def test_while(self):
+        (s,) = self.stmts("while (x) x = x - 1;")
+        assert isinstance(s, A.While)
+
+    def test_do_while(self):
+        (s,) = self.stmts("do x = 1; while (0);")
+        assert isinstance(s, A.DoWhile)
+
+    def test_for_with_decl(self):
+        (s,) = self.stmts("for (int i = 0; i < 3; i++) ;")
+        assert isinstance(s, A.For)
+        assert isinstance(s.init, A.DeclStmt)
+
+    def test_for_empty_clauses(self):
+        (s,) = self.stmts("for (;;) break;")
+        assert s.init is None and s.cond is None and s.step is None
+
+    def test_break_continue(self):
+        (s,) = self.stmts("while (1) { break; continue; }")
+        body = s.body.stmts
+        assert isinstance(body[0], A.Break)
+        assert isinstance(body[1], A.Continue)
+
+    def test_return_value(self):
+        (s,) = self.stmts("return 3;")
+        assert isinstance(s, A.Return) and s.value.value == 3
+
+    def test_local_declaration(self):
+        (s,) = self.stmts("int x = 5;")
+        assert isinstance(s, A.DeclStmt)
+
+    def test_goto_rejected(self):
+        with pytest.raises(ParseError, match="goto"):
+            parse_program(self.source("goto done;"))
+
+    def test_switch_rejected(self):
+        with pytest.raises(ParseError, match="switch"):
+            parse_program(self.source("switch (x) { }"))
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_expression(text)
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+" and e.rhs.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        e = self.expr("a < b && c > d")
+        assert e.op == "&&"
+
+    def test_assignment_right_associative(self):
+        e = self.expr("a = b = 1")
+        assert isinstance(e.rhs, A.Assign)
+
+    def test_compound_assign(self):
+        e = self.expr("x += 2")
+        assert e.op == "+="
+
+    def test_ternary(self):
+        e = self.expr("a ? b : c")
+        assert isinstance(e, A.CondExpr)
+
+    def test_unary_chain(self):
+        e = self.expr("!*p")
+        assert e.op == "!" and e.operand.op == "*"
+
+    def test_postfix_incr(self):
+        e = self.expr("x++")
+        assert isinstance(e, A.Unop) and e.postfix
+
+    def test_prefix_incr(self):
+        e = self.expr("++x")
+        assert isinstance(e, A.Unop) and not e.postfix
+
+    def test_member_chain(self):
+        e = self.expr("a->b.c")
+        assert isinstance(e, A.Member) and not e.arrow
+        assert e.obj.arrow
+
+    def test_index_and_call(self):
+        e = self.expr("f(x)[3]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.arr, A.Call)
+
+    def test_scast(self):
+        e = self.expr("SCAST(char private *, p)")
+        assert isinstance(e, A.SCastExpr)
+        assert e.to.base.target.mode.kind is ModeKind.PRIVATE
+
+    def test_cast_in_function_body(self):
+        func = first_func("void f() { long v = (long) 3; }")
+        decl = func.body.stmts[0].decls[0]
+        assert isinstance(decl.init, A.CastExpr)
+
+    def test_sizeof_type(self):
+        e = self.expr("sizeof(int)")
+        assert isinstance(e, A.SizeofExpr) and e.of_type is not None
+
+    def test_sizeof_expr(self):
+        e = self.expr("sizeof x")
+        assert e.of_expr is not None
+
+    def test_address_of(self):
+        e = self.expr("&x")
+        assert e.op == "&"
+
+    def test_null_keyword(self):
+        e = self.expr("NULL")
+        assert isinstance(e, A.NullLit)
+
+    def test_comma(self):
+        e = self.expr("a, b, c")
+        assert isinstance(e, A.CommaExpr) and len(e.parts) == 3
+
+
+class TestParseErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("int x")
+
+    def test_bad_type(self):
+        with pytest.raises(ParseError):
+            parse_program("frobnicate x;")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { if (1) { }")
+
+    def test_error_carries_location(self):
+        try:
+            parse_program("int x = ;")
+        except ParseError as exc:
+            assert exc.loc.line == 1
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")

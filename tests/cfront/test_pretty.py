@@ -1,0 +1,111 @@
+"""Pretty-printer tests: rendering and reparse stability."""
+
+import pytest
+
+from repro.cfront.parser import parse_expression, parse_program
+from repro.cfront.pretty import pretty_expr, pretty_program, pretty_type
+
+
+class TestExprRendering:
+    @pytest.mark.parametrize("text", [
+        "x", "42", "NULL", "f(a, b)", "a->b.c", "v[3]",
+        "sizeof(int)", "&x", "x++", "--y",
+    ])
+    def test_atoms_render_exactly(self, text):
+        assert pretty_expr(parse_expression(text)) == text
+
+    def test_binop_parenthesized(self):
+        assert pretty_expr(parse_expression("1 + 2 * 3")) == \
+            "(1 + (2 * 3))"
+
+    def test_string_escapes_roundtrip(self):
+        e = parse_expression(r'"a\nb\"c"')
+        again = parse_expression(pretty_expr(e))
+        assert again.value == e.value
+
+    def test_scast_renders(self):
+        text = pretty_expr(parse_expression("SCAST(char private *, p)"))
+        assert text.startswith("SCAST(") and "private" in text
+
+    def test_expr_reparse_fixpoint(self):
+        for text in ["a = b = c + 1", "p->q[i] * 2", "!(a && b) || c",
+                     "x ? y : z", "(a, b, c)", "*p++"]:
+            once = pretty_expr(parse_expression(text))
+            twice = pretty_expr(parse_expression(once))
+            assert once == twice, text
+
+
+class TestTypeRendering:
+    def render_global(self, source):
+        prog = parse_program(source)
+        decl = prog.globals()[0]
+        return pretty_type(decl.qtype, decl.name)
+
+    def test_pointer_with_modes(self):
+        out = self.render_global("char dynamic * private p;")
+        assert "dynamic" in out and "private" in out
+
+    def test_locked_mode(self):
+        prog = parse_program(
+            "typedef struct s { mutex *m; int locked(m) v; } s_t;")
+        field = dict(prog.structs.fields("s"))["v"]
+        assert "locked(m)" in pretty_type(field, "v")
+
+    def test_function_pointer(self):
+        out = self.render_global("void (*cb)(int x);")
+        assert "(*cb)" in out
+
+    def test_hide_inferred_modes(self):
+        prog = parse_program("private int x;")
+        decl = prog.globals()[0]
+        shown = pretty_type(decl.qtype, "x", show_inferred=False)
+        assert "private" in shown  # explicit stays
+        decl.qtype.explicit = False
+        hidden = pretty_type(decl.qtype, "x", show_inferred=False)
+        assert "private" not in hidden
+
+
+class TestProgramRendering:
+    SOURCE = """
+    typedef struct node { struct node *next; int v; } node_t;
+    int total = 0;
+    int sum(node_t *head) {
+      int acc = 0;
+      while (head) {
+        acc = acc + head->v;
+        head = head->next;
+      }
+      return acc;
+    }
+    """
+
+    def test_program_reparses(self):
+        prog = parse_program(self.SOURCE)
+        text = pretty_program(prog)
+        again = parse_program(text)
+        assert [f.name for f in again.functions()] == ["sum"]
+        assert again.structs.is_defined("node")
+
+    def test_program_render_fixpoint(self):
+        prog = parse_program(self.SOURCE)
+        once = pretty_program(prog)
+        twice = pretty_program(parse_program(once))
+        assert once == twice
+
+    def test_all_statement_forms_render(self):
+        source = """
+        void f(int n) {
+          int i;
+          for (i = 0; i < n; i++) {
+            if (i % 2) continue;
+            else i = i + 1;
+          }
+          do n--; while (n > 0);
+          while (1) break;
+          return;
+        }
+        """
+        prog = parse_program(source)
+        text = pretty_program(prog)
+        again = parse_program(text)
+        assert pretty_program(again) == text

@@ -1,0 +1,50 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sharc.checker import CheckedProgram, check_source
+from repro.runtime.interp import RunResult, run_checked
+
+
+def check(source: str, filename: str = "test.c") -> CheckedProgram:
+    """Checks a source fragment."""
+    return check_source(source, filename)
+
+
+def check_ok(source: str, filename: str = "test.c") -> CheckedProgram:
+    """Checks and asserts no static errors."""
+    checked = check_source(source, filename)
+    assert checked.ok, checked.render_diagnostics()
+    return checked
+
+
+def run_ok(source: str, seed: int = 0, **kwargs) -> RunResult:
+    """Checks, runs, and asserts the run finished without runtime
+    errors/deadlock/timeout (reports are allowed)."""
+    checked = check_ok(source)
+    result = run_checked(checked, seed=seed, **kwargs)
+    assert result.error is None, result.error
+    assert result.deadlock is None, result.deadlock
+    assert not result.timeout, "interpreter step budget exhausted"
+    return result
+
+
+def run_clean(source: str, seed: int = 0, **kwargs) -> RunResult:
+    """Like run_ok but additionally asserts zero reports."""
+    result = run_ok(source, seed=seed, **kwargs)
+    assert not result.reports, result.render_reports()
+    return result
+
+
+def error_kinds(checked: CheckedProgram) -> set[str]:
+    return {d.kind.name for d in checked.errors}
+
+
+@pytest.fixture
+def pipeline_annotated() -> str:
+    import pathlib
+    path = (pathlib.Path(__file__).parent.parent
+            / "examples" / "pipeline_annotated.c")
+    return path.read_text()

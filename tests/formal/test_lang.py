@@ -1,0 +1,77 @@
+"""Tests for the core-language AST (Figure 3)."""
+
+import pytest
+
+from repro.formal.lang import (
+    Assign, Check, CheckKind, Deref, Global, IntType, Mode, New, Null,
+    Num, Program, RefType, Scast, Seq, Skip, Spawn, ThreadDef, Var,
+    seq_of,
+)
+
+
+class TestTypes:
+    def test_rendering(self):
+        t = RefType(Mode.DYNAMIC, IntType(Mode.PRIVATE))
+        assert str(t) == "dynamic ref (private int)"
+
+    def test_equality_is_structural(self):
+        a = RefType(Mode.PRIVATE, IntType(Mode.DYNAMIC))
+        b = RefType(Mode.PRIVATE, IntType(Mode.DYNAMIC))
+        assert a == b
+
+    def test_target_of_ref(self):
+        t = RefType(Mode.PRIVATE, IntType(Mode.DYNAMIC))
+        assert t.target() == IntType(Mode.DYNAMIC)
+        assert t.is_ref and not t.is_int
+
+    def test_int_predicates(self):
+        t = IntType(Mode.DYNAMIC)
+        assert t.is_int and not t.is_ref
+
+
+class TestStatements:
+    def test_seq_of_empty_is_skip(self):
+        assert isinstance(seq_of([]), Skip)
+
+    def test_seq_of_single(self):
+        s = Assign(Var("x"), Num(1))
+        assert seq_of([s]) is s
+
+    def test_seq_of_nests_right(self):
+        stmts = [Assign(Var("x"), Num(i)) for i in range(3)]
+        seq = seq_of(stmts)
+        assert isinstance(seq, Seq)
+        assert seq.first is stmts[0]
+        assert isinstance(seq.second, Seq)
+
+    def test_assign_rendering_with_checks(self):
+        s = Assign(Var("g"), Num(1),
+                   [Check(CheckKind.CHKWRITE, Var("g"))])
+        assert str(s) == "g := 1 when chkwrite(g)"
+
+    def test_scast_rendering(self):
+        e = Scast(IntType(Mode.PRIVATE), "p")
+        assert str(e) == "scast[private int] p"
+
+    def test_lvalue_rendering(self):
+        assert str(Var("x")) == "x"
+        assert str(Deref("x")) == "*x"
+
+
+class TestProgram:
+    def test_thread_lookup(self):
+        prog = Program(threads=[ThreadDef("a"), ThreadDef("b")])
+        assert prog.thread("b").name == "b"
+        with pytest.raises(KeyError):
+            prog.thread("c")
+
+    def test_rendering_roundtrip_ish(self):
+        prog = Program(
+            globals=[Global("g", IntType(Mode.DYNAMIC))],
+            threads=[ThreadDef("main",
+                               [("x", IntType(Mode.PRIVATE))],
+                               Assign(Var("x"), Var("g")))])
+        text = str(prog)
+        assert "dynamic int g;" in text
+        assert "main()" in text
+        assert "x := g" in text

@@ -1,0 +1,228 @@
+"""Tests for the small-step operational semantics (Figures 5 and 6)."""
+
+import pytest
+
+from repro.formal.lang import (
+    Assign, Deref, Global, IntType, Mode, New, Null, Num, Program,
+    RefType, Scast, Seq, Skip, Spawn, ThreadDef, Var, seq_of,
+)
+from repro.formal.semantics import Machine, MachineConfig
+from repro.formal.statics import typecheck
+
+D_INT = IntType(Mode.DYNAMIC)
+P_INT = IntType(Mode.PRIVATE)
+D_REF_D = RefType(Mode.DYNAMIC, D_INT)
+P_REF_D = RefType(Mode.PRIVATE, D_INT)
+P_REF_P = RefType(Mode.PRIVATE, P_INT)
+
+
+def run(program, seed=0, enforce="fail", max_steps=5000):
+    machine = Machine(typecheck(program),
+                      MachineConfig(seed=seed, enforce=enforce,
+                                    max_steps=max_steps))
+    machine.run()
+    return machine
+
+
+def main_prog(globals_=(), locals_=(), body=Skip(), extra_threads=()):
+    return Program(list(globals_),
+                   list(extra_threads)
+                   + [ThreadDef("main", list(locals_), body)],
+                   main="main")
+
+
+def value_of(machine, thread_name, var):
+    rec = next(t for t in machine.threads if t.name == thread_name)
+    return machine.memory[rec.env[var]].value
+
+
+class TestBasicExecution:
+    def test_constant_assignment(self):
+        machine = run(main_prog(locals_=[("x", P_INT)],
+                                body=Assign(Var("x"), Num(7))))
+        # Locals are zeroed at thread exit (threadexit), so check trace.
+        writes = [e for e in machine.trace if e.kind == "write"]
+        assert writes  # the assignment happened
+
+    def test_new_allocates_fresh_cell(self):
+        machine = run(main_prog(
+            locals_=[("p", P_REF_D)],
+            body=seq_of([Assign(Var("p"), New(D_INT)),
+                         Assign(Deref("p"), Num(5))])))
+        heap = [a for a, c in machine.memory.items()
+                if c.type == D_INT and a not in
+                machine.threads[0].env.values()]
+        assert len(heap) == 1
+
+    def test_null_deref_fails_thread(self):
+        machine = run(main_prog(locals_=[("p", P_REF_D), ("x", P_INT)],
+                                body=Assign(Var("x"), Deref("p"))))
+        assert machine.threads[0].failed is not None
+
+    def test_spawn_creates_thread_with_own_locals(self):
+        worker = ThreadDef("w", [("y", P_INT)],
+                           Assign(Var("y"), Num(1)))
+        machine = run(main_prog(body=Spawn("w"),
+                                extra_threads=[worker]))
+        assert len(machine.threads) == 2
+        w = next(t for t in machine.threads if t.name == "w")
+        assert machine.memory[w.env["y"]].owner == w.tid
+
+    def test_globals_shared_across_threads(self):
+        worker = ThreadDef("w", [], Assign(Var("g"), Num(2)))
+        machine = run(main_prog(globals_=[Global("g", D_INT)],
+                                body=Spawn("w"),
+                                extra_threads=[worker]),
+                      enforce="skip")
+        main_rec = next(t for t in machine.threads if t.name == "main")
+        w_rec = next(t for t in machine.threads if t.name == "w")
+        assert main_rec.env["g"] == w_rec.env["g"]
+
+
+class TestChecks:
+    def racy_program(self):
+        worker = ThreadDef("w", [],
+                           seq_of([Assign(Var("g"), Num(i))
+                                   for i in range(4)]))
+        return main_prog(globals_=[Global("g", D_INT)],
+                         body=seq_of([Spawn("w"), Spawn("w")]),
+                         extra_threads=[worker])
+
+    def test_enforce_fail_blocks_racing_thread(self):
+        failures = 0
+        for seed in range(10):
+            machine = run(self.racy_program(), seed=seed)
+            failures += len(machine.failures)
+        assert failures > 0
+
+    def test_enforce_fail_admits_no_race(self):
+        for seed in range(10):
+            machine = run(self.racy_program(), seed=seed)
+            assert machine.races_in_trace() == []
+
+    def test_enforce_record_lets_races_through(self):
+        raced = 0
+        for seed in range(10):
+            machine = run(self.racy_program(), seed=seed,
+                          enforce="record")
+            raced += len(machine.races_in_trace())
+        assert raced > 0
+
+    def test_enforce_skip_runs_everything(self):
+        machine = run(self.racy_program(), enforce="skip")
+        assert not machine.failures
+        assert all(t.done for t in machine.threads)
+
+    def test_sequential_reuse_is_not_a_race(self):
+        """Non-overlapping thread executions do not race (threadexit
+        clears the reader/writer sets)."""
+        worker = ThreadDef("w", [], Assign(Var("g"), Num(1)))
+        # main spawns w, w finishes, then main spawns another w —
+        # sequentially, because main's spawn statements are adjacent but
+        # the machine may interleave; run many seeds and require that
+        # *either* no failure or only genuine overlaps failed.
+        program = main_prog(globals_=[Global("g", D_INT)],
+                            body=Spawn("w"),
+                            extra_threads=[worker])
+        machine = run(program)
+        assert not machine.failures
+
+
+class TestScast:
+    def transfer_program(self):
+        """main: p := new dynamic; q := scast[private] p."""
+        return main_prog(
+            locals_=[("p", P_REF_D), ("q", P_REF_P)],
+            body=seq_of([
+                Assign(Var("p"), New(D_INT)),
+                Assign(Var("q"), Scast(P_INT, "p")),
+            ]))
+
+    def test_scast_nulls_source_and_retypes(self):
+        machine = run(self.transfer_program())
+        rec = machine.threads[0]
+        assert not machine.failures
+        # The heap cell was retyped to private int and re-owned.
+        heap = [c for a, c in machine.memory.items()
+                if a not in rec.env.values()]
+        assert len(heap) == 1
+        assert heap[0].type == P_INT
+        assert heap[0].owner == rec.tid
+
+    def test_scast_records_trace_event(self):
+        machine = run(self.transfer_program())
+        assert any(e.kind == "scast" for e in machine.trace)
+
+    def test_oneref_fails_with_second_reference(self):
+        program = main_prog(
+            locals_=[("p", P_REF_D), ("r", P_REF_D), ("q", P_REF_P)],
+            body=seq_of([
+                Assign(Var("p"), New(D_INT)),
+                Assign(Var("r"), Var("p")),      # second reference
+                Assign(Var("q"), Scast(P_INT, "p")),
+            ]))
+        machine = run(program)
+        assert any("oneref" in f for _, f in machine.failures)
+
+    def test_oneref_passes_after_reference_dropped(self):
+        program = main_prog(
+            locals_=[("p", P_REF_D), ("r", P_REF_D), ("q", P_REF_P)],
+            body=seq_of([
+                Assign(Var("p"), New(D_INT)),
+                Assign(Var("r"), Var("p")),
+                Assign(Var("r"), Null()),
+                Assign(Var("q"), Scast(P_INT, "p")),
+            ]))
+        machine = run(program)
+        assert not machine.failures
+
+    def test_scast_clears_reader_writer_sets(self):
+        """Accesses before and after a cast never pair up as races."""
+        worker = ThreadDef(
+            "w", [("m", P_REF_D), ("o", P_REF_P)],
+            seq_of([
+                Assign(Var("m"), Var("g")),
+                Assign(Var("o"), Scast(P_INT, "m")),
+                Assign(Deref("o"), Num(9)),
+            ]))
+        program = main_prog(
+            globals_=[Global("g", D_REF_D)],
+            locals_=[("p", P_REF_D)],
+            body=seq_of([
+                Assign(Var("p"), New(D_INT)),
+                Assign(Deref("p"), Num(1)),   # main writes the cell
+                Assign(Var("g"), Var("p")),
+                Assign(Var("p"), Null()),
+                Spawn("w"),
+            ]),
+            extra_threads=[worker])
+        for seed in range(8):
+            machine = run(program, seed=seed)
+            assert machine.races_in_trace() == [], seed
+
+
+class TestThreadExit:
+    def test_locals_zeroed_on_exit(self):
+        machine = run(main_prog(locals_=[("x", P_INT)],
+                                body=Assign(Var("x"), Num(9))))
+        rec = machine.threads[0]
+        assert machine.memory[rec.env["x"]].value == 0
+
+    def test_reader_writer_bits_cleared_on_exit(self):
+        worker = ThreadDef("w", [], Assign(Var("g"), Num(1)))
+        machine = run(main_prog(globals_=[Global("g", D_INT)],
+                                body=Spawn("w"),
+                                extra_threads=[worker]))
+        g_addr = machine.global_env["g"]
+        cell = machine.memory[g_addr]
+        # All threads finished: no lingering reader/writer ids.
+        assert not cell.readers and not cell.writers
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        program = TestChecks().racy_program()
+        a = run(program, seed=3, enforce="record")
+        b = run(program, seed=3, enforce="record")
+        assert [(e.tid, e.kind, e.addr) for e in a.trace] == \
+            [(e.tid, e.kind, e.addr) for e in b.trace]

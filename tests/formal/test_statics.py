@@ -1,0 +1,193 @@
+"""Tests for the Figure 4 typing judgments."""
+
+import pytest
+
+from repro.formal.lang import (
+    Assign, CheckKind, Deref, Global, IntType, Mode, New, Null, Num,
+    Program, RefType, Scast, Seq, Skip, Spawn, ThreadDef, Var, seq_of,
+)
+from repro.formal.statics import TypeError_, typecheck, wellformed
+
+D_INT = IntType(Mode.DYNAMIC)
+P_INT = IntType(Mode.PRIVATE)
+D_REF_D = RefType(Mode.DYNAMIC, D_INT)
+P_REF_D = RefType(Mode.PRIVATE, D_INT)
+P_REF_P = RefType(Mode.PRIVATE, P_INT)
+D_REF_P = RefType(Mode.DYNAMIC, P_INT)
+
+
+def prog(globals_=(), locals_=(), body=Skip()):
+    return Program(
+        globals=list(globals_),
+        threads=[ThreadDef("main", list(locals_), body)],
+        main="main")
+
+
+class TestWellformed:
+    def test_refctor_rejects_dynamic_ref_private(self):
+        with pytest.raises(TypeError_, match="REF-CTOR"):
+            wellformed(D_REF_P)
+
+    def test_private_ref_private_ok(self):
+        wellformed(P_REF_P)
+
+    def test_private_ref_dynamic_ok(self):
+        wellformed(P_REF_D)
+
+    def test_nested_violation_found(self):
+        bad = RefType(Mode.PRIVATE, D_REF_P)
+        with pytest.raises(TypeError_):
+            wellformed(bad)
+
+
+class TestGlobalRule:
+    def test_globals_must_be_dynamic(self):
+        with pytest.raises(TypeError_, match="GLOBAL"):
+            typecheck(prog(globals_=[Global("g", P_INT)]))
+
+    def test_dynamic_global_ok(self):
+        typecheck(prog(globals_=[Global("g", D_INT)]))
+
+    def test_local_shadowing_global_rejected(self):
+        with pytest.raises(TypeError_, match="shadow"):
+            typecheck(prog(globals_=[Global("x", D_INT)],
+                           locals_=[("x", P_INT)]))
+
+
+class TestDeref:
+    def test_deref_requires_private_ref(self):
+        program = prog(globals_=[Global("g", D_REF_D)],
+                       body=Assign(Deref("g"), Num(1)))
+        with pytest.raises(TypeError_, match="private"):
+            typecheck(program)
+
+    def test_deref_of_private_ref_ok(self):
+        program = prog(locals_=[("p", P_REF_D)],
+                       body=Assign(Deref("p"), Num(1)))
+        typecheck(program)
+
+    def test_deref_of_int_rejected(self):
+        program = prog(locals_=[("x", P_INT)],
+                       body=Assign(Deref("x"), Num(1)))
+        with pytest.raises(TypeError_, match="not a reference"):
+            typecheck(program)
+
+
+class TestCheckInsertion:
+    def check_kinds(self, body, locals_=(), globals_=()):
+        checked = typecheck(prog(globals_, locals_, body))
+        stmt = checked.thread("main").body
+        return [c.kind for c in stmt.checks]
+
+    def test_write_to_dynamic_gets_chkwrite(self):
+        kinds = self.check_kinds(Assign(Var("g"), Num(1)),
+                                 globals_=[Global("g", D_INT)])
+        assert kinds == [CheckKind.CHKWRITE]
+
+    def test_write_to_private_unchecked(self):
+        kinds = self.check_kinds(Assign(Var("x"), Num(1)),
+                                 locals_=[("x", P_INT)])
+        assert kinds == []
+
+    def test_copy_checks_both_sides(self):
+        kinds = self.check_kinds(
+            Assign(Var("g"), Var("h")),
+            globals_=[Global("g", D_INT), Global("h", D_INT)])
+        assert kinds == [CheckKind.CHKWRITE, CheckKind.CHKREAD]
+
+    def test_deref_read_of_dynamic_cell_checked(self):
+        kinds = self.check_kinds(
+            Assign(Var("x"), Deref("p")),
+            locals_=[("x", P_INT), ("p", P_REF_D)])
+        assert kinds == [CheckKind.CHKREAD]
+
+    def test_new_assign_checks_target_cell(self):
+        kinds = self.check_kinds(
+            Assign(Var("g"), New(D_INT)),
+            globals_=[Global("g", D_REF_D)])
+        assert kinds == [CheckKind.CHKWRITE]
+
+    def test_scast_gets_oneref(self):
+        kinds = self.check_kinds(
+            Assign(Var("q"), Scast(P_INT, "p")),
+            locals_=[("q", P_REF_P), ("p", P_REF_D)])
+        assert kinds[0] is CheckKind.ONEREF
+
+
+class TestAssignRules:
+    def test_int_to_ref_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck(prog(locals_=[("p", P_REF_D)],
+                           body=Assign(Var("p"), Num(3))))
+
+    def test_null_to_int_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck(prog(locals_=[("x", P_INT)],
+                           body=Assign(Var("x"), Null())))
+
+    def test_ref_copy_requires_same_target(self):
+        with pytest.raises(TypeError_):
+            typecheck(prog(locals_=[("p", P_REF_D), ("q", P_REF_P)],
+                           body=Assign(Var("p"), Var("q"))))
+
+    def test_new_type_must_match(self):
+        with pytest.raises(TypeError_):
+            typecheck(prog(locals_=[("p", P_REF_D)],
+                           body=Assign(Var("p"), New(P_INT))))
+
+    def test_outermost_modes_may_differ(self):
+        typecheck(prog(globals_=[Global("g", D_INT)],
+                       locals_=[("x", P_INT)],
+                       body=Assign(Var("x"), Var("g"))))
+
+
+class TestScastRules:
+    def test_source_must_be_local_private_ref(self):
+        program = prog(globals_=[Global("g", D_REF_D)],
+                       locals_=[("q", P_REF_P)],
+                       body=Assign(Var("q"), Scast(P_INT, "g")))
+        with pytest.raises(TypeError_, match="local"):
+            typecheck(program)
+
+    def test_cast_type_must_match_target_ref(self):
+        program = prog(locals_=[("q", P_REF_P), ("p", P_REF_D)],
+                       body=Assign(Var("q"), Scast(D_INT, "p")))
+        with pytest.raises(TypeError_):
+            typecheck(program)
+
+    def test_deep_conversion_rejected(self):
+        # ref (dynamic ref dynamic int) to ref (private ref private int)
+        deep_src = RefType(Mode.PRIVATE, RefType(Mode.DYNAMIC, D_INT))
+        deep_dst = RefType(Mode.PRIVATE, RefType(Mode.PRIVATE, P_INT))
+        program = prog(
+            locals_=[("q", deep_dst), ("p", deep_src)],
+            body=Assign(Var("q"),
+                        Scast(RefType(Mode.PRIVATE, P_INT), "p")))
+        with pytest.raises(TypeError_):
+            typecheck(program)
+
+    def test_first_level_conversion_ok(self):
+        program = prog(locals_=[("q", P_REF_P), ("p", P_REF_D)],
+                       body=Assign(Var("q"), Scast(P_INT, "p")))
+        typecheck(program)
+
+
+class TestSpawn:
+    def test_spawn_of_unknown_thread_rejected(self):
+        with pytest.raises(TypeError_):
+            typecheck(prog(body=Spawn("ghost")))
+
+    def test_spawn_of_defined_thread_ok(self):
+        program = Program(
+            globals=[],
+            threads=[ThreadDef("w", [], Skip()),
+                     ThreadDef("main", [], Spawn("w"))],
+            main="main")
+        typecheck(program)
+
+    def test_seq_checked_recursively(self):
+        program = prog(locals_=[("x", P_INT)],
+                       body=seq_of([Assign(Var("x"), Num(1)),
+                                    Assign(Var("x"), Null())]))
+        with pytest.raises(TypeError_):
+            typecheck(program)

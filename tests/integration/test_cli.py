@@ -1,0 +1,127 @@
+"""CLI tests: the ``sharc`` tool end to end."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.c"
+    path.write_text("""
+int counter = 0;
+void *bump(void *arg) {
+  int i;
+  for (i = 0; i < 10; i++)
+    counter = counter + 1;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+""")
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text("""
+mutex lk;
+int locked(lk) counter = 0;
+void *bump(void *arg) {
+  mutexLock(&lk); counter = counter + 1; mutexUnlock(&lk);
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+""")
+    return str(path)
+
+
+@pytest.fixture
+def broken_file(tmp_path):
+    path = tmp_path / "broken.c"
+    path.write_text("""
+int readonly limit = 1;
+int main() { limit = 2; return 0; }
+""")
+    return str(path)
+
+
+class TestCheck:
+    def test_check_clean_exits_zero(self, clean_file, capsys):
+        assert main(["check", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "lock checks" in out
+
+    def test_check_broken_exits_one(self, broken_file, capsys):
+        assert main(["check", broken_file]) == 1
+        assert "readonly" in capsys.readouterr().out
+
+
+class TestInfer:
+    def test_infer_prints_qualifiers(self, racy_file, capsys):
+        assert main(["infer", racy_file]) == 0
+        out = capsys.readouterr().out
+        assert "int dynamic counter" in out
+        assert "void dynamic *private bump" in out
+
+
+class TestRun:
+    def test_run_clean_program(self, clean_file, capsys):
+        assert main(["run", clean_file, "--seed", "1"]) == 0
+
+    def test_run_racy_program_reports(self, racy_file, capsys):
+        code = 0
+        for seed in range(6):
+            code |= main(["run", racy_file, "--seed", str(seed)])
+        assert code == 1
+        assert "conflict(0x" in capsys.readouterr().out
+
+    def test_run_stats_flag(self, clean_file, capsys):
+        main(["run", clean_file, "--stats"])
+        assert "steps=" in capsys.readouterr().out
+
+    def test_rc_scheme_flag(self, clean_file):
+        assert main(["run", clean_file, "--rc", "naive"]) == 0
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestEvaluationCommands:
+    def test_table1_json(self, capsys):
+        import json
+        assert main(["table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["rows"]) == 6
+        assert payload["summary"]["paper_total_annotations"] == 60
+
+    def test_compare_eraser_command(self, capsys):
+        assert main(["compare-eraser"]) == 0
+        out = capsys.readouterr().out
+        assert "FALSE" in out
+
+    def test_run_with_eraser_checker(self, racy_file):
+        code = 0
+        for seed in range(4):
+            code |= main(["run", racy_file, "--checker", "eraser",
+                          "--seed", str(seed)])
+        assert code == 1  # the lockset baseline also catches real races

@@ -1,0 +1,131 @@
+"""Cross-cutting integration tests: printer roundtrips on the real
+workload sources, scheduler policies, and the negative soundness
+demonstration."""
+
+import pytest
+
+from repro.bench.workloads import ALL_WORKLOADS, get_workload
+from repro.cfront.parser import parse_program
+from repro.cfront.pretty import pretty_program
+from repro.sharc.checker import check_source
+from repro.runtime.interp import run_checked
+
+
+class TestPrinterOnRealSources:
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_workload_pretty_roundtrip(self, name):
+        """pretty(parse(x)) must itself parse, for every workload."""
+        source = get_workload(name).annotated_source
+        prog = parse_program(source, f"{name}.c")
+        text = pretty_program(prog)
+        again = parse_program(text, f"{name}-pp.c")
+        assert {f.name for f in again.functions()} == \
+            {f.name for f in prog.functions()}
+
+    @pytest.mark.parametrize("name", ALL_WORKLOADS)
+    def test_inferred_view_renders(self, name):
+        checked = check_source(get_workload(name).annotated_source,
+                               f"{name}.c")
+        assert checked.ok
+        text = checked.inferred_source()
+        assert "private" in text or "dynamic" in text
+
+
+class TestSchedulerPolicies:
+    @pytest.fixture(scope="class")
+    def pipeline(self, request):
+        import pathlib
+        path = (pathlib.Path(__file__).parent.parent.parent
+                / "examples" / "pipeline_annotated.c")
+        checked = check_source(path.read_text(), "pipeline.c")
+        assert checked.ok
+        return checked
+
+    @pytest.mark.parametrize("policy", ["random", "round-robin"])
+    def test_pipeline_clean_under_policy(self, pipeline, policy):
+        result = run_checked(pipeline, seed=1, policy=policy,
+                             max_steps=900_000)
+        assert result.clean, (policy, result.deadlock,
+                              result.render_reports())
+
+    def test_burst_length_changes_interleaving_not_result(self,
+                                                          pipeline):
+        for burst in (1, 4, 16):
+            result = run_checked(pipeline, seed=2, max_burst=burst,
+                                 max_steps=900_000)
+            assert result.clean
+            assert result.output == "processed 8 items\n"
+
+
+class TestNegativeSoundness:
+    def test_record_mode_breaks_definition1(self):
+        """Without enforcement (record mode) a racy program violates the
+        Definition 1 invariants — showing the theorem's hypotheses are
+        necessary, not decorative."""
+        import random as rnd
+        from repro.formal.lang import (
+            Assign, Global, IntType, Mode, Num, Program, Spawn,
+            ThreadDef, Var, seq_of,
+        )
+        from repro.formal.semantics import Machine, MachineConfig
+        from repro.formal.soundness import (
+            ConsistencyError, check_consistency,
+        )
+        from repro.formal.statics import typecheck
+
+        body = seq_of([Assign(Var("g"), Num(i)) for i in range(6)])
+        program = typecheck(Program(
+            globals=[Global("g", IntType(Mode.DYNAMIC))],
+            threads=[ThreadDef("w", [], body),
+                     ThreadDef("main", [],
+                               seq_of([Spawn("w"), Spawn("w")]))],
+            main="main"))
+        broke = 0
+        for seed in range(12):
+            machine = Machine(program,
+                              MachineConfig(seed=seed, enforce="record"))
+            try:
+                machine.run(invariant_hook=check_consistency)
+            except ConsistencyError:
+                broke += 1
+        assert broke > 0
+
+    def test_fail_mode_never_breaks_definition1(self):
+        import random as rnd
+        from repro.formal.gen import gen_program
+        from repro.formal.semantics import Machine, MachineConfig
+        from repro.formal.soundness import check_consistency
+        from repro.formal.statics import typecheck
+
+        for seed in range(15):
+            program = typecheck(gen_program(rnd.Random(seed)))
+            machine = Machine(program,
+                              MachineConfig(seed=seed, enforce="fail",
+                                            max_steps=2000))
+            machine.run(invariant_hook=check_consistency)  # no raise
+
+
+class TestBenchHarnessUnits:
+    def test_averages_match_paper_format(self):
+        from repro.bench.table1 import averages
+        from repro.bench.harness import BenchResult, PaperRow
+        row = PaperRow("x", 3, "1k", 5, 5, 0.10, 0.20, 0.5)
+        results = [BenchResult(
+            workload="x", threads_peak=3, base_steps=100,
+            sharc_steps=110, time_overhead=0.10, mem_overhead=0.20,
+            pct_dynamic=0.5, reports=0, clean=True, annotations=5,
+            changes=5, paper=row)]
+        summary = averages(results)
+        assert summary["avg_time_overhead"] == pytest.approx(0.10)
+        assert summary["total_annotations"] == 5
+        assert summary["paper_total_annotations"] == 60
+
+    def test_row_handles_unmeasurable_time(self):
+        from repro.bench.harness import BenchResult, PaperRow
+        row = PaperRow("aget", 3, "1k", 7, 7, None, 0.3, 0.08)
+        result = BenchResult(
+            workload="aget", threads_peak=3, base_steps=1,
+            sharc_steps=1, time_overhead=0.004, mem_overhead=0.05,
+            pct_dynamic=0.09, reports=0, clean=True, annotations=7,
+            changes=0, paper=row)
+        assert result.row()["time"] == "n/a"

@@ -1,0 +1,56 @@
+"""Documentation consistency: the deliverable docs must exist and refer
+to real artifacts."""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def docs():
+    return {name: (ROOT / name).read_text()
+            for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md")}
+
+
+def test_all_docs_exist(docs):
+    for name, text in docs.items():
+        assert len(text) > 1000, name
+
+
+def test_design_module_map_matches_tree(docs):
+    """Every module named in DESIGN.md's inventory exists on disk."""
+    in_map = re.findall(r"^\s{2,}(\w+\.py)", docs["DESIGN.md"],
+                        re.MULTILINE)
+    assert in_map, "module map missing"
+    src = {p.name for p in (ROOT / "src" / "repro").rglob("*.py")}
+    missing = [m for m in set(in_map) if m not in src]
+    assert not missing, missing
+
+
+def test_readme_examples_exist(docs):
+    referenced = re.findall(r"examples/(\w+\.py)", docs["README.md"])
+    assert referenced
+    for name in set(referenced):
+        assert (ROOT / "examples" / name).exists(), name
+
+
+def test_experiments_commands_reference_real_modules(docs):
+    modules = re.findall(r"python -m (repro\.[.\w]+)",
+                         docs["EXPERIMENTS.md"])
+    assert modules
+    import importlib
+    for mod in set(modules):
+        importlib.import_module(mod)
+
+
+def test_paper_identity_confirmed_in_design(docs):
+    assert "PLDI 2008" in docs["DESIGN.md"]
+    assert "10.1145/1375581.1375600" in docs["DESIGN.md"]
+
+
+def test_design_lists_every_table_and_figure_experiment(docs):
+    for marker in ("Table 1", "Fig. 1/2", "soundness", "8n−1"):
+        assert marker in docs["DESIGN.md"], marker

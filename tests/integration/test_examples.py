@@ -1,0 +1,28 @@
+"""Every shipped example must run to success — the examples are part of
+the public contract (deliverable b)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples")
+    .glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=240)
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout[-2000:]}\n"
+        f"{proc.stderr[-2000:]}")
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "race_detection", "ownership_transfer",
+            "benchmarks_tour", "rwlock_extension"} <= names

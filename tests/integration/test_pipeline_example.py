@@ -1,0 +1,179 @@
+"""The Section 2.1 walkthrough, end to end — the paper's running
+example, as an integration test."""
+
+import pytest
+
+from tests.conftest import check, check_ok
+from repro.errors import DiagKind
+from repro.runtime.interp import run_checked
+
+UNANNOTATED = r"""
+typedef struct stage {
+  struct stage *next;
+  cond *cv;
+  mutex *mut;
+  char *sdata;
+  void (*fun)(char *fdata);
+} stage_t;
+
+int racy progress = 0;
+
+void *thrFunc(void *d) {
+  stage_t *S = d;
+  stage_t *nextS = S->next;
+  char *ldata;
+  int k;
+  for (k = 0; k < 3; k++) {
+    mutexLock(S->mut);
+    while (S->sdata == NULL)
+      condWait(S->cv, S->mut);
+    ldata = S->sdata;
+    S->sdata = NULL;
+    condSignal(S->cv);
+    mutexUnlock(S->mut);
+    S->fun(ldata);
+    progress++;
+    if (nextS) {
+      mutexLock(nextS->mut);
+      while (nextS->sdata)
+        condWait(nextS->cv, nextS->mut);
+      nextS->sdata = ldata;
+      condSignal(nextS->cv);
+      mutexUnlock(nextS->mut);
+    } else {
+      free(ldata);
+    }
+  }
+  return NULL;
+}
+
+void work(char *fdata) {
+  int i;
+  for (i = 0; i < 16; i++)
+    fdata[i] = fdata[i] + 1;
+}
+
+mutex m1; mutex m2; cond c1; cond c2;
+
+stage_t *mkstage(stage_t *next, mutex *m, cond *c) {
+  stage_t *st = malloc(sizeof(stage_t));
+  st->next = next;
+  st->cv = c;
+  st->mut = m;
+  st->sdata = NULL;
+  st->fun = work;
+  return st;
+}
+
+int main() {
+  stage_t *s1;
+  stage_t *s2;
+  int t1; int t2; int i;
+  s2 = mkstage(NULL, &m2, &c2);
+  s1 = mkstage(s2, &m1, &c1);
+  t1 = thread_create(thrFunc, s1);
+  t2 = thread_create(thrFunc, s2);
+  for (i = 0; i < 3; i++) {
+    char *buf = malloc(16);
+    memset(buf, i, 16);
+    mutexLock(s1->mut);
+    while (s1->sdata)
+      condWait(s1->cv, s1->mut);
+    s1->sdata = buf;
+    condSignal(s1->cv);
+    mutexUnlock(s1->mut);
+  }
+  thread_join(t1);
+  thread_join(t2);
+  printf("processed %d items\n", progress);
+  return 0;
+}
+"""
+
+
+class TestUnannotatedPipeline:
+    """Step 1: SharC compiles the code as-is, infers modes, and reports
+    the intentional sharing as conflicts."""
+
+    @pytest.fixture(scope="class")
+    def checked(self):
+        return check_ok(UNANNOTATED, "pipeline_test.c")
+
+    def test_figure2_inference(self, checked):
+        text = checked.inferred_source()
+        assert "struct __mutex racy *readonly mut" in text or \
+            "struct __mutex racy *inherit mut" in text
+        assert "void dynamic *private thrFunc" in text
+        assert "char dynamic *private ldata" in text
+
+    def test_sdata_field_inferred_dynamic(self, checked):
+        sdata = dict(checked.program.structs.fields("stage"))["sdata"]
+        assert sdata.base.target.mode.is_dynamic
+
+    def test_runtime_reports_sdata_sharing(self, checked):
+        """The paper's first report: the sdata field handoff."""
+        result = run_checked(checked, seed=3, max_steps=800_000)
+        assert result.error is None and result.deadlock is None
+        lvalues = {r.who.lvalue for r in result.reports} | \
+                  {r.last.lvalue for r in result.reports if r.last}
+        assert any("sdata" in lv for lv in lvalues)
+
+    def test_runtime_reports_buffer_sharing(self, checked):
+        """The paper's second report: the buffer behind fdata/ldata."""
+        result = run_checked(checked, seed=3, max_steps=800_000)
+        lvalues = {r.who.lvalue for r in result.reports} | \
+                  {r.last.lvalue for r in result.reports if r.last}
+        assert any("fdata" in lv or "ldata" in lv or "buf" in lv
+                   for lv in lvalues)
+
+    def test_reports_render_in_paper_format(self, checked):
+        result = run_checked(checked, seed=3, max_steps=800_000)
+        text = result.reports[0].render()
+        assert "conflict(0x" in text and "who(" in text
+
+
+class TestAnnotatedPipeline:
+    """Step 2: two annotations + suggested casts make every run clean."""
+
+    @pytest.fixture(scope="class")
+    def checked(self, request):
+        import pathlib
+        path = (pathlib.Path(__file__).parent.parent.parent
+                / "examples" / "pipeline_annotated.c")
+        return check_ok(path.read_text(), "pipeline_annotated.c")
+
+    def test_static_clean(self, checked):
+        assert not checked.errors
+        assert checked.check_stats.lock_checks > 0
+        assert checked.check_stats.oneref_checks >= 2
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_schedule_clean(self, checked, seed):
+        result = run_checked(checked, seed=seed, max_steps=800_000)
+        assert result.clean, result.render_reports() or result.deadlock
+        assert result.output == "processed 8 items\n"
+
+    def test_ldata_claimed_private(self, checked):
+        from repro.sharc.defaults import collect_local_decls
+        func = checked.program.function("thrFunc")
+        ldata = next(d for d in collect_local_decls(func)
+                     if d.name == "ldata")
+        assert ldata.qtype.base.target.mode.is_private
+
+
+class TestMissingCasts:
+    """The paper's workflow: annotations without the casts fail to
+    type-check, and SharC suggests exactly where the casts go."""
+
+    def test_suggestions_point_at_both_handoffs(self):
+        source = UNANNOTATED.replace(
+            "char *sdata;",
+            "char locked(mut) * locked(mut) sdata;").replace(
+            "void (*fun)(char *fdata);",
+            "void (*fun)(char private *fdata);")
+        checked = check(source, "pipeline_test.c")
+        assert not checked.ok
+        suggestion_lines = {d.loc.line for d in checked.suggestions}
+        assert len(suggestion_lines) >= 2
+        texts = " ".join(d.message for d in checked.suggestions)
+        assert "SCAST(" in texts

@@ -1,0 +1,111 @@
+"""Integration tests over the six Table 1 workload models.
+
+(The heavier timing/shape checks live in benchmarks/; these tests cover
+correctness of each model across schedules and the harness mechanics.)
+"""
+
+import re
+
+import pytest
+
+from repro.bench.harness import check_workload, format_table, run_workload
+from repro.bench.workloads import ALL_WORKLOADS, get_workload
+from repro.runtime.interp import run_checked
+
+MODE_WORDS = re.compile(
+    r"\b(private|readonly|racy|dynamic|locked\()")
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestPerWorkload:
+    def test_annotated_variant_type_checks(self, name):
+        checked = check_workload(get_workload(name), annotated=True)
+        assert checked.ok, checked.render_diagnostics()
+
+    def test_unannotated_variant_type_checks(self, name):
+        checked = check_workload(get_workload(name), annotated=False)
+        assert checked.ok, checked.render_diagnostics()
+
+    def test_unannotated_variant_really_stripped(self, name):
+        workload = get_workload(name)
+        kept = MODE_WORDS.findall(workload.unannotated_source)
+        full = MODE_WORDS.findall(workload.annotated_source)
+        assert len(kept) < len(full)
+
+    def test_annotated_run_clean(self, name):
+        result = run_workload(get_workload(name))
+        assert result.clean, result.sharc_result.render_reports()
+
+    def test_produces_output(self, name):
+        result = run_workload(get_workload(name))
+        assert name.split("_")[0] in result.sharc_result.output
+
+    def test_deterministic(self, name):
+        workload = get_workload(name)
+        a = run_workload(workload)
+        b = run_workload(workload)
+        assert a.sharc_steps == b.sharc_steps
+        assert a.sharc_result.output == b.sharc_result.output
+
+    def test_thread_count(self, name):
+        result = run_workload(get_workload(name))
+        assert result.threads_peak >= 3
+
+
+class TestCrossSchedule:
+    @pytest.mark.parametrize("name", ["pfscan", "pbzip2", "stunnel"])
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_queue_workloads_clean_across_seeds(self, name, seed):
+        workload = get_workload(name)
+        checked = check_workload(workload, annotated=True)
+        result = run_checked(checked, seed=seed,
+                             world=workload.world_factory(),
+                             max_steps=workload.max_steps)
+        assert result.error is None and result.deadlock is None, \
+            f"{name}@{seed}: {result.error or result.deadlock}"
+        assert not result.reports, result.render_reports()
+
+
+class TestHarness:
+    def test_format_table_renders_all_columns(self):
+        result = run_workload(get_workload("aget"))
+        table = format_table([result])
+        assert "aget" in table
+        assert "%dyn" in table and "(paper)" in table
+
+    def test_row_includes_paper_numbers(self):
+        result = run_workload(get_workload("fftw"))
+        row = result.row()
+        assert row["annots(paper)"] == 7
+        assert row["time(paper)"] == "7%"
+
+    def test_seed_override(self):
+        workload = get_workload("fftw")
+        a = run_workload(workload, seed=100)
+        b = run_workload(workload, seed=101)
+        assert a.clean and b.clean
+
+    def test_rc_scheme_selectable(self):
+        result = run_workload(get_workload("pbzip2"), rc_scheme="naive")
+        assert result.clean
+
+    def test_functional_outputs_correct(self):
+        """The compression pipeline must actually compress: RLE output
+        of the aaabbcdd-alphabet file is smaller than the input."""
+        result = run_workload(get_workload("pbzip2"))
+        out = result.sharc_result.output
+        written = int(out.split()[2])
+        assert 0 < written < 4096
+
+    def test_fftw_transform_is_involutive_up_to_scale(self):
+        """WHT applied twice scales by n: with reps=2 the checksum is
+        n * original sum — a real correctness check of the kernel."""
+        result = run_workload(get_workload("fftw"))
+        out = result.sharc_result.output
+        total = int(out.strip().rsplit(" ", 1)[1])
+        # initial data: d[i] = (i*seed) % 17 - 8 summed over both arrays,
+        # times N (=256) for the double transform.
+        def original_sum(seed):
+            return sum((i * seed) % 17 - 8 for i in range(256))
+        expected = 256 * (original_sum(3) + original_sum(5))
+        assert total == expected

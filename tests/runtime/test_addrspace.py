@@ -1,0 +1,150 @@
+"""Tests for the flat address space and allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InterpError
+from repro.runtime.addrspace import AddressSpace, GRANULE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+class TestAllocation:
+    def test_blocks_are_16_byte_aligned(self, space):
+        for size in (1, 3, 17, 100):
+            addr = space.alloc(size)
+            assert addr % GRANULE == 0
+
+    def test_blocks_never_overlap(self, space):
+        a = space.alloc(24)
+        b = space.alloc(8)
+        assert b >= a + 24
+
+    def test_addresses_never_reused(self, space):
+        a = space.alloc(16)
+        space.free(a)
+        b = space.alloc(16)
+        assert b != a
+
+    def test_zero_size_gets_storage(self, space):
+        addr = space.alloc(0)
+        assert space.blocks[addr].size == 1
+
+    @given(st.lists(st.integers(min_value=1, max_value=512),
+                    min_size=1, max_size=40))
+    def test_distinct_granules_per_block(self, sizes):
+        space = AddressSpace()
+        granules = set()
+        for size in sizes:
+            addr = space.alloc(size)
+            first = addr >> 4
+            # The paper aligns malloc to 16 bytes so objects never share
+            # a shadow granule.
+            assert first not in granules
+            granules.update(range(first, (addr + size - 1 >> 4) + 1))
+
+
+class TestFree:
+    def test_free_marks_block(self, space):
+        addr = space.alloc(8)
+        block = space.free(addr)
+        assert block.freed
+
+    def test_double_free_raises(self, space):
+        addr = space.alloc(8)
+        space.free(addr)
+        with pytest.raises(InterpError, match="double free"):
+            space.free(addr)
+
+    def test_free_of_wild_address_raises(self, space):
+        with pytest.raises(InterpError):
+            space.free(0xDEAD)
+
+    def test_use_after_free_raises(self, space):
+        addr = space.alloc(8)
+        space.write(addr, 1)
+        space.free(addr)
+        with pytest.raises(InterpError, match="use after free"):
+            space.read(addr)
+
+
+class TestAccess:
+    def test_uninitialized_reads_zero(self, space):
+        addr = space.alloc(8)
+        assert space.read(addr) == 0
+
+    def test_write_returns_old_value(self, space):
+        addr = space.alloc(8)
+        assert space.write(addr, 5) == 0
+        assert space.write(addr, 9) == 5
+
+    def test_wild_access_raises(self, space):
+        with pytest.raises(InterpError, match="wild"):
+            space.read(0x99999)
+
+    def test_block_of_interior_pointer(self, space):
+        addr = space.alloc(64)
+        block = space.block_of(addr + 63)
+        assert block is not None and block.start == addr
+        assert space.block_of(addr + 64) is None or \
+            space.block_of(addr + 64).start != addr
+
+    def test_peek_skips_checks(self, space):
+        assert space.peek(0xFFFF) == 0
+
+
+class TestRanges:
+    def test_copy_range_preserves_offsets(self, space):
+        src = space.alloc(16)
+        dst = space.alloc(16)
+        space.write(src + 0, 10)
+        space.write(src + 8, 20)
+        space.copy_range(dst, src, 16)
+        assert space.read(dst + 0) == 10
+        assert space.read(dst + 8) == 20
+
+    def test_copy_range_clears_stale_destination(self, space):
+        src = space.alloc(8)
+        dst = space.alloc(8)
+        space.write(dst + 4, 99)
+        space.copy_range(dst, src, 8)
+        assert space.read(dst + 4) == 0
+
+    def test_copy_range_bounds_checked(self, space):
+        src = space.alloc(8)
+        dst = space.alloc(4)
+        with pytest.raises(InterpError):
+            space.copy_range(dst, src, 8)
+
+    def test_set_range(self, space):
+        addr = space.alloc(8)
+        space.set_range(addr, 7, 8)
+        assert all(space.read(addr + i) == 7 for i in range(8))
+
+
+class TestStrings:
+    def test_alloc_and_read_string(self, space):
+        addr = space.alloc_c_string("hello")
+        assert space.read_c_string(addr) == "hello"
+
+    def test_empty_string(self, space):
+        addr = space.alloc_c_string("")
+        assert space.read_c_string(addr) == ""
+
+    def test_unterminated_string_raises(self, space):
+        addr = space.alloc(4)
+        space.set_range(addr, ord("x"), 4)
+        with pytest.raises(InterpError):
+            space.read_c_string(addr, limit=4)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=1,
+                                          max_codepoint=255),
+                   max_size=64))
+    def test_string_roundtrip(self, text):
+        space = AddressSpace()
+        addr = space.alloc_c_string(text)
+        assert space.read_c_string(addr) == \
+            text.encode("latin-1", "replace").decode("latin-1")

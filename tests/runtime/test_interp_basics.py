@@ -1,0 +1,372 @@
+"""Interpreter tests: sequential language semantics."""
+
+import pytest
+
+from tests.conftest import run_clean, run_ok
+
+
+def output_of(source, **kwargs):
+    return run_clean(source, **kwargs).output
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        out = output_of("""
+        int main() {
+          printf("%d %d %d %d %d\\n",
+                 7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3);
+          return 0;
+        }
+        """)
+        assert out == "10 4 21 2 1\n"
+
+    def test_negative_division_truncates(self):
+        out = output_of("""
+        int main() { printf("%d %d\\n", -7 / 2, -7 % 2); return 0; }
+        """)
+        assert out == "-3 -1\n"
+
+    def test_bitwise(self):
+        out = output_of("""
+        int main() {
+          printf("%d %d %d %d %d\\n",
+                 12 & 10, 12 | 10, 12 ^ 10, 1 << 4, 32 >> 2);
+          return 0;
+        }
+        """)
+        assert out == "8 14 6 16 8\n"
+
+    def test_comparisons_and_logic(self):
+        out = output_of("""
+        int main() {
+          printf("%d%d%d%d%d%d\\n", 1 < 2, 2 <= 2, 3 > 4,
+                 4 >= 4, 1 && 0, 0 || 2);
+          return 0;
+        }
+        """)
+        assert out == "110101\n"
+
+    def test_short_circuit_avoids_side_effects(self):
+        out = output_of("""
+        int hits = 0;
+        int bump() { hits = hits + 1; return 1; }
+        int main() {
+          int a = 0 && bump();
+          int b = 1 || bump();
+          printf("%d\\n", hits);
+          return 0;
+        }
+        """)
+        assert out == "0\n"
+
+    def test_float_arithmetic(self):
+        out = output_of("""
+        int main() {
+          double x = 1.5;
+          double y = x * 4.0 + 0.25;
+          printf("%f\\n", y);
+          return 0;
+        }
+        """)
+        assert out.startswith("6.25")
+
+    def test_division_by_zero_traps(self):
+        from repro.sharc.checker import check_source
+        from repro.runtime.interp import run_checked
+        checked = check_source("int main() { return 1 / 0; }")
+        result = run_checked(checked)
+        assert result.error is not None and "zero" in result.error
+
+    def test_ternary_and_comma(self):
+        out = output_of("""
+        int main() {
+          int x = (1, 2, 3);
+          printf("%d %d\\n", x > 2 ? 10 : 20, x);
+          return 0;
+        }
+        """)
+        assert out == "10 3\n"
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        assert output_of("""
+        int main() {
+          int i = 0; int s = 0;
+          while (i < 5) { s = s + i; i++; }
+          printf("%d\\n", s);
+          return 0;
+        }
+        """) == "10\n"
+
+    def test_for_loop_with_break_continue(self):
+        assert output_of("""
+        int main() {
+          int s = 0; int i;
+          for (i = 0; i < 10; i++) {
+            if (i == 7) break;
+            if (i % 2) continue;
+            s = s + i;
+          }
+          printf("%d\\n", s);
+          return 0;
+        }
+        """) == "12\n"
+
+    def test_do_while_runs_once(self):
+        assert output_of("""
+        int main() {
+          int n = 0;
+          do n++; while (0);
+          printf("%d\\n", n);
+          return 0;
+        }
+        """) == "1\n"
+
+    def test_nested_loops(self):
+        assert output_of("""
+        int main() {
+          int total = 0; int i; int j;
+          for (i = 0; i < 3; i++)
+            for (j = 0; j < 3; j++)
+              if (i != j) total++;
+          printf("%d\\n", total);
+          return 0;
+        }
+        """) == "6\n"
+
+    def test_recursion(self):
+        assert output_of("""
+        int fib(int n) {
+          if (n < 2) return n;
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main() { printf("%d\\n", fib(12)); return 0; }
+        """) == "144\n"
+
+    def test_exit_builtin(self):
+        result = run_ok("""
+        int main() { exit(3); printf("unreachable\\n"); return 0; }
+        """)
+        assert result.exit_code == 3
+        assert result.output == ""
+
+
+class TestPointersAndMemory:
+    def test_pointer_roundtrip(self):
+        assert output_of("""
+        int main() {
+          int x = 5;
+          int *p = &x;
+          *p = *p + 2;
+          printf("%d\\n", x);
+          return 0;
+        }
+        """) == "7\n"
+
+    def test_pointer_arithmetic_scales(self):
+        assert output_of("""
+        int main() {
+          long *v = malloc(32);
+          long *q = v + 2;
+          *q = 9;
+          printf("%ld\\n", v[2]);
+          return 0;
+        }
+        """) == "9\n"
+
+    def test_pointer_difference(self):
+        assert output_of("""
+        int main() {
+          int *v = malloc(40);
+          printf("%ld\\n", (v + 7) - v);
+          return 0;
+        }
+        """) == "7\n"
+
+    def test_increment_on_pointer(self):
+        assert output_of("""
+        int main() {
+          char *s = strdup("abc");
+          char *p = s;
+          p++;
+          printf("%c\\n", *p);
+          free(s);
+          return 0;
+        }
+        """) == "b\n"
+
+    def test_null_deref_traps(self):
+        from repro.sharc.checker import check_source
+        from repro.runtime.interp import run_checked
+        checked = check_source(
+            "int main() { int *p = NULL; return *p; }")
+        result = run_checked(checked)
+        assert result.error is not None and "null" in result.error
+
+    def test_char_cells_masked(self):
+        assert output_of("""
+        int main() {
+          char *b = malloc(2);
+          b[0] = 300;   // truncates to 44
+          printf("%d\\n", b[0]);
+          return 0;
+        }
+        """) == "44\n"
+
+    def test_memcpy_memset(self):
+        assert output_of("""
+        int main() {
+          char *a = malloc(8);
+          char *b = malloc(8);
+          memset(a, 65, 7);
+          memcpy(b, a, 8);
+          printf("%s\\n", b);
+          return 0;
+        }
+        """) == "AAAAAAA\n"
+
+
+class TestStructsAndArrays:
+    def test_struct_fields(self):
+        assert output_of("""
+        typedef struct point { int x; int y; } point_t;
+        int main() {
+          point_t *p = malloc(sizeof(point_t));
+          p->x = 3;
+          p->y = 4;
+          printf("%d\\n", p->x * p->x + p->y * p->y);
+          return 0;
+        }
+        """) == "25\n"
+
+    def test_local_struct_dot_access(self):
+        assert output_of("""
+        typedef struct pair { long a; long b; } pair_t;
+        int main() {
+          pair_t p;
+          p.a = 10;
+          p.b = p.a * 2;
+          printf("%ld\\n", p.b);
+          return 0;
+        }
+        """) == "20\n"
+
+    def test_struct_assignment_copies(self):
+        assert output_of("""
+        typedef struct pair { int a; int b; } pair_t;
+        int main() {
+          pair_t x; pair_t y;
+          x.a = 1; x.b = 2;
+          y = x;
+          y.a = 9;
+          printf("%d %d %d\\n", x.a, y.a, y.b);
+          return 0;
+        }
+        """) == "1 9 2\n"
+
+    def test_nested_struct_pointers(self):
+        assert output_of("""
+        typedef struct node { struct node *next; int v; } node_t;
+        int main() {
+          node_t *a = malloc(sizeof(node_t));
+          node_t *b = malloc(sizeof(node_t));
+          a->v = 1; a->next = b;
+          b->v = 2; b->next = NULL;
+          int sum = 0;
+          node_t *it = a;
+          while (it) { sum = sum + it->v; it = it->next; }
+          printf("%d\\n", sum);
+          return 0;
+        }
+        """) == "3\n"
+
+    def test_arrays_and_sizeof(self):
+        assert output_of("""
+        int main() {
+          long v[4];
+          int i;
+          for (i = 0; i < 4; i++) v[i] = i * i;
+          printf("%ld %ld\\n", v[3], sizeof(v[0]) + 0);
+          return 0;
+        }
+        """) == "9 8\n"
+
+    def test_global_initializers(self):
+        assert output_of("""
+        int base = 40;
+        int extra = 2;
+        int main() { printf("%d\\n", base + extra); return 0; }
+        """) == "42\n"
+
+
+class TestStrings:
+    def test_strlen_strcmp(self):
+        assert output_of("""
+        int main() {
+          char *s = strdup("hello");
+          printf("%ld %d %d\\n", strlen(s),
+                 strcmp(s, s), strcmp(s, "hellp") < 0);
+          free(s);
+          return 0;
+        }
+        """) == "5 0 1\n"
+
+    def test_strchr_strstr(self):
+        assert output_of("""
+        int main() {
+          char *s = strdup("finding");
+          char *c = strchr(s, 'd');
+          char *t = strstr(s, "in");
+          printf("%c %ld\\n", *c, t - s);
+          free(s);
+          return 0;
+        }
+        """) == "d 1\n"
+
+    def test_snprintf_and_atoi(self):
+        assert output_of("""
+        int main() {
+          char buf[16];
+          snprintf(buf, 16, "%d-%s", 42, "x");
+          printf("%s %d\\n", buf, atoi("123"));
+          return 0;
+        }
+        """) == "42-x 123\n"
+
+    def test_printf_formats(self):
+        out = output_of("""
+        int main() {
+          printf("%d|%ld|%c|%x|%%\\n", -3, 100, 65, 255);
+          return 0;
+        }
+        """)
+        assert out == "-3|100|A|ff|%\n"
+
+
+class TestFunctionPointers:
+    def test_call_through_pointer(self):
+        assert output_of("""
+        int twice(int x) { return 2 * x; }
+        int thrice(int x) { return 3 * x; }
+        int main() {
+          int (*f)(int v);
+          f = twice;
+          int a = f(5);
+          f = thrice;
+          printf("%d %d\\n", a, f(5));
+          return 0;
+        }
+        """) == "10 15\n"
+
+    def test_function_pointer_in_struct(self):
+        assert output_of("""
+        typedef struct ops { int (*apply)(int v); } ops_t;
+        int inc(int x) { return x + 1; }
+        int main() {
+          ops_t o;
+          o.apply = inc;
+          printf("%d\\n", o.apply(41));
+          return 0;
+        }
+        """) == "42\n"

@@ -1,0 +1,168 @@
+"""Tests for the reference-counting schemes (Section 4.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.refcount import (
+    LPRefCount, NaiveRefCount, NullRefCount, make_scheme,
+)
+
+
+class FakeMemory:
+    """Slot store standing in for the address space."""
+
+    def __init__(self):
+        self.slots = {}
+
+    def write(self, scheme, tid, slot, value):
+        old = self.slots.get(slot, 0)
+        self.slots[slot] = value
+        scheme.record_write(tid, slot, old, value)
+
+    def peek(self, slot):
+        return self.slots.get(slot, 0)
+
+
+@pytest.fixture(params=["naive", "lp"])
+def scheme(request):
+    return make_scheme(request.param)
+
+
+class TestCounting:
+    def test_single_reference(self, scheme):
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        count, _ = scheme.count(1, 0x1000, mem.peek)
+        assert count == 1
+
+    def test_two_references(self, scheme):
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        mem.write(scheme, 1, 108, 0x1000)
+        count, _ = scheme.count(1, 0x1000, mem.peek)
+        assert count == 2
+
+    def test_overwrite_decrements(self, scheme):
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        mem.write(scheme, 1, 100, 0x2000)
+        assert scheme.count(1, 0x1000, mem.peek)[0] == 0
+        assert scheme.count(1, 0x2000, mem.peek)[0] == 1
+
+    def test_null_out(self, scheme):
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        mem.write(scheme, 1, 100, 0)
+        assert scheme.count(1, 0x1000, mem.peek)[0] == 0
+
+    def test_unknown_object_counts_zero(self, scheme):
+        assert scheme.count(1, 0x9999, FakeMemory().peek)[0] == 0
+
+    def test_cross_thread_writes(self, scheme):
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        mem.write(scheme, 2, 200, 0x1000)
+        assert scheme.count(3, 0x1000, mem.peek)[0] == 2
+
+
+class TestLPSpecifics:
+    def test_epoch_flips_on_count(self):
+        scheme = LPRefCount()
+        mem = FakeMemory()
+        assert scheme.epoch == 0
+        mem.write(scheme, 1, 100, 0x1000)
+        scheme.count(1, 0x1000, mem.peek)
+        assert scheme.epoch == 1
+
+    def test_one_log_entry_per_slot_per_epoch(self):
+        scheme = LPRefCount()
+        mem = FakeMemory()
+        for value in (0x1000, 0x2000, 0x3000):
+            mem.write(scheme, 1, 100, value)
+        assert scheme.stats.log_entries == 1
+        # The count still reflects the *current* value.
+        assert scheme.count(1, 0x3000, mem.peek)[0] == 1
+        assert scheme.count(1, 0x1000, mem.peek)[0] == 0
+
+    def test_repeat_write_is_cheaper(self):
+        scheme = LPRefCount()
+        first = scheme.record_write(1, 100, 0, 0x1000)
+        repeat = scheme.record_write(1, 100, 0x1000, 0x2000)
+        assert repeat < first
+
+    def test_logs_cleared_after_collection(self):
+        scheme = LPRefCount()
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        scheme.count(1, 0x1000, mem.peek)
+        assert not scheme.logs[0][1]
+        assert not scheme.dirty[0]
+
+    def test_counts_stable_across_repeated_collections(self):
+        scheme = LPRefCount()
+        mem = FakeMemory()
+        mem.write(scheme, 1, 100, 0x1000)
+        for _ in range(5):
+            count, _ = scheme.count(1, 0x1000, mem.peek)
+            assert count == 1
+
+
+class TestCostModel:
+    def test_naive_write_costs_more_than_lp(self):
+        naive, lp = NaiveRefCount(), LPRefCount()
+        assert naive.record_write(1, 100, 0, 1) > \
+            lp.record_write(1, 100, 0, 1)
+
+    def test_null_scheme_free(self):
+        null = NullRefCount()
+        assert null.record_write(1, 100, 0, 1) == 0
+        assert null.count(1, 1, lambda s: 0) == (0, 0)
+        assert null.metadata_bytes() == 0
+
+    def test_metadata_grows_with_objects(self):
+        scheme = LPRefCount()
+        mem = FakeMemory()
+        before = scheme.metadata_bytes()
+        for i in range(10):
+            mem.write(scheme, 1, 100 + i * 8, 0x1000 + i * 16)
+        scheme.count(1, 0x1000, mem.peek)
+        assert scheme.metadata_bytes() > before
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert make_scheme("lp").name == "levanoni-petrank"
+        assert make_scheme("naive").name == "naive-atomic"
+        assert make_scheme("off").name == "off"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_scheme("magic")
+
+
+@given(st.lists(
+    st.tuples(st.integers(min_value=1, max_value=3),       # tid
+              st.integers(min_value=0, max_value=7),       # slot index
+              st.integers(min_value=0, max_value=4)),      # object index
+    max_size=60),
+    st.integers(min_value=0, max_value=4))
+def test_lp_agrees_with_naive(ops, probe):
+    """Property: after any write sequence + collection, the LP scheme
+    reports the same count as the eager scheme (both equal the true
+    number of slots holding the object)."""
+    naive, lp = NaiveRefCount(), LPRefCount()
+    mem = FakeMemory()
+    objects = [0, 0x1000, 0x2000, 0x3000, 0x4000]
+    for tid, slot_idx, obj_idx in ops:
+        slot = 0x100 + slot_idx * 8
+        value = objects[obj_idx]
+        old = mem.slots.get(slot, 0)
+        mem.slots[slot] = value
+        naive.record_write(tid, slot, old, value)
+        lp.record_write(tid, slot, old, value)
+    target = objects[probe]
+    if target == 0:
+        return
+    truth = sum(1 for v in mem.slots.values() if v == target)
+    assert naive.count(1, target, mem.peek)[0] == truth
+    assert lp.count(1, target, mem.peek)[0] == truth

@@ -1,0 +1,213 @@
+"""Tests for the Section 7 extension: reader-writer locks and barriers.
+
+The paper closes with "SharC may also need new sharing modes to better
+support existing sharing strategies (e.g., more support for locks)"; this
+extension makes ``locked(l)`` rwlock-aware — reads are legal under a read
+*or* write hold, writes only under a write hold — and adds an n-party
+barrier to the signaling substrate.
+"""
+
+import pytest
+
+from tests.conftest import check_ok, run_clean, run_ok
+from repro.errors import DiagKind, InterpError
+from repro.runtime.locks import LockTable
+from repro.runtime.interp import run_checked
+
+
+class TestRWLockTable:
+    @pytest.fixture
+    def locks(self):
+        return LockTable()
+
+    def test_many_readers(self, locks):
+        assert locks.try_rdlock(0x100, 1)
+        assert locks.try_rdlock(0x100, 2)
+        assert locks.try_rdlock(0x100, 3)
+
+    def test_writer_excludes_readers(self, locks):
+        assert locks.try_wrlock(0x100, 1)
+        assert not locks.try_rdlock(0x100, 2)
+        assert not locks.try_wrlock(0x100, 2)
+
+    def test_readers_exclude_writer(self, locks):
+        locks.try_rdlock(0x100, 1)
+        assert not locks.try_wrlock(0x100, 2)
+
+    def test_unlock_read_side(self, locks):
+        locks.try_rdlock(0x100, 1)
+        locks.rw_unlock(0x100, 1)
+        assert locks.try_wrlock(0x100, 2)
+
+    def test_unlock_write_side(self, locks):
+        locks.try_wrlock(0x100, 1)
+        locks.rw_unlock(0x100, 1)
+        assert locks.try_rdlock(0x100, 2)
+
+    def test_unlock_unheld_raises(self, locks):
+        with pytest.raises(InterpError):
+            locks.rw_unlock(0x100, 1)
+
+    def test_holds_for_access_semantics(self, locks):
+        locks.try_rdlock(0x100, 1)
+        assert locks.holds_for_access(1, 0x100, is_write=False)
+        assert not locks.holds_for_access(1, 0x100, is_write=True)
+        locks.rw_unlock(0x100, 1)
+        locks.try_wrlock(0x100, 1)
+        assert locks.holds_for_access(1, 0x100, is_write=True)
+        assert locks.holds_for_access(1, 0x100, is_write=False)
+
+    def test_thread_exit_releases_read_holds(self, locks):
+        locks.try_rdlock(0x100, 1)
+        locks.thread_exit(1)
+        assert locks.try_wrlock(0x100, 2)
+
+    def test_mutex_fallback_unchanged(self, locks):
+        locks.try_acquire(0x200, 1)
+        assert locks.holds_for_access(1, 0x200, is_write=True)
+        assert locks.holds_for_access(1, 0x200, is_write=False)
+
+
+RW_PROGRAM = """
+rwlock tablelock;
+int locked(tablelock) table[4];
+int racy sum_out = 0;
+
+void *reader(void *a) {{
+  int i;
+  int s = 0;
+  rwlock_rdlock(&tablelock);
+  for (i = 0; i < 4; i++)
+    s = s + table[i];
+  rwlock_unlock(&tablelock);
+  sum_out = sum_out + s;
+  return NULL;
+}}
+
+void *writer(void *a) {{
+  int i;
+  {wlock}
+  for (i = 0; i < 4; i++)
+    table[i] = table[i] + 1;
+  {wunlock}
+  return NULL;
+}}
+
+int main() {{
+  int t1 = thread_create(reader, NULL);
+  int t2 = thread_create(reader, NULL);
+  int t3 = thread_create(writer, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  thread_join(t3);
+  return 0;
+}}
+"""
+
+
+class TestRWLockedMode:
+    def test_correct_rw_discipline_clean(self):
+        source = RW_PROGRAM.format(
+            wlock="rwlock_wrlock(&tablelock);",
+            wunlock="rwlock_unlock(&tablelock);")
+        for seed in range(5):
+            run_clean(source, seed=seed)
+
+    def test_write_under_read_hold_reported(self):
+        source = RW_PROGRAM.format(
+            wlock="rwlock_rdlock(&tablelock);",
+            wunlock="rwlock_unlock(&tablelock);")
+        checked = check_ok(source)
+        flagged = 0
+        for seed in range(5):
+            result = run_checked(checked, seed=seed)
+            flagged += any(r.kind is DiagKind.LOCK_NOT_HELD
+                           for r in result.reports)
+        assert flagged == 5  # strategy violation on every schedule
+
+    def test_unlocked_writer_reported(self):
+        source = RW_PROGRAM.format(wlock="", wunlock="")
+        result = run_ok(source, seed=1)
+        assert any(r.kind is DiagKind.LOCK_NOT_HELD
+                   for r in result.reports)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes_phases(self):
+        result = run_clean("""
+        barrier phase;
+        int racy order[8];
+        int racy cursor = 0;
+
+        void *worker(void *a) {
+          order[cursor] = 1;
+          cursor = cursor + 1;
+          barrier_wait(&phase);
+          order[cursor] = 2;
+          cursor = cursor + 1;
+          return NULL;
+        }
+
+        int main() {
+          barrier_init(&phase, 3);
+          int t1 = thread_create(worker, NULL);
+          int t2 = thread_create(worker, NULL);
+          int t3 = thread_create(worker, NULL);
+          thread_join(t1);
+          thread_join(t2);
+          thread_join(t3);
+          int i;
+          int ok = 1;
+          for (i = 0; i < 3; i++)
+            if (order[i] != 1) ok = 0;
+          for (i = 3; i < 6; i++)
+            if (order[i] != 2) ok = 0;
+          printf("phased %d\\n", ok);
+          return 0;
+        }
+        """, seed=2)
+        assert result.output == "phased 1\n"
+
+    def test_barrier_reusable_across_generations(self):
+        result = run_clean("""
+        barrier phase;
+        int racy laps = 0;
+
+        void *worker(void *a) {
+          int r;
+          for (r = 0; r < 3; r++) {
+            barrier_wait(&phase);
+            laps = laps + 1;
+          }
+          return NULL;
+        }
+
+        int main() {
+          barrier_init(&phase, 2);
+          int t1 = thread_create(worker, NULL);
+          int t2 = thread_create(worker, NULL);
+          thread_join(t1);
+          thread_join(t2);
+          printf("%d\\n", laps > 0);
+          return 0;
+        }
+        """, seed=1)
+        assert result.output == "1\n"
+
+    def test_insufficient_parties_deadlocks(self):
+        from repro.sharc.checker import check_source
+        checked = check_source("""
+        barrier phase;
+        void *worker(void *a) {
+          barrier_wait(&phase);
+          return NULL;
+        }
+        int main() {
+          barrier_init(&phase, 3);   // but only 1 thread arrives
+          thread_join(thread_create(worker, NULL));
+          return 0;
+        }
+        """)
+        assert checked.ok
+        result = run_checked(checked, seed=0)
+        assert result.deadlock is not None

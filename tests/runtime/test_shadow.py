@@ -1,0 +1,173 @@
+"""Tests for the reader/writer shadow memory (Section 4.2.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import Loc
+from repro.runtime.shadow import ShadowMemory, TooManyThreads
+
+LOC = Loc("t.c", 1)
+
+
+@pytest.fixture
+def shadow():
+    return ShadowMemory(nbytes=1)
+
+
+def read(shadow, addr, tid, size=4):
+    conflict, _slow = shadow.chkread(addr, size, tid, "x", LOC)
+    return conflict
+
+
+def write(shadow, addr, tid, size=4):
+    conflict, _slow = shadow.chkwrite(addr, size, tid, "x", LOC)
+    return conflict
+
+
+class TestDiscipline:
+    """The n-readers-or-1-writer rules of Figure 6."""
+
+    def test_single_thread_read_write_ok(self, shadow):
+        assert write(shadow, 0x100, 1) is None
+        assert read(shadow, 0x100, 1) is None
+        assert write(shadow, 0x100, 1) is None
+
+    def test_many_readers_ok(self, shadow):
+        for tid in (1, 2, 3, 4):
+            assert read(shadow, 0x100, tid) is None
+
+    def test_write_after_foreign_read_conflicts(self, shadow):
+        read(shadow, 0x100, 1)
+        conflict = write(shadow, 0x100, 2)
+        assert conflict is not None
+        assert conflict.tid == 1
+
+    def test_read_after_foreign_write_conflicts(self, shadow):
+        write(shadow, 0x100, 1)
+        conflict = read(shadow, 0x100, 2)
+        assert conflict is not None
+        assert conflict.tid == 1 and conflict.is_write
+
+    def test_write_write_conflicts(self, shadow):
+        write(shadow, 0x100, 1)
+        assert write(shadow, 0x100, 2) is not None
+
+    def test_own_reads_never_conflict_with_own_writes(self, shadow):
+        write(shadow, 0x100, 3)
+        assert read(shadow, 0x100, 3) is None
+
+    def test_conflict_reports_last_lvalue(self, shadow):
+        shadow.chkwrite(0x100, 4, 1, "s->data", Loc("p.c", 27))
+        conflict = read(shadow, 0x100, 2)
+        assert conflict.lvalue == "s->data"
+        assert conflict.loc.line == 27
+
+
+class TestGranularity:
+    def test_accesses_within_one_granule_collide(self, shadow):
+        """The false-sharing limitation of Section 4.5: two objects in
+        one 16-byte granule are indistinguishable."""
+        write(shadow, 0x100, 1, size=4)
+        assert write(shadow, 0x104, 2, size=4) is not None
+
+    def test_distinct_granules_independent(self, shadow):
+        write(shadow, 0x100, 1, size=4)
+        assert write(shadow, 0x110, 2, size=4) is None
+
+    def test_large_access_spans_granules(self, shadow):
+        write(shadow, 0x100, 1, size=64)
+        assert len(shadow.bits) == 4
+
+    def test_unaligned_span(self, shadow):
+        write(shadow, 0x10E, 1, size=4)  # crosses a granule boundary
+        assert len(shadow.bits) == 2
+
+
+class TestThreadLimit:
+    def test_capacity_is_8n_minus_1(self):
+        assert ShadowMemory(nbytes=1).max_threads == 7
+        assert ShadowMemory(nbytes=2).max_threads == 15
+        assert ShadowMemory(nbytes=4).max_threads == 31
+
+    def test_exceeding_capacity_raises(self, shadow):
+        with pytest.raises(TooManyThreads):
+            read(shadow, 0x100, 8)
+
+    def test_wider_shadow_accepts_more_threads(self):
+        shadow = ShadowMemory(nbytes=2)
+        assert read(shadow, 0x100, 15) is None
+
+
+class TestLifecycle:
+    def test_thread_exit_clears_bits(self, shadow):
+        write(shadow, 0x100, 1)
+        shadow.clear_thread(1)
+        # A non-overlapping successor thread is free to use the granule.
+        assert write(shadow, 0x100, 2) is None
+
+    def test_exit_only_clears_own_bits(self, shadow):
+        read(shadow, 0x100, 1)
+        read(shadow, 0x100, 2)
+        shadow.clear_thread(1)
+        assert write(shadow, 0x100, 3) is not None  # thread 2 still reads
+
+    def test_free_clears_granules(self, shadow):
+        write(shadow, 0x100, 1)
+        shadow.clear_range(0x100, 16)
+        assert write(shadow, 0x100, 2) is None
+
+    def test_scast_reset(self, shadow):
+        write(shadow, 0x100, 1)
+        shadow.reset_granules(0x100, 16)
+        assert write(shadow, 0x100, 2) is None
+
+    def test_touched_survives_clearing(self, shadow):
+        write(shadow, 0x100, 1)
+        shadow.clear_thread(1)
+        assert shadow.touched
+
+
+class TestFastPath:
+    def test_first_access_is_slow(self, shadow):
+        _, slow = shadow.chkread(0x100, 4, 1, "x", LOC)
+        assert slow == 1
+
+    def test_repeat_access_is_fast(self, shadow):
+        shadow.chkread(0x100, 4, 1, "x", LOC)
+        _, slow = shadow.chkread(0x100, 4, 1, "x", LOC)
+        assert slow == 0
+
+    def test_read_then_write_upgrade_is_slow(self, shadow):
+        shadow.chkread(0x100, 4, 1, "x", LOC)
+        _, slow = shadow.chkwrite(0x100, 4, 1, "x", LOC)
+        assert slow == 1
+        _, slow = shadow.chkwrite(0x100, 4, 1, "x", LOC)
+        assert slow == 0
+
+
+@given(st.lists(st.tuples(st.sampled_from(["r", "w"]),
+                          st.integers(min_value=1, max_value=7),
+                          st.integers(min_value=0, max_value=3)),
+                max_size=40))
+def test_invariants_hold_under_any_sequence(ops):
+    """After any access sequence: at most one granule writer, and if a
+    writer exists no other thread's reader bit is set — unless a conflict
+    was reported for that granule (Definition 1's last two clauses)."""
+    shadow = ShadowMemory(nbytes=1)
+    dirty = set()  # granules where a conflict was reported
+    for kind, tid, slot in ops:
+        addr = 0x100 + slot * 16
+        if kind == "r":
+            conflict, _ = shadow.chkread(addr, 4, tid, "x", LOC)
+        else:
+            conflict, _ = shadow.chkwrite(addr, 4, tid, "x", LOC)
+        if conflict is not None:
+            dirty.add(addr >> 4)
+    for granule, bits in shadow.bits.items():
+        if granule in dirty:
+            continue
+        if bits & 1:
+            thread_bits = bits & ~1
+            # Exactly one thread bit when a writer exists.
+            assert thread_bits != 0
+            assert thread_bits & (thread_bits - 1) == 0

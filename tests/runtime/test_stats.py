@@ -1,0 +1,50 @@
+"""Unit tests for the metrics (repro.runtime.stats)."""
+
+from repro.runtime.stats import RunStats, time_overhead
+
+
+class TestPctDynamic:
+    def test_zero_accesses(self):
+        assert RunStats().pct_dynamic == 0.0
+
+    def test_fraction(self):
+        stats = RunStats(accesses_total=200, accesses_dynamic=80)
+        assert stats.pct_dynamic == 0.4
+
+
+class TestMemoryOverhead:
+    def test_zero_data(self):
+        assert RunStats().memory_overhead() == 0.0
+
+    def test_byte_ratio(self):
+        stats = RunStats(data_bytes=1000, shadow_bytes=50, rc_bytes=30)
+        assert stats.memory_overhead() == 0.08
+
+    def test_metadata_pages(self):
+        stats = RunStats(pages_shadow=2, pages_rc=3)
+        assert stats.metadata_pages == 5
+
+
+class TestTimeOverhead:
+    def test_zero_base(self):
+        assert time_overhead(RunStats(), RunStats(steps_total=10)) == 0.0
+
+    def test_relative(self):
+        base = RunStats(steps_total=1000)
+        inst = RunStats(steps_total=1120)
+        assert abs(time_overhead(base, inst) - 0.12) < 1e-9
+
+    def test_negative_possible(self):
+        # instrumented may be (spuriously) faster on tiny runs
+        base = RunStats(steps_total=100)
+        inst = RunStats(steps_total=90)
+        assert time_overhead(base, inst) < 0
+
+
+def test_summary_renders_key_numbers():
+    stats = RunStats(steps_total=42, steps_checks=7, steps_rc=3,
+                     accesses_total=10, accesses_dynamic=5,
+                     pages_program=2, pages_shadow=1, pages_rc=1)
+    text = stats.summary()
+    assert "steps=42" in text
+    assert "50.0%" in text

@@ -1,0 +1,148 @@
+"""Unit tests for the qualifier-constraint graph and solver."""
+
+import pytest
+
+from repro.cfront.ctypes import make_prim
+from repro.sharc import modes as M
+from repro.sharc.constraints import ConstraintGraph, EdgeKind, Level
+
+
+def pos(mode=None):
+    """A fresh unannotated (or fixed-mode) type position."""
+    return make_prim("int", mode)
+
+
+class TestGraphConstruction:
+    def test_ensure_qvar_only_for_unannotated(self):
+        graph = ConstraintGraph()
+        free = pos()
+        fixed = pos(M.DYNAMIC)
+        assert graph.ensure_qvar(free) is not None
+        assert graph.ensure_qvar(fixed) is None
+
+    def test_qvar_stable_across_calls(self):
+        graph = ConstraintGraph()
+        p = pos()
+        assert graph.ensure_qvar(p) == graph.ensure_qvar(p)
+
+    def test_fixed_to_free_link_becomes_hint(self):
+        graph = ConstraintGraph()
+        free = pos()
+        graph.link(free, pos(M.DYNAMIC), EdgeKind.BODY)
+        assert M.DYNAMIC in graph.hints[free.qvar]
+
+
+class TestSolver:
+    def test_seed_propagates_over_body_edges(self):
+        graph = ConstraintGraph()
+        chain = [pos() for _ in range(5)]
+        for a, b in zip(chain, chain[1:]):
+            graph.link(a, b, EdgeKind.BODY)
+        graph.seed_dynamic(chain[0])
+        levels = graph.solve()
+        assert all(levels[p.qvar] is Level.DYNAMIC for p in chain)
+
+    def test_body_edges_are_bidirectional(self):
+        graph = ConstraintGraph()
+        a, b = pos(), pos()
+        graph.link(a, b, EdgeKind.BODY)
+        graph.seed_dynamic(b)
+        levels = graph.solve()
+        assert levels[a.qvar] is Level.DYNAMIC
+
+    def test_call_edge_caps_at_dyn_in(self):
+        graph = ConstraintGraph()
+        actual, formal = pos(), pos()
+        graph.link(actual, formal, EdgeKind.CALL_IN)
+        graph.seed_dynamic(actual)
+        levels = graph.solve()
+        assert levels[formal.qvar] is Level.DYN_IN
+
+    def test_call_edge_does_not_flow_backwards(self):
+        graph = ConstraintGraph()
+        actual, formal = pos(), pos()
+        graph.link(actual, formal, EdgeKind.CALL_IN)
+        graph.seed_dynamic(formal)  # body-made-dynamic formal...
+        levels = graph.solve()
+        # ...does push back to its actuals (the leak case).
+        assert levels[actual.qvar] is Level.DYNAMIC
+
+    def test_dyn_in_does_not_leak_to_other_actuals(self):
+        graph = ConstraintGraph()
+        shared_actual, formal, private_actual = pos(), pos(), pos()
+        graph.link(shared_actual, formal, EdgeKind.CALL_IN)
+        graph.link(private_actual, formal, EdgeKind.CALL_IN)
+        graph.seed_dynamic(shared_actual)
+        levels = graph.solve()
+        assert levels[formal.qvar] is Level.DYN_IN
+        assert levels[private_actual.qvar] is Level.PRIVATE
+
+    def test_dyn_in_spreads_over_body_edges(self):
+        graph = ConstraintGraph()
+        actual, formal, local_copy = pos(), pos(), pos()
+        graph.link(actual, formal, EdgeKind.CALL_IN)
+        graph.link(formal, local_copy, EdgeKind.BODY)
+        graph.seed_dynamic(actual)
+        levels = graph.solve()
+        assert levels[local_copy.qvar] is Level.DYN_IN
+
+
+class TestModeAssignment:
+    def test_unconstrained_defaults_private(self):
+        graph = ConstraintGraph()
+        p = pos()
+        graph.ensure_qvar(p)
+        graph.assign_modes([p])
+        assert p.mode.is_private
+
+    def test_dynamic_written_back(self):
+        graph = ConstraintGraph()
+        p = pos()
+        graph.seed_dynamic(p)
+        graph.assign_modes([p])
+        assert p.mode.is_dynamic
+
+    def test_dyn_in_written_back(self):
+        graph = ConstraintGraph()
+        actual, formal = pos(), pos()
+        graph.link(actual, formal, EdgeKind.CALL_IN)
+        graph.seed_dynamic(actual)
+        graph.assign_modes([actual, formal])
+        assert formal.mode.kind is M.ModeKind.DYNAMIC_IN
+
+    def test_racy_adopted_from_single_hint(self):
+        graph = ConstraintGraph()
+        p = pos()
+        graph.link(p, pos(M.RACY), EdgeKind.BODY)
+        graph.assign_modes([p])
+        assert p.mode.is_racy
+
+    def test_conflicting_hints_fall_back_to_private(self):
+        graph = ConstraintGraph()
+        p = pos()
+        graph.link(p, pos(M.RACY), EdgeKind.BODY)
+        graph.link(p, pos(M.READONLY), EdgeKind.BODY)
+        graph.assign_modes([p])
+        assert p.mode.is_private
+
+    def test_locked_never_adopted(self):
+        graph = ConstraintGraph()
+        p = pos()
+        graph.link(p, pos(M.locked("lk")), EdgeKind.BODY)
+        graph.assign_modes([p])
+        assert p.mode.is_private
+
+    def test_dynamic_beats_adoption(self):
+        graph = ConstraintGraph()
+        p = pos()
+        graph.link(p, pos(M.RACY), EdgeKind.BODY)
+        graph.seed_dynamic(p)
+        graph.assign_modes([p])
+        assert p.mode.is_dynamic
+
+    def test_extra_positions_reported(self):
+        graph = ConstraintGraph()
+        p, q = pos(), pos()
+        graph.link(p, q, EdgeKind.BODY)
+        extras = graph.extra_positions()
+        assert p in extras and q in extras

@@ -1,0 +1,126 @@
+"""Tests for the Section 4.1 defaulting rules."""
+
+from repro.cfront.parser import parse_program
+from repro.sharc import modes as M
+from repro.sharc.defaults import apply_program_defaults
+
+
+def defaults(source):
+    prog = parse_program(source)
+    apply_program_defaults(prog)
+    return prog
+
+
+def field(prog, struct, name):
+    return dict(prog.structs.fields(struct))[name]
+
+
+class TestStructFieldDefaults:
+    def test_unannotated_outermost_inherits(self):
+        prog = defaults("struct s { int v; };")
+        assert field(prog, "s", "v").mode.is_inherit
+
+    def test_explicit_annotation_kept(self):
+        prog = defaults("struct s { int dynamic v; };")
+        assert field(prog, "s", "v").mode.is_dynamic
+
+    def test_pointer_target_defaults_dynamic_in_struct(self):
+        prog = defaults("struct s { char *p; };")
+        f = field(prog, "s", "p")
+        assert f.mode.is_inherit
+        assert f.base.target.mode.is_dynamic
+
+    def test_deep_pointer_targets_dynamic(self):
+        prog = defaults("struct s { char **pp; };")
+        f = field(prog, "s", "pp")
+        assert f.base.target.mode.is_dynamic
+        assert f.base.target.base.target.mode.is_dynamic
+
+    def test_racy_struct_pointer_targets(self):
+        prog = defaults("struct s { mutex *m2; cond *c2; };")
+        assert field(prog, "s", "m2").base.target.mode.is_racy
+        assert field(prog, "s", "c2").base.target.mode.is_racy
+
+    def test_embedded_racy_struct_field(self):
+        prog = defaults("struct s { mutex m; };")
+        assert field(prog, "s", "m").mode.is_racy
+
+    def test_lock_field_promoted_readonly(self):
+        prog = defaults(
+            "struct s { mutex *mut; char *locked(mut) d; };")
+        assert field(prog, "s", "mut").mode.is_readonly
+
+    def test_lock_path_member_promoted(self):
+        # locked(owner->m): 'owner' and 'm' both named; sibling 'owner'
+        # becomes readonly.
+        prog = defaults("""
+            struct holder { mutex *m; };
+            struct s { struct holder *owner;
+                       int locked(owner->m) v; };
+        """)
+        assert field(prog, "s", "owner").mode.is_readonly
+
+    def test_function_pointer_field_has_no_cell_mode(self):
+        prog = defaults("struct s { void (*cb)(int x); };")
+        f = field(prog, "s", "cb")
+        assert f.mode.is_inherit  # the pointer cell inherits
+        assert f.base.target.mode is None  # the function itself: none
+
+
+class TestDeclDefaults:
+    def glob(self, source, name="x"):
+        prog = defaults(source)
+        return next(g for g in prog.globals() if g.name == name)
+
+    def test_explicit_pointer_mode_copies_to_target(self):
+        decl = self.glob("int * dynamic x;")
+        assert decl.qtype.mode.is_dynamic
+        assert decl.qtype.base.target.mode.is_dynamic
+
+    def test_copy_is_recursive(self):
+        decl = self.glob("int * * dynamic x;")
+        t1 = decl.qtype.base.target
+        assert t1.mode.is_dynamic
+        assert t1.base.target.mode.is_dynamic
+
+    def test_explicit_target_not_overwritten(self):
+        decl = self.glob("int private * dynamic x;")
+        assert decl.qtype.base.target.mode.is_private
+
+    def test_no_copy_from_unannotated_pointer(self):
+        decl = self.glob("int *x;")
+        assert decl.qtype.mode is None
+        assert decl.qtype.base.target.mode is None
+
+    def test_racy_type_variable(self):
+        decl = self.glob("mutex x;")
+        assert decl.qtype.mode.is_racy
+
+    def test_racy_target_through_pointer(self):
+        decl = self.glob("mutex *x;")
+        assert decl.qtype.base.target.mode.is_racy
+
+    def test_global_named_in_lock_becomes_readonly(self):
+        prog = defaults("""
+            mutex *biglock;
+            void f() { int locked(biglock) *p; }
+        """)
+        decl = next(g for g in prog.globals() if g.name == "biglock")
+        assert decl.qtype.mode.is_readonly
+
+    def test_local_named_in_lock_becomes_readonly(self):
+        prog = defaults("""
+            void f(mutex racy *m) {
+              mutex *lk;
+              int locked(lk) *p;
+            }
+        """)
+        func = prog.functions()[0]
+        from repro.sharc.defaults import collect_local_decls
+        lk = next(d for d in collect_local_decls(func) if d.name == "lk")
+        assert lk.qtype.mode.is_readonly
+
+    def test_param_defaults_applied(self):
+        prog = defaults("void f(mutex *m) { }")
+        param = prog.functions()[0].qtype.base.params[0]
+        assert param.base.target.mode.is_racy

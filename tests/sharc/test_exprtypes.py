@@ -1,0 +1,118 @@
+"""Tests for the shared expression-type walker's corners."""
+
+from tests.conftest import check_ok
+from repro.cfront import cast as A
+from repro.sharc.defaults import collect_local_decls
+
+
+def expr_types(source, func="main"):
+    checked = check_ok(source)
+    body = checked.program.function(func).body
+    return checked, list(A.all_exprs(body))
+
+
+class TestTypeAnnotationsOnNodes:
+    def test_every_rvalue_gets_a_ctype(self):
+        checked, exprs = expr_types("""
+        int main() {
+          int x = 1;
+          long y = x + 2;
+          double z = 1.5;
+          char *s = "hi";
+          return x;
+        }
+        """)
+        idents = [e for e in exprs if isinstance(e, A.Ident)]
+        assert idents
+        assert all(e.ctype is not None for e in idents)
+
+    def test_member_offsets_attached(self):
+        checked, exprs = expr_types("""
+        typedef struct pt { int x; int y; } pt_t;
+        int main() {
+          pt_t p;
+          p.y = 5;
+          return p.y;
+        }
+        """)
+        members = [e for e in exprs if isinstance(e, A.Member)]
+        assert members
+        assert all(e.sharc_offset == 4 for e in members)
+
+    def test_index_elem_size_attached(self):
+        checked, exprs = expr_types("""
+        int main() {
+          long v[4];
+          v[2] = 9;
+          return 0;
+        }
+        """)
+        idx = next(e for e in exprs if isinstance(e, A.Index))
+        assert idx.sharc_elem_size == 8
+        assert idx.sharc_on_array
+
+    def test_pointer_index_not_on_array(self):
+        checked, exprs = expr_types("""
+        int main() {
+          int *v = malloc(16);
+          v[1] = 2;
+          return 0;
+        }
+        """)
+        idx = next(e for e in exprs if isinstance(e, A.Index))
+        assert not idx.sharc_on_array
+        assert idx.sharc_elem_size == 4
+
+
+class TestStructPolymorphismResolution:
+    SOURCE = """
+    typedef struct wrap { int tag; struct wrap *peer; } wrap_t;
+    void *w(void *d) {
+      wrap_t *shared = d;
+      wrap_t *mine = malloc(sizeof(wrap_t));
+      mine->tag = 1;
+      int t = shared->tag;
+      return NULL;
+    }
+    int main() { thread_create(w, NULL); return 0; }
+    """
+
+    def test_same_field_two_modes(self):
+        """wrap.tag is private through `mine` but dynamic through
+        `shared` — the q variable at work."""
+        checked, exprs = expr_types(self.SOURCE, func="w")
+        members = {id(e): e for e in exprs
+                   if isinstance(e, A.Member)}.values()
+        by_obj = {e.obj.name: e for e in members
+                  if isinstance(e.obj, A.Ident)}
+        assert getattr(by_obj["mine"], "sharc_write", None) is None
+        assert getattr(by_obj["shared"], "sharc_read", None) is not None
+
+
+class TestLocalTypes:
+    def test_nested_block_locals_visible(self):
+        checked = check_ok("""
+        int main() {
+          int outer = 1;
+          if (outer) {
+            int inner = 2;
+            outer = inner;
+          }
+          return outer;
+        }
+        """)
+        func = checked.program.function("main")
+        names = {d.name for d in collect_local_decls(func)}
+        assert names == {"outer", "inner"}
+
+    def test_for_init_declarations_collected(self):
+        checked = check_ok("""
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 3; i++) s = s + i;
+          return s;
+        }
+        """)
+        func = checked.program.function("main")
+        names = {d.name for d in collect_local_decls(func)}
+        assert "i" in names

@@ -1,0 +1,290 @@
+"""Inference tests: the Figure 2 behaviours, dynamic_in containment,
+mode adoption, and REF-CTOR promotion."""
+
+from tests.conftest import check, check_ok
+
+from repro.cfront.ctypes import FuncType
+from repro.sharc import modes as M
+from repro.sharc.defaults import collect_local_decls
+
+
+def local_type(checked, func_name, var_name):
+    func = checked.program.function(func_name)
+    for d in collect_local_decls(func):
+        if d.name == var_name:
+            return d.qtype
+    for name, ptype in zip(func.param_names, func.qtype.base.params):
+        if name == var_name:
+            return ptype
+    raise KeyError(var_name)
+
+
+def global_type(checked, name):
+    for g in checked.program.globals():
+        if g.name == name:
+            return g.qtype
+    raise KeyError(name)
+
+
+SPAWNED = """
+void *w(void *d) {{ {body} return NULL; }}
+int main() {{ thread_create(w, NULL); {main} return 0; }}
+"""
+
+
+class TestBasicInference:
+    def test_thread_formal_pointee_dynamic(self):
+        checked = check_ok(SPAWNED.format(body="", main=""))
+        formal = local_type(checked, "w", "d")
+        assert formal.mode.is_private          # the cell itself
+        assert formal.base.target.mode.is_dynamic  # the pointee
+
+    def test_untouched_local_private(self):
+        checked = check_ok(SPAWNED.format(body="int x; x = 1;", main=""))
+        assert local_type(checked, "w", "x").mode.is_private
+
+    def test_touched_global_dynamic(self):
+        source = "int flag;\n" + SPAWNED.format(body="flag = 1;", main="")
+        checked = check_ok(source)
+        assert global_type(checked, "flag").mode.is_dynamic
+
+    def test_untouched_global_private(self):
+        source = "int only_main;\n" + SPAWNED.format(
+            body="", main="only_main = 2;")
+        checked = check_ok(source)
+        assert global_type(checked, "only_main").mode.is_private
+
+    def test_assignment_propagates_dynamic_target(self):
+        body = "char *p; p = d;"
+        checked = check_ok(SPAWNED.format(body=body, main=""))
+        p = local_type(checked, "w", "p")
+        assert p.base.target.mode.is_dynamic
+        assert p.mode.is_private
+
+    def test_escaped_local_becomes_dynamic(self):
+        source = """
+        int *shared_slot;
+        void *w(void *d) { int x = *shared_slot; return NULL; }
+        int main() {
+          int local = 5;
+          shared_slot = &local;
+          thread_create(w, NULL);
+          return 0;
+        }
+        """
+        checked = check_ok(source)
+        assert local_type(checked, "main", "local").mode.is_dynamic
+
+
+class TestFigure2:
+    """The paper's pipeline inference, pinned down."""
+
+    SOURCE = """
+    typedef struct stage {
+      struct stage *next;
+      cond *cv;
+      mutex *mut;
+      char locked(mut) *locked(mut) sdata;
+      void (*fun)(char private *fdata);
+    } stage_t;
+    void *thrFunc(void *d) {
+      stage_t *S = d;
+      stage_t *nextS = S->next;
+      char *ldata;
+      ldata = SCAST(char private *, S->sdata);
+      S->fun(ldata);
+      return NULL;
+    }
+    void work(char private *f) { f[0] = 1; }
+    int main() {
+      stage_t *st = malloc(sizeof(stage_t));
+      st->fun = work;
+      thread_create(thrFunc, SCAST(stage_t dynamic *, st));
+      return 0;
+    }
+    """
+
+    def fields(self, checked):
+        return dict(checked.program.structs.fields("stage"))
+
+    def test_mut_field_readonly(self):
+        checked = check_ok(self.SOURCE)
+        assert self.fields(checked)["mut"].mode.is_readonly
+
+    def test_mut_target_racy(self):
+        checked = check_ok(self.SOURCE)
+        assert self.fields(checked)["mut"].base.target.mode.is_racy
+
+    def test_next_field_inherits_with_dynamic_target(self):
+        checked = check_ok(self.SOURCE)
+        next_f = self.fields(checked)["next"]
+        assert next_f.mode.is_inherit
+        assert next_f.base.target.mode.is_dynamic
+
+    def test_S_is_private_pointer_to_dynamic(self):
+        checked = check_ok(self.SOURCE)
+        s = local_type(checked, "thrFunc", "S")
+        assert s.mode.is_private
+        assert s.base.target.mode.is_dynamic
+
+    def test_ldata_private_via_scast(self):
+        checked = check_ok(self.SOURCE)
+        ldata = local_type(checked, "thrFunc", "ldata")
+        assert ldata.base.target.mode.is_private
+
+    def test_inferred_source_matches_figure2(self):
+        checked = check_ok(self.SOURCE)
+        text = checked.inferred_source()
+        assert "struct __mutex racy *readonly mut" in text
+        assert "char locked(mut) *locked(mut) sdata" in text
+        assert "void dynamic *private thrFunc(void dynamic *private d)"\
+            in text
+
+
+class TestDynamicIn:
+    """The containment property of the internal dynamic_in qualifier."""
+
+    def test_consumer_formal_becomes_dynamic_in(self):
+        source = """
+        int use(char *p) { return p[0]; }
+        void *w(void *d) { char *c = d; use(c); return NULL; }
+        int main() { thread_create(w, NULL); return 0; }
+        """
+        checked = check_ok(source)
+        formal = local_type(checked, "use", "p")
+        assert formal.base.target.mode.kind is M.ModeKind.DYNAMIC_IN
+
+    def test_private_callers_unaffected(self):
+        """A dynamic actual at one call site must not force private
+        actuals at other call sites to dynamic (Section 4.1)."""
+        source = """
+        int use(char *p) { return p[0]; }
+        void *w(void *d) { char *c = d; use(c); return NULL; }
+        int main() {
+          char *mine = malloc(4);
+          thread_create(w, NULL);
+          use(mine);
+          return 0;
+        }
+        """
+        checked = check_ok(source)
+        mine = local_type(checked, "main", "mine")
+        assert mine.base.target.mode.is_private
+
+    def test_leaking_formal_forces_actual_dynamic(self):
+        """A formal stored into a dynamic location pushes dynamic back to
+        its actuals (the leak case)."""
+        source = """
+        char *shared;
+        void publish(char *p) { shared = p; }
+        void *w(void *d) { char c = shared[0]; return NULL; }
+        int main() {
+          char *mine = malloc(4);
+          publish(mine);
+          thread_create(w, NULL);
+          return 0;
+        }
+        """
+        checked = check_ok(source)
+        mine = local_type(checked, "main", "mine")
+        assert mine.base.target.mode.is_dynamic
+
+
+class TestAdoption:
+    def test_racy_adopted_from_neighbour(self):
+        source = """
+        typedef struct s { mutex *mut; char *locked(mut) d; } s_t;
+        void *w(void *x) {
+          s_t *h = x;
+          mutex *m;
+          m = h->mut;
+          mutexLock(m);
+          mutexUnlock(m);
+          return NULL;
+        }
+        int main() { thread_create(w, NULL); return 0; }
+        """
+        checked = check_ok(source)
+        m = local_type(checked, "w", "m")
+        assert m.base.target.mode.is_racy
+
+    def test_readonly_adopted_from_neighbour(self):
+        source = """
+        char readonly * readonly banner = "hi";
+        void *w(void *x) {
+          char *p;
+          p = banner;
+          return NULL;
+        }
+        int main() { thread_create(w, NULL); return 0; }
+        """
+        checked = check_ok(source)
+        p = local_type(checked, "w", "p")
+        assert p.base.target.mode.is_readonly
+
+    def test_locked_never_adopted(self):
+        """Lock expressions are contextual, so locked is not adopted;
+        the mismatch surfaces as an error + SCAST suggestion."""
+        source = """
+        typedef struct s { mutex *mut;
+                           char locked(mut) * locked(mut) d; } s_t;
+        void *w(void *x) {
+          s_t *h = x;
+          char *p;
+          p = h->d;
+          return NULL;
+        }
+        int main() { thread_create(w, NULL); return 0; }
+        """
+        checked = check(source)
+        assert not checked.ok
+        assert checked.suggestions  # an SCAST was suggested
+
+
+class TestPromotion:
+    def test_private_annotated_seed_is_error(self):
+        source = """
+        int private oops;
+        void *w(void *d) { oops = 1; return NULL; }
+        int main() { thread_create(w, NULL); return 0; }
+        """
+        checked = check(source)
+        assert not checked.ok
+        assert any(d.kind.name == "PRIVATE_SHARED" for d in checked.errors)
+
+    def test_string_literal_polymorphic(self):
+        """The same literal text can be readonly in one context and
+        private in another (per-occurrence polymorphism)."""
+        source = """
+        char readonly * readonly greeting = "yo";
+        int main() {
+          char *tmp = strdup("yo");
+          free(tmp);
+          return 0;
+        }
+        """
+        check_ok(source)
+
+
+class TestBuiltinPolymorphism:
+    def test_malloc_does_not_link_call_sites(self):
+        """Two mallocs, one flowing into shared state, one staying local:
+        the local one stays private."""
+        source = """
+        char *shared;
+        void *w(void *d) { char c = shared[0]; return NULL; }
+        int main() {
+          char *a = malloc(4);
+          char *b = malloc(4);
+          shared = a;
+          b[0] = 1;
+          free(b);
+          thread_create(w, NULL);
+          return 0;
+        }
+        """
+        checked = check_ok(source)
+        a = local_type(checked, "main", "a")
+        b = local_type(checked, "main", "b")
+        assert a.base.target.mode.is_dynamic
+        assert b.base.target.mode.is_private

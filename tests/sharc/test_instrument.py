@@ -1,0 +1,109 @@
+"""Tests for RC-instrumentation marking and the rewritten-source view."""
+
+from tests.conftest import check_ok
+
+from repro.cfront import cast as A
+from repro.sharc.checker import check_source
+
+
+SRC = """
+typedef struct item { long v; } item_t;
+int main() {
+  char *c = malloc(4);
+  item_t *it = malloc(sizeof(item_t));
+  char private *cp = SCAST(char private *, c);
+  long *l = malloc(8);
+  l = NULL;
+  free(cp);
+  free(it);
+  return 0;
+}
+"""
+
+
+def tracked_assigns(checked):
+    func = checked.program.function("main")
+    return [e for e in A.all_exprs(func.body)
+            if isinstance(e, A.Assign) and getattr(e, "rc_track", False)]
+
+
+class TestRcMarking:
+    def test_only_scast_shapes_tracked(self):
+        """Section 4.3: only pointers to locations that might be subject
+        to a sharing cast need RC updates — char here, not long or
+        struct item."""
+        checked = check_ok(SRC)
+        assert checked.rc_stats.tracked_shapes == {("prim", "char")}
+        for e in tracked_assigns(checked):
+            assert e.lhs.ctype.base.target.base.name == "char"
+
+    def test_untracked_pointer_writes_skip_rc(self):
+        checked = check_ok(SRC)
+        func = checked.program.function("main")
+        l_assigns = [e for e in A.all_exprs(func.body)
+                     if isinstance(e, A.Assign)
+                     and isinstance(e.lhs, A.Ident)
+                     and e.lhs.name == "l"]
+        assert l_assigns and not any(
+            getattr(e, "rc_track", False) for e in l_assigns)
+
+    def test_no_scast_no_tracking(self):
+        checked = check_ok("""
+        int main() {
+          char *c = malloc(4);
+          free(c);
+          return 0;
+        }
+        """)
+        assert checked.rc_stats.tracked_shapes == set()
+        assert checked.rc_stats.rc_writes == 0
+
+    def test_rc_all_tracks_everything(self):
+        checked = check_source(SRC, rc_all=True)
+        assert checked.ok
+        func = checked.program.function("main")
+        tracked = [e for e in A.all_exprs(func.body)
+                   if getattr(e, "rc_track", False)]
+        baseline = check_source(SRC)
+        base_tracked = [
+            e for e in A.all_exprs(
+                baseline.program.function("main").body)
+            if getattr(e, "rc_track", False)]
+        assert len(tracked) > len(base_tracked)
+
+    def test_tracked_locals_recorded_on_function(self):
+        checked = check_ok(SRC)
+        func = checked.program.function("main")
+        assert "c" in func.rc_locals
+        assert "cp" in func.rc_locals
+        assert "l" not in func.rc_locals
+
+
+class TestInstrumentedListing:
+    def test_listing_names_checks(self):
+        checked = check_ok("""
+        mutex lk;
+        int locked(lk) c;
+        void *w(void *d) {
+          char *buf = d;
+          mutexLock(&lk);
+          c = buf[0];
+          mutexUnlock(&lk);
+          return NULL;
+        }
+        int main() { thread_create(w, NULL); return 0; }
+        """)
+        listing = checked.instrumented_source()
+        assert "lock-held(c)" in listing
+        assert "chkread(buf[0])" in listing
+
+    def test_listing_names_oneref(self):
+        checked = check_ok(SRC)
+        listing = checked.instrumented_source()
+        assert "oneref(c) + null-out" in listing
+        assert "refcount update" in listing
+
+    def test_inferred_source_shows_all_modes(self):
+        checked = check_ok(SRC)
+        text = checked.inferred_source()
+        assert "private" in text

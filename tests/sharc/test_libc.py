@@ -1,0 +1,72 @@
+"""Tests for the builtin-library table (Section 4.4)."""
+
+import pytest
+
+from repro.cfront.ctypes import FuncType, PtrType
+from repro.sharc.libc import BUILTINS, builtin_type, is_builtin
+
+
+class TestRegistry:
+    def test_core_builtins_present(self):
+        for name in ("malloc", "free", "memcpy", "strlen", "printf",
+                     "thread_create", "thread_join", "mutex_lock",
+                     "cond_wait", "world_read", "rand"):
+            assert is_builtin(name), name
+
+    def test_paper_aliases(self):
+        for alias, target in [("mutexLock", "mutex_lock"),
+                              ("condWait", "cond_wait"),
+                              ("condSignal", "cond_signal")]:
+            assert BUILTINS[alias].sig == BUILTINS[target].sig
+
+    def test_not_builtin(self):
+        assert not is_builtin("frobnicate")
+
+
+class TestSignatures:
+    @pytest.mark.parametrize("name", sorted(BUILTINS))
+    def test_every_signature_parses(self, name):
+        qtype = builtin_type(name)
+        assert isinstance(qtype.base, FuncType)
+
+    def test_malloc_signature(self):
+        ft = builtin_type("malloc").base
+        assert isinstance(ft.ret.base, PtrType)
+        assert len(ft.params) == 1
+
+    def test_fresh_instance_per_call(self):
+        a = builtin_type("malloc")
+        b = builtin_type("malloc")
+        assert a is not b
+        assert a.base.ret is not b.base.ret
+
+    def test_printf_varargs(self):
+        assert builtin_type("printf").base.varargs
+
+    def test_mutex_lock_takes_racy_pointer(self):
+        ft = builtin_type("mutex_lock").base
+        assert ft.params[0].base.target.mode.is_racy
+
+
+class TestSummaries:
+    def test_memcpy_summary(self):
+        b = BUILTINS["memcpy"]
+        assert b.summary == {0: "w", 1: "r"}
+
+    def test_strlen_read_summary(self):
+        assert BUILTINS["strlen"].summary == {0: "r"}
+
+    def test_thread_create_spawn_markers(self):
+        b = BUILTINS["thread_create"]
+        assert b.spawn_fn == 0
+        assert b.spawn_arg == 1
+
+    def test_allocators_marked(self):
+        assert BUILTINS["malloc"].allocates
+        assert BUILTINS["strdup"].allocates
+        assert not BUILTINS["free"].allocates
+
+    def test_blocking_markers(self):
+        assert BUILTINS["mutex_lock"].blocking
+        assert BUILTINS["cond_wait"].blocking
+        assert not BUILTINS["mutex_unlock"].blocking

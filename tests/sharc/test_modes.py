@@ -1,0 +1,92 @@
+"""Unit tests for the sharing-mode algebra."""
+
+import pytest
+
+from repro.sharc import modes as M
+
+
+class TestConstruction:
+    def test_locked_requires_expression(self):
+        with pytest.raises(ValueError):
+            M.Mode(M.ModeKind.LOCKED)
+
+    def test_non_locked_rejects_lock(self):
+        with pytest.raises(ValueError):
+            M.Mode(M.ModeKind.PRIVATE, "lk")
+
+    def test_locked_str(self):
+        assert str(M.locked("s->m")) == "locked(s->m)"
+
+    def test_singletons_render(self):
+        assert str(M.PRIVATE) == "private"
+        assert str(M.DYNAMIC) == "dynamic"
+        assert str(M.READONLY) == "readonly"
+        assert str(M.RACY) == "racy"
+
+    def test_internal_modes_not_user_visible(self):
+        assert not M.ModeKind.DYNAMIC_IN.user_visible
+        assert not M.ModeKind.INHERIT.user_visible
+        assert M.ModeKind.LOCKED.user_visible
+
+
+class TestPredicates:
+    def test_needs_runtime_check(self):
+        assert M.DYNAMIC.needs_runtime_check
+        assert M.locked("m").needs_runtime_check
+        assert not M.PRIVATE.needs_runtime_check
+        assert not M.RACY.needs_runtime_check
+        assert not M.READONLY.needs_runtime_check
+
+    def test_kind_predicates(self):
+        assert M.PRIVATE.is_private
+        assert M.READONLY.is_readonly
+        assert M.RACY.is_racy
+        assert M.DYNAMIC.is_dynamic
+        assert M.locked("m").is_locked
+        assert M.INHERIT.is_inherit
+
+
+class TestTargetCompatibility:
+    def test_identical_modes_compatible(self):
+        for mode in (M.PRIVATE, M.DYNAMIC, M.READONLY, M.RACY,
+                     M.locked("m")):
+            assert M.target_compatible(mode, mode)
+
+    def test_locked_compares_lock_text(self):
+        assert M.target_compatible(M.locked("a"), M.locked("a"))
+        assert not M.target_compatible(M.locked("a"), M.locked("b"))
+
+    def test_dynamic_in_accepts_private_and_dynamic(self):
+        assert M.target_compatible(M.DYNAMIC_IN, M.PRIVATE)
+        assert M.target_compatible(M.DYNAMIC_IN, M.DYNAMIC)
+        assert M.target_compatible(M.PRIVATE, M.DYNAMIC_IN)
+        assert M.target_compatible(M.DYNAMIC_IN, M.DYNAMIC_IN)
+
+    def test_dynamic_in_rejects_locked_and_racy(self):
+        assert not M.target_compatible(M.DYNAMIC_IN, M.locked("m"))
+        assert not M.target_compatible(M.DYNAMIC_IN, M.RACY)
+
+    def test_cross_mode_incompatible(self):
+        assert not M.target_compatible(M.PRIVATE, M.DYNAMIC)
+        assert not M.target_compatible(M.READONLY, M.DYNAMIC)
+        assert not M.target_compatible(M.RACY, M.PRIVATE)
+        assert not M.target_compatible(M.locked("m"), M.PRIVATE)
+
+
+class TestScastConvertible:
+    def test_any_resolved_pair_convertible(self):
+        assert M.scast_convertible(M.PRIVATE, M.DYNAMIC)
+        assert M.scast_convertible(M.DYNAMIC, M.locked("m"))
+        assert M.scast_convertible(M.READONLY, M.PRIVATE)
+
+    def test_inherit_must_be_resolved(self):
+        with pytest.raises(ValueError):
+            M.scast_convertible(M.INHERIT, M.PRIVATE)
+
+
+class TestModeSummary:
+    def test_counting(self):
+        summary = M.ModeSummary.count(
+            [M.PRIVATE, M.PRIVATE, M.DYNAMIC, M.locked("m")])
+        assert summary.counts["private"] == 2
+        assert summary.total == 4

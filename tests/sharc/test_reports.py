@@ -1,0 +1,53 @@
+"""Tests for conflict-report rendering (the Section 2.1 format)."""
+
+from repro.errors import DiagKind, Loc
+from repro.sharc.reports import (
+    Access, Report, lock_not_held, oneref_failed, read_conflict,
+    write_conflict,
+)
+
+
+def test_read_conflict_matches_paper_layout():
+    report = read_conflict(
+        0x75324464,
+        Access(2, "S->sdata", Loc("pipeline_test.c", 15)),
+        Access(1, "nextS->sdata", Loc("pipeline_test.c", 27)))
+    assert report.render() == (
+        "read conflict(0x75324464):\n"
+        " who(2) S->sdata @ pipeline_test.c: 15\n"
+        " last(1) nextS->sdata @ pipeline_test.c: 27")
+
+
+def test_write_conflict_kind():
+    report = write_conflict(
+        0x75324544,
+        Access(2, "*(fdata + i)", Loc("pipeline_test.c", 52)),
+        Access(3, "*(fdata + i)", Loc("pipeline_test.c", 62)))
+    assert report.kind is DiagKind.WRITE_CONFLICT
+    assert report.render().startswith("write conflict(0x75324544):")
+
+
+def test_lock_not_held_names_the_lock():
+    report = lock_not_held(0x100, Access(1, "counter", Loc("a.c", 5)),
+                           "locked(lk)")
+    text = report.render()
+    assert "lock not held" in text
+    assert "required lock: locked(lk)" in text
+    assert report.last is None
+
+
+def test_oneref_includes_count():
+    report = oneref_failed(0x200, Access(2, "ldata", Loc("a.c", 17)), 3)
+    assert "reference count is 3" in report.render()
+
+
+def test_str_is_render():
+    report = lock_not_held(0x1, Access(1, "x", Loc("a.c", 1)), "m")
+    assert str(report) == report.render()
+
+
+def test_reports_are_frozen_values():
+    a = Access(1, "x", Loc("a.c", 1))
+    r1 = read_conflict(5, a, a)
+    r2 = read_conflict(5, a, a)
+    assert r1 == r2

@@ -1,0 +1,160 @@
+"""Tests for the thread-reachability seed analysis (Section 4.1)."""
+
+from repro.cfront.parser import parse_program
+from repro.sharc.seeds import compute_seeds, seed_types
+
+
+def seeds_of(source):
+    return compute_seeds(parse_program(source))
+
+
+class TestThreadRoots:
+    def test_direct_spawn(self):
+        info = seeds_of("""
+            void *w(void *a) { return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        assert info.thread_roots == {"w"}
+
+    def test_multiple_roots(self):
+        info = seeds_of("""
+            void *a(void *x) { return NULL; }
+            void *b(void *x) { return NULL; }
+            int main() {
+              thread_create(a, NULL);
+              thread_create(b, NULL);
+              return 0;
+            }
+        """)
+        assert info.thread_roots == {"a", "b"}
+
+    def test_no_spawn_no_roots(self):
+        info = seeds_of("int main() { return 0; }")
+        assert info.thread_roots == set()
+        assert info.touched_globals == set()
+
+    def test_spawn_through_pointer_matches_by_shape(self):
+        info = seeds_of("""
+            void *w1(void *a) { return NULL; }
+            void *w2(void *a) { return NULL; }
+            int helper(int x) { return x; }
+            int main() {
+              void *(*fp)(void *x);
+              fp = w1;
+              thread_create(fp, NULL);
+              return 0;
+            }
+        """)
+        # A spawn through a pointer may alias any thread-shaped function.
+        assert info.thread_roots == {"w1", "w2"}
+
+    def test_spawn_sites_recorded(self):
+        info = seeds_of("""
+            void *w(void *a) { return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        assert len(info.spawn_sites) == 1
+        assert info.spawn_sites[0].fn_names == ["w"]
+
+
+class TestReachability:
+    def test_transitive_calls(self):
+        info = seeds_of("""
+            int g;
+            void leaf() { g = 1; }
+            void mid() { leaf(); }
+            void *w(void *a) { mid(); return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        assert info.reachable == {"w", "mid", "leaf"}
+        assert "g" in info.touched_globals
+
+    def test_main_only_functions_not_reachable(self):
+        info = seeds_of("""
+            int g;
+            void setup() { g = 1; }
+            void *w(void *a) { return NULL; }
+            int main() { setup(); thread_create(w, NULL); return 0; }
+        """)
+        assert "setup" not in info.reachable
+        assert "g" not in info.touched_globals
+
+    def test_function_referenced_as_value_is_reachable(self):
+        info = seeds_of("""
+            int g;
+            void cb() { g = 2; }
+            void *w(void *a) {
+              void (*f)();
+              f = cb;
+              f();
+              return NULL;
+            }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        assert "cb" in info.reachable
+        assert "g" in info.touched_globals
+
+
+class TestTouchedGlobals:
+    def test_read_counts_as_touch(self):
+        info = seeds_of("""
+            int flag;
+            void *w(void *a) { int x = flag; return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        assert "flag" in info.touched_globals
+
+    def test_locals_shadow_globals(self):
+        info = seeds_of("""
+            int flag;
+            void *w(void *a) { int flag; flag = 1; return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        assert "flag" not in info.touched_globals
+
+
+class TestSeedTypes:
+    def test_thread_formal_pointee_seeded(self):
+        prog = parse_program("""
+            void *w(void *a) { return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        info = compute_seeds(prog)
+        seeded = seed_types(prog, info)
+        func = prog.function("w")
+        formal_target = func.qtype.base.params[0].base.target
+        assert any(pos is formal_target for pos in seeded)
+
+    def test_thread_return_pointee_seeded(self):
+        prog = parse_program("""
+            void *w(void *a) { return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        info = compute_seeds(prog)
+        seeded = seed_types(prog, info)
+        ret_target = prog.function("w").qtype.base.ret.base.target
+        assert any(pos is ret_target for pos in seeded)
+
+    def test_touched_global_positions_seeded(self):
+        prog = parse_program("""
+            char *shared;
+            void *w(void *a) { shared = NULL; return NULL; }
+            int main() { thread_create(w, NULL); return 0; }
+        """)
+        info = compute_seeds(prog)
+        seeded = seed_types(prog, info)
+        decl = prog.globals()[0]
+        # Both the pointer cell and its target position are seeds.
+        assert any(pos is decl.qtype for pos in seeded)
+        assert any(pos is decl.qtype.base.target for pos in seeded)
+
+    def test_untouched_global_not_seeded(self):
+        prog = parse_program("""
+            int quiet;
+            void *w(void *a) { return NULL; }
+            int main() { quiet = 1; thread_create(w, NULL); return 0; }
+        """)
+        info = compute_seeds(prog)
+        seeded = seed_types(prog, info)
+        decl = prog.globals()[0]
+        assert not any(pos is decl.qtype for pos in seeded)

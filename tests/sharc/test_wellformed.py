@@ -1,0 +1,89 @@
+"""Well-formedness tests (REF-CTOR and friends)."""
+
+from tests.conftest import check, check_ok, error_kinds
+
+
+class TestRefCtor:
+    def test_dynamic_ref_to_private_rejected(self):
+        checked = check("""
+        int main() {
+          int private * dynamic p;
+          return 0;
+        }
+        """)
+        assert "WELLFORMED" in error_kinds(checked)
+
+    def test_private_ref_to_anything_ok(self):
+        check_ok("""
+        int main() {
+          int dynamic * private a;
+          int private * private b;
+          int readonly * private c;
+          return 0;
+        }
+        """)
+
+    def test_readonly_ref_to_private_rejected(self):
+        checked = check("""
+        int main() {
+          int private * readonly p;
+          return 0;
+        }
+        """)
+        assert "WELLFORMED" in error_kinds(checked)
+
+    def test_readonly_ref_to_racy_ok(self):
+        """Figure 2: mutex racy * readonly mut."""
+        check_ok("""
+        typedef struct s { mutex *mut; int locked(mut) v; } s_t;
+        int main() { return 0; }
+        """)
+
+    def test_nested_violation_found(self):
+        checked = check("""
+        int main() {
+          int private * dynamic * private pp;
+          return 0;
+        }
+        """)
+        assert "WELLFORMED" in error_kinds(checked)
+
+
+class TestStructFieldRules:
+    def test_private_outermost_field_rejected(self):
+        checked = check("""
+        typedef struct s { int private bad; } s_t;
+        int main() { return 0; }
+        """)
+        assert "WELLFORMED" in error_kinds(checked)
+
+    def test_private_field_target_allowed_in_private_context(self):
+        # 'char private *' as a *parameter* is the paper's main idiom.
+        check_ok("void use(char private *p) { } int main() { return 0; }")
+
+    def test_bad_lock_expression_rejected_at_parse(self):
+        import pytest
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            check("""
+            typedef struct s { int locked(1 +) v; } s_t;
+            int main() { return 0; }
+            """)
+
+    def test_wellformedness_rechecked_after_inference(self):
+        """Inference promotes targets of non-private pointers rather than
+        leaving a REF-CTOR violation behind."""
+        checked = check_ok("""
+        int *slot;
+        void *w(void *d) { int v = *slot; return NULL; }
+        int main() {
+          int here = 1;
+          slot = &here;
+          thread_create(w, NULL);
+          return 0;
+        }
+        """)
+        slot = next(g for g in checked.program.globals()
+                    if g.name == "slot")
+        assert slot.qtype.mode.is_dynamic
+        assert slot.qtype.base.target.mode.is_dynamic
