@@ -1,0 +1,60 @@
+"""Smoke invocation of the ``sharc bench`` pipeline: two small workloads
+end to end, BENCH_interp.json produced and schema-validated.
+
+This is the cheap canary in front of the full six-workload
+``sharc bench`` run: if the throughput benchmark machinery breaks (a
+workload stops running clean, the JSON schema drifts, wall timing is
+lost), this fails in seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.interp_bench import (
+    bench_payload, bench_workloads, main, validate_payload,
+)
+
+#: the two cheapest Table 1 models — enough to exercise every field
+SMOKE_WORKLOADS = ["aget", "stunnel"]
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return bench_workloads(SMOKE_WORKLOADS)
+
+
+def test_bench_smoke_runs_clean(smoke_results):
+    assert [r.workload for r in smoke_results] == SMOKE_WORKLOADS
+    for r in smoke_results:
+        assert r.clean, f"{r.workload} must run with zero reports"
+        assert r.sharc_steps > r.base_steps > 0
+        assert r.wall_seconds > 0.0
+        assert r.steps_per_sec > 0.0
+
+
+def test_bench_smoke_payload_validates(smoke_results):
+    payload = bench_payload(smoke_results)
+    assert validate_payload(payload) == []
+    summary = payload["summary"]
+    assert summary["total_sharc_steps"] == sum(
+        r.sharc_steps for r in smoke_results)
+    assert summary["steps_per_sec"] > 0
+
+
+def test_bench_smoke_cli_round_trip(tmp_path):
+    out = tmp_path / "BENCH_interp.json"
+    assert main(["--workloads", *SMOKE_WORKLOADS,
+                 "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert validate_payload(payload) == []
+
+
+def test_bench_smoke_throughput(benchmark):
+    """Times one aget bench pass; asserts determinism of the step axis."""
+    results = benchmark.pedantic(
+        lambda: bench_workloads(["aget"]), rounds=1, iterations=1)
+    result = results[0]
+    assert result.clean
+    benchmark.extra_info["sharc_steps"] = result.sharc_steps
+    benchmark.extra_info["steps_per_sec"] = round(result.steps_per_sec)

@@ -80,8 +80,42 @@ class BenchResult:
     annotations: int
     changes: int
     paper: PaperRow
-    base_result: RunResult = field(repr=False, default=None)
-    sharc_result: RunResult = field(repr=False, default=None)
+    base_result: Optional[RunResult] = field(repr=False, default=None)
+    sharc_result: Optional[RunResult] = field(repr=False, default=None)
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall time of the instrumented run (0.0 if not attached)."""
+        if self.sharc_result is None:
+            return 0.0
+        return self.sharc_result.stats.wall_seconds
+
+    @property
+    def steps_per_sec(self) -> float:
+        """Instrumented-run throughput (0.0 if not attached)."""
+        if self.sharc_result is None:
+            return 0.0
+        return self.sharc_result.stats.steps_per_sec
+
+    @property
+    def base_wall_seconds(self) -> float:
+        if self.base_result is None:
+            return 0.0
+        return self.base_result.stats.wall_seconds
+
+    def bench_entry(self) -> dict:
+        """The BENCH_interp.json record for this workload."""
+        return {
+            "base_steps": self.base_steps,
+            "sharc_steps": self.sharc_steps,
+            "base_wall_seconds": round(self.base_wall_seconds, 6),
+            "wall_seconds": round(self.wall_seconds, 6),
+            "steps_per_sec": round(self.steps_per_sec),
+            "time_overhead": round(self.time_overhead, 6),
+            "mem_overhead": round(self.mem_overhead, 6),
+            "pct_dynamic": round(self.pct_dynamic, 6),
+            "reports": self.reports,
+        }
 
     def row(self) -> dict:
         """A Table 1-shaped row: ours vs the paper's."""

@@ -1,0 +1,170 @@
+"""Interpreter throughput benchmark: ``sharc bench``.
+
+Where :mod:`repro.bench.table1` reproduces the paper's deterministic
+metrics (step overhead, metadata bytes, %%dynamic), this module tracks
+the *wall-clock* side of the reproduction — how fast the dynamic checker
+actually executes — so that interpreter regressions are visible across
+PRs.  It writes ``BENCH_interp.json``:
+
+.. code-block:: json
+
+    {
+      "schema": "sharc-bench-interp/1",
+      "seed": null,
+      "workloads": {
+        "pfscan": {
+          "base_steps": 64086,
+          "sharc_steps": 108122,
+          "base_wall_seconds": 0.08,
+          "wall_seconds": 0.21,
+          "steps_per_sec": 514867,
+          "time_overhead": 0.687,
+          "mem_overhead": 0.205,
+          "pct_dynamic": 0.338,
+          "reports": 0
+        },
+        "...": {}
+      },
+      "summary": {
+        "total_sharc_steps": 0,
+        "total_wall_seconds": 0.0,
+        "steps_per_sec": 0,
+        "avg_time_overhead": 0.0
+      }
+    }
+
+``steps_per_sec`` is the instrumented run's throughput; ``time_overhead``
+is the deterministic step-count overhead (identical across machines for a
+given seed), so the file mixes one machine-dependent axis with the
+machine-independent ones that anchor it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.bench.harness import BenchResult, run_workload
+from repro.bench.workloads import all_workloads
+
+SCHEMA = "sharc-bench-interp/1"
+DEFAULT_OUT = "BENCH_interp.json"
+
+
+def bench_workloads(names: Optional[list[str]] = None, *,
+                    seed: Optional[int] = None) -> list[BenchResult]:
+    """Runs the requested workloads (all six by default)."""
+    selected = all_workloads()
+    if names:
+        by_name = {w.name: w for w in selected}
+        unknown = [n for n in names if n not in by_name]
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s): {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(by_name))}")
+        selected = [by_name[n] for n in names]
+    return [run_workload(w, seed=seed) for w in selected]
+
+
+def bench_payload(results: list[BenchResult],
+                  seed: Optional[int] = None) -> dict:
+    total_steps = sum(r.sharc_steps for r in results)
+    total_wall = sum(r.wall_seconds for r in results)
+    overheads = [r.time_overhead for r in results]
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "workloads": {r.workload: r.bench_entry() for r in results},
+        "summary": {
+            "total_sharc_steps": total_steps,
+            "total_wall_seconds": round(total_wall, 6),
+            "steps_per_sec": (round(total_steps / total_wall)
+                              if total_wall else 0),
+            "avg_time_overhead": (round(sum(overheads) / len(overheads), 6)
+                                  if overheads else 0.0),
+        },
+    }
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Schema check for the benchmark smoke tests; returns problems."""
+    problems: list[str] = []
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema != {SCHEMA!r}")
+    workloads = payload.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        return problems + ["workloads missing or empty"]
+    required = {"base_steps": int, "sharc_steps": int,
+                "base_wall_seconds": float, "wall_seconds": float,
+                "steps_per_sec": int, "time_overhead": float,
+                "mem_overhead": float, "pct_dynamic": float,
+                "reports": int}
+    for name, entry in workloads.items():
+        for key, kind in required.items():
+            value = entry.get(key)
+            if not isinstance(value, (kind, int) if kind is float else kind):
+                problems.append(f"{name}.{key}: expected {kind.__name__}, "
+                                f"got {type(value).__name__}")
+        if isinstance(entry.get("wall_seconds"), (int, float)) \
+                and entry["wall_seconds"] < 0:
+            problems.append(f"{name}.wall_seconds negative")
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        problems.append("summary missing")
+    return problems
+
+
+def render_table(results: list[BenchResult]) -> str:
+    lines = [f"{'workload':<10} {'sharc steps':>12} {'wall (s)':>9} "
+             f"{'steps/sec':>10} {'overhead':>9}"]
+    for r in results:
+        lines.append(f"{r.workload:<10} {r.sharc_steps:>12,} "
+                     f"{r.wall_seconds:>9.3f} {r.steps_per_sec:>10,.0f} "
+                     f"{r.time_overhead:>8.1%}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="sharc bench",
+        description="measure interpreter throughput over the Table 1 "
+                    "workloads and write BENCH_interp.json")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the per-workload seeds")
+    parser.add_argument("--json", action="store_true",
+                        help="print the payload instead of a table")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT}; "
+                             "'-' to skip writing)")
+    parser.add_argument("--workloads", nargs="*", default=None,
+                        help="subset of workload names (default: all)")
+    args = parser.parse_args(argv)
+
+    try:
+        results = bench_workloads(args.workloads, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = bench_payload(results, seed=args.seed)
+    problems = validate_payload(payload)
+    if problems:
+        print("error: invalid benchmark payload:\n  "
+              + "\n  ".join(problems), file=sys.stderr)
+        return 1
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_table(results))
+        if args.out != "-":
+            print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,11 @@ Subcommands mirror how the paper's tool is used:
 - ``sharc infer FILE``   — print the program with all inferred
   qualifiers made explicit (the paper's Figure 2 view);
 - ``sharc run FILE``     — check then execute under the dynamic checker,
-  printing conflict reports in the paper's format;
+  printing conflict reports in the paper's format (``--profile`` adds
+  phase timers and steps/sec throughput);
 - ``sharc table1``       — regenerate the evaluation table;
+- ``sharc bench``        — interpreter throughput over the Table 1
+  workloads; writes ``BENCH_interp.json``;
 - ``sharc ablate-rc`` / ``sharc ablate-annot`` — the ablations;
 - ``sharc compare-eraser`` — SharC vs the lockset baseline (§6.2).
 """
@@ -48,6 +51,24 @@ def cmd_infer(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.profile:
+        from repro.errors import SharcError
+        from repro.runtime.profile import Profiler, profile_source
+
+        profiler = Profiler()
+        with profiler.phase("read"):
+            source = _read(args.file)
+        try:
+            report = profile_source(source, args.file, seed=args.seed,
+                                    rc_scheme="lp" if args.rc == "off"
+                                    else args.rc,
+                                    max_steps=args.max_steps,
+                                    profiler=profiler)
+        except SharcError as exc:
+            print(exc)
+            return 1
+        print(report.render())
+        return 0 if report.reports == 0 else 1
     checked = check_source(_read(args.file), args.file)
     if not checked.ok:
         print(checked.render_diagnostics())
@@ -75,6 +96,20 @@ def cmd_table1(args: argparse.Namespace) -> int:
     if args.seed is not None:
         argv += ["--seed", str(args.seed)]
     return table1.main(argv)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import interp_bench
+    argv: list[str] = []
+    if args.json:
+        argv.append("--json")
+    if args.seed is not None:
+        argv += ["--seed", str(args.seed)]
+    if args.out is not None:
+        argv += ["--out", args.out]
+    if args.workloads:
+        argv += ["--workloads", *args.workloads]
+    return interp_bench.main(argv)
 
 
 def cmd_ablate_rc(_args: argparse.Namespace) -> int:
@@ -115,12 +150,24 @@ def build_parser() -> argparse.ArgumentParser:
                    default="sharc")
     p.add_argument("--max-steps", type=int, default=2_000_000)
     p.add_argument("--stats", action="store_true")
+    p.add_argument("--profile", action="store_true",
+                   help="time each pipeline phase, run an uninstrumented "
+                        "baseline too, and report steps/sec")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
     p.add_argument("--seed", type=int, default=None)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("bench",
+                       help="interpreter throughput benchmark "
+                            "(writes BENCH_interp.json)")
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--out", default=None)
+    p.add_argument("--workloads", nargs="*", default=None)
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("ablate-rc", help="refcounting ablation")
     p.set_defaults(func=cmd_ablate_rc)

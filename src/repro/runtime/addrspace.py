@@ -14,6 +14,7 @@ reference counts or shadow state in our runs.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 from repro.errors import InterpError, Loc
@@ -30,10 +31,11 @@ class Block:
     size: int
     kind: str  # "heap" | "global" | "stack" | "literal"
     freed: bool = False
+    #: ``start + size``, precomputed — every access bounds-checks it
+    end: int = field(init=False, default=0)
 
-    @property
-    def end(self) -> int:
-        return self.start + self.size
+    def __post_init__(self) -> None:
+        self.end = self.start + self.size
 
 
 class AddressSpace:
@@ -44,6 +46,9 @@ class AddressSpace:
         self._brk = 0x1000
         self.blocks: dict[int, Block] = {}
         self._block_starts: list[int] = []  # sorted, for bisect lookup
+        #: most recently resolved block — scalar accesses are heavily
+        #: local, so this avoids a bisect per read/write
+        self._last_block: Block | None = None
         #: pages written/read by the program itself (memory-overhead base)
         self.pages_touched: set[int] = set()
 
@@ -70,14 +75,18 @@ class AddressSpace:
         return block
 
     def block_of(self, addr: int) -> Block | None:
-        """The block containing ``addr``, if any (linear probe over a
-        small tail is enough because blocks are allocated in order)."""
-        import bisect
+        """The block containing ``addr``, if any.  The last resolved
+        block is cached: consecutive accesses overwhelmingly land in the
+        same block, so most lookups are two comparisons."""
+        cached = self._last_block
+        if cached is not None and cached.start <= addr < cached.end:
+            return cached
         idx = bisect.bisect_right(self._block_starts, addr) - 1
         if idx < 0:
             return None
         block = self.blocks[self._block_starts[idx]]
         if block.start <= addr < block.end:
+            self._last_block = block
             return block
         return None
 
@@ -93,14 +102,22 @@ class AddressSpace:
     # -- typed scalar access -----------------------------------------------
 
     def read(self, addr: int, loc: Loc | None = None) -> object:
-        self.check_access(addr, loc)
+        block = self._last_block
+        if block is None or not block.start <= addr < block.end:
+            self.check_access(addr, loc)
+        elif block.freed:
+            raise InterpError(f"use after free at 0x{addr:x}", loc)
         self.pages_touched.add(addr // PAGE_SIZE)
         return self.cells.get(addr, 0)
 
     def write(self, addr: int, value: object,
               loc: Loc | None = None) -> object:
         """Writes a scalar; returns the previous value (for RC logging)."""
-        self.check_access(addr, loc)
+        block = self._last_block
+        if block is None or not block.start <= addr < block.end:
+            self.check_access(addr, loc)
+        elif block.freed:
+            raise InterpError(f"use after free at 0x{addr:x}", loc)
         self.pages_touched.add(addr // PAGE_SIZE)
         old = self.cells.get(addr, 0)
         self.cells[addr] = value

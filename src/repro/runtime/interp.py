@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import random
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -49,6 +50,49 @@ from repro.runtime.scheduler import (
 from repro.runtime.shadow import ShadowMemory, TooManyThreads
 from repro.runtime.stats import RunStats
 from repro.runtime.world import World
+
+
+# -- expression/statement dispatch tags -----------------------------------
+#
+# ``eval_expr``/``exec_stmt``/``eval_lvalue`` are the interpreter's hottest
+# functions; a per-class isinstance chain costs several failed checks per
+# node.  One dict lookup mapping the node's class to a small int, then
+# integer comparisons ordered by measured frequency, does the same dispatch
+# at a fraction of the cost.
+
+(_E_LIT, _E_NULL, _E_STR, _E_SIZEOF, _E_IDENT, _E_MEMBER, _E_INDEX,
+ _E_UNOP, _E_BINOP, _E_ASSIGN, _E_CALL, _E_CAST, _E_SCAST, _E_COND,
+ _E_COMMA) = range(15)
+
+_EXPR_KIND = {
+    A.IntLit: _E_LIT, A.CharLit: _E_LIT, A.FloatLit: _E_LIT,
+    A.NullLit: _E_NULL, A.StrLit: _E_STR, A.SizeofExpr: _E_SIZEOF,
+    A.Ident: _E_IDENT, A.Member: _E_MEMBER, A.Index: _E_INDEX,
+    A.Unop: _E_UNOP, A.Binop: _E_BINOP, A.Assign: _E_ASSIGN,
+    A.Call: _E_CALL, A.CastExpr: _E_CAST, A.SCastExpr: _E_SCAST,
+    A.CondExpr: _E_COND, A.CommaExpr: _E_COMMA,
+}
+
+(_S_COMPOUND, _S_DECL, _S_EXPR, _S_IF, _S_WHILE, _S_DOWHILE, _S_FOR,
+ _S_RETURN, _S_BREAK, _S_CONTINUE) = range(10)
+
+(_B_ANDAND, _B_OROR, _B_ADD, _B_SUB, _B_MUL, _B_DIV, _B_MOD, _B_EQ,
+ _B_NE, _B_LT, _B_GT, _B_LE, _B_GE, _B_BAND, _B_BOR, _B_XOR, _B_SHL,
+ _B_SHR) = range(18)
+
+_BINOP_K = {
+    "&&": _B_ANDAND, "||": _B_OROR, "+": _B_ADD, "-": _B_SUB,
+    "*": _B_MUL, "/": _B_DIV, "%": _B_MOD, "==": _B_EQ, "!=": _B_NE,
+    "<": _B_LT, ">": _B_GT, "<=": _B_LE, ">=": _B_GE, "&": _B_BAND,
+    "|": _B_BOR, "^": _B_XOR, "<<": _B_SHL, ">>": _B_SHR,
+}
+
+_STMT_KIND = {
+    A.Compound: _S_COMPOUND, A.DeclStmt: _S_DECL, A.ExprStmt: _S_EXPR,
+    A.If: _S_IF, A.While: _S_WHILE, A.DoWhile: _S_DOWHILE,
+    A.For: _S_FOR, A.Return: _S_RETURN, A.Break: _S_BREAK,
+    A.Continue: _S_CONTINUE,
+}
 
 
 class ThreadExit(Exception):
@@ -188,14 +232,10 @@ class Interp:
 
     def _solo(self) -> bool:
         """True while only one thread is live (single-threaded phases of
-        the program: before the first spawn, after the last join)."""
-        live = 0
-        for t in self.sched.threads.values():
-            if t.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
-                live += 1
-                if live > 1:
-                    return False
-        return True
+        the program: before the first spawn, after the last join).  The
+        scheduler maintains the live count so this is O(1) — it runs on
+        every checked access."""
+        return self.sched.live_count <= 1
 
     def _eraser_access(self, node: A.Expr, addr: int, size: int,
                        thread: Thread, is_write: bool) -> None:
@@ -216,9 +256,10 @@ class Interp:
     def _apply_check(self, info: AccessInfo, addr: int, size: int,
                      thread: Thread, frame: Frame, is_write: bool):
         """Performs one attached runtime check (a generator: lock
-        expressions are evaluated in the current environment)."""
-        mode = info.mode
-        if mode.is_locked:
+        expressions are evaluated in the current environment).  The check
+        kind was resolved once at instrumentation time (``info.is_lock``)
+        instead of re-deriving it from the mode on every access."""
+        if info.is_lock:
             self._charge_check(1)
             lock_addr = 0
             if info.lock_ast is not None:
@@ -235,29 +276,30 @@ class Interp:
                                                int(lock_addr), is_write):
                 self._report(lock_not_held(
                     addr, Access(thread.tid, info.lvalue_text, info.loc),
-                    str(mode)))
+                    str(info.mode)))
             self.stats.accesses_locked += 1
             return
         # dynamic / dynamic_in: the n-readers-or-1-writer discipline.
         self.stats.accesses_dynamic += 1
-        if self._solo():
+        if self.sched.live_count <= 1:
             # Only one live thread: a spawn happens-after every access
             # made so far, so these accesses can never be part of a race;
             # recording them would only manufacture init-then-share false
             # positives.  The check degenerates to a thread-count test.
             self._charge_check(1)
             return
-        who = Access(thread.tid, info.lvalue_text, info.loc)
         if is_write:
             conflict, slow = self.shadow.chkwrite(
                 addr, size, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
+                who = Access(thread.tid, info.lvalue_text, info.loc)
                 self._report(write_conflict(addr, who,
                                             conflict.as_access()))
         else:
             conflict, slow = self.shadow.chkread(
                 addr, size, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
+                who = Access(thread.tid, info.lvalue_text, info.loc)
                 self._report(read_conflict(addr, who,
                                            conflict.as_access()))
         # Fast path (bits already set): a load + test.  Slow path:
@@ -279,18 +321,19 @@ class Interp:
         if self._solo():
             self._charge_check(1)
             return
-        who = Access(thread.tid, info.lvalue_text, info.loc)
         slow = 0
         if "w" in rw:
             conflict, slow = self.shadow.chkwrite(
                 addr, length, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
+                who = Access(thread.tid, info.lvalue_text, info.loc)
                 self._report(write_conflict(addr, who,
                                             conflict.as_access()))
         elif "r" in rw:
             conflict, slow = self.shadow.chkread(
                 addr, length, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
+                who = Access(thread.tid, info.lvalue_text, info.loc)
                 self._report(read_conflict(addr, who,
                                            conflict.as_access()))
         self._charge_check(1 + 3 * slow)
@@ -323,13 +366,21 @@ class Interp:
     # -- memory access helpers ------------------------------------------------------
 
     def _sizeof_node(self, node: A.Expr) -> int:
-        qt = node.ctype
-        if qt is None:
-            return 8
-        try:
-            return qt.base.size(self.structs)
-        except KeyError:
-            return 8
+        """Scalar size of an access through ``node``, memoized on the
+        node: the type layout is static, so it is computed once per
+        occurrence instead of on every execution."""
+        size = getattr(node, "sharc_size", None)
+        if size is None:
+            qt = node.ctype
+            if qt is None:
+                size = 8
+            else:
+                try:
+                    size = qt.base.size(self.structs)
+                except KeyError:
+                    size = 8
+            node.sharc_size = size  # type: ignore[attr-defined]
+        return size
 
     def _do_read(self, node: A.Expr, addr: int, thread: Thread,
                  frame: Frame):
@@ -338,8 +389,9 @@ class Interp:
             # C, never racy — no census, no scheduling point.
             return self.space.read(addr, node.loc)
         size = self._sizeof_node(node)
-        self.stats.accesses_total += 1
-        self.stats.reads += 1
+        stats = self.stats
+        stats.accesses_total += 1
+        stats.reads += 1
         if self.eraser is not None:
             self._eraser_access(node, addr, size, thread, False)
         if self.instrument:
@@ -380,19 +432,22 @@ class Interp:
 
     def eval_lvalue(self, e: A.Expr, thread: Thread, frame: Frame):
         """Generator: resolves an l-value expression to an address."""
-        self._tick()
-        if isinstance(e, A.Ident):
-            if e.name in frame.env:
-                return frame.env[e.name]
+        self._pending += 1
+        self.stats.steps_total += 1
+        k = _EXPR_KIND.get(e.__class__, -1)
+        if k == _E_IDENT:
+            env = frame.env
+            if e.name in env:
+                return env[e.name]
             if e.name in self.globals_env:
                 return self.globals_env[e.name]
             raise InterpError(f"no storage for {e.name!r}", e.loc)
-        if isinstance(e, A.Unop) and e.op == "*":
+        if k == _E_UNOP and e.op == "*":
             addr = yield from self.eval_expr(e.operand, thread, frame)
             if not addr:
                 raise InterpError("null pointer dereference", e.loc)
             return int(addr)
-        if isinstance(e, A.Member):
+        if k == _E_MEMBER:
             offset = getattr(e, "sharc_offset", None)
             if offset is None:
                 raise InterpError(
@@ -405,7 +460,7 @@ class Interp:
             if not base:
                 raise InterpError("null pointer dereference", e.loc)
             return int(base) + offset
-        if isinstance(e, A.Index):
+        if k == _E_INDEX:
             elem_size = getattr(e, "sharc_elem_size", None)
             if elem_size is None:
                 raise InterpError("index was not resolved statically",
@@ -423,55 +478,65 @@ class Interp:
     # -- expressions ---------------------------------------------------------------------
 
     def eval_expr(self, e: A.Expr, thread: Thread, frame: Frame):
-        """Generator: evaluates an expression to a runtime value."""
-        self._tick()
-        if isinstance(e, (A.IntLit, A.CharLit)):
+        """Generator: evaluates an expression to a runtime value.
+        Branches are ordered by measured node frequency."""
+        self._pending += 1
+        self.stats.steps_total += 1
+        k = _EXPR_KIND.get(e.__class__, -1)
+        if k == _E_IDENT:
+            env = frame.env
+            if e.name not in env:
+                if e.name in self.functions:
+                    return ("fn", e.name)
+                if e.name not in self.globals_env and e.name in IMPLS:
+                    return ("fn", e.name)
+            is_arr = getattr(e, "sharc_is_arr", None)
+            if is_arr is None:
+                qt = e.ctype
+                is_arr = qt is not None and qt.is_array
+                e.sharc_is_arr = is_arr  # type: ignore[attr-defined]
+            addr = yield from self.eval_lvalue(e, thread, frame)
+            if is_arr:
+                return addr
+            value = yield from self._do_read(e, addr, thread, frame)
+            return value
+        if k == _E_LIT:
             return e.value
-        if isinstance(e, A.FloatLit):
-            return e.value
-        if isinstance(e, A.NullLit):
+        if k == _E_BINOP:
+            value = yield from self._eval_binop(e, thread, frame)
+            return value
+        if k == _E_MEMBER or k == _E_INDEX or (
+                k == _E_UNOP and e.op == "*"):
+            is_arr = getattr(e, "sharc_is_arr", None)
+            if is_arr is None:
+                qt = e.ctype
+                is_arr = qt is not None and qt.is_array
+                e.sharc_is_arr = is_arr  # type: ignore[attr-defined]
+            addr = yield from self.eval_lvalue(e, thread, frame)
+            if is_arr:
+                return addr
+            value = yield from self._do_read(e, addr, thread, frame)
+            return value
+        if k == _E_UNOP:
+            value = yield from self._eval_unop(e, thread, frame)
+            return value
+        if k == _E_ASSIGN:
+            value = yield from self._eval_assign(e, thread, frame)
+            return value
+        if k == _E_CALL:
+            value = yield from self._eval_call(e, thread, frame)
+            return value
+        if k == _E_NULL:
             return 0
-        if isinstance(e, A.StrLit):
+        if k == _E_STR:
             if e.value not in self._strings:
                 self._strings[e.value] = self.space.alloc_c_string(e.value)
             return self._strings[e.value]
-        if isinstance(e, A.SizeofExpr):
+        if k == _E_SIZEOF:
             if e.of_type is not None:
                 return e.of_type.base.size(self.structs)
             return self._sizeof_node(e.of_expr)
-        if isinstance(e, A.Ident):
-            if e.name not in frame.env and e.name in self.functions:
-                return ("fn", e.name)
-            if e.name not in frame.env and \
-                    e.name not in self.globals_env and e.name in IMPLS:
-                return ("fn", e.name)
-            if e.ctype is not None and e.ctype.is_array:
-                addr = yield from self.eval_lvalue(e, thread, frame)
-                return addr
-            addr = yield from self.eval_lvalue(e, thread, frame)
-            value = yield from self._do_read(e, addr, thread, frame)
-            return value
-        if isinstance(e, (A.Member, A.Index)) or (
-                isinstance(e, A.Unop) and e.op == "*"):
-            if e.ctype is not None and e.ctype.is_array:
-                addr = yield from self.eval_lvalue(e, thread, frame)
-                return addr
-            addr = yield from self.eval_lvalue(e, thread, frame)
-            value = yield from self._do_read(e, addr, thread, frame)
-            return value
-        if isinstance(e, A.Unop):
-            value = yield from self._eval_unop(e, thread, frame)
-            return value
-        if isinstance(e, A.Binop):
-            value = yield from self._eval_binop(e, thread, frame)
-            return value
-        if isinstance(e, A.Assign):
-            value = yield from self._eval_assign(e, thread, frame)
-            return value
-        if isinstance(e, A.Call):
-            value = yield from self._eval_call(e, thread, frame)
-            return value
-        if isinstance(e, A.CastExpr):
+        if k == _E_CAST:
             value = yield from self.eval_expr(e.expr, thread, frame)
             if isinstance(value, float) and e.to.is_integral:
                 return int(value)
@@ -482,17 +547,17 @@ class Interp:
                     not e.to.is_integral:
                 return float(value)
             return value
-        if isinstance(e, A.SCastExpr):
+        if k == _E_SCAST:
             value = yield from self._eval_scast(e, thread, frame)
             return value
-        if isinstance(e, A.CondExpr):
+        if k == _E_COND:
             cond = yield from self.eval_expr(e.cond, thread, frame)
             if _truthy(cond):
                 value = yield from self.eval_expr(e.then, thread, frame)
             else:
                 value = yield from self.eval_expr(e.other, thread, frame)
             return value
-        if isinstance(e, A.CommaExpr):
+        if k == _E_COMMA:
             value = 0
             for part in e.parts:
                 value = yield from self.eval_expr(part, thread, frame)
@@ -532,15 +597,40 @@ class Interp:
             return qt.pointee().base.size(self.structs)
         return 1
 
+    def _binop_meta(self, e: A.Binop) -> tuple:
+        """Static facts about one binop occurrence, computed once: the
+        op code plus pointer-arithmetic scales derived from the operand
+        types (which never change between executions)."""
+        opk = _BINOP_K.get(e.op, -1)
+        lq, rq = e.lhs.ctype, e.rhs.ctype
+        l_ptr = lq is not None and (lq.is_pointer or lq.is_array)
+        r_ptr = rq is not None and (rq.is_pointer or rq.is_array)
+        # Scales are only consulted for +/-, but computing them eagerly
+        # must not fail on exotic pointees (e.g. void*) that the lazy
+        # path never reached for comparisons.
+        try:
+            lscale = self._ptr_scale(lq) if l_ptr else 1
+        except (KeyError, AttributeError):
+            lscale = 1
+        try:
+            rscale = self._ptr_scale(rq) if r_ptr else 1
+        except (KeyError, AttributeError):
+            rscale = 1
+        return (opk, l_ptr, r_ptr, lscale, rscale)
+
     def _eval_binop(self, e: A.Binop, thread: Thread, frame: Frame):
-        op = e.op
-        if op == "&&":
+        meta = getattr(e, "sharc_binop", None)
+        if meta is None:
+            meta = self._binop_meta(e)
+            e.sharc_binop = meta  # type: ignore[attr-defined]
+        opk = meta[0]
+        if opk == _B_ANDAND:
             lhs = yield from self.eval_expr(e.lhs, thread, frame)
             if not _truthy(lhs):
                 return 0
             rhs = yield from self.eval_expr(e.rhs, thread, frame)
             return 1 if _truthy(rhs) else 0
-        if op == "||":
+        if opk == _B_OROR:
             lhs = yield from self.eval_expr(e.lhs, thread, frame)
             if _truthy(lhs):
                 return 1
@@ -548,56 +638,55 @@ class Interp:
             return 1 if _truthy(rhs) else 0
         lhs = yield from self.eval_expr(e.lhs, thread, frame)
         rhs = yield from self.eval_expr(e.rhs, thread, frame)
-        lq, rq = e.lhs.ctype, e.rhs.ctype
-        l_ptr = lq is not None and (lq.is_pointer or lq.is_array)
-        r_ptr = rq is not None and (rq.is_pointer or rq.is_array)
-        if op == "+":
+        if opk == _B_ADD:
+            l_ptr, r_ptr = meta[1], meta[2]
             if l_ptr and not r_ptr:
-                return int(lhs) + int(rhs) * self._ptr_scale(lq)
+                return int(lhs) + int(rhs) * meta[3]
             if r_ptr and not l_ptr:
-                return int(rhs) + int(lhs) * self._ptr_scale(rq)
+                return int(rhs) + int(lhs) * meta[4]
             return lhs + rhs
-        if op == "-":
-            if l_ptr and r_ptr:
-                return (int(lhs) - int(rhs)) // self._ptr_scale(lq)
+        if opk == _B_LT:
+            return 1 if lhs < rhs else 0
+        if opk == _B_SUB:
+            l_ptr = meta[1]
+            if l_ptr and meta[2]:
+                return (int(lhs) - int(rhs)) // meta[3]
             if l_ptr:
-                return int(lhs) - int(rhs) * self._ptr_scale(lq)
+                return int(lhs) - int(rhs) * meta[3]
             return lhs - rhs
-        if op == "*":
+        if opk == _B_EQ:
+            return 1 if lhs == rhs else 0
+        if opk == _B_NE:
+            return 1 if lhs != rhs else 0
+        if opk == _B_GT:
+            return 1 if lhs > rhs else 0
+        if opk == _B_LE:
+            return 1 if lhs <= rhs else 0
+        if opk == _B_GE:
+            return 1 if lhs >= rhs else 0
+        if opk == _B_MUL:
             return lhs * rhs
-        if op == "/":
+        if opk == _B_DIV:
             if rhs == 0:
                 raise InterpError("division by zero", e.loc)
             if isinstance(lhs, float) or isinstance(rhs, float):
                 return lhs / rhs
             return int(lhs / rhs) if (lhs < 0) != (rhs < 0) else lhs // rhs
-        if op == "%":
+        if opk == _B_MOD:
             if rhs == 0:
                 raise InterpError("modulo by zero", e.loc)
             return int(lhs) - int(int(lhs) / int(rhs)) * int(rhs)
-        if op == "==":
-            return 1 if lhs == rhs else 0
-        if op == "!=":
-            return 1 if lhs != rhs else 0
-        if op == "<":
-            return 1 if lhs < rhs else 0
-        if op == ">":
-            return 1 if lhs > rhs else 0
-        if op == "<=":
-            return 1 if lhs <= rhs else 0
-        if op == ">=":
-            return 1 if lhs >= rhs else 0
-        if op == "&":
+        if opk == _B_BAND:
             return int(lhs) & int(rhs)
-        if op == "|":
+        if opk == _B_BOR:
             return int(lhs) | int(rhs)
-        if op == "^":
+        if opk == _B_XOR:
             return int(lhs) ^ int(rhs)
-        if op == "<<":
+        if opk == _B_SHL:
             return int(lhs) << int(rhs)
-        if op == ">>":
+        if opk == _B_SHR:
             return int(lhs) >> int(rhs)
-        raise InterpError(f"unknown operator {op}", e.loc)
+        raise InterpError(f"unknown operator {e.op}", e.loc)
 
     _COMPOUND = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
                  "&=": "&", "|=": "|", "^=": "^", "<<=": "<<",
@@ -789,11 +878,15 @@ class Interp:
         """Generator: executes one statement."""
         if self._halted:
             raise ProgramExit(self._exit_code)
-        if isinstance(s, A.Compound):
+        k = _STMT_KIND.get(s.__class__, -1)
+        if k == _S_EXPR:
+            yield from self.eval_expr(s.expr, thread, frame)
+            return
+        if k == _S_COMPOUND:
             for sub in s.stmts:
                 yield from self.exec_stmt(sub, thread, frame)
             return
-        if isinstance(s, A.DeclStmt):
+        if k == _S_DECL:
             for d in s.decls:
                 if d.init is not None:
                     value = yield from self.eval_expr(d.init, thread,
@@ -808,17 +901,14 @@ class Interp:
                     if getattr(d, "rc_track", False):
                         self._rc_write(thread, addr, old, value)
             return
-        if isinstance(s, A.ExprStmt):
-            yield from self.eval_expr(s.expr, thread, frame)
-            return
-        if isinstance(s, A.If):
+        if k == _S_IF:
             cond = yield from self.eval_expr(s.cond, thread, frame)
             if _truthy(cond):
                 yield from self.exec_stmt(s.then, thread, frame)
             elif s.other is not None:
                 yield from self.exec_stmt(s.other, thread, frame)
             return
-        if isinstance(s, A.While):
+        if k == _S_WHILE:
             while True:
                 cond = yield from self.eval_expr(s.cond, thread, frame)
                 if not _truthy(cond):
@@ -830,7 +920,7 @@ class Interp:
                 except _Continue:
                     pass
                 yield self._flush()  # preemption point on back-edges
-        if isinstance(s, A.DoWhile):
+        if k == _S_DOWHILE:
             while True:
                 try:
                     yield from self.exec_stmt(s.body, thread, frame)
@@ -842,7 +932,7 @@ class Interp:
                 if not _truthy(cond):
                     return
                 yield self._flush()
-        if isinstance(s, A.For):
+        if k == _S_FOR:
             if isinstance(s.init, A.DeclStmt):
                 yield from self.exec_stmt(s.init, thread, frame)
             elif s.init is not None:
@@ -861,14 +951,14 @@ class Interp:
                 if s.step is not None:
                     yield from self.eval_expr(s.step, thread, frame)
                 yield self._flush()
-        if isinstance(s, A.Return):
+        if k == _S_RETURN:
             value = 0
             if s.value is not None:
                 value = yield from self.eval_expr(s.value, thread, frame)
             raise _Return(value)
-        if isinstance(s, A.Break):
+        if k == _S_BREAK:
             raise _Break()
-        if isinstance(s, A.Continue):
+        if k == _S_CONTINUE:
             raise _Continue()
 
     # -- threads ------------------------------------------------------------------------------
@@ -879,11 +969,8 @@ class Interp:
             raise InterpError(f"thread entry {name!r} is not defined")
         thread = self.sched.spawn(None, name)  # type: ignore[arg-type]
         thread.gen = self._thread_body(thread, func, args)
-        self.stats.threads_peak = max(
-            self.stats.threads_peak,
-            len([t for t in self.sched.threads.values()
-                 if t.state in (ThreadState.RUNNABLE,
-                                ThreadState.BLOCKED)]))
+        self.stats.threads_peak = max(self.stats.threads_peak,
+                                      self.sched.live_count)
         return thread
 
     def _thread_body(self, thread: Thread, func: A.FuncDef, args: list):
@@ -942,6 +1029,7 @@ class Interp:
         result = RunResult()
         old_limit = sys.getrecursionlimit()
         sys.setrecursionlimit(max(old_limit, 20000))
+        started = time.perf_counter()
         try:
             main_thread = self.sched.spawn(None, "main")  # type: ignore
             self._init_globals(main_thread)
@@ -950,6 +1038,7 @@ class Interp:
             self._run_loop(result, max_steps)
         finally:
             sys.setrecursionlimit(old_limit)
+            self.stats.wall_seconds = time.perf_counter() - started
         self._finalize(result)
         return result
 
@@ -997,8 +1086,10 @@ class Interp:
                 else:
                     # _flush() yields already-charged evaluation cost.
                     cost = item if isinstance(item, int) else 0
-                steps += max(cost, 1)
-                thread.steps += max(cost, 1)
+                if cost < 1:
+                    cost = 1
+                steps += cost
+                thread.steps += cost
 
     def _finalize(self, result: RunResult) -> None:
         result.reports = list(self.reports)

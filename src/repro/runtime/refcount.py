@@ -191,7 +191,9 @@ class LPRefCount(RefCountScheme):
         log_bytes = sum(16 * len(entries)
                         for epoch_logs in self.logs
                         for entries in epoch_logs.values())
-        dirty_bytes = sum(len(d) for d in self.dirty)  # 1 byte per bit-ish
+        # The dirty "bits" are keyed by slot address: each resident entry
+        # is a pointer-sized key (8 bytes), not a packed bit.
+        dirty_bytes = sum(8 * len(d) for d in self.dirty)
         return 16 * len(self.rc) + log_bytes + dirty_bytes
 
 

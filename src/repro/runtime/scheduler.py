@@ -68,6 +68,9 @@ class Scheduler:
         self._next_tid = 1
         self._rr_index = 0
         self.context_switches = 0
+        #: number of RUNNABLE + BLOCKED threads, maintained incrementally
+        #: so the interpreter's per-access solo test is O(1)
+        self.live_count = 0
 
     # -- thread lifecycle -----------------------------------------------------
 
@@ -76,6 +79,7 @@ class Scheduler:
         self._next_tid += 1
         thread = Thread(tid, gen, name or f"thread{tid}")
         self.threads[tid] = thread
+        self.live_count += 1
         return thread
 
     def block(self, thread: Thread, ready: Callable[[], bool],
@@ -85,11 +89,15 @@ class Scheduler:
         thread.block_note = note
 
     def finish(self, thread: Thread, result: object) -> None:
+        if thread.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
+            self.live_count -= 1
         thread.state = ThreadState.DONE
         thread.result = result
         thread.ready = None
 
     def fail(self, thread: Thread, error: BaseException) -> None:
+        if thread.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
+            self.live_count -= 1
         thread.state = ThreadState.FAILED
         thread.error = error
         thread.ready = None

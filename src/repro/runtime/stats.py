@@ -49,6 +49,19 @@ class RunStats:
     rc_collections: int = 0
     lock_acquisitions: int = 0
 
+    #: wall-clock duration of the run loop.  Observability only — every
+    #: Table 1 metric stays in deterministic steps; wall time feeds the
+    #: BENCH_interp.json throughput trajectory.
+    wall_seconds: float = 0.0
+
+    @property
+    def steps_per_sec(self) -> float:
+        """Interpreter throughput (steps / wall second); 0 when the run
+        was too fast for the clock to resolve."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.steps_total / self.wall_seconds
+
     @property
     def pct_dynamic(self) -> float:
         """Fraction of accesses to dynamic-mode objects, as in Table 1's

@@ -46,17 +46,29 @@ from repro.sharc.libc import BUILTINS
 
 @dataclass
 class AccessInfo:
-    """Runtime-check metadata for one l-value occurrence."""
+    """Runtime-check metadata for one l-value occurrence.
+
+    The check kind is resolved once here, at instrumentation time — the
+    interpreter consults ``is_lock``/``is_dynamic`` on every access, so
+    they are plain precomputed fields rather than per-access mode
+    dispatch."""
 
     mode: M.Mode
     lvalue_text: str
     loc: Loc
     lock_ast: Optional[A.Expr] = None
+    #: precomputed dispatch: lock-held check vs dynamic discipline check
+    is_lock: bool = field(init=False, default=False)
+    is_dynamic: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.is_lock = self.mode.is_locked
+        self.is_dynamic = self.mode.kind in (M.ModeKind.DYNAMIC,
+                                             M.ModeKind.DYNAMIC_IN)
 
     @property
     def is_checked(self) -> bool:
-        return self.mode.kind in (M.ModeKind.DYNAMIC, M.ModeKind.DYNAMIC_IN,
-                                  M.ModeKind.LOCKED)
+        return self.is_lock or self.is_dynamic
 
 
 @dataclass

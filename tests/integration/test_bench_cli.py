@@ -1,0 +1,127 @@
+"""CLI tests for profiling (``sharc run --profile``) and the throughput
+benchmark (``sharc bench`` -> BENCH_interp.json)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.bench.interp_bench import (
+    SCHEMA, bench_payload, bench_workloads, validate_payload,
+)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.c"
+    path.write_text("""
+mutex lk;
+int locked(lk) counter = 0;
+void *bump(void *arg) {
+  mutexLock(&lk); counter = counter + 1; mutexUnlock(&lk);
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+""")
+    return str(path)
+
+
+class TestRunProfile:
+    def test_profile_flag_prints_phases_and_throughput(self, clean_file,
+                                                       capsys):
+        assert main(["run", "--profile", clean_file]) == 0
+        out = capsys.readouterr().out
+        assert "parse+typecheck" in out
+        assert "baseline" in out
+        assert "instrumented" in out
+        assert "steps/sec" in out
+
+    def test_profile_flag_keeps_exit_code_semantics(self, tmp_path,
+                                                    capsys):
+        racy = tmp_path / "racy.c"
+        racy.write_text("""
+int counter = 0;
+void *bump(void *arg) {
+  int i;
+  for (i = 0; i < 10; i++)
+    counter = counter + 1;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+""")
+        assert main(["run", "--profile", str(racy)]) == 1
+
+    def test_profile_flag_reports_static_errors_cleanly(self, tmp_path,
+                                                        capsys):
+        broken = tmp_path / "broken.c"
+        broken.write_text(
+            "int readonly limit = 1;\n"
+            "int main() { limit = 2; return 0; }\n")
+        assert main(["run", "--profile", str(broken)]) == 1
+        out = capsys.readouterr().out
+        assert "static checking failed" in out
+        assert "readonly" in out
+
+
+class TestBenchCommand:
+    def test_bench_writes_valid_json(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_interp.json"
+        code = main(["bench", "--workloads", "aget", "stunnel",
+                     "--out", str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert validate_payload(payload) == []
+        assert set(payload["workloads"]) == {"aget", "stunnel"}
+        entry = payload["workloads"]["aget"]
+        assert entry["sharc_steps"] > 0
+        assert entry["wall_seconds"] > 0
+        assert entry["steps_per_sec"] > 0
+        assert entry["reports"] == 0
+        text = capsys.readouterr().out
+        assert "steps/sec" in text
+
+    def test_bench_json_flag_prints_payload(self, tmp_path, capsys):
+        code = main(["bench", "--workloads", "aget", "--json",
+                     "--out", str(tmp_path / "b.json")])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == SCHEMA
+
+    def test_bench_rejects_unknown_workload(self, capsys):
+        code = main(["bench", "--workloads", "nope", "--out", "-"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+
+class TestPayloadValidation:
+    def test_validator_flags_missing_fields(self):
+        results = bench_workloads(["aget"])
+        payload = bench_payload(results)
+        del payload["workloads"]["aget"]["steps_per_sec"]
+        payload["schema"] = "bogus"
+        problems = validate_payload(payload)
+        assert any("schema" in p for p in problems)
+        assert any("steps_per_sec" in p for p in problems)
+
+    def test_validator_flags_empty_payload(self):
+        assert validate_payload({}) != []
+
+    def test_deterministic_metrics_are_stable_across_runs(self):
+        first = bench_workloads(["aget"])[0]
+        second = bench_workloads(["aget"])[0]
+        assert first.base_steps == second.base_steps
+        assert first.sharc_steps == second.sharc_steps
+        assert first.time_overhead == second.time_overhead
+        assert first.reports == second.reports

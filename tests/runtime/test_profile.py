@@ -1,0 +1,122 @@
+"""Tests for the wall-clock profiler (repro.runtime.profile)."""
+
+import pytest
+
+from repro.runtime.profile import Profiler, ProfileReport, profile_source
+
+SOURCE = """
+int counter = 0;
+
+void work() {
+  int i;
+  for (i = 0; i < 50; i = i + 1) {
+    counter = counter + 1;
+  }
+}
+
+int main() {
+  work();
+  return counter;
+}
+"""
+
+
+class TestProfiler:
+    def test_phase_records_elapsed_time(self):
+        prof = Profiler()
+        with prof.phase("alpha"):
+            pass
+        assert "alpha" in prof.phases
+        assert prof.phases["alpha"] >= 0.0
+
+    def test_reentering_a_phase_accumulates(self):
+        prof = Profiler()
+        with prof.phase("alpha"):
+            pass
+        once = prof.phases["alpha"]
+        with prof.phase("alpha"):
+            pass
+        assert prof.phases["alpha"] >= once
+        assert len(prof.phases) == 1
+
+    def test_phase_recorded_even_on_exception(self):
+        prof = Profiler()
+        with pytest.raises(RuntimeError):
+            with prof.phase("boom"):
+                raise RuntimeError("x")
+        assert "boom" in prof.phases
+
+    def test_counters_accumulate(self):
+        prof = Profiler()
+        prof.count("checks")
+        prof.count("checks", 4)
+        assert prof.counters["checks"] == 5
+
+    def test_total_and_dict_shape(self):
+        prof = Profiler()
+        with prof.phase("a"):
+            pass
+        with prof.phase("b"):
+            pass
+        assert prof.total_seconds() == pytest.approx(
+            prof.phases["a"] + prof.phases["b"])
+        shape = prof.as_dict()
+        assert set(shape) == {"phases", "counters"}
+        assert set(shape["phases"]) == {"a", "b"}
+
+    def test_render_lists_phases_and_counters(self):
+        prof = Profiler()
+        with prof.phase("parse"):
+            pass
+        prof.count("granules", 7)
+        text = prof.render()
+        assert "parse" in text
+        assert "granules" in text
+        assert "7" in text
+
+
+class TestProfileReport:
+    def test_steps_per_sec_guard_against_zero_wall(self):
+        report = ProfileReport(Profiler(), base_steps=100, base_wall=0.0)
+        assert report.base_steps_per_sec == 0.0
+        assert report.sharc_steps_per_sec == 0.0
+
+    def test_as_dict_schema(self):
+        report = ProfileReport(Profiler(), base_steps=10, sharc_steps=12,
+                               base_wall=0.5, sharc_wall=1.0, reports=0)
+        shape = report.as_dict()
+        runs = shape["runs"]
+        assert runs["baseline"]["steps"] == 10
+        assert runs["baseline"]["steps_per_sec"] == 20
+        assert runs["instrumented"]["steps"] == 12
+        assert runs["instrumented"]["wall_seconds"] == 1.0
+        assert shape["reports"] == 0
+
+
+class TestProfileSource:
+    def test_profiles_the_full_pipeline(self):
+        report = profile_source(SOURCE, "prof.c", seed=3)
+        assert set(report.profiler.phases) >= {"parse+typecheck",
+                                               "baseline", "instrumented"}
+        assert report.base_steps > 0
+        assert report.sharc_steps >= report.base_steps
+        assert report.base_wall > 0.0
+        assert report.sharc_wall > 0.0
+        assert report.reports == 0
+        assert report.checks["read_checks"] >= 0
+
+    def test_render_mentions_throughput(self):
+        report = profile_source(SOURCE, "prof.c")
+        text = report.render()
+        assert "steps/sec" in text
+        assert "baseline" in text
+        assert "instrumented" in text
+
+    def test_external_profiler_is_reused(self):
+        prof = Profiler()
+        with prof.phase("read"):
+            pass
+        report = profile_source(SOURCE, "prof.c", profiler=prof)
+        assert report.profiler is prof
+        assert "read" in prof.phases
+        assert "instrumented" in prof.phases

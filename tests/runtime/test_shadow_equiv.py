@@ -1,0 +1,199 @@
+"""Equivalence of the paged array-backed shadow with a dict reference.
+
+The production :class:`ShadowMemory` stores granule bitmaps in
+fixed-size integer pages and layers a per-thread last-granule fast-path
+cache on top.  Both are pure representation changes: the observable
+behaviour — conflicts, slow-update counts, ``updates`` accounting, final
+bitmaps, page accounting — must match a straightforward
+one-dict-entry-per-granule implementation of Figure 6 exactly.
+
+``DictShadow`` below is that reference (the pre-optimization storage
+scheme, with the semantic bugfixes applied so only representation
+differs).  A hypothesis property drives both through random operation
+sequences and compares every observable after every operation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import Loc
+from repro.runtime.shadow import GRANULE_SHIFT, SHADOW_PAGE, ShadowMemory
+
+LOC = Loc("t.c", 1)
+
+
+class DictShadow:
+    """Reference shadow: one dict entry per granule, no fast path."""
+
+    def __init__(self, nbytes: int = 1) -> None:
+        self.nbytes = nbytes
+        self.bits: dict[int, int] = {}
+        self.last: dict[int, object] = {}
+        self.last_writer: dict[int, object] = {}
+        self.thread_log: dict[int, set[int]] = {}
+        self.updates = 0
+        self.touched: set[int] = set()
+
+    @staticmethod
+    def granules(addr: int, size: int) -> range:
+        first = addr >> GRANULE_SHIFT
+        last = (addr + max(size, 1) - 1) >> GRANULE_SHIFT
+        return range(first, last + 1)
+
+    def _log(self, tid: int, granule: int) -> None:
+        self.thread_log.setdefault(tid, set()).add(granule)
+        self.touched.add(granule)
+
+    def chkread(self, addr, size, tid, lvalue, loc):
+        conflict = None
+        slow = 0
+        mybit = 1 << tid
+        for granule in self.granules(addr, size):
+            self.updates += 1
+            bits = self.bits.get(granule, 0)
+            if (bits & 1) and (bits & ~1 & ~mybit):
+                if conflict is None:
+                    conflict = (self.last_writer.get(granule)
+                                or self.last.get(granule))
+            if not bits & mybit:
+                slow += 1
+                self.bits[granule] = bits | mybit
+                self._log(tid, granule)
+            self.last[granule] = (tid, False)
+        return conflict, slow
+
+    def chkwrite(self, addr, size, tid, lvalue, loc):
+        conflict = None
+        slow = 0
+        mybit = 1 << tid
+        want = mybit | 1
+        for granule in self.granules(addr, size):
+            self.updates += 1
+            bits = self.bits.get(granule, 0)
+            if bits & ~1 & ~mybit:
+                if conflict is None:
+                    conflict = self.last.get(granule)
+            if bits & want != want:
+                slow += 1
+                self.bits[granule] = bits | want
+                self._log(tid, granule)
+            self.last[granule] = (tid, True)
+            self.last_writer[granule] = (tid, True)
+        return conflict, slow
+
+    def clear_range(self, addr, size):
+        for granule in self.granules(addr, size):
+            self.bits.pop(granule, None)
+            self.last.pop(granule, None)
+            self.last_writer.pop(granule, None)
+            for log in self.thread_log.values():
+                log.discard(granule)
+
+    def clear_thread(self, tid):
+        mask = ~(1 << tid)
+        for granule in self.thread_log.pop(tid, set()):
+            bits = self.bits.get(granule, 0) & mask
+            if bits & ~1 == 0:
+                bits = 0
+            if bits:
+                self.bits[granule] = bits
+            else:
+                self.bits.pop(granule, None)
+
+    def shadow_pages(self):
+        per_page = SHADOW_PAGE // self.nbytes
+        return len({g // per_page for g in self.touched})
+
+
+def _conflict_tid(conflict):
+    """Normalizes a conflict to the attributed thread id.
+
+    Only the tid is compared: a fast-path cache hit intentionally skips
+    refreshing the ``last`` record (the cached check has the same lvalue
+    and location), so the is_write flag of a *same-thread* record may
+    lag the reference by one access.  The attributed thread can never
+    differ — any other thread's state change bumps the version and
+    defeats the cache.
+    """
+    if conflict is None:
+        return None
+    if isinstance(conflict, tuple):
+        return conflict[0]
+    return conflict.tid
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["read", "write", "free", "exit"]),
+        st.integers(min_value=1, max_value=6),          # tid
+        st.integers(min_value=0, max_value=1 << 10),    # addr
+        st.integers(min_value=1, max_value=64),         # size
+    ),
+    min_size=1, max_size=60)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_OPS)
+def test_paged_shadow_matches_dict_reference(ops):
+    paged = ShadowMemory(nbytes=1)
+    ref = DictShadow(nbytes=1)
+    for i, (op, tid, addr, size) in enumerate(ops):
+        if op == "read":
+            got = paged.chkread(addr, size, tid, "x", LOC)
+            want = ref.chkread(addr, size, tid, "x", LOC)
+        elif op == "write":
+            got = paged.chkwrite(addr, size, tid, "x", LOC)
+            want = ref.chkwrite(addr, size, tid, "x", LOC)
+        elif op == "free":
+            paged.clear_range(addr, size)
+            ref.clear_range(addr, size)
+            continue
+        else:
+            paged.clear_thread(tid)
+            ref.clear_thread(tid)
+            continue
+        assert _conflict_tid(got[0]) == _conflict_tid(want[0]), \
+            f"op {i}: conflict mismatch on {op} tid={tid} addr={addr}"
+        assert got[1] == want[1], \
+            f"op {i}: slow-count mismatch on {op} tid={tid} addr={addr}"
+        assert paged.updates == ref.updates, f"op {i}: updates diverged"
+    assert paged.bits == ref.bits
+    assert paged.thread_log == ref.thread_log
+    assert paged.shadow_pages() == ref.shadow_pages()
+
+
+class TestFastPathSmoke:
+    """The per-thread last-granule cache short-circuits repeated checks."""
+
+    def test_second_pass_is_all_fast_path(self):
+        shadow = ShadowMemory(nbytes=1)
+        addrs = list(range(0, 256, 8))
+        first_slow = sum(shadow.chkread(a, 8, 1, "buf", LOC)[1]
+                         for a in addrs)
+        assert first_slow == len(set(a >> GRANULE_SHIFT for a in addrs))
+        second_slow = sum(shadow.chkread(a, 8, 1, "buf", LOC)[1]
+                          for a in addrs)
+        assert second_slow == 0
+        assert shadow.fastpath_hits > 0
+
+    def test_tight_loop_hits_cache_every_iteration(self):
+        shadow = ShadowMemory(nbytes=1)
+        shadow.chkwrite(0x40, 4, 2, "acc", LOC)
+        before = shadow.fastpath_hits
+        for _ in range(100):
+            assert shadow.chkwrite(0x40, 4, 2, "acc", LOC) == (None, 0)
+            assert shadow.chkread(0x40, 4, 2, "acc", LOC) == (None, 0)
+        assert shadow.fastpath_hits == before + 200
+        # updates accounting is identical on the fast path: one per
+        # granule per check, exactly as the slow path counts.
+        assert shadow.updates == 1 + 200
+
+    def test_foreign_mutation_invalidates_cache(self):
+        shadow = ShadowMemory(nbytes=1)
+        shadow.chkread(0x80, 4, 1, "x", LOC)
+        assert shadow.chkread(0x80, 4, 1, "x", LOC)[1] == 0
+        # Another thread's first touch mutates shadow state; thread 1's
+        # next check must not serve a stale "no conflict" from cache
+        # once a writer appears.
+        shadow.chkread(0x80, 4, 2, "x", LOC)
+        conflict, _ = shadow.chkwrite(0x80, 4, 1, "x", LOC)
+        assert conflict is not None and conflict.tid == 2

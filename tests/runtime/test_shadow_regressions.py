@@ -1,0 +1,117 @@
+"""Regression tests for three shadow-memory bugs.
+
+Each test here fails on the pre-fix implementation:
+
+1. ``chkread`` conflicts reported whichever thread *touched* the granule
+   last instead of the thread that is the *writer* (Figure 6's judgment
+   is "another thread is the writer").
+2. ``clear_range`` (``free()``) left the freed granules in the
+   per-thread first-access logs, so the logs grew without bound (every
+   function return frees a stack slab) and a later thread exit walked
+   granules belonging to a different object.
+3. ``_check_tid`` accepted thread id 0 (and negatives), silently
+   aliasing bit 0 — the "single thread reads and writes" writer bit —
+   and corrupting the encoding.
+"""
+
+import pytest
+
+from repro.errors import Loc
+from repro.runtime.shadow import GRANULE_SHIFT, ShadowMemory
+
+LOC = Loc("t.c", 1)
+
+
+@pytest.fixture
+def shadow():
+    return ShadowMemory(nbytes=1)
+
+
+class TestReadConflictNamesTheWriter:
+    """Bug 1: misattribution of chkread conflicts under 3 threads."""
+
+    def test_conflict_reports_writer_not_last_reader(self, shadow):
+        # Thread 1 writes the granule, becoming its writer.
+        shadow.chkwrite(0x100, 4, 1, "shared->buf", Loc("w.c", 10))
+        # Thread 3 reads it — a conflict for thread 3, and the granule's
+        # most recent *access* is now thread 3's innocent read.
+        shadow.chkread(0x100, 4, 3, "shared->buf", Loc("r3.c", 30))
+        # Thread 2 reads: the conflicting party is thread 1 (the writer),
+        # not thread 3 (merely the last accessor).
+        conflict, _ = shadow.chkread(0x100, 4, 2, "shared->buf",
+                                     Loc("r2.c", 20))
+        assert conflict is not None
+        assert conflict.tid == 1
+        assert conflict.is_write
+        assert conflict.loc.line == 10
+
+    def test_write_conflict_still_reports_last_access(self, shadow):
+        # chkwrite's judgment is "any other thread read or wrote", so the
+        # last access — even a read — is the right report there.
+        shadow.chkread(0x200, 4, 1, "x", Loc("r.c", 5))
+        conflict, _ = shadow.chkwrite(0x200, 4, 2, "x", Loc("w.c", 6))
+        assert conflict is not None
+        assert conflict.tid == 1
+        assert not conflict.is_write
+
+
+class TestClearRangePurgesThreadLogs:
+    """Bug 2: free + realloc + thread exit."""
+
+    def test_freed_granules_leave_every_thread_log(self, shadow):
+        shadow.chkwrite(0x100, 32, 1, "p", LOC)
+        shadow.chkread(0x100, 32, 1, "p", LOC)
+        granules = set(shadow.granules(0x100, 32))
+        assert granules <= shadow.thread_log[1]
+        shadow.clear_range(0x100, 32)  # free(p)
+        for tid, log in shadow.thread_log.items():
+            assert not granules & log, (
+                f"freed granules still logged for thread {tid}")
+
+    def test_free_realloc_exit_keeps_new_owner_intact(self, shadow):
+        # Thread 1 owns an object, then frees it.
+        shadow.chkwrite(0x100, 16, 1, "old", LOC)
+        shadow.clear_range(0x100, 16)
+        # The allocator hands the same address to a new object owned by
+        # thread 2.
+        shadow.chkwrite(0x100, 16, 2, "new", LOC)
+        # Thread 1 exits.  Its exit walk must not visit the recycled
+        # granule at all — the log entry died with the free.
+        shadow.clear_thread(1)
+        granule = 0x100 >> GRANULE_SHIFT
+        assert shadow.bits[granule] == (1 << 2) | 1
+        # Thread 2 is still the sole owner: no conflict, fast path.
+        conflict, slow = shadow.chkwrite(0x100, 16, 2, "new", LOC)
+        assert conflict is None and slow == 0
+
+    def test_logs_do_not_grow_across_alloc_free_cycles(self, shadow):
+        # The stack pattern: every "call" touches a fresh slab (the bump
+        # allocator never reuses addresses) and frees it on return.
+        for i in range(50):
+            addr = 0x1000 + i * 64
+            shadow.chkwrite(addr, 64, 1, "frame", LOC)
+            shadow.clear_range(addr, 64)
+        assert len(shadow.thread_log.get(1, set())) == 0
+
+
+class TestTidValidation:
+    """Bug 3: thread id 0 aliases the writer bit."""
+
+    def test_chkread_rejects_tid_zero(self, shadow):
+        with pytest.raises(ValueError, match="bit 0"):
+            shadow.chkread(0x100, 4, 0, "x", LOC)
+
+    def test_chkwrite_rejects_tid_zero(self, shadow):
+        with pytest.raises(ValueError, match="reserved"):
+            shadow.chkwrite(0x100, 4, 0, "x", LOC)
+
+    def test_negative_tid_rejected(self, shadow):
+        with pytest.raises(ValueError):
+            shadow.chkread(0x100, 4, -1, "x", LOC)
+
+    def test_rejected_tid_leaves_no_state(self, shadow):
+        with pytest.raises(ValueError):
+            shadow.chkwrite(0x100, 4, 0, "x", LOC)
+        assert shadow.bits == {}
+        assert shadow.thread_log == {}
+        assert shadow.updates == 0
