@@ -13,7 +13,12 @@ Subcommands mirror how the paper's tool is used:
 - ``sharc bench``        — interpreter throughput over the Table 1
   workloads; writes ``BENCH_interp.json``;
 - ``sharc ablate-rc`` / ``sharc ablate-annot`` — the ablations;
-- ``sharc compare-eraser`` — SharC vs the lockset baseline (§6.2).
+- ``sharc compare-eraser`` — SharC vs the lockset baseline (§6.2);
+- ``sharc explore``      — sweep a program across seeds x scheduling
+  policies hunting schedule-dependent races, report coverage and
+  first-failure replay seeds, optionally delta-debug a failure to a
+  minimal interleaving (``--shrink``) or replay a saved one
+  (``--replay``).
 """
 
 from __future__ import annotations
@@ -127,6 +132,97 @@ def cmd_compare_eraser(_args: argparse.Namespace) -> int:
     return comparison_eraser.main()
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.explore import (
+        differential_sweep, explore_source, load_artifact, racy_c_program,
+        replay_artifact, save_artifact, shrink_failure,
+    )
+
+    if args.replay:
+        payload = load_artifact(args.replay)
+        result = replay_artifact(payload)
+        print(f"replayed {payload['filename']} "
+              f"(seed={payload['seed']} policy={payload['policy']} "
+              f"[{payload['checker']}]):")
+        for key in sorted(result.report_counts):
+            print(f"  {key} x{result.report_counts[key]}")
+        expected = set(payload["report_keys"])
+        ok = expected <= set(result.report_counts)
+        print("reproduced the saved report" if ok
+              else "DID NOT reproduce the saved report")
+        return 0 if ok else 1
+
+    spec = None
+    if args.gen is not None:
+        source, spec = racy_c_program(args.gen, kind=args.gen_kind)
+        filename = f"<racy gen={args.gen} kind={args.gen_kind}>"
+        if args.emit_source:
+            print(source)
+    elif args.file:
+        source, filename = _read(args.file), args.file
+    else:
+        print("explore: need FILE or --gen SEED", file=sys.stderr)
+        return 2
+
+    policies = tuple(args.policy) if args.policy else ("random", "pct",
+                                                       "pb")
+    common = dict(seeds=args.seeds, seed_start=args.seed_start,
+                  policies=policies, jobs=args.jobs,
+                  max_steps=args.max_steps)
+    if args.checker == "both":
+        summary = differential_sweep(source, filename, **common)
+        print(summary.render() if not args.json
+              else json.dumps(summary.as_dict(), indent=2))
+        sweep = summary.sharc
+    else:
+        sweep = explore_source(source, filename, checker=args.checker,
+                               **common)
+        print(sweep.render() if not args.json
+              else json.dumps(sweep.as_dict(), indent=2))
+
+    found = None
+    if spec is not None:
+        hits = sorted(k for k in sweep.first_failures
+                      if spec.matches_key(k))
+        if args.checker == "both":
+            hits = sorted(set(hits) | {
+                k for k in summary.eraser.first_failures
+                if spec.matches_key(k)})
+        if hits:
+            first = (sweep.first_failures.get(hits[0])
+                     or summary.eraser.first_failures[hits[0]])
+            print(f"injected race ({spec.kind} on {spec.global_name}) "
+                  f"FOUND: {', '.join(hits)}")
+            print(f"  replay with {first.replay_coords()}")
+            found = first
+        else:
+            print(f"injected race ({spec.kind} on {spec.global_name}) "
+                  "NOT found in this sweep")
+
+    if args.shrink:
+        target = found or sweep.first_failure
+        if target is None:
+            print("nothing to shrink: no failing schedule found")
+            return 1
+        checker = target.checker
+        keys = ([k for k in target.report_keys if spec.matches_key(k)]
+                if spec is not None else None) or None
+        result = shrink_failure(source, filename, seed=target.seed,
+                                policy=target.policy, checker=checker,
+                                target_keys=keys,
+                                max_steps=args.max_steps)
+        print(result.render())
+        if args.out:
+            save_artifact(result, args.out)
+            print(f"replayable artifact written to {args.out}")
+
+    if spec is not None:
+        return 0 if found is not None else 1
+    return 0 if not sweep.failures else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sharc",
@@ -178,6 +274,47 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare-eraser",
                        help="SharC vs Eraser-style lockset baseline")
     p.set_defaults(func=cmd_compare_eraser)
+
+    p = sub.add_parser(
+        "explore",
+        help="sweep seeds x scheduling policies hunting "
+             "schedule-dependent races")
+    p.add_argument("file", nargs="?", default=None,
+                   help="mini-C source to explore (or use --gen)")
+    p.add_argument("--gen", type=int, default=None, metavar="SEED",
+                   help="explore a racy-by-construction generated "
+                        "program instead of a file; exit 0 iff the "
+                        "injected race is found")
+    p.add_argument("--gen-kind", choices=("write-write", "lock-elision"),
+                   default="write-write")
+    p.add_argument("--emit-source", action="store_true",
+                   help="print the generated program before exploring")
+    p.add_argument("--seeds", type=int, default=50,
+                   help="schedules per policy (default 50)")
+    p.add_argument("--seed-start", type=int, default=0)
+    p.add_argument("--policy", action="append", default=None,
+                   metavar="SPEC",
+                   help="scheduling policy spec, repeatable (random, "
+                        "round-robin, serial, pct[:D[:H]], pb[:K]); "
+                        "default: random, pct, pb")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep")
+    p.add_argument("--checker", choices=("sharc", "eraser", "both"),
+                   default="sharc",
+                   help="'both' runs a differential sweep and reports "
+                        "checker disagreements as replay seeds")
+    p.add_argument("--shrink", action="store_true",
+                   help="delta-debug the first failure to a minimal "
+                        "interleaving")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the shrunk schedule as a replayable "
+                        "JSON artifact")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="replay a saved schedule artifact and verify it "
+                        "still reproduces its report")
+    p.add_argument("--max-steps", type=int, default=200_000)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_explore)
     return parser
 
 

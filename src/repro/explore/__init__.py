@@ -1,0 +1,51 @@
+"""Schedule exploration: find, replay, and shrink the races one seed
+misses.
+
+The dynamic checker's verdict on a racy program is a single sample from
+the interleaving space — the paper itself stresses that race occurrence
+is "highly dependent on the scheduler".  This package turns the seeded
+deterministic scheduler into a search tool:
+
+- :mod:`repro.explore.driver` — fan a program out over N seeds x M
+  scheduling policies (``random``, ``round-robin``, ``serial``, PCT,
+  preemption-bounded), in parallel via ``multiprocessing``, and report
+  interleaving-space coverage (distinct context-switch traces, races
+  found per 1k schedules) plus first-failure replay seeds;
+- :mod:`repro.explore.shrink` — delta-debug a failing schedule's
+  recorded context-switch trace down to a minimal interleaving that
+  still reproduces the report, and emit it as a replayable artifact;
+- :mod:`repro.explore.frontends` — render :mod:`repro.formal` programs
+  (including the racy-by-construction generator's output) to mini-C so
+  they run under the full pipeline;
+- :mod:`repro.explore.differential` — run the same schedules under the
+  SharC checker and the Eraser lockset baseline and report
+  disagreements as replay seeds.
+
+CLI: ``sharc explore`` (see ``sharc explore --help``).
+"""
+
+from repro.explore.driver import (
+    ExplorationSummary, ScheduleOutcome, explore_source, explore_workload,
+)
+from repro.explore.frontends import racy_c_program, render_c
+from repro.explore.shrink import (
+    ShrinkResult, load_artifact, replay_artifact, save_artifact,
+    shrink_failure,
+)
+from repro.explore.differential import DifferentialSummary, differential_sweep
+
+__all__ = [
+    "DifferentialSummary",
+    "ExplorationSummary",
+    "ScheduleOutcome",
+    "ShrinkResult",
+    "differential_sweep",
+    "explore_source",
+    "explore_workload",
+    "load_artifact",
+    "racy_c_program",
+    "render_c",
+    "replay_artifact",
+    "save_artifact",
+    "shrink_failure",
+]

@@ -1,0 +1,130 @@
+"""Differential exploration: SharC's dynamic checker vs the Eraser
+lockset baseline, schedule by schedule.
+
+Both detectors watch the same interleavings, so any disagreement is a
+property of the *detectors*, not of scheduling luck:
+
+- SharC-only findings are typically ``dynamic`` cells whose accesses
+  happen to be consistently locked on this schedule (Eraser's lockset
+  never empties) — the paper's argument that barrier/ownership idioms
+  need more than lockset reasoning cuts both ways;
+- Eraser-only findings are usually lock-discipline violations on cells
+  the sharing strategy deliberately exempts (e.g. ``racy``/benign
+  annotations) or false positives from lockset refinement.
+
+Every disagreement row carries its (seed, policy) coordinates, so each
+one is a replayable counterexample, not a statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.explore.driver import (
+    DEFAULT_MAX_STEPS, ExplorationSummary, explore_source,
+)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One schedule the two checkers judged differently."""
+
+    seed: int
+    policy: str
+    sharc_keys: tuple[str, ...]
+    eraser_keys: tuple[str, ...]
+
+    @property
+    def sharc_only(self) -> tuple[str, ...]:
+        return tuple(k for k in self.sharc_keys
+                     if k not in self.eraser_keys)
+
+    @property
+    def eraser_only(self) -> tuple[str, ...]:
+        return tuple(k for k in self.eraser_keys
+                     if k not in self.sharc_keys)
+
+    def replay_coords(self) -> str:
+        return f"seed={self.seed} policy={self.policy}"
+
+
+@dataclass
+class DifferentialSummary:
+    """Both sweeps plus the per-schedule disagreement table."""
+
+    sharc: ExplorationSummary
+    eraser: ExplorationSummary
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+    @property
+    def schedules(self) -> int:
+        return self.sharc.schedules
+
+    @property
+    def agreeing(self) -> int:
+        return self.schedules - len(self.disagreements)
+
+    def as_dict(self) -> dict:
+        return {
+            "schedules": self.schedules,
+            "agreeing": self.agreeing,
+            "disagreements": [
+                {"seed": d.seed, "policy": d.policy,
+                 "sharc_only": list(d.sharc_only),
+                 "eraser_only": list(d.eraser_only)}
+                for d in self.disagreements],
+            "sharc": self.sharc.as_dict(),
+            "eraser": self.eraser.as_dict(),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"differential sweep over {self.schedules} schedules:",
+            f"  sharc : {len(self.sharc.failures)} failing "
+            f"({self.sharc.races_per_1k:.1f}/1k), "
+            f"{len(self.sharc.first_failures)} distinct reports",
+            f"  eraser: {len(self.eraser.failures)} failing "
+            f"({self.eraser.races_per_1k:.1f}/1k), "
+            f"{len(self.eraser.first_failures)} distinct reports",
+            f"  disagreements: {len(self.disagreements)}",
+        ]
+        for d in self.disagreements[:20]:
+            parts = []
+            if d.sharc_only:
+                parts.append("sharc-only: " + ", ".join(d.sharc_only))
+            if d.eraser_only:
+                parts.append("eraser-only: " + ", ".join(d.eraser_only))
+            lines.append(f"    {d.replay_coords()}  " + "; ".join(parts))
+        if len(self.disagreements) > 20:
+            lines.append(f"    ... and "
+                         f"{len(self.disagreements) - 20} more")
+        return "\n".join(lines)
+
+
+def differential_sweep(source: str, filename: str = "<input>", *,
+                       seeds: int = 50, seed_start: int = 0,
+                       policies: Sequence[str] = ("random", "pct"),
+                       jobs: int = 1,
+                       max_steps: int = DEFAULT_MAX_STEPS,
+                       max_burst: int = 8,
+                       world_factory: Optional[Callable] = None,
+                       ) -> DifferentialSummary:
+    """Runs the same ``seeds x policies`` grid under both checkers and
+    diffs the verdicts schedule by schedule."""
+    common = dict(seeds=seeds, seed_start=seed_start, policies=policies,
+                  jobs=jobs, max_steps=max_steps, max_burst=max_burst,
+                  world_factory=world_factory)
+    sharc = explore_source(source, filename, checker="sharc", **common)
+    eraser = explore_source(source, filename, checker="eraser", **common)
+    summary = DifferentialSummary(sharc=sharc, eraser=eraser)
+    eraser_by_coords = {(o.seed, o.policy): o for o in eraser.outcomes}
+    for s in sharc.outcomes:
+        e = eraser_by_coords.get((s.seed, s.policy))
+        if e is None:
+            continue
+        if set(s.report_keys) != set(e.report_keys):
+            summary.disagreements.append(Disagreement(
+                seed=s.seed, policy=s.policy,
+                sharc_keys=s.report_keys, eraser_keys=e.report_keys))
+    return summary

@@ -1,0 +1,333 @@
+"""The multi-seed, multi-policy exploration driver.
+
+One dynamic run samples exactly one interleaving; this driver sweeps a
+program across ``seeds x policies`` schedules — optionally fanned out
+over worker processes — and aggregates:
+
+- **failures**: every schedule that produced at least one report, with
+  its (seed, policy) replay coordinates;
+- **coverage**: how many *distinct context-switch traces* the sweep
+  actually executed (two seeds that interleave identically explore the
+  same point of the schedule space), and races found per 1k schedules;
+- **per-policy breakdown**: which policy finds which reports — PCT and
+  the preemption-bounded walk routinely expose races the uniform random
+  walk misses at the same budget.
+
+Schedules are deterministic, so every row of the result is replayable:
+``run_checked(checked, seed=outcome.seed, policy=outcome.policy)``
+reproduces the run bit-for-bit.  Wall-clock accounting goes through
+:class:`repro.runtime.profile.Profiler`; the deterministic metrics come
+from :class:`repro.runtime.stats.RunStats` as everywhere else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.runtime.profile import Profiler
+
+#: exploration runs bound their schedules tighter than normal runs —
+#: sweeping thousands of schedules at 2M steps each would be pointless
+DEFAULT_MAX_STEPS = 200_000
+
+#: generated racy programs spawn aggressively (duplicate spawns widen
+#: the interleaving space), and a 1-byte shadow word caps the run at 7
+#: threads (the paper's 8n-1 encoding) — aborting mid-schedule would
+#: masquerade as a scheduling effect, so exploration runs 2-byte shadow
+#: words (15-thread capacity) by default
+DEFAULT_SHADOW_BYTES = 2
+
+DEFAULT_POLICIES = ("random", "pct", "pb")
+
+
+@dataclass(frozen=True)
+class ScheduleOutcome:
+    """One schedule's result, reduced to its replayable coordinates."""
+
+    seed: int
+    policy: str
+    checker: str
+    report_keys: tuple[str, ...]
+    reports: int
+    steps: int
+    switches: int
+    trace_hash: str
+    deadlock: bool = False
+    error: Optional[str] = None
+    timeout: bool = False
+
+    @property
+    def failing(self) -> bool:
+        return self.reports > 0
+
+    def replay_coords(self) -> str:
+        return f"seed={self.seed} policy={self.policy}"
+
+
+@dataclass
+class ExplorationSummary:
+    """Everything one sweep measured."""
+
+    filename: str
+    checker: str
+    policies: tuple[str, ...]
+    schedules: int = 0
+    steps_total: int = 0
+    outcomes: list[ScheduleOutcome] = field(default_factory=list)
+    failures: list[ScheduleOutcome] = field(default_factory=list)
+    #: report key -> the first schedule that produced it
+    first_failures: dict[str, ScheduleOutcome] = field(
+        default_factory=dict)
+    trace_hashes: set[str] = field(default_factory=set)
+    #: policy -> {"schedules": n, "failures": n, "traces": set}
+    per_policy: dict[str, dict] = field(default_factory=dict)
+    profiler: Profiler = field(default_factory=Profiler)
+
+    def add(self, outcome: ScheduleOutcome) -> None:
+        self.schedules += 1
+        self.steps_total += outcome.steps
+        self.outcomes.append(outcome)
+        self.trace_hashes.add(outcome.trace_hash)
+        bucket = self.per_policy.setdefault(
+            outcome.policy,
+            {"schedules": 0, "failures": 0, "traces": set()})
+        bucket["schedules"] += 1
+        bucket["traces"].add(outcome.trace_hash)
+        if outcome.failing:
+            self.failures.append(outcome)
+            bucket["failures"] += 1
+            for key in outcome.report_keys:
+                self.first_failures.setdefault(key, outcome)
+
+    @property
+    def distinct_traces(self) -> int:
+        return len(self.trace_hashes)
+
+    @property
+    def races_per_1k(self) -> float:
+        if not self.schedules:
+            return 0.0
+        return 1000.0 * len(self.failures) / self.schedules
+
+    @property
+    def first_failure(self) -> Optional[ScheduleOutcome]:
+        return self.failures[0] if self.failures else None
+
+    def as_dict(self) -> dict:
+        return {
+            "filename": self.filename,
+            "checker": self.checker,
+            "policies": list(self.policies),
+            "schedules": self.schedules,
+            "steps_total": self.steps_total,
+            "failing_schedules": len(self.failures),
+            "distinct_traces": self.distinct_traces,
+            "races_per_1k": round(self.races_per_1k, 3),
+            "distinct_reports": sorted(self.first_failures),
+            "first_failures": {
+                key: {"seed": o.seed, "policy": o.policy}
+                for key, o in self.first_failures.items()},
+            "per_policy": {
+                policy: {
+                    "schedules": b["schedules"],
+                    "failures": b["failures"],
+                    "distinct_traces": len(b["traces"]),
+                }
+                for policy, b in sorted(self.per_policy.items())},
+            "profile": self.profiler.as_dict(),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"explored {self.schedules} schedules of {self.filename} "
+            f"[{self.checker}] over policies: "
+            + ", ".join(self.policies),
+            f"  distinct context-switch traces: {self.distinct_traces}",
+            f"  failing schedules: {len(self.failures)} "
+            f"({self.races_per_1k:.1f} races / 1k schedules)",
+        ]
+        for policy, b in sorted(self.per_policy.items()):
+            lines.append(
+                f"  {policy:<12} {b['failures']:>4}/{b['schedules']:<4}"
+                f" failing, {len(b['traces'])} distinct traces")
+        if self.first_failures:
+            lines.append("  first failure per report:")
+            for key, o in sorted(self.first_failures.items()):
+                lines.append(f"    {key}  ->  replay with "
+                             f"{o.replay_coords()}")
+        else:
+            lines.append("  no failing schedule found")
+        return "\n".join(lines)
+
+
+# -- one schedule -------------------------------------------------------------
+#
+# Worker processes re-check the source; a per-process cache keyed by
+# (source hash, filename) amortizes that across the seeds each worker
+# handles.
+
+_CHECK_CACHE: dict = {}
+
+
+def _checked_program(source: str, filename: str):
+    from repro.sharc.checker import check_source
+
+    key = (hashlib.sha1(source.encode()).hexdigest(), filename)
+    checked = _CHECK_CACHE.get(key)
+    if checked is None:
+        checked = check_source(source, filename)
+        if not checked.ok:
+            raise ValueError(f"{filename}: static checking failed:\n"
+                             + checked.render_diagnostics())
+        _CHECK_CACHE[key] = checked
+    return checked
+
+
+def trace_hash(trace: Sequence[tuple[int, int]]) -> str:
+    digest = hashlib.sha1()
+    for tid, items in trace:
+        digest.update(f"{tid}:{items};".encode())
+    return digest.hexdigest()[:16]
+
+
+def run_schedule(source: str, filename: str, seed: int, policy: str,
+                 checker: str = "sharc",
+                 max_steps: int = DEFAULT_MAX_STEPS,
+                 max_burst: int = 8,
+                 world_factory: Optional[Callable] = None,
+                 shadow_bytes: int = DEFAULT_SHADOW_BYTES,
+                 ) -> ScheduleOutcome:
+    """Executes one (seed, policy) schedule and reduces it to an
+    outcome."""
+    from repro.runtime.interp import run_checked
+
+    checked = _checked_program(source, filename)
+    world = world_factory() if world_factory is not None else None
+    result = run_checked(checked, seed=seed, policy=policy,
+                         checker=checker, max_steps=max_steps,
+                         max_burst=max_burst, world=world,
+                         shadow_bytes=shadow_bytes,
+                         record_trace=True)
+    trace = result.trace or []
+    return ScheduleOutcome(
+        seed=seed, policy=policy, checker=checker,
+        report_keys=tuple(sorted(result.report_counts)),
+        reports=len(result.reports),
+        steps=result.stats.steps_total,
+        switches=max(0, len(trace) - 1),
+        trace_hash=trace_hash(trace),
+        deadlock=result.deadlock is not None,
+        error=result.error,
+        timeout=result.timeout,
+    )
+
+
+def _run_task(task) -> ScheduleOutcome:
+    (source, filename, seed, policy, checker, max_steps, max_burst,
+     world_factory, shadow_bytes) = task
+    return run_schedule(source, filename, seed, policy, checker,
+                        max_steps, max_burst, world_factory,
+                        shadow_bytes)
+
+
+# -- the sweep -------------------------------------------------------------
+
+
+def _resolve_policies(policies: Sequence[str], source: str,
+                      filename: str, checker: str, max_steps: int,
+                      max_burst: int,
+                      world_factory: Optional[Callable],
+                      shadow_bytes: int = DEFAULT_SHADOW_BYTES,
+                      ) -> tuple[str, ...]:
+    """Pins PCT's horizon to the measured program length.
+
+    PCT's probabilistic guarantee assumes its horizon approximates the
+    program's actual scheduled-item count ``k``; the stock default
+    (4000) makes change points land past the end of short programs and
+    the policy silently degenerates to a priority-ordered serial run.
+    ``pct`` / ``pct:D`` specs therefore get ``k`` measured with one
+    serial run appended — yielding a fully explicit ``pct:D:k`` spec, so
+    every outcome stays replayable verbatim.  Specs that already carry a
+    horizon are left alone.
+    """
+    from repro.runtime.interp import run_checked
+
+    def needs_horizon(spec: str) -> bool:
+        return spec == "pct" or (spec.startswith("pct:")
+                                 and spec.count(":") == 1)
+
+    if not any(needs_horizon(p) for p in policies):
+        return tuple(policies)
+    checked = _checked_program(source, filename)
+    world = world_factory() if world_factory is not None else None
+    probe = run_checked(checked, seed=0, policy="serial",
+                        checker=checker, max_steps=max_steps,
+                        max_burst=max_burst, world=world,
+                        shadow_bytes=shadow_bytes, record_trace=True)
+    horizon = max(1, sum(n for _, n in (probe.trace or [])))
+    resolved = []
+    for spec in policies:
+        if needs_horizon(spec):
+            depth = spec.partition(":")[2] or "3"
+            spec = f"pct:{depth}:{horizon}"
+        resolved.append(spec)
+    return tuple(resolved)
+
+
+def explore_source(source: str, filename: str = "<input>", *,
+                   seeds: int = 50, seed_start: int = 0,
+                   policies: Sequence[str] = DEFAULT_POLICIES,
+                   checker: str = "sharc", jobs: int = 1,
+                   max_steps: int = DEFAULT_MAX_STEPS,
+                   max_burst: int = 8,
+                   world_factory: Optional[Callable] = None,
+                   shadow_bytes: int = DEFAULT_SHADOW_BYTES,
+                   ) -> ExplorationSummary:
+    """Sweeps ``seeds x policies`` schedules of one program.
+
+    ``jobs > 1`` distributes schedules over a process pool;
+    ``world_factory`` (a picklable zero-argument callable) rebuilds the
+    simulated I/O world per run so runs stay independent.
+    """
+    summary = ExplorationSummary(filename=filename, checker=checker,
+                                 policies=tuple(policies))
+    with summary.profiler.phase("check"):
+        _checked_program(source, filename)  # fail fast, warm the cache
+    with summary.profiler.phase("resolve-policies"):
+        policies = _resolve_policies(policies, source, filename,
+                                     checker, max_steps, max_burst,
+                                     world_factory, shadow_bytes)
+    summary.policies = policies
+    tasks = [(source, filename, seed, policy, checker, max_steps,
+              max_burst, world_factory, shadow_bytes)
+             for policy in policies
+             for seed in range(seed_start, seed_start + seeds)]
+    with summary.profiler.phase("sweep"):
+        if jobs > 1:
+            with multiprocessing.Pool(jobs) as pool:
+                for outcome in pool.imap(_run_task, tasks,
+                                         chunksize=8):
+                    summary.add(outcome)
+        else:
+            for task in tasks:
+                summary.add(_run_task(task))
+    summary.profiler.count("schedules", summary.schedules)
+    summary.profiler.count("failing_schedules", len(summary.failures))
+    summary.profiler.count("distinct_traces", summary.distinct_traces)
+    return summary
+
+
+def explore_workload(name: str, *, annotated: bool = True,
+                     **kwargs) -> ExplorationSummary:
+    """Sweeps one of the Table 1 workload models by name."""
+    from repro.bench.workloads import get_workload
+
+    workload = get_workload(name)
+    source = (workload.annotated_source if annotated
+              else workload.unannotated_source)
+    kwargs.setdefault("max_steps", workload.max_steps)
+    kwargs.setdefault("world_factory", workload.world_factory)
+    return explore_source(source, f"{name}.c", **kwargs)

@@ -1,0 +1,173 @@
+"""Render formal-model programs to mini-C for the dynamic pipeline.
+
+The formal core language (Figure 3) and the mini-C frontend describe the
+same sharing discipline at different altitudes; this module lowers the
+former into the latter so that programs built by :mod:`repro.formal.gen`
+— in particular the racy-by-construction ones — can run under the full
+dynamic checker *and* the Eraser lockset baseline, which only exist at
+the C level.
+
+The lowering is direct:
+
+==============================  =====================================
+formal                          mini-C
+==============================  =====================================
+``dynamic int`` global          ``int dynamic g;``
+``dynamic ref (dynamic int)``   ``int dynamic * dynamic g;``
+``private int`` local           ``int x;``
+``dynamic int`` local           ``int dynamic x;``
+``private ref (dynamic int)``   ``int dynamic * x;``
+``private ref (private int)``   ``int private * x;``
+``x := new t``                  ``x = malloc(sizeof(int));``
+``l := scast_t x``              ``l = SCAST(<t> *, x);``
+``spawn f()``                   ``thread_create(f, NULL);``
+``*x`` (read or write)          guarded: ``if (x) ...`` — the formal
+                                semantics *fails* the thread on a null
+                                deref; mini-C would abort the whole
+                                run, so derefs are null-guarded instead
+==============================  =====================================
+
+Thread functions are emitted in reverse spawn order (worker ``i`` only
+ever spawns workers ``> i``), so every ``thread_create`` target is
+already defined.
+
+For a :class:`repro.formal.gen.RaceSpec` with kind ``"lock-elision"``
+the racy global is rendered ``locked(race_lk)`` and the *first* racing
+thread takes the lock around its write while the second elides it — the
+lock-discipline violation SharC reports on every schedule but a lockset
+detector only catches on schedules where the lockset actually empties.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.formal.gen import RaceSpec, gen_racy_program
+from repro.formal.lang import (
+    Assign, Deref, IntBase, Mode, New, Null, Num, Program, RefBase,
+    Scast, Seq, Skip, Spawn, Stmt, ThreadDef, Type, Var,
+)
+
+#: name of the mutex guarding the racy global in lock-elision renderings
+RACE_LOCK = "race_lk"
+
+
+def _ctype(t: Type) -> str:
+    """The mini-C type text for a formal type (without the variable)."""
+    if isinstance(t.base, IntBase):
+        return "int dynamic" if t.mode is Mode.DYNAMIC else "int"
+    assert isinstance(t.base, RefBase)
+    target = t.base.target
+    assert isinstance(target.base, IntBase), "core language is depth-2"
+    inner = "int dynamic" if target.mode is Mode.DYNAMIC else "int private"
+    outer = " dynamic" if t.mode is Mode.DYNAMIC else ""
+    return f"{inner} *{outer}"
+
+
+def _decl(name: str, t: Type) -> str:
+    return f"{_ctype(t)} {name};"
+
+
+def _scast_type(to: Type) -> str:
+    """The SCAST target pointer type for ``scast_t``."""
+    assert isinstance(to.base, IntBase), "core language casts int cells"
+    inner = "int dynamic" if to.mode is Mode.DYNAMIC else "int private"
+    return f"{inner} *"
+
+
+def _expr(e) -> str:
+    if isinstance(e, Num):
+        return str(e.value)
+    if isinstance(e, Null):
+        return "NULL"
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, Deref):
+        return f"*{e.name}"
+    if isinstance(e, New):
+        return "malloc(sizeof(int))"
+    if isinstance(e, Scast):
+        return f"SCAST({_scast_type(e.to)}, {e.var})"
+    raise TypeError(f"cannot render expression {e!r}")
+
+
+def _stmt_lines(s: Stmt, race: Optional[RaceSpec],
+                thread_name: str) -> list[str]:
+    if isinstance(s, Skip):
+        return []
+    if isinstance(s, Seq):
+        return (_stmt_lines(s.first, race, thread_name)
+                + _stmt_lines(s.second, race, thread_name))
+    if isinstance(s, Spawn):
+        return [f"thread_create({s.func}, NULL);"]
+    if isinstance(s, Assign):
+        guards = []
+        if isinstance(s.target, Deref):
+            guards.append(s.target.name)
+        if isinstance(s.value, Deref):
+            guards.append(s.value.name)
+        line = f"{_expr(s.target)} = {_expr(s.value)};"
+        if guards:
+            cond = " && ".join(f"{g} != NULL" for g in guards)
+            line = f"if ({cond}) {line}"
+        if (race is not None and race.kind == "lock-elision"
+                and isinstance(s.target, Var)
+                and s.target.name == race.global_name
+                and thread_name == race.threads[0]):
+            # The disciplined accessor; the second thread elides the lock.
+            return [f"mutexLock(&{RACE_LOCK});", line,
+                    f"mutexUnlock(&{RACE_LOCK});"]
+        return [line]
+    raise TypeError(f"cannot render statement {s!r}")
+
+
+def _thread_fn(t: ThreadDef, race: Optional[RaceSpec]) -> list[str]:
+    lines = [f"void *{t.name}(void *arg) {{"]
+    for name, ty in t.locals:
+        lines.append(f"  {_decl(name, ty)}")
+    for line in _stmt_lines(t.body, race, t.name):
+        lines.append(f"  {line}")
+    lines.append("  return NULL;")
+    lines.append("}")
+    return lines
+
+
+def render_c(program: Program, race: Optional[RaceSpec] = None) -> str:
+    """Lowers a formal program (optionally carrying an injected race) to
+    a mini-C source string accepted by ``check_source``."""
+    lines = ["// lowered from the Figure 3 core language by"
+             " repro.explore.frontends"]
+    if race is not None and race.kind == "lock-elision":
+        lines.append(f"mutex {RACE_LOCK};")
+    for g in program.globals:
+        if (race is not None and race.kind == "lock-elision"
+                and g.name == race.global_name):
+            lines.append(f"int locked({RACE_LOCK}) {g.name};")
+        else:
+            lines.append(_decl(g.name, g.type))
+    lines.append("")
+    main = program.thread(program.main)
+    workers = [t for t in program.threads if t.name != program.main]
+    # Reverse spawn order: t_i only spawns t_j with j > i.
+    for t in reversed(workers):
+        lines.extend(_thread_fn(t, race))
+        lines.append("")
+    lines.append("int main() {")
+    for name, ty in main.locals:
+        lines.append(f"  {_decl(name, ty)}")
+    for line in _stmt_lines(main.body, race, main.name):
+        lines.append(f"  {line}")
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def racy_c_program(gen_seed: int, kind: str = "write-write",
+                   **sizes) -> tuple[str, RaceSpec]:
+    """Convenience: a racy-by-construction mini-C source plus its
+    ground-truth :class:`RaceSpec`, deterministic per ``gen_seed``."""
+    import random
+
+    program, spec = gen_racy_program(random.Random(gen_seed), kind=kind,
+                                     **sizes)
+    return render_c(program, spec), spec

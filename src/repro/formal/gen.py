@@ -14,6 +14,7 @@ overlap thread lifetimes.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
 from repro.formal.lang import (
     Assign, Deref, Global, IntType, Mode, New, Null, Num, Program,
@@ -132,3 +133,111 @@ def _gen_stmt(rng: random.Random, pool, locals_, spawnable):
     if int_vars:
         return Assign(Var(rng.choice(int_vars)), Num(rng.randint(0, 9)))
     return None
+
+
+# -- racy-by-construction programs --------------------------------------------
+#
+# The exploration engine (repro.explore) needs ground truth: a program
+# that *definitely* contains a race, at a *known* location, whose
+# detection is schedule-dependent.  gen_racy_program injects one into an
+# otherwise well-typed random program and reports where it put it.
+
+
+@dataclass(frozen=True)
+class RaceSpec:
+    """Where the injected race lives — the oracle the exploration tests
+    match detector reports against."""
+
+    #: "write-write" (two unsynchronized writes to a dynamic cell) or
+    #: "lock-elision" (the cell is lock-protected but one thread skips
+    #: the lock — only meaningful once rendered to mini-C, where locks
+    #: exist; the formal program is identical to the write-write one)
+    kind: str
+    #: name of the racy dynamic int global
+    global_name: str
+    #: the two racing thread names
+    threads: tuple[str, str]
+    #: the values each injected write stores (distinct, for debugging)
+    values: tuple[int, int]
+
+    def matches_report(self, report) -> bool:
+        """True when a :class:`repro.sharc.reports.Report` from the
+        dynamic checker (or the Eraser baseline) flags the injected
+        race's cell."""
+        kinds = {"read conflict", "write conflict", "lock not held"}
+        if report.kind.value not in kinds:
+            return False
+        if report.who.lvalue == self.global_name:
+            return True
+        return (report.last is not None
+                and report.last.lvalue == self.global_name)
+
+    def matches_key(self, key: str) -> bool:
+        """Same test against an interp ``report_counts`` key
+        (``"<kind> <lvalue>@<line>"`` — the kind is multi-word, e.g.
+        ``"write conflict"``, and lvalues never contain spaces)."""
+        lvalue = key.rsplit("@", 1)[0].split()[-1]
+        return lvalue == self.global_name
+
+
+def gen_racy_program(rng: random.Random, kind: str = "write-write",
+                     n_threads: int = 3, n_stmts: int = 8,
+                     n_globals: int = 3, n_locals: int = 4,
+                     ) -> tuple[Program, RaceSpec]:
+    """A random well-typed program with one injected race.
+
+    The race: a fresh ``dynamic int`` global written once by each of two
+    worker threads, both spawned by main before its own body runs, with
+    random filler statements around the writes.  Whether a dynamic
+    detector *observes* the conflict depends entirely on the
+    interleaving — under the ``serial`` policy the two writes never
+    overlap; under schedule sweeps they frequently do.  That gap is the
+    exploration engine's reason to exist.
+    """
+    if kind not in ("write-write", "lock-elision"):
+        raise ValueError(f"unknown race kind {kind!r}")
+    n_threads = max(2, n_threads)
+    program = gen_program(rng, n_threads=n_threads, n_stmts=n_stmts,
+                          n_globals=n_globals, n_locals=n_locals)
+    racy_name = f"race{len(program.globals)}"
+    racy = Global(racy_name, IntType(Mode.DYNAMIC))
+    victims = [t.name for t in program.threads if t.name != "main"]
+    first, second = rng.sample(victims, 2)
+    values = (rng.randint(10, 49), rng.randint(50, 99))
+    threads: list[ThreadDef] = []
+    for tdef in program.threads:
+        if tdef.name == first:
+            body = _inject(rng, tdef.body,
+                           Assign(Var(racy_name), Num(values[0])))
+        elif tdef.name == second:
+            body = _inject(rng, tdef.body,
+                           Assign(Var(racy_name), Num(values[1])))
+        elif tdef.name == "main":
+            # Spawn both racing threads up front so their lifetimes can
+            # overlap under *some* schedule (main's random spawns may
+            # duplicate these; extra instances only add interleavings).
+            body = Seq(Spawn(first), Seq(Spawn(second), tdef.body))
+        else:
+            body = tdef.body
+        threads.append(ThreadDef(tdef.name, list(tdef.locals), body))
+    racy_program = Program(program.globals + [racy], threads,
+                           main=program.main)
+    spec = RaceSpec(kind=kind, global_name=racy_name,
+                    threads=(first, second), values=values)
+    return racy_program, spec
+
+
+def _flatten(stmt) -> list:
+    """Seq tree -> statement list (inverse of seq_of)."""
+    if isinstance(stmt, Seq):
+        return _flatten(stmt.first) + _flatten(stmt.second)
+    if isinstance(stmt, Skip):
+        return []
+    return [stmt]
+
+
+def _inject(rng: random.Random, body, stmt):
+    """Inserts ``stmt`` at a random position in ``body``."""
+    stmts = _flatten(body)
+    stmts.insert(rng.randint(0, len(stmts)), stmt)
+    return seq_of(stmts)

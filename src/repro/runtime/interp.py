@@ -146,6 +146,9 @@ class RunResult:
     error: Optional[str] = None
     timeout: bool = False
     exit_code: int = 0
+    #: merged (tid, items) context-switch trace; populated only when the
+    #: run was started with ``record_trace=True``
+    trace: Optional[list[tuple[int, int]]] = None
 
     @property
     def clean(self) -> bool:
@@ -165,7 +168,8 @@ class Interp:
                  world: Optional[World] = None, policy: str = "random",
                  rc_scheme: str = "lp", instrument: bool = True,
                  shadow_bytes: int = 1, max_burst: int = 8,
-                 checker: str = "sharc") -> None:
+                 checker: str = "sharc",
+                 record_trace: bool = False) -> None:
         self.checked = checked
         self.program = checked.program
         self.structs = self.program.structs
@@ -185,7 +189,8 @@ class Interp:
         from repro.runtime.locks import BarrierTable
         self.barriers = BarrierTable()
         self.rc = make_scheme(rc_scheme if instrument else "off")
-        self.sched = Scheduler(seed, policy, max_burst)
+        self.sched = Scheduler(seed, policy, max_burst,
+                               record_trace=record_trace)
         self.world = world if world is not None else World()
         self.rng = random.Random(seed ^ 0x5EED)
         self.output: list[str] = []
@@ -1052,24 +1057,36 @@ class Interp:
                 return
             if thread is None:
                 return  # all threads done
+            # Generator items consumed this burst — the replayable unit
+            # of the context-switch trace (terminal items count: they
+            # advance the generator too).
+            ran = 0
+            stop_run = False
             for _ in range(burst):
                 try:
                     item = next(thread.gen)
+                    ran += 1
                 except StopIteration as stop:
+                    ran += 1
                     self.sched.finish(thread, stop.value)
                     self._thread_exited(thread)
                     break
                 except ProgramExit as pe:
+                    ran += 1
                     self._exit_code = pe.code
                     self._halted = True
                     self.sched.finish(thread, pe.code)
                     self._thread_exited(thread)
-                    return
+                    stop_run = True
+                    break
                 except TooManyThreads as tmt:
+                    ran += 1
                     result.error = str(tmt)
                     self.sched.fail(thread, tmt)
-                    return
+                    stop_run = True
+                    break
                 except InterpError as ie:
+                    ran += 1
                     result.error = str(ie)
                     self.sched.fail(thread, ie)
                     self._thread_exited(thread)
@@ -1090,6 +1107,9 @@ class Interp:
                     cost = 1
                 steps += cost
                 thread.steps += cost
+            self.sched.note_ran(thread, ran)
+            if stop_run:
+                return
 
     def _finalize(self, result: RunResult) -> None:
         result.reports = list(self.reports)
@@ -1136,13 +1156,19 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 rc_scheme: str = "lp", instrument: bool = True,
                 shadow_bytes: int = 1, max_burst: int = 8,
                 max_steps: int = 2_000_000,
-                checker: str = "sharc") -> RunResult:
-    """Executes a statically checked program once."""
+                checker: str = "sharc",
+                record_trace: bool = False) -> RunResult:
+    """Executes a statically checked program once.  ``policy`` may be a
+    spec string (``"random"``, ``"pct:4"``, ...) or a
+    :class:`~repro.runtime.scheduler.SchedulingPolicy` instance."""
     interp = Interp(checked, seed=seed, world=world, policy=policy,
                     rc_scheme=rc_scheme, instrument=instrument,
                     shadow_bytes=shadow_bytes, max_burst=max_burst,
-                    checker=checker)
-    return interp.run(max_steps=max_steps)
+                    checker=checker, record_trace=record_trace)
+    result = interp.run(max_steps=max_steps)
+    if record_trace:
+        result.trace = list(interp.sched.trace or [])
+    return result
 
 
 def run_source(source: str, filename: str = "<input>", **kwargs

@@ -7,13 +7,27 @@ seeded scheduler.  This makes every detected race replayable from its seed
 — strictly more convenient than the paper's setup, where "occurrence and
 effects are highly dependent on the scheduler".
 
-Policies:
+Scheduling is delegated to pluggable :class:`SchedulingPolicy` objects so
+the exploration engine (:mod:`repro.explore`) can sweep interleaving
+strategies.  Built-in policies, selectable by spec string:
 
 - ``random`` (default): at each rescheduling point pick a random runnable
   thread and run it for a random burst of steps;
-- ``round-robin``: cycle through runnable threads with a fixed quantum;
+- ``round-robin``: cycle through runnable threads fairly (next runnable
+  tid after the last one that ran) with a fixed quantum;
 - ``serial``: run each thread to completion or block — useful to provoke
-  the fewest interleavings (races that survive this policy are blatant).
+  the fewest interleavings (races that survive this policy are blatant);
+- ``pct`` / ``pct:D``: PCT-style random-priority scheduling [Burckhardt
+  et al., ASPLOS'10] with ``D`` priority-change points (default 3) —
+  always runs the highest-priority runnable thread, demoting the running
+  thread at randomly chosen points in the execution;
+- ``pb`` / ``pb:K``: a preemption-bounded walk [Musuvathi & Qadeer,
+  PLDI'07]: threads run until they block or finish, except for at most
+  ``K`` (default 2) randomly placed preemptions.
+
+A :class:`ReplayPolicy` deterministically follows a previously recorded
+context-switch trace (see :attr:`Scheduler.trace`), which is what the
+schedule shrinker uses to re-execute minimized interleavings.
 
 Blocked threads carry a ``ready`` predicate (lock released, condvar
 signalled, join target finished); the scheduler polls predicates when
@@ -25,7 +39,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator, Optional, Union
 
 
 class ThreadState(enum.Enum):
@@ -56,18 +70,261 @@ class DeadlockError(Exception):
     """All live threads are blocked with unsatisfiable predicates."""
 
 
+# -- policies ---------------------------------------------------------------
+
+
+class SchedulingPolicy:
+    """Chooses which runnable thread runs next and for how long.
+
+    Policies are stateful and single-run: construct a fresh instance (or
+    use a spec string, which the scheduler resolves per run) for every
+    execution.  All randomness must come from the scheduler's seeded
+    ``rng`` so runs stay replayable from their seed.
+    """
+
+    name = "policy"
+
+    def pick(self, candidates: list[Thread],
+             sched: "Scheduler") -> tuple[Thread, int]:
+        """Returns (thread, burst length).  ``candidates`` is non-empty
+        and ordered by spawn (tid) order."""
+        raise NotImplementedError
+
+    def on_spawn(self, thread: Thread, sched: "Scheduler") -> None:
+        """Called when a thread is created (PCT assigns priorities)."""
+
+    def note_ran(self, thread: Thread, items: int,
+                 sched: "Scheduler") -> None:
+        """Called after a burst with the number of generator items the
+        thread actually consumed (may be fewer than the granted burst
+        when the thread blocked or finished)."""
+
+
+class RandomPolicy(SchedulingPolicy):
+    """The default: uniform thread choice, uniform burst length.
+
+    Draws exactly ``rng.choice`` then ``rng.randint`` per pick — the
+    historical sequence, so existing seeds replay bit-identically.
+    """
+
+    name = "random"
+
+    def pick(self, candidates, sched):
+        thread = sched.rng.choice(candidates)
+        burst = sched.rng.randint(1, sched.max_burst)
+        return thread, burst
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Fair cyclic scheduling: the runnable thread with the smallest tid
+    strictly greater than the last-run tid (wrapping).
+
+    The previous implementation kept an *index* into the runnable list
+    and advanced it before use, so the first pick skipped ``candidates[0]``
+    and the index drifted whenever the runnable set changed size between
+    picks — a thread could be starved indefinitely (see the regression
+    test).  Keying on the last-run *tid* is stable under membership
+    changes.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last_tid = 0
+
+    def pick(self, candidates, sched):
+        after = [t for t in candidates if t.tid > self._last_tid]
+        thread = min(after or candidates, key=lambda t: t.tid)
+        self._last_tid = thread.tid
+        return thread, sched.max_burst
+
+
+class SerialPolicy(SchedulingPolicy):
+    """Runs the first runnable thread until it blocks or finishes."""
+
+    name = "serial"
+
+    def pick(self, candidates, sched):
+        return candidates[0], 1 << 30
+
+
+class PCTPolicy(SchedulingPolicy):
+    """PCT-style random-priority scheduling.
+
+    Every thread gets a random priority at spawn; the scheduler always
+    runs the highest-priority runnable thread.  ``depth`` priority-change
+    points are sampled over the first ``horizon`` scheduled items: when
+    execution crosses one, the thread running at that moment is demoted
+    below every other priority.  With d change points, PCT finds any bug
+    of depth d with probability >= 1/(n * k^(d-1)) — the point is that
+    low-depth races are found *quickly*, not eventually.
+
+    PCT's guarantee assumes ``horizon`` ~ the program's actual length
+    ``k``: points sampled far past the end of execution never fire and
+    the policy degenerates into a priority-ordered serial run.  The
+    exploration driver measures ``k`` with one serial run and passes it
+    via the ``pct:depth:horizon`` spec; standalone users on short
+    programs should do the same.
+    """
+
+    name = "pct"
+
+    def __init__(self, depth: int = 3, horizon: int = 4000) -> None:
+        self.depth = max(0, depth)
+        self.horizon = max(1, horizon)
+        self._priorities: dict[int, float] = {}
+        self._change_points: Optional[list[int]] = None
+        self._items = 0
+        self._min_priority = 0.0
+
+    def _ensure_points(self, sched: "Scheduler") -> None:
+        if self._change_points is None:
+            points = sorted(sched.rng.randint(1, self.horizon)
+                            for _ in range(self.depth))
+            self._change_points = points
+
+    def on_spawn(self, thread, sched):
+        self._priorities[thread.tid] = sched.rng.random()
+
+    def note_ran(self, thread, items, sched):
+        self._items += items
+        self._ensure_points(sched)
+        while self._change_points and \
+                self._items >= self._change_points[0]:
+            self._change_points.pop(0)
+            # Demote the thread that crossed the change point below
+            # every priority seen so far.
+            self._min_priority -= 1.0
+            self._priorities[thread.tid] = self._min_priority
+
+    def pick(self, candidates, sched):
+        self._ensure_points(sched)
+        thread = max(candidates,
+                     key=lambda t: (self._priorities.get(t.tid, 0.0),
+                                    -t.tid))
+        if self._change_points:
+            remaining = self._change_points[0] - self._items
+            burst = max(1, min(sched.max_burst, remaining))
+        else:
+            burst = sched.max_burst
+        return thread, burst
+
+
+class PreemptionBoundPolicy(SchedulingPolicy):
+    """A preemption-bounded walk: the running thread keeps running until
+    it blocks or finishes, except for at most ``bound`` preemptions
+    placed at random scheduling points (probability ``rate`` each).
+
+    Bursts are one item long so *every* scheduled item is a potential
+    preemption point; with multi-item bursts a short-lived thread can
+    finish inside its first burst and the policy never gets a chance to
+    preempt it at all (it collapses into the serial order).
+    """
+
+    name = "pb"
+
+    def __init__(self, bound: int = 2, rate: float = 0.05) -> None:
+        self.bound = max(0, bound)
+        self.rate = rate
+        self._current_tid = 0
+        self._used = 0
+
+    def pick(self, candidates, sched):
+        current = next((t for t in candidates
+                        if t.tid == self._current_tid), None)
+        if current is not None:
+            if self._used < self.bound and \
+                    sched.rng.random() < self.rate:
+                others = [t for t in candidates if t is not current]
+                if others:
+                    self._used += 1
+                    current = sched.rng.choice(others)
+        else:
+            # The previous thread blocked or finished: switching is free.
+            current = candidates[0]
+        self._current_tid = current.tid
+        return current, 1
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Deterministically follows a recorded (tid, items) trace.
+
+    Entries whose thread is not currently runnable are skipped; once the
+    trace is exhausted (or nothing in it can run) the lowest-tid runnable
+    thread runs to completion, so replay always terminates and is a
+    total, deterministic function of the trace.
+    """
+
+    name = "replay"
+
+    def __init__(self, trace: list[tuple[int, int]]) -> None:
+        self.trace = [(int(t), int(n)) for t, n in trace]
+        self._pos = 0
+
+    def pick(self, candidates, sched):
+        by_tid = {t.tid: t for t in candidates}
+        while self._pos < len(self.trace):
+            tid, items = self.trace[self._pos]
+            self._pos += 1
+            thread = by_tid.get(tid)
+            if thread is not None:
+                return thread, max(1, items)
+        return candidates[0], 1 << 30
+
+
+#: spec-string registry; ``pct:4`` / ``pb:1`` set the numeric parameter
+#: and ``pct:4:800`` additionally sets the PCT horizon.
+_POLICY_FACTORIES: dict[str, Callable[..., SchedulingPolicy]] = {
+    "random": lambda: RandomPolicy(),
+    "round-robin": lambda: RoundRobinPolicy(),
+    "serial": lambda: SerialPolicy(),
+    "pct": lambda depth=3, horizon=4000: PCTPolicy(
+        depth=depth, horizon=horizon),
+    "pb": lambda bound=2: PreemptionBoundPolicy(bound=bound),
+}
+
+POLICY_NAMES = tuple(_POLICY_FACTORIES)
+
+
+def make_policy(spec: Union[str, SchedulingPolicy]) -> SchedulingPolicy:
+    """Resolves a policy spec (``"random"``, ``"pct:4"``,
+    ``"pct:4:800"``, an instance) to a fresh policy object."""
+    if isinstance(spec, SchedulingPolicy):
+        return spec
+    name, *arg_texts = str(spec).split(":")
+    if name not in _POLICY_FACTORIES:
+        raise ValueError(
+            f"unknown scheduling policy {spec!r} "
+            f"(known: {', '.join(POLICY_NAMES)})")
+    try:
+        args = [int(text) for text in arg_texts]
+    except ValueError:
+        raise ValueError(f"bad policy parameter in {spec!r}")
+    try:
+        policy = _POLICY_FACTORIES[name](*args)
+    except TypeError:
+        raise ValueError(f"too many parameters in policy spec {spec!r}")
+    policy.name = str(spec)
+    return policy
+
+
 class Scheduler:
     """Owns the thread table and picks who runs next."""
 
-    def __init__(self, seed: int = 0, policy: str = "random",
-                 max_burst: int = 8) -> None:
+    def __init__(self, seed: int = 0,
+                 policy: Union[str, SchedulingPolicy] = "random",
+                 max_burst: int = 8, record_trace: bool = False) -> None:
         self.rng = random.Random(seed)
-        self.policy = policy
+        self._policy = make_policy(policy)
+        self.policy = self._policy.name
         self.max_burst = max(1, max_burst)
         self.threads: dict[int, Thread] = {}
         self._next_tid = 1
-        self._rr_index = 0
         self.context_switches = 0
+        #: merged (tid, items) context-switch trace; None when disabled
+        self.trace: Optional[list[tuple[int, int]]] = (
+            [] if record_trace else None)
+        self.items_scheduled = 0
         #: number of RUNNABLE + BLOCKED threads, maintained incrementally
         #: so the interpreter's per-access solo test is O(1)
         self.live_count = 0
@@ -80,6 +337,7 @@ class Scheduler:
         thread = Thread(tid, gen, name or f"thread{tid}")
         self.threads[tid] = thread
         self.live_count += 1
+        self._policy.on_spawn(thread, self)
         return thread
 
     def block(self, thread: Thread, ready: Callable[[], bool],
@@ -133,11 +391,27 @@ class Scheduler:
                         f"{t.name}({t.block_note})" for t in self.live()))
             return None, 0
         self.context_switches += 1
-        if self.policy == "round-robin":
-            self._rr_index = (self._rr_index + 1) % len(candidates)
-            return candidates[self._rr_index], self.max_burst
-        if self.policy == "serial":
-            return candidates[0], 1 << 30
-        thread = self.rng.choice(candidates)
-        burst = self.rng.randint(1, self.max_burst)
-        return thread, burst
+        thread, burst = self._policy.pick(candidates, self)
+        return thread, max(1, burst)
+
+    def note_ran(self, thread: Thread, items: int) -> None:
+        """Interpreter feedback: ``thread`` consumed ``items`` generator
+        items during its last burst.  Feeds the policy (PCT change
+        points) and the context-switch trace used for replay/shrinking."""
+        if items <= 0:
+            return
+        self.items_scheduled += items
+        if self.trace is not None:
+            if self.trace and self.trace[-1][0] == thread.tid:
+                self.trace[-1] = (thread.tid,
+                                  self.trace[-1][1] + items)
+            else:
+                self.trace.append((thread.tid, items))
+        self._policy.note_ran(thread, items, self)
+
+    def trace_switches(self) -> int:
+        """Context switches in the recorded trace (adjacent entries have
+        distinct tids after merging, so this is just the length - 1)."""
+        if not self.trace:
+            return 0
+        return len(self.trace) - 1

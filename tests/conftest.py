@@ -2,10 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.sharc.checker import CheckedProgram, check_source
 from repro.runtime.interp import RunResult, run_checked
+
+# Pinned hypothesis profiles so CI runs are reproducible: "ci"
+# derandomizes example generation (no flaky shrink sessions on shared
+# runners) and drops the wall-clock deadline (CI machines are slow and
+# noisy).  Select with HYPOTHESIS_PROFILE=ci; the default profile is
+# untouched for local runs.
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None,
+                          max_examples=40)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def check(source: str, filename: str = "test.c") -> CheckedProgram:

@@ -125,3 +125,50 @@ class TestEvaluationCommands:
             code |= main(["run", racy_file, "--checker", "eraser",
                           "--seed", str(seed)])
         assert code == 1  # the lockset baseline also catches real races
+
+
+class TestExplore:
+    def test_explore_gen_finds_injected_race(self, capsys):
+        assert main(["explore", "--gen", "42", "--seeds", "15",
+                     "--policy", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "injected race" in out and "FOUND" in out
+        assert "replay with seed=" in out
+
+    def test_explore_serial_misses_and_exits_one(self, capsys):
+        assert main(["explore", "--gen", "42", "--seeds", "3",
+                     "--policy", "serial"]) == 1
+        assert "NOT found" in capsys.readouterr().out
+
+    def test_explore_shrink_writes_replayable_artifact(
+            self, tmp_path, capsys):
+        artifact = str(tmp_path / "schedule.json")
+        assert main(["explore", "--gen", "42", "--seeds", "15",
+                     "--policy", "random", "--shrink",
+                     "--out", artifact]) == 0
+        out = capsys.readouterr().out
+        assert "shrunk schedule" in out
+        assert main(["explore", "--replay", artifact]) == 0
+        assert "reproduced the saved report" in capsys.readouterr().out
+
+    def test_explore_file_clean_program(self, clean_file, capsys):
+        assert main(["explore", clean_file, "--seeds", "4",
+                     "--policy", "random"]) == 0
+        assert "no failing schedule" in capsys.readouterr().out
+
+    def test_explore_differential_checker(self, capsys):
+        assert main(["explore", "--gen", "11",
+                     "--gen-kind", "lock-elision", "--seeds", "6",
+                     "--policy", "random", "--checker", "both"]) == 0
+        assert "differential sweep" in capsys.readouterr().out
+
+    def test_explore_json_output(self, racy_file, capsys):
+        import json as _json
+
+        assert main(["explore", racy_file, "--seeds", "4",
+                     "--policy", "random", "--json"]) in (0, 1)
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["schedules"] == 4
+
+    def test_explore_requires_input(self, capsys):
+        assert main(["explore"]) == 2

@@ -1,0 +1,261 @@
+"""Tests for the schedule-exploration engine (repro.explore)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.explore import (
+    explore_source, load_artifact, racy_c_program, replay_artifact,
+    save_artifact, shrink_failure,
+)
+from repro.explore.driver import run_schedule, trace_hash
+from repro.runtime.interp import run_checked
+from repro.runtime.scheduler import ReplayPolicy
+
+from tests.conftest import check_ok
+
+RACY_COUNTER = """
+int counter = 0;
+void *bump(void *arg) {
+  int i;
+  for (i = 0; i < 5; i++)
+    counter = counter + 1;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+POLICIES = st.sampled_from(
+    ["random", "round-robin", "serial", "pct:3:80", "pb:2"])
+
+
+class TestScheduleDeterminism:
+    """Property (satellite b): same seed + policy => bit-identical
+    trace, reports, and step counts — both across fresh runs and under
+    replay of the recorded trace."""
+
+    @given(seed=st.integers(0, 10_000), policy=POLICIES)
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_same_everything(self, seed, policy):
+        checked = check_ok(RACY_COUNTER)
+        a = run_checked(checked, seed=seed, policy=policy,
+                        record_trace=True)
+        b = run_checked(checked, seed=seed, policy=policy,
+                        record_trace=True)
+        assert a.trace == b.trace
+        assert a.report_counts == b.report_counts
+        assert a.stats.steps_total == b.stats.steps_total
+        assert a.stats.accesses_dynamic == b.stats.accesses_dynamic
+
+    @given(seed=st.integers(0, 10_000), policy=POLICIES)
+    @settings(max_examples=40, deadline=None)
+    def test_trace_replay_is_exact(self, seed, policy):
+        checked = check_ok(RACY_COUNTER)
+        original = run_checked(checked, seed=seed, policy=policy,
+                               record_trace=True)
+        replayed = run_checked(checked, seed=0,
+                               policy=ReplayPolicy(original.trace),
+                               record_trace=True)
+        assert replayed.trace == original.trace
+        assert replayed.report_counts == original.report_counts
+        assert replayed.stats.steps_total == original.stats.steps_total
+
+    def test_different_seeds_explore_different_traces(self):
+        checked = check_ok(RACY_COUNTER)
+        traces = {tuple(run_checked(checked, seed=s,
+                                    record_trace=True).trace)
+                  for s in range(10)}
+        assert len(traces) > 1
+
+
+class TestDriver:
+    def test_sweep_finds_injected_race(self):
+        source, spec = racy_c_program(3)
+        summary = explore_source(source, "racy3.c", seeds=40,
+                                 policies=("random",),
+                                 max_steps=200_000)
+        hits = [k for k in summary.first_failures if spec.matches_key(k)]
+        assert hits, summary.render()
+        # ... and the advertised replay coordinates actually reproduce.
+        first = summary.first_failures[hits[0]]
+        outcome = run_schedule(source, "racy3.c", first.seed,
+                               first.policy)
+        assert hits[0] in outcome.report_keys
+
+    def test_serial_never_sees_the_race(self):
+        source, spec = racy_c_program(3)
+        summary = explore_source(source, "racy3.c", seeds=5,
+                                 policies=("serial",),
+                                 max_steps=200_000)
+        assert not any(spec.matches_key(k)
+                       for k in summary.first_failures)
+        # Deterministic policy: every seed walks the same trace.
+        assert summary.distinct_traces == 1
+
+    def test_coverage_accounting(self):
+        summary = explore_source(RACY_COUNTER, seeds=10,
+                                 policies=("random", "serial"))
+        assert summary.schedules == 20
+        assert summary.per_policy["serial"]["schedules"] == 10
+        assert 1 <= summary.distinct_traces <= 20
+        assert summary.races_per_1k == pytest.approx(
+            1000.0 * len(summary.failures) / 20)
+        data = summary.as_dict()
+        assert data["schedules"] == 20
+        assert set(data["per_policy"]) == {"random", "serial"}
+
+    def test_jobs_parallel_matches_inline(self):
+        source, _ = racy_c_program(5)
+        kwargs = dict(seeds=6, policies=("random", "pb"),
+                      max_steps=200_000)
+        inline = explore_source(source, "racy5.c", jobs=1, **kwargs)
+        fanned = explore_source(source, "racy5.c", jobs=2, **kwargs)
+        key = lambda o: (o.policy, o.seed)
+        assert sorted(inline.outcomes, key=key) == \
+            sorted(fanned.outcomes, key=key)
+
+    def test_pct_horizon_resolved_to_program_length(self):
+        summary = explore_source(RACY_COUNTER, seeds=2,
+                                 policies=("pct",))
+        (resolved,) = summary.policies
+        parts = resolved.split(":")
+        assert parts[0] == "pct" and len(parts) == 3
+        # replayable verbatim: the resolved spec is a valid policy
+        run_checked(check_ok(RACY_COUNTER), seed=0, policy=resolved)
+
+    def test_trace_hash_distinguishes(self):
+        assert trace_hash([(1, 2), (2, 3)]) == trace_hash([(1, 2), (2, 3)])
+        assert trace_hash([(1, 2), (2, 3)]) != trace_hash([(1, 2), (2, 4)])
+        assert trace_hash([(1, 2)]) != trace_hash([(1, 21)])
+
+
+class TestShrink:
+    def _failing_outcome(self, source, filename, spec=None, seeds=40):
+        summary = explore_source(source, filename, seeds=seeds,
+                                 policies=("random",),
+                                 max_steps=200_000)
+        if spec is None:
+            assert summary.first_failure is not None
+            return summary.first_failure, None
+        for key, outcome in sorted(summary.first_failures.items()):
+            if spec.matches_key(key):
+                return outcome, key
+        pytest.fail("sweep did not find the injected race")
+
+    def test_shrunk_schedule_reproduces_with_fewer_switches(self):
+        """Property (satellite b): the shrunk schedule reproduces the
+        original report with <= the original number of context
+        switches."""
+        source, spec = racy_c_program(3)
+        outcome, key = self._failing_outcome(source, "racy3.c", spec)
+        result = shrink_failure(source, "racy3.c", seed=outcome.seed,
+                                policy=outcome.policy,
+                                target_keys=[key])
+        assert result.switches <= result.original_switches
+        checked = check_ok(source, "racy3.c")
+        replayed = run_checked(checked, seed=0,
+                               policy=ReplayPolicy(result.trace),
+                               shadow_bytes=2, record_trace=True)
+        assert key in replayed.report_counts
+
+    def test_shrink_is_deterministic(self):
+        source, spec = racy_c_program(3)
+        outcome, key = self._failing_outcome(source, "racy3.c", spec)
+        a = shrink_failure(source, "racy3.c", seed=outcome.seed,
+                           policy=outcome.policy, target_keys=[key])
+        b = shrink_failure(source, "racy3.c", seed=outcome.seed,
+                           policy=outcome.policy, target_keys=[key])
+        assert a.trace == b.trace
+        assert a.replays == b.replays
+
+    def test_shrink_refuses_passing_schedule(self):
+        source, _ = racy_c_program(3)
+        with pytest.raises(ValueError, match="does not fail"):
+            shrink_failure(source, "racy3.c", seed=0, policy="serial")
+
+    def test_artifact_round_trip(self, tmp_path):
+        source, spec = racy_c_program(3)
+        outcome, key = self._failing_outcome(source, "racy3.c", spec)
+        result = shrink_failure(source, "racy3.c", seed=outcome.seed,
+                                policy=outcome.policy,
+                                target_keys=[key])
+        path = str(tmp_path / "schedule.json")
+        save_artifact(result, path)
+        payload = load_artifact(path)
+        assert payload["report_keys"] == [key]
+        replayed = replay_artifact(payload)
+        assert key in replayed.report_counts
+        again = replay_artifact(payload)
+        assert replayed.report_counts == again.report_counts
+        assert replayed.trace == again.trace
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ValueError, match="not a schedule artifact"):
+            load_artifact(str(path))
+
+
+class TestDifferential:
+    """Satellite d: the racy generator's output through the SharC
+    checker AND the Eraser baseline under the same seeds."""
+
+    def test_injected_race_flagged_by_at_least_one_checker(self):
+        from repro.explore import differential_sweep
+
+        source, spec = racy_c_program(11, kind="lock-elision")
+        summary = differential_sweep(source, "racy11.c", seeds=25,
+                                     policies=("random",),
+                                     max_steps=200_000)
+        sharc_hits = [k for k in summary.sharc.first_failures
+                      if spec.matches_key(k)]
+        eraser_hits = [k for k in summary.eraser.first_failures
+                       if spec.matches_key(k)]
+        assert sharc_hits or eraser_hits
+
+    def test_disagreements_are_replayable(self):
+        from repro.explore import differential_sweep
+
+        source, _ = racy_c_program(11, kind="lock-elision")
+        summary = differential_sweep(source, "racy11.c", seeds=8,
+                                     policies=("random",),
+                                     max_steps=200_000)
+        assert summary.schedules == 8
+        assert summary.agreeing + len(summary.disagreements) == 8
+        for d in summary.disagreements[:3]:
+            sharc = run_schedule(source, "racy11.c", d.seed, d.policy,
+                                 checker="sharc")
+            eraser = run_schedule(source, "racy11.c", d.seed, d.policy,
+                                  checker="eraser")
+            assert sharc.report_keys == d.sharc_keys
+            assert eraser.report_keys == d.eraser_keys
+
+    def test_render_and_dict(self):
+        from repro.explore import differential_sweep
+
+        source, _ = racy_c_program(11, kind="lock-elision")
+        summary = differential_sweep(source, "racy11.c", seeds=3,
+                                     policies=("random",),
+                                     max_steps=200_000)
+        text = summary.render()
+        assert "differential sweep" in text
+        data = summary.as_dict()
+        assert data["schedules"] == 3
+        assert len(data["disagreements"]) == len(summary.disagreements)
+
+
+class TestWorkloadExploration:
+    def test_explore_workload_runs(self):
+        from repro.explore import explore_workload
+
+        summary = explore_workload("pbzip2", seeds=2,
+                                   policies=("random",))
+        assert summary.schedules == 2
+        assert summary.filename == "pbzip2.c"
