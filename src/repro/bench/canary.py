@@ -1,0 +1,142 @@
+"""Throughput regression canary: ``python -m repro.bench.canary``.
+
+CI's cheap gate against interpreter performance cliffs.  It re-runs a
+small subset of the Table 1 workloads, writes the fresh payload next to
+the run, and compares each workload's instrumented ``steps_per_sec``
+against the committed ``BENCH_interp.json`` baseline.  The gate fails
+only on a *cliff*: current throughput below ``baseline / factor``
+(default factor 3), which tolerates the machine-to-machine spread
+between the baseline's recording host and a CI runner while still
+catching accidental O(n) -> O(n^2) style regressions.
+
+Deterministic axes (step counts) are reported but never gated — a PR
+that legitimately changes step accounting updates the baseline file in
+the same commit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.bench.interp_bench import (SCHEMA, bench_payload,
+                                      bench_workloads, validate_payload)
+
+DEFAULT_FACTOR = 3.0
+#: fast subset: the two cheapest workloads keep the CI gate under a few
+#: seconds while still exercising the full checked pipeline.
+DEFAULT_WORKLOADS = ["aget", "pbzip2"]
+
+
+def check_canary(baseline: dict, current: dict, *,
+                 factor: float = DEFAULT_FACTOR) -> list[str]:
+    """Compares ``current`` against ``baseline``; returns problems.
+
+    A workload regresses when its current ``steps_per_sec`` falls below
+    ``baseline_steps_per_sec / factor``.  Workloads missing from either
+    side are skipped (the canary runs a subset of the baseline).
+    """
+    problems: list[str] = []
+    if factor <= 1.0:
+        return [f"factor must be > 1 (got {factor})"]
+    base_workloads = baseline.get("workloads") or {}
+    for name, entry in (current.get("workloads") or {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            continue
+        base_sps = base.get("steps_per_sec") or 0
+        cur_sps = entry.get("steps_per_sec") or 0
+        if base_sps <= 0:
+            continue
+        floor = base_sps / factor
+        if cur_sps < floor:
+            problems.append(
+                f"{name}: {cur_sps:,.0f} steps/sec is below the canary "
+                f"floor {floor:,.0f} (baseline {base_sps:,.0f} / "
+                f"factor {factor:g})")
+    return problems
+
+
+def render_comparison(baseline: dict, current: dict,
+                      factor: float = DEFAULT_FACTOR) -> str:
+    base_workloads = baseline.get("workloads") or {}
+    lines = [f"{'workload':<10} {'baseline/s':>12} {'current/s':>12} "
+             f"{'ratio':>7}  gate(>1/{factor:g})"]
+    for name, entry in (current.get("workloads") or {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            lines.append(f"{name:<10} {'(no baseline)':>12}")
+            continue
+        base_sps = base.get("steps_per_sec") or 0
+        cur_sps = entry.get("steps_per_sec") or 0
+        ratio = cur_sps / base_sps if base_sps else 0.0
+        verdict = "ok" if ratio * factor >= 1.0 else "REGRESSED"
+        lines.append(f"{name:<10} {base_sps:>12,} {cur_sps:>12,} "
+                     f"{ratio:>7.2f}  {verdict}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.canary",
+        description="fail if interpreter throughput regresses more than "
+                    "FACTOR x against the committed BENCH_interp.json")
+    parser.add_argument("--baseline", default="BENCH_interp.json",
+                        help="committed baseline payload "
+                             "(default BENCH_interp.json)")
+    parser.add_argument("--out", default="-",
+                        help="write the fresh payload here "
+                             "(default '-': skip)")
+    parser.add_argument("--factor", type=float, default=DEFAULT_FACTOR,
+                        help=f"allowed slowdown factor "
+                             f"(default {DEFAULT_FACTOR:g})")
+    parser.add_argument("--workloads", nargs="*",
+                        default=list(DEFAULT_WORKLOADS),
+                        help="workload subset to re-run "
+                             f"(default: {' '.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override the per-workload seeds")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+    if baseline.get("schema") != SCHEMA:
+        print(f"error: {args.baseline}: schema != {SCHEMA!r}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        results = bench_workloads(args.workloads or None, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    current = bench_payload(results, seed=args.seed)
+    problems = validate_payload(current)
+    if problems:
+        print("error: invalid canary payload:\n  "
+              + "\n  ".join(problems), file=sys.stderr)
+        return 1
+    if args.out != "-":
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2)
+            handle.write("\n")
+
+    print(render_comparison(baseline, current, args.factor))
+    regressions = check_canary(baseline, current, factor=args.factor)
+    if regressions:
+        print("\nbench canary FAILED:\n  " + "\n  ".join(regressions),
+              file=sys.stderr)
+        return 1
+    print("\nbench canary ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,15 @@ Subcommands mirror how the paper's tool is used:
   policies hunting schedule-dependent races, report coverage and
   first-failure replay seeds, optionally delta-debug a failure to a
   minimal interleaving (``--shrink``) or replay a saved one
-  (``--replay``).
+  (``--replay``); ``--metrics-out`` writes a schema-validated
+  ``metrics.json`` aggregating the sweep;
+- ``sharc trace``        — inspect a saved trace (``.jsonl``) or replay
+  a shrunk-schedule artifact into a timeline; ``--out`` converts to
+  Chrome trace-event JSON (open in Perfetto / ``chrome://tracing``).
+
+``sharc run --trace-out out.json`` records the run's structured events
+(:mod:`repro.obs`) — Perfetto JSON by default, JSON Lines when the path
+ends in ``.jsonl``; ``--trace-filter cat,...`` restricts categories.
 """
 
 from __future__ import annotations
@@ -33,6 +41,30 @@ from repro.runtime.interp import run_checked
 def _read(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
+
+
+def _trace_config(args: argparse.Namespace):
+    """Builds a TraceConfig from --trace-out/--trace-filter, or None."""
+    if not getattr(args, "trace_out", None):
+        return None
+    from repro.obs import TraceConfig, parse_filter
+
+    categories = None
+    if getattr(args, "trace_filter", None):
+        categories = parse_filter(args.trace_filter)
+    return TraceConfig(categories=categories)
+
+
+def _write_trace(path: str, events, reports, thread_names,
+                 meta: dict) -> None:
+    """Writes events as JSONL (``.jsonl``) or Chrome trace JSON."""
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    if path.endswith(".jsonl"):
+        write_jsonl(path, events, reports, thread_names, meta)
+    else:
+        write_chrome_trace(path, events, thread_names, meta)
+    print(f"trace written to {path} ({len(events)} events)")
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -56,6 +88,15 @@ def cmd_infer(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.profile and args.trace_out:
+        print("run: --trace-out is not supported with --profile",
+              file=sys.stderr)
+        return 2
+    try:
+        trace_config = _trace_config(args)
+    except ValueError as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
     if args.profile:
         from repro.errors import SharcError
         from repro.runtime.profile import Profiler, profile_source
@@ -81,7 +122,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     result = run_checked(checked, seed=args.seed,
                          rc_scheme=args.rc,
                          checker=getattr(args, "checker", "sharc"),
-                         max_steps=args.max_steps)
+                         max_steps=args.max_steps,
+                         trace=trace_config)
     if result.output:
         print(result.output, end="")
     for report in result.reports:
@@ -92,6 +134,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"runtime error: {result.error}")
     if args.stats:
         print(result.stats.summary())
+    if args.trace_out:
+        _write_trace(args.trace_out, result.events or [], result.reports,
+                     result.thread_names,
+                     meta={"file": args.file, "seed": str(args.seed)})
     return 0 if result.clean else 1
 
 
@@ -176,11 +222,22 @@ def cmd_explore(args: argparse.Namespace) -> int:
         print(summary.render() if not args.json
               else json.dumps(summary.as_dict(), indent=2))
         sweep = summary.sharc
+        sweeps = [summary.sharc, summary.eraser]
     else:
         sweep = explore_source(source, filename, checker=args.checker,
                                **common)
         print(sweep.render() if not args.json
               else json.dumps(sweep.as_dict(), indent=2))
+        sweeps = [sweep]
+
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry, write_metrics
+
+        registry = MetricsRegistry()
+        for one in sweeps:
+            registry.record_sweep(one)
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}")
 
     found = None
     if spec is not None:
@@ -223,6 +280,63 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if not sweep.failures else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Inspects / converts a saved trace or schedule artifact.
+
+    Accepts either a JSONL trace written by ``sharc run --trace-out`` or
+    a ``sharc-schedule`` artifact written by ``sharc explore --shrink
+    --out`` — the latter is replayed with tracing enabled, turning the
+    minimized interleaving into a timeline.
+    """
+    import json
+
+    from repro.obs import (
+        TraceConfig, read_jsonl, render_summary,
+    )
+    from repro.sharc.reports import Report
+
+    payload = None
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        payload = None
+    if isinstance(payload, dict) and payload.get("kind") == \
+            "sharc-schedule":
+        from repro.explore import load_artifact, replay_artifact
+
+        artifact = load_artifact(args.artifact)
+        result = replay_artifact(artifact, obs_trace=TraceConfig())
+        events = result.events or []
+        thread_names = result.thread_names
+        reports = list(result.reports)
+        print(f"replayed schedule artifact {artifact['filename']} "
+              f"(seed={artifact['seed']} policy={artifact['policy']} "
+              f"[{artifact['checker']}])")
+    elif isinstance(payload, dict) and "traceEvents" in payload:
+        print(f"{args.artifact} is already a Chrome trace "
+              f"({len(payload['traceEvents'])} entries); open it in "
+              "Perfetto or chrome://tracing")
+        return 0
+    else:
+        try:
+            header, events, report_dicts = read_jsonl(args.artifact)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 2
+        thread_names = {int(tid): name for tid, name in
+                        (header.get("threads") or {}).items()}
+        reports = [Report.from_dict(r) for r in report_dicts]
+
+    print(render_summary(events, thread_names, limit=args.limit))
+    for report in reports:
+        print(report.render())
+    if args.out:
+        _write_trace(args.out, events, reports, thread_names,
+                     meta={"source": args.artifact})
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sharc",
@@ -249,6 +363,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="time each pipeline phase, run an uninstrumented "
                         "baseline too, and report steps/sec")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record structured runtime events: Chrome "
+                        "trace-event JSON (Perfetto), or JSON Lines "
+                        "when FILE ends in .jsonl")
+    p.add_argument("--trace-filter", default=None, metavar="CATS",
+                   help="comma-separated event categories to record "
+                        "(sched,check,conflict,lock,rc,scast,thread)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("table1", help="regenerate Table 1")
@@ -314,7 +435,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "still reproduces its report")
     p.add_argument("--max-steps", type=int, default=200_000)
     p.add_argument("--json", action="store_true")
+    p.add_argument("--metrics-out", default=None, metavar="FILE",
+                   help="write a schema-validated metrics.json "
+                        "aggregating the sweep")
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "trace",
+        help="inspect a saved .jsonl trace or replay a shrunk-schedule "
+             "artifact into a timeline")
+    p.add_argument("artifact",
+                   help="a JSONL trace (sharc run --trace-out x.jsonl) "
+                        "or a schedule artifact (sharc explore --shrink "
+                        "--out x.json)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="convert: Chrome trace-event JSON, or JSONL "
+                        "when FILE ends in .jsonl")
+    p.add_argument("--limit", type=int, default=0,
+                   help="also print the first N events verbatim")
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -58,6 +58,10 @@ class ScheduleOutcome:
     deadlock: bool = False
     error: Optional[str] = None
     timeout: bool = False
+    #: shadow-check update / fast-path counters (feed metrics.json's
+    #: check hit rate)
+    check_updates: int = 0
+    check_fastpath: int = 0
 
     @property
     def failing(self) -> bool:
@@ -222,6 +226,8 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
         deadlock=result.deadlock is not None,
         error=result.error,
         timeout=result.timeout,
+        check_updates=result.stats.shadow_updates,
+        check_fastpath=result.stats.shadow_fastpath_hits,
     )
 
 

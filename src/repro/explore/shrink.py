@@ -79,7 +79,8 @@ class ShrinkResult:
 
 def _replay(checked, trace: Sequence[tuple[int, int]], *,
             checker: str, max_steps: int, max_burst: int,
-            world_factory: Optional[Callable], shadow_bytes: int = 2):
+            world_factory: Optional[Callable], shadow_bytes: int = 2,
+            obs_trace=None):
     from repro.runtime.interp import run_checked
     from repro.runtime.scheduler import ReplayPolicy
 
@@ -87,7 +88,8 @@ def _replay(checked, trace: Sequence[tuple[int, int]], *,
     return run_checked(checked, seed=0, policy=ReplayPolicy(list(trace)),
                        checker=checker, max_steps=max_steps,
                        max_burst=max_burst, world=world,
-                       shadow_bytes=shadow_bytes, record_trace=True)
+                       shadow_bytes=shadow_bytes, record_trace=True,
+                       trace=obs_trace)
 
 
 def _ddmin(entries: list, reproduces: Callable[[list], bool]) -> list:
@@ -226,9 +228,13 @@ def load_artifact(path: str) -> dict:
 
 
 def replay_artifact(payload: dict,
-                    world_factory: Optional[Callable] = None):
+                    world_factory: Optional[Callable] = None,
+                    obs_trace=None):
     """Replays a loaded artifact's minimal trace and returns the
-    :class:`repro.runtime.interp.RunResult`."""
+    :class:`repro.runtime.interp.RunResult`.  ``obs_trace`` (a
+    :class:`repro.obs.events.TraceConfig`) additionally records
+    structured events during the replay, so a shrunk schedule can be
+    rendered as a Perfetto timeline (``sharc trace artifact.json``)."""
     from repro.explore.driver import _checked_program
 
     if world_factory is None and payload.get("workload"):
@@ -242,4 +248,5 @@ def replay_artifact(payload: dict,
                    max_steps=payload.get("max_steps", 200_000),
                    max_burst=payload.get("max_burst", 8),
                    world_factory=world_factory,
-                   shadow_bytes=payload.get("shadow_bytes", 2))
+                   shadow_bytes=payload.get("shadow_bytes", 2),
+                   obs_trace=obs_trace)

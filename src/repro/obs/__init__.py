@@ -1,0 +1,67 @@
+"""Structured runtime observability for the SharC reproduction.
+
+The paper's central artifact is a *diagnostic* — Section 2.1's conflict
+reports tell the programmer who raced with whom.  This package makes
+every run, check, and sweep inspectable after the fact:
+
+- :mod:`repro.obs.events` — a bounded, sampled, category-filtered event
+  bus the runtime (interpreter, scheduler, shadow checker, lock table,
+  refcount engine) emits typed events into.  Tracing-off runs are
+  bit-identical to untraced ones (steps, reports, rng sequence);
+  timestamps are deterministic interpreter steps.
+- :mod:`repro.obs.history` — per-granule access-history rings so
+  conflict reports carry full provenance (``hist`` lines) instead of a
+  single ``last`` access.
+- :mod:`repro.obs.export` — exporters: Chrome trace-event JSON (open in
+  Perfetto / ``chrome://tracing``; one track per thread, checks as
+  slices, conflicts as instants) and JSON Lines, both schema-checked.
+- :mod:`repro.obs.metrics` — a registry aggregating ``sharc explore``
+  sweeps into a schema-validated ``metrics.json`` (per-policy races/1k,
+  distinct traces, check hit rates).
+
+CLI surface: ``sharc run --trace-out``, ``sharc explore --metrics-out``,
+and ``sharc trace`` (inspect / convert / replay saved traces).
+"""
+
+from repro.obs.events import (
+    CAT_CHECK, CAT_CONFLICT, CAT_LOCK, CAT_RC, CAT_SCAST, CAT_SCHED,
+    CAT_THREAD, CATEGORIES, Event, TraceBus, TraceConfig, parse_filter,
+)
+from repro.obs.history import AccessHistory, AccessRecord
+from repro.obs.export import (
+    chrome_trace, jsonl_records, read_jsonl, render_summary,
+    validate_chrome_trace, validate_jsonl_records, write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA, MetricsRegistry, validate_metrics, write_metrics,
+)
+
+__all__ = [
+    "AccessHistory",
+    "AccessRecord",
+    "CATEGORIES",
+    "CAT_CHECK",
+    "CAT_CONFLICT",
+    "CAT_LOCK",
+    "CAT_RC",
+    "CAT_SCAST",
+    "CAT_SCHED",
+    "CAT_THREAD",
+    "Event",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "TraceBus",
+    "TraceConfig",
+    "chrome_trace",
+    "jsonl_records",
+    "parse_filter",
+    "read_jsonl",
+    "render_summary",
+    "validate_chrome_trace",
+    "validate_jsonl_records",
+    "validate_metrics",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics",
+]

@@ -1,0 +1,259 @@
+"""Trace exporters: Chrome trace-event JSON and JSON Lines.
+
+Two on-disk formats for one event stream:
+
+**Chrome trace-event JSON** (:func:`chrome_trace`) — loadable in Perfetto
+or ``chrome://tracing``.  One track per logical thread (named via
+``thread_name`` metadata events), span-like events (scheduler bursts,
+access checks) as complete ``"X"`` slices, conflicts and other instants
+as thread-scoped ``"i"`` events.  Timestamps are deterministic
+interpreter steps interpreted as microseconds, so one step = 1 µs on the
+timeline and identical seeds produce identical timelines.
+
+**JSON Lines** (:func:`write_jsonl`) — a header record, one record per
+event, then one record per conflict report (via
+:meth:`repro.sharc.reports.Report.to_dict`).  Line-oriented so traces
+can be streamed, grepped, and diffed; :func:`read_jsonl` inverts it.
+
+Both formats are schema-checked here (:func:`validate_chrome_trace`,
+:func:`validate_jsonl_records`) — the CLI refuses to write an invalid
+trace, and the tests assert validity for every trace the runtime
+produces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Sequence
+
+from repro.obs.events import CAT_CONFLICT, CATEGORIES, Event
+
+JSONL_KIND = "sharc-trace"
+JSONL_VERSION = 1
+
+#: Chrome trace-event phases we emit / accept
+_PHASES = {"X", "i", "I", "M", "B", "E", "C"}
+_INSTANT_SCOPES = {"t", "p", "g"}
+
+
+# -- Chrome trace-event JSON -------------------------------------------------
+
+
+def chrome_trace(events: Sequence[Event],
+                 thread_names: Optional[dict] = None, *,
+                 pid: int = 1, meta: Optional[dict] = None) -> dict:
+    """Renders events as a Chrome trace-event payload (dict form).
+
+    ``thread_names`` maps tid -> display name; unnamed tids get
+    ``thread<tid>``.  Span events (``dur > 0``) become complete slices,
+    everything else becomes a thread-scoped instant; conflicts are
+    instants regardless so they render as markers on the timeline.
+    """
+    trace_events: list[dict] = []
+    names = dict(thread_names or {})
+    for tid in sorted({e.tid for e in events} | set(names)):
+        trace_events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": names.get(tid) or f"thread{tid}"},
+        })
+        # Sort tracks by tid, not by name, in the Perfetto UI.
+        trace_events.append({
+            "name": "thread_sort_index", "ph": "M", "pid": pid,
+            "tid": tid, "args": {"sort_index": tid},
+        })
+    for event in events:
+        entry: dict = {
+            "name": event.name, "cat": event.cat, "pid": pid,
+            "tid": event.tid, "ts": event.ts,
+        }
+        if event.args:
+            entry["args"] = dict(event.args)
+        if event.cat != CAT_CONFLICT and event.dur > 0:
+            entry["ph"] = "X"
+            entry["dur"] = event.dur
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        trace_events.append(entry)
+    other = {"generator": "sharc-trace", "clock": "interpreter-steps"}
+    if meta:
+        other.update(meta)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def validate_chrome_trace(payload: dict) -> list:
+    """Checks a payload against the Chrome trace-event schema (the
+    subset Perfetto's legacy JSON importer requires); returns a list of
+    problems, empty when valid."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not an array"]
+    for i, entry in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = entry.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            problems.append(f"{where}: name missing")
+        for key in ("pid", "tid"):
+            if not isinstance(entry.get(key), int):
+                problems.append(f"{where}: {key} missing or non-integer")
+        if ph != "M":
+            ts = entry.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts missing or negative")
+        if ph == "X":
+            dur = entry.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs dur >= 0")
+        if ph in ("i", "I") and entry.get("s", "t") not in _INSTANT_SCOPES:
+            problems.append(f"{where}: bad instant scope "
+                            f"{entry.get('s')!r}")
+        if "args" in entry and not isinstance(entry["args"], dict):
+            problems.append(f"{where}: args not an object")
+    return problems
+
+
+def write_chrome_trace(path: str, events: Sequence[Event],
+                       thread_names: Optional[dict] = None,
+                       meta: Optional[dict] = None) -> dict:
+    """Validates and writes a Chrome trace; returns the payload."""
+    payload = chrome_trace(events, thread_names, meta=meta)
+    problems = validate_chrome_trace(payload)
+    if problems:  # pragma: no cover - would be a generator bug
+        raise ValueError("invalid chrome trace: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1)
+        handle.write("\n")
+    return payload
+
+
+# -- JSON Lines --------------------------------------------------------------
+
+
+def jsonl_records(events: Sequence[Event], reports: Sequence = (),
+                  thread_names: Optional[dict] = None,
+                  meta: Optional[dict] = None) -> list:
+    """The records a JSONL trace file consists of, in order."""
+    header = {"record": "header", "kind": JSONL_KIND,
+              "version": JSONL_VERSION, "events": len(events),
+              "reports": len(reports)}
+    if thread_names:
+        header["threads"] = {str(tid): name
+                             for tid, name in sorted(thread_names.items())}
+    if meta:
+        header["meta"] = dict(meta)
+    records = [header]
+    for event in events:
+        record = event.to_dict()
+        record["record"] = "event"
+        records.append(record)
+    for report in reports:
+        record = report.to_dict()
+        record["record"] = "report"
+        records.append(record)
+    return records
+
+
+def validate_jsonl_records(records: Sequence[dict]) -> list:
+    """Schema check for a JSONL trace; returns problems, empty if OK."""
+    problems: list[str] = []
+    if not records:
+        return ["empty trace"]
+    header = records[0]
+    if header.get("record") != "header" \
+            or header.get("kind") != JSONL_KIND:
+        problems.append("first record is not a sharc-trace header")
+    elif header.get("version") != JSONL_VERSION:
+        problems.append(f"unsupported version {header.get('version')!r}")
+    for i, record in enumerate(records[1:], start=1):
+        kind = record.get("record")
+        if kind == "event":
+            if record.get("cat") not in CATEGORIES:
+                problems.append(f"line {i + 1}: bad category "
+                                f"{record.get('cat')!r}")
+            for key in ("name", "tid", "ts"):
+                if key not in record:
+                    problems.append(f"line {i + 1}: event missing {key}")
+        elif kind == "report":
+            for key in ("kind", "addr", "who"):
+                if key not in record:
+                    problems.append(f"line {i + 1}: report missing {key}")
+        else:
+            problems.append(f"line {i + 1}: unknown record {kind!r}")
+    return problems
+
+
+def write_jsonl(path: str, events: Sequence[Event], reports: Sequence = (),
+                thread_names: Optional[dict] = None,
+                meta: Optional[dict] = None) -> None:
+    """Validates and writes a JSONL trace."""
+    records = jsonl_records(events, reports, thread_names, meta)
+    problems = validate_jsonl_records(records)
+    if problems:  # pragma: no cover - would be a generator bug
+        raise ValueError("invalid jsonl trace: " + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+
+
+def read_jsonl(path: str) -> tuple:
+    """Loads a JSONL trace: (header, events, report dicts).  Raises
+    ``ValueError`` on schema problems."""
+    with open(path, "r", encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    problems = validate_jsonl_records(records)
+    if problems:
+        raise ValueError(f"{path}: " + "; ".join(problems))
+    header = records[0]
+    events = [Event.from_dict(r) for r in records[1:]
+              if r["record"] == "event"]
+    reports = [r for r in records[1:] if r["record"] == "report"]
+    return header, events, reports
+
+
+# -- summaries ---------------------------------------------------------------
+
+
+def render_summary(events: Sequence[Event],
+                   thread_names: Optional[dict] = None,
+                   limit: int = 0) -> str:
+    """A human-oriented digest of an event stream: span, per-category
+    and per-thread counts, plus the first ``limit`` events verbatim."""
+    if not events:
+        return "empty trace (0 events)"
+    names = dict(thread_names or {})
+    by_cat: dict[str, int] = {}
+    by_tid: dict[int, int] = {}
+    for event in events:
+        by_cat[event.cat] = by_cat.get(event.cat, 0) + 1
+        by_tid[event.tid] = by_tid.get(event.tid, 0) + 1
+    first, last = events[0].ts, max(e.ts + e.dur for e in events)
+    lines = [f"{len(events)} events over steps {first}..{last}"]
+    lines.append("  by category: " + "  ".join(
+        f"{cat}={by_cat[cat]}" for cat in CATEGORIES if cat in by_cat))
+    lines.append("  by thread:   " + "  ".join(
+        f"{names.get(tid, f'thread{tid}')}={n}"
+        for tid, n in sorted(by_tid.items())))
+    conflicts = [e for e in events if e.cat == CAT_CONFLICT]
+    if conflicts:
+        lines.append(f"  conflicts ({len(conflicts)}):")
+        for event in conflicts[:10]:
+            where = (event.args or {}).get("lvalue", "?")
+            lines.append(f"    step {event.ts}: {event.name} "
+                         f"t{event.tid} {where}")
+    for event in list(events)[:max(0, limit)]:
+        args = f" {event.args}" if event.args else ""
+        dur = f" dur={event.dur}" if event.dur else ""
+        lines.append(f"  [{event.ts:>8}] {event.cat}/{event.name} "
+                     f"t{event.tid}{dur}{args}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Per-granule access provenance for conflict reports.
+
+The shadow memory's ``last``/``last_writer`` maps answer "who do I
+conflict with *right now*" — one access, the paper's Section 2.1 format.
+This module keeps the last *N* accesses per 16-byte granule (thread,
+l-value, location, read/write mode, deterministic step timestamp), so a
+conflict report can render full provenance::
+
+    write conflict(0x00010040):
+     who(3) counter @ racy.c: 6
+     last(2) counter @ racy.c: 6
+     hist(2) [w] counter @ racy.c: 6
+     hist(1) [r] counter @ racy.c: 12
+
+Recording only happens when tracing is enabled (the interpreter leaves
+``history`` as None otherwise), so tracing-off runs carry zero cost and
+stay bit-identical.  The per-granule ring bounds memory; freed granules
+are purged via :meth:`clear_range` (wired into the shadow memory's own
+clearing, so stack-slab reuse never mixes different objects' histories).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import Loc
+from repro.sharc.reports import Access
+
+GRANULE_SHIFT = 4  # 16-byte granules, matching the shadow memory
+
+
+class AccessRecord:
+    """One remembered access (cheaper than a dataclass on this path)."""
+
+    __slots__ = ("tid", "lvalue", "loc", "is_write", "ts")
+
+    def __init__(self, tid: int, lvalue: str, loc: Loc, is_write: bool,
+                 ts: int) -> None:
+        self.tid = tid
+        self.lvalue = lvalue
+        self.loc = loc
+        self.is_write = is_write
+        self.ts = ts
+
+    @property
+    def mode(self) -> str:
+        return "w" if self.is_write else "r"
+
+    def as_access(self) -> Access:
+        return Access(self.tid, self.lvalue, self.loc, mode=self.mode)
+
+    def __repr__(self) -> str:  # debugging aid
+        return (f"AccessRecord(t{self.tid} [{self.mode}] {self.lvalue} "
+                f"@ {self.loc} ts={self.ts})")
+
+
+class AccessHistory:
+    """Bounded per-granule rings of the most recent accesses."""
+
+    def __init__(self, depth: int = 8) -> None:
+        if depth < 1:
+            raise ValueError("history depth must be >= 1")
+        self.depth = depth
+        self._rings: dict[int, deque] = {}
+
+    def record(self, addr: int, size: int, tid: int, lvalue: str,
+               loc: Loc, is_write: bool, ts: int) -> None:
+        """Remembers one access over ``[addr, addr+size)``."""
+        record = AccessRecord(tid, lvalue, loc, is_write, ts)
+        first = addr >> GRANULE_SHIFT
+        last = (addr + max(size, 1) - 1) >> GRANULE_SHIFT
+        rings = self._rings
+        for granule in range(first, last + 1):
+            ring = rings.get(granule)
+            if ring is None:
+                ring = rings[granule] = deque(maxlen=self.depth)
+            ring.append(record)
+
+    def recent(self, addr: int, size: int = 1,
+               limit: Optional[int] = None) -> list:
+        """The most recent accesses touching ``[addr, addr+size)``,
+        newest first, deduplicated (one multi-granule access appears in
+        several rings but is reported once)."""
+        first = addr >> GRANULE_SHIFT
+        last = (addr + max(size, 1) - 1) >> GRANULE_SHIFT
+        seen: set[int] = set()
+        merged: list[AccessRecord] = []
+        for granule in range(first, last + 1):
+            for record in self._rings.get(granule, ()):
+                if id(record) not in seen:
+                    seen.add(id(record))
+                    merged.append(record)
+        merged.sort(key=lambda r: r.ts, reverse=True)
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def provenance(self, addr: int, size: int = 1,
+                   limit: Optional[int] = None) -> tuple:
+        """:meth:`recent` as report-ready :class:`Access` values."""
+        return tuple(r.as_access() for r in self.recent(addr, size, limit))
+
+    def clear_range(self, addr: int, size: int) -> None:
+        """Forgets granules freed or explicitly reset (scast): their
+        future occupants are different objects."""
+        first = addr >> GRANULE_SHIFT
+        last = (addr + max(size, 1) - 1) >> GRANULE_SHIFT
+        for granule in range(first, last + 1):
+            self._rings.pop(granule, None)
+
+    def granules(self) -> int:
+        return len(self._rings)

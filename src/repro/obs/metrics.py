@@ -1,0 +1,199 @@
+"""Cross-sweep metrics aggregation: the ``metrics.json`` registry.
+
+One ``sharc explore`` sweep already reports its own coverage; production
+use runs *many* sweeps (several programs, checkers, budgets) and wants
+one machine-readable account of where the checking effort went.  A
+:class:`MetricsRegistry` folds any number of
+:class:`~repro.explore.driver.ExplorationSummary` objects into:
+
+- totals: schedules, failing schedules, races per 1k schedules, distinct
+  context-switch traces, shadow-check update/fast-path counts and the
+  resulting check hit rate;
+- a per-policy breakdown of the same (PCT vs random vs pb efficiency is
+  the headline comparison the exploration engine exists to make);
+- a per-sweep ledger so individual runs stay attributable.
+
+``sharc explore --metrics-out metrics.json`` writes the registry; the
+payload is schema-checked (:func:`validate_metrics`) before it touches
+disk, mirroring how ``BENCH_interp.json`` is handled.
+"""
+
+from __future__ import annotations
+
+import json
+
+METRICS_SCHEMA = "sharc-metrics/1"
+
+
+def _rate(hits: int, total: int) -> float:
+    return hits / total if total > 0 else 0.0
+
+
+def _per_1k(failures: int, schedules: int) -> float:
+    return 1000.0 * failures / schedules if schedules > 0 else 0.0
+
+
+class MetricsRegistry:
+    """Accumulates sweep summaries into one exportable payload."""
+
+    def __init__(self) -> None:
+        self.sweeps: list[dict] = []
+        self.schedules = 0
+        self.failing = 0
+        self.steps_total = 0
+        self.check_updates = 0
+        self.check_fastpath = 0
+        self._trace_hashes: set = set()
+        #: policy -> accumulated bucket
+        self._policies: dict[str, dict] = {}
+        self._reports: set = set()
+
+    def record_sweep(self, summary) -> None:
+        """Folds one :class:`ExplorationSummary` in."""
+        updates = sum(o.check_updates for o in summary.outcomes)
+        fastpath = sum(o.check_fastpath for o in summary.outcomes)
+        self.sweeps.append({
+            "filename": summary.filename,
+            "checker": summary.checker,
+            "policies": list(summary.policies),
+            "schedules": summary.schedules,
+            "failing_schedules": len(summary.failures),
+            "races_per_1k": round(summary.races_per_1k, 3),
+            "distinct_traces": summary.distinct_traces,
+            "check_hit_rate": round(_rate(fastpath, updates), 6),
+        })
+        self.schedules += summary.schedules
+        self.failing += len(summary.failures)
+        self.steps_total += summary.steps_total
+        self.check_updates += updates
+        self.check_fastpath += fastpath
+        self._trace_hashes |= summary.trace_hashes
+        self._reports.update(summary.first_failures)
+        by_policy: dict[str, dict] = {}
+        for outcome in summary.outcomes:
+            acc = by_policy.setdefault(outcome.policy,
+                                       {"updates": 0, "fastpath": 0})
+            acc["updates"] += outcome.check_updates
+            acc["fastpath"] += outcome.check_fastpath
+        for policy, bucket in summary.per_policy.items():
+            acc = self._policies.setdefault(
+                policy, {"schedules": 0, "failures": 0, "traces": set(),
+                         "updates": 0, "fastpath": 0})
+            acc["schedules"] += bucket["schedules"]
+            acc["failures"] += bucket["failures"]
+            acc["traces"] |= bucket["traces"]
+            counts = by_policy.get(policy, {})
+            acc["updates"] += counts.get("updates", 0)
+            acc["fastpath"] += counts.get("fastpath", 0)
+
+    @property
+    def races_per_1k(self) -> float:
+        return _per_1k(self.failing, self.schedules)
+
+    @property
+    def check_hit_rate(self) -> float:
+        return _rate(self.check_fastpath, self.check_updates)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": METRICS_SCHEMA,
+            "sweeps": list(self.sweeps),
+            "totals": {
+                "sweeps": len(self.sweeps),
+                "schedules": self.schedules,
+                "failing_schedules": self.failing,
+                "races_per_1k": round(self.races_per_1k, 3),
+                "distinct_traces": len(self._trace_hashes),
+                "distinct_reports": len(self._reports),
+                "steps_total": self.steps_total,
+                "check_updates": self.check_updates,
+                "check_fastpath_hits": self.check_fastpath,
+                "check_hit_rate": round(self.check_hit_rate, 6),
+            },
+            "per_policy": {
+                policy: {
+                    "schedules": acc["schedules"],
+                    "failures": acc["failures"],
+                    "races_per_1k": round(
+                        _per_1k(acc["failures"], acc["schedules"]), 3),
+                    "distinct_traces": len(acc["traces"]),
+                    "check_hit_rate": round(
+                        _rate(acc["fastpath"], acc["updates"]), 6),
+                }
+                for policy, acc in sorted(self._policies.items())},
+        }
+
+    def render(self) -> str:
+        data = self.as_dict()
+        totals = data["totals"]
+        lines = [
+            f"metrics over {totals['sweeps']} sweep(s), "
+            f"{totals['schedules']} schedules:",
+            f"  failing: {totals['failing_schedules']} "
+            f"({totals['races_per_1k']:.1f} races/1k)  "
+            f"distinct traces: {totals['distinct_traces']}  "
+            f"check hit rate: {totals['check_hit_rate']:.1%}",
+        ]
+        for policy, row in data["per_policy"].items():
+            lines.append(
+                f"  {policy:<12} {row['failures']:>4}/{row['schedules']:<5}"
+                f" failing ({row['races_per_1k']:>6.1f}/1k), "
+                f"{row['distinct_traces']} traces, "
+                f"hit rate {row['check_hit_rate']:.1%}")
+        return "\n".join(lines)
+
+
+def validate_metrics(payload: dict) -> list:
+    """Schema check; returns a list of problems (empty when valid)."""
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != METRICS_SCHEMA:
+        problems.append(f"schema != {METRICS_SCHEMA!r}")
+    totals = payload.get("totals")
+    if not isinstance(totals, dict):
+        return problems + ["totals missing"]
+    for key in ("sweeps", "schedules", "failing_schedules",
+                "distinct_traces", "steps_total", "check_updates",
+                "check_fastpath_hits"):
+        value = totals.get(key)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"totals.{key}: expected non-negative int, "
+                            f"got {value!r}")
+    for key, hi in (("races_per_1k", 1000.0), ("check_hit_rate", 1.0)):
+        value = totals.get(key)
+        if not isinstance(value, (int, float)) or not 0 <= value <= hi:
+            problems.append(f"totals.{key}: expected number in "
+                            f"[0, {hi}], got {value!r}")
+    if not isinstance(payload.get("sweeps"), list):
+        problems.append("sweeps missing or not an array")
+    per_policy = payload.get("per_policy")
+    if not isinstance(per_policy, dict):
+        problems.append("per_policy missing")
+    else:
+        for policy, row in per_policy.items():
+            if not isinstance(row, dict):
+                problems.append(f"per_policy.{policy}: not an object")
+                continue
+            for key in ("schedules", "failures", "distinct_traces"):
+                if not isinstance(row.get(key), int):
+                    problems.append(
+                        f"per_policy.{policy}.{key}: expected int")
+            rate = row.get("check_hit_rate")
+            if not isinstance(rate, (int, float)) or not 0 <= rate <= 1:
+                problems.append(
+                    f"per_policy.{policy}.check_hit_rate out of range")
+    return problems
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> dict:
+    """Validates and writes ``metrics.json``; returns the payload."""
+    payload = registry.as_dict()
+    problems = validate_metrics(payload)
+    if problems:  # pragma: no cover - would be a registry bug
+        raise ValueError("invalid metrics payload: "
+                         + "; ".join(problems))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload

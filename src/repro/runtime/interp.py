@@ -33,6 +33,10 @@ from typing import Optional
 
 from repro.errors import DiagKind, InterpError, Loc
 from repro.cfront import cast as A
+from repro.obs.events import (
+    CAT_CHECK, CAT_CONFLICT, CAT_SCAST, CAT_SCHED, TraceBus, TraceConfig,
+)
+from repro.obs.history import AccessHistory
 from repro.cfront.ctypes import ArrayType, FuncType, QualType, StructType
 from repro.sharc.checker import CheckedProgram
 from repro.sharc.reports import (
@@ -149,6 +153,11 @@ class RunResult:
     #: merged (tid, items) context-switch trace; populated only when the
     #: run was started with ``record_trace=True``
     trace: Optional[list[tuple[int, int]]] = None
+    #: structured runtime events (:class:`repro.obs.events.Event`);
+    #: populated only when the run was started with a trace config
+    events: Optional[list] = None
+    #: tid -> thread entry-function name, for trace exports
+    thread_names: dict[int, str] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -169,7 +178,8 @@ class Interp:
                  rc_scheme: str = "lp", instrument: bool = True,
                  shadow_bytes: int = 1, max_burst: int = 8,
                  checker: str = "sharc",
-                 record_trace: bool = False) -> None:
+                 record_trace: bool = False,
+                 trace: Optional[TraceConfig] = None) -> None:
         self.checked = checked
         self.program = checked.program
         self.structs = self.program.structs
@@ -203,6 +213,20 @@ class Interp:
         self._exit_code = 0
         self._halted = False
         self._pending = 0
+        # Structured tracing (repro.obs).  None everywhere when off: the
+        # only cost an untraced run pays is `is not None` tests, and the
+        # bus clock is the deterministic step counter, so traced and
+        # untraced runs are bit-identical in steps/reports/rng.
+        self.bus: Optional[TraceBus] = None
+        self.history: Optional[AccessHistory] = None
+        if trace is not None:
+            self.bus = TraceBus(trace,
+                                clock=lambda: self.stats.steps_total)
+            self.history = AccessHistory(trace.history_depth)
+            self.shadow.history = self.history
+            self.locks.bus = self.bus
+            self.rc.bus = self.bus
+            self.sched.bus = self.bus
 
     # -- cost accounting ------------------------------------------------------
 
@@ -232,6 +256,11 @@ class Interp:
             return
         self._report_keys[key] = 1
         self.reports.append(report)
+        if self.bus is not None:
+            self.bus.emit(
+                CAT_CONFLICT, report.kind.value, report.who.tid,
+                lvalue=report.who.lvalue, addr=f"0x{report.addr:x}",
+                loc=f"{report.who.loc.file}:{report.who.loc.line}")
 
     # -- runtime checks -------------------------------------------------------------
 
@@ -277,11 +306,21 @@ class Interp:
                 else:
                     lock_addr = yield from self.eval_expr(
                         info.lock_ast, thread, frame)
-            if not self.locks.holds_for_access(thread.tid,
-                                               int(lock_addr), is_write):
+            held = self.locks.holds_for_access(thread.tid,
+                                               int(lock_addr), is_write)
+            if not held:
+                hist = (self.history.provenance(addr, size)
+                        if self.history is not None else ())
                 self._report(lock_not_held(
                     addr, Access(thread.tid, info.lvalue_text, info.loc),
-                    str(info.mode)))
+                    str(info.mode), hist))
+            if self.history is not None:
+                self.history.record(addr, size, thread.tid,
+                                    info.lvalue_text, info.loc, is_write,
+                                    self.stats.steps_total)
+            if self.bus is not None:
+                self.bus.emit(CAT_CHECK, "chklock", thread.tid, dur=1,
+                              hit=held, lvalue=info.lvalue_text)
             self.stats.accesses_locked += 1
             return
         # dynamic / dynamic_in: the n-readers-or-1-writer discipline.
@@ -291,25 +330,48 @@ class Interp:
             # made so far, so these accesses can never be part of a race;
             # recording them would only manufacture init-then-share false
             # positives.  The check degenerates to a thread-count test.
+            # Provenance is still recorded: a later conflict's history
+            # should show the single-threaded initialisation too.
             self._charge_check(1)
+            if self.history is not None:
+                self.history.record(addr, size, thread.tid,
+                                    info.lvalue_text, info.loc, is_write,
+                                    self.stats.steps_total)
             return
         if is_write:
             conflict, slow = self.shadow.chkwrite(
                 addr, size, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
                 who = Access(thread.tid, info.lvalue_text, info.loc)
+                # Provenance is fetched *before* recording this access,
+                # so the hist lines show the accesses leading up to it.
+                hist = (self.history.provenance(addr, size)
+                        if self.history is not None else ())
                 self._report(write_conflict(addr, who,
-                                            conflict.as_access()))
+                                            conflict.as_access(), hist))
         else:
             conflict, slow = self.shadow.chkread(
                 addr, size, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
                 who = Access(thread.tid, info.lvalue_text, info.loc)
+                hist = (self.history.provenance(addr, size)
+                        if self.history is not None else ())
                 self._report(read_conflict(addr, who,
-                                           conflict.as_access()))
+                                           conflict.as_access(), hist))
+        if self.history is not None:
+            self.history.record(addr, size, thread.tid, info.lvalue_text,
+                                info.loc, is_write,
+                                self.stats.steps_total)
         # Fast path (bits already set): a load + test.  Slow path:
         # a cmpxchg per granule.
-        self._charge_check(1 + 3 * slow)
+        cost = 1 + 3 * slow
+        self._charge_check(cost)
+        if self.bus is not None:
+            self.bus.emit(CAT_CHECK,
+                          "chkwrite" if is_write else "chkread",
+                          thread.tid, dur=cost, hit=(slow == 0),
+                          conflict=conflict is not None,
+                          lvalue=info.lvalue_text)
 
     def summary_access(self, node: A.Call, arg_index: int, addr: int,
                        length: int, thread: Thread) -> None:
@@ -323,25 +385,46 @@ class Interp:
         rw, info = access[arg_index]
         self.stats.accesses_dynamic += 1
         self.stats.accesses_total += 1
+        is_write = "w" in rw
         if self._solo():
             self._charge_check(1)
+            if self.history is not None:
+                self.history.record(addr, length, thread.tid,
+                                    info.lvalue_text, info.loc, is_write,
+                                    self.stats.steps_total)
             return
         slow = 0
-        if "w" in rw:
+        conflict = None
+        if is_write:
             conflict, slow = self.shadow.chkwrite(
                 addr, length, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
                 who = Access(thread.tid, info.lvalue_text, info.loc)
+                hist = (self.history.provenance(addr, length)
+                        if self.history is not None else ())
                 self._report(write_conflict(addr, who,
-                                            conflict.as_access()))
+                                            conflict.as_access(), hist))
         elif "r" in rw:
             conflict, slow = self.shadow.chkread(
                 addr, length, thread.tid, info.lvalue_text, info.loc)
             if conflict is not None:
                 who = Access(thread.tid, info.lvalue_text, info.loc)
+                hist = (self.history.provenance(addr, length)
+                        if self.history is not None else ())
                 self._report(read_conflict(addr, who,
-                                           conflict.as_access()))
-        self._charge_check(1 + 3 * slow)
+                                           conflict.as_access(), hist))
+        if self.history is not None and rw:
+            self.history.record(addr, length, thread.tid,
+                                info.lvalue_text, info.loc, is_write,
+                                self.stats.steps_total)
+        cost = 1 + 3 * slow
+        self._charge_check(cost)
+        if self.bus is not None:
+            self.bus.emit(CAT_CHECK,
+                          "chkwrite" if is_write else "chkread",
+                          thread.tid, dur=cost, hit=(slow == 0),
+                          conflict=conflict is not None, summary=True,
+                          lvalue=info.lvalue_text)
 
     # -- reference counting -----------------------------------------------------------
 
@@ -770,6 +853,9 @@ class Interp:
         old = self.space.write(addr, 0, e.loc)
         self.stats.accesses_total += 1
         self.stats.writes += 1
+        if self.bus is not None:
+            self.bus.emit(CAT_SCAST, "null-out", thread.tid,
+                          addr=f"0x{addr:x}")
         if getattr(e, "rc_track", False):
             self._rc_write(thread, addr, old, 0)
         if self.instrument and getattr(e, "sharc_oneref", False) and value:
@@ -777,6 +863,10 @@ class Interp:
             count, cost = self.rc.count(thread.tid, base, self._rc_peek)
             self._charge_rc(cost)
             self.stats.rc_collections += 1
+            if self.bus is not None:
+                self.bus.emit(CAT_SCAST, "oneref", thread.tid,
+                              target=f"0x{base:x}", count=count + 1,
+                              ok=count == 0)
             if count > 0:
                 from repro.cfront.pretty import pretty_expr
                 self._report(oneref_failed(
@@ -1062,6 +1152,8 @@ class Interp:
             # advance the generator too).
             ran = 0
             stop_run = False
+            bus = self.bus
+            burst_start = self.stats.steps_total
             for _ in range(burst):
                 try:
                     item = next(thread.gen)
@@ -1107,6 +1199,12 @@ class Interp:
                     cost = 1
                 steps += cost
                 thread.steps += cost
+            if bus is not None and ran:
+                # One slice per scheduler burst: start = step counter
+                # when the burst began, duration = steps it consumed.
+                bus.emit(CAT_SCHED, "run", thread.tid, ts=burst_start,
+                         dur=self.stats.steps_total - burst_start,
+                         items=ran)
             self.sched.note_ran(thread, ran)
             if stop_run:
                 return
@@ -1135,9 +1233,14 @@ class Interp:
         self.stats.rc_bytes = self.rc.metadata_bytes()
         self.stats.context_switches = self.sched.context_switches
         self.stats.shadow_updates = self.shadow.updates
+        self.stats.shadow_fastpath_hits = self.shadow.fastpath_hits
         self.stats.lock_acquisitions = self.locks.acquisitions
         self.stats.rc_collections = self.rc.stats.collections
         result.stats = self.stats
+        result.thread_names = {t.tid: t.name
+                               for t in self.sched.threads.values()}
+        if self.bus is not None:
+            result.events = self.bus.snapshot()
         live = [t for t in self.sched.threads.values()
                 if t.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED)]
         if live and result.deadlock is None and result.error is None \
@@ -1157,14 +1260,17 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 shadow_bytes: int = 1, max_burst: int = 8,
                 max_steps: int = 2_000_000,
                 checker: str = "sharc",
-                record_trace: bool = False) -> RunResult:
+                record_trace: bool = False,
+                trace: Optional[TraceConfig] = None) -> RunResult:
     """Executes a statically checked program once.  ``policy`` may be a
     spec string (``"random"``, ``"pct:4"``, ...) or a
-    :class:`~repro.runtime.scheduler.SchedulingPolicy` instance."""
+    :class:`~repro.runtime.scheduler.SchedulingPolicy` instance.
+    ``trace`` enables structured event tracing (:mod:`repro.obs`)."""
     interp = Interp(checked, seed=seed, world=world, policy=policy,
                     rc_scheme=rc_scheme, instrument=instrument,
                     shadow_bytes=shadow_bytes, max_burst=max_burst,
-                    checker=checker, record_trace=record_trace)
+                    checker=checker, record_trace=record_trace,
+                    trace=trace)
     result = interp.run(max_steps=max_steps)
     if record_trace:
         result.trace = list(interp.sched.trace or [])

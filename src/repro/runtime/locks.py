@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import InterpError, Loc
+from repro.obs.events import CAT_LOCK
 
 
 @dataclass
@@ -60,6 +61,13 @@ class LockTable:
         #: read-side holds of rwlocks, per thread
         self.read_log: dict[int, set[int]] = {}
         self.acquisitions = 0
+        #: optional :class:`repro.obs.events.TraceBus`; attached by the
+        #: interpreter when tracing.  Lock semantics never consult it.
+        self.bus = None
+
+    def _emit(self, name: str, tid: int, addr: int, **args) -> None:
+        if self.bus is not None:
+            self.bus.emit(CAT_LOCK, name, tid, lock=f"0x{addr:x}", **args)
 
     def mutex(self, addr: int) -> Mutex:
         if addr not in self.mutexes:
@@ -79,6 +87,7 @@ class LockTable:
             mutex.owner = tid
             self.held_log.setdefault(tid, set()).add(addr)
             self.acquisitions += 1
+            self._emit("acquire", tid, addr)
             return True
         if mutex.owner == tid:
             raise InterpError(
@@ -93,6 +102,7 @@ class LockTable:
                 f"{mutex.owner}", loc)
         mutex.owner = None
         self.held_log.get(tid, set()).discard(addr)
+        self._emit("release", tid, addr)
 
     def holds(self, tid: int, addr: int) -> bool:
         """The lock-held runtime check (write-strength hold)."""
@@ -115,6 +125,7 @@ class LockTable:
         rw.readers.add(tid)
         self.read_log.setdefault(tid, set()).add(addr)
         self.acquisitions += 1
+        self._emit("acquire", tid, addr, side="rd")
         return True
 
     def try_wrlock(self, addr: int, tid: int) -> bool:
@@ -128,6 +139,7 @@ class LockTable:
         rw.writer = tid
         self.held_log.setdefault(tid, set()).add(addr)
         self.acquisitions += 1
+        self._emit("acquire", tid, addr, side="wr")
         return True
 
     def rw_unlock(self, addr: int, tid: int,
@@ -136,10 +148,12 @@ class LockTable:
         if rw.writer == tid:
             rw.writer = None
             self.held_log.get(tid, set()).discard(addr)
+            self._emit("release", tid, addr, side="wr")
             return
         if tid in rw.readers:
             rw.readers.discard(tid)
             self.read_log.get(tid, set()).discard(addr)
+            self._emit("release", tid, addr, side="rd")
             return
         raise InterpError(
             f"thread {tid} unlocks rwlock 0x{addr:x} it does not hold",

@@ -30,39 +30,62 @@ from typing import Optional
 
 
 class Profiler:
-    """Accumulating named phase timers and counters."""
+    """Accumulating named phase timers and counters.
+
+    Phases may nest (``with prof.phase("sweep"): with
+    prof.phase("run"): ...``).  ``phases`` records *exclusive*
+    self-time — the time a phase spent outside its children — so
+    :meth:`total_seconds` is real elapsed wall time, not elapsed time
+    multiplied by the nesting depth.  ``inclusive`` keeps the
+    wall-clock-per-phase view (a parent's inclusive time covers its
+    children's)."""
 
     def __init__(self) -> None:
+        #: phase -> exclusive (self) seconds
         self.phases: dict[str, float] = {}
+        #: phase -> inclusive (wall) seconds
+        self.inclusive: dict[str, float] = {}
         self.counters: dict[str, int] = {}
-        self._stack: list[tuple[str, float]] = []
+        #: open phases: [name, start, accumulated child seconds]
+        self._stack: list[list] = []
 
     @contextmanager
     def phase(self, name: str):
         """Times a phase; re-entering the same name accumulates."""
-        start = time.perf_counter()
-        self._stack.append((name, start))
+        entry: list = [name, time.perf_counter(), 0.0]
+        self._stack.append(entry)
         try:
             yield self
         finally:
             self._stack.pop()
+            elapsed = time.perf_counter() - entry[1]
             self.phases[name] = (self.phases.get(name, 0.0)
-                                 + time.perf_counter() - start)
+                                 + elapsed - entry[2])
+            self.inclusive[name] = (self.inclusive.get(name, 0.0)
+                                    + elapsed)
+            if self._stack:
+                # Charge the whole span to the enclosing phase's
+                # child time, keeping the parent's self-time exclusive.
+                self._stack[-1][2] += elapsed
 
     def count(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
 
     def total_seconds(self) -> float:
+        """Total wall time across all phases.  Self-times sum without
+        overlap, so nested phases are not double-counted."""
         return sum(self.phases.values())
 
     def as_dict(self) -> dict:
         return {
             "phases": {k: round(v, 6) for k, v in self.phases.items()},
+            "inclusive": {k: round(v, 6)
+                          for k, v in self.inclusive.items()},
             "counters": dict(self.counters),
         }
 
     def render(self) -> str:
-        """A small aligned table: phase, seconds, share of total."""
+        """A small aligned table: phase, self seconds, share of total."""
         total = self.total_seconds() or 1.0
         lines = ["phase                   seconds    share"]
         for name, secs in self.phases.items():

@@ -41,6 +41,8 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs.events import CAT_RC
+
 
 @dataclass
 class RCStats:
@@ -60,6 +62,9 @@ class RefCountScheme:
 
     def __init__(self) -> None:
         self.stats = RCStats()
+        #: optional :class:`repro.obs.events.TraceBus`; attached by the
+        #: interpreter when tracing.  Counting never consults it.
+        self.bus = None
 
     def record_write(self, tid: int, slot: int, old: object,
                      new: object) -> int:
@@ -163,15 +168,17 @@ class LPRefCount(RefCountScheme):
         self.stats.steps += self.FIRST_WRITE_COST
         return self.FIRST_WRITE_COST
 
-    def _collect(self, peek) -> int:
+    def _collect(self, peek, tid: int = 0) -> int:
         """The requester acts as collector: flip epochs, process the
         retired logs.  Returns the step cost."""
         retired = self.epoch
         self.epoch ^= 1
         cost = 1  # the epoch flip (the lock-free arrangement)
+        entries = 0
         for per_thread in self.logs[retired].values():
             for slot, old in per_thread:
                 cost += 1
+                entries += 1
                 if _is_addr(old):
                     self.rc[old] -= 1
                 current = peek(slot)
@@ -181,10 +188,13 @@ class LPRefCount(RefCountScheme):
         self.dirty[retired] = set()
         self.stats.collections += 1
         self.stats.steps += cost
+        if self.bus is not None:
+            self.bus.emit(CAT_RC, "epoch-flip", tid,
+                          epoch=self.epoch, entries=entries)
         return cost
 
     def count(self, tid, target, peek) -> tuple[int, int]:
-        cost = self._collect(peek)
+        cost = self._collect(peek, tid)
         return max(0, self.rc.get(target, 0)), cost
 
     def metadata_bytes(self) -> int:

@@ -41,6 +41,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Union
 
+from repro.obs.events import CAT_SCHED, CAT_THREAD
+
 
 class ThreadState(enum.Enum):
     RUNNABLE = "runnable"
@@ -328,6 +330,11 @@ class Scheduler:
         #: number of RUNNABLE + BLOCKED threads, maintained incrementally
         #: so the interpreter's per-access solo test is O(1)
         self.live_count = 0
+        #: optional :class:`repro.obs.events.TraceBus`; never consulted
+        #: for scheduling decisions, so traced and untraced runs pick
+        #: identical schedules
+        self.bus = None
+        self._last_run_tid = 0
 
     # -- thread lifecycle -----------------------------------------------------
 
@@ -338,6 +345,8 @@ class Scheduler:
         self.threads[tid] = thread
         self.live_count += 1
         self._policy.on_spawn(thread, self)
+        if self.bus is not None:
+            self.bus.emit(CAT_THREAD, "spawn", tid, entry=thread.name)
         return thread
 
     def block(self, thread: Thread, ready: Callable[[], bool],
@@ -352,6 +361,9 @@ class Scheduler:
         thread.state = ThreadState.DONE
         thread.result = result
         thread.ready = None
+        if self.bus is not None:
+            self.bus.emit(CAT_THREAD, "exit", thread.tid, state="done",
+                          steps=thread.steps)
 
     def fail(self, thread: Thread, error: BaseException) -> None:
         if thread.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
@@ -359,6 +371,9 @@ class Scheduler:
         thread.state = ThreadState.FAILED
         thread.error = error
         thread.ready = None
+        if self.bus is not None:
+            self.bus.emit(CAT_THREAD, "exit", thread.tid, state="failed",
+                          error=type(error).__name__)
 
     # -- picking ----------------------------------------------------------------
 
@@ -392,6 +407,10 @@ class Scheduler:
             return None, 0
         self.context_switches += 1
         thread, burst = self._policy.pick(candidates, self)
+        if self.bus is not None and thread.tid != self._last_run_tid:
+            self.bus.emit(CAT_SCHED, "switch", thread.tid,
+                          prev=self._last_run_tid, runnable=len(candidates))
+        self._last_run_tid = thread.tid
         return thread, max(1, burst)
 
     def note_ran(self, thread: Thread, items: int) -> None:

@@ -102,6 +102,10 @@ class ShadowMemory:
         #: every cached range at once.
         self._cache: dict[int, tuple[int, int, bool, int]] = {}
         self._version = 0
+        #: optional :class:`repro.obs.history.AccessHistory`; attached by
+        #: the interpreter when tracing.  Never consulted by the checks —
+        #: checking behaviour is identical with or without it.
+        self.history = None
 
     # -- helpers -------------------------------------------------------------
 
@@ -263,6 +267,10 @@ class ShadowMemory:
             for log in logs:
                 log.discard(granule)
         self._version += 1
+        if self.history is not None:
+            # Freed (or scast-reset) memory must not leak another
+            # object's provenance into later reports at the same address.
+            self.history.clear_range(addr, size)
 
     def clear_thread(self, tid: int) -> None:
         """Thread exit: two threads whose executions do not overlap do not

@@ -45,6 +45,7 @@ class RunStats:
     threads_peak: int = 0
     context_switches: int = 0
     shadow_updates: int = 0
+    shadow_fastpath_hits: int = 0
     rc_writes: int = 0
     rc_collections: int = 0
     lock_acquisitions: int = 0
@@ -66,9 +67,16 @@ class RunStats:
     def pct_dynamic(self) -> float:
         """Fraction of accesses to dynamic-mode objects, as in Table 1's
         last column."""
-        if self.accesses_total == 0:
+        if self.accesses_total <= 0:
             return 0.0
         return self.accesses_dynamic / self.accesses_total
+
+    @property
+    def check_fastpath_rate(self) -> float:
+        """Fraction of shadow updates served by the last-granule cache."""
+        if self.shadow_updates <= 0:
+            return 0.0
+        return self.shadow_fastpath_hits / self.shadow_updates
 
     @property
     def metadata_pages(self) -> int:
@@ -79,7 +87,7 @@ class RunStats:
         the program's own data.  Measured in bytes: at interpreter scale
         page-granular accounting is dominated by rounding; the byte ratio
         preserves the orderings Table 1 reports."""
-        if self.data_bytes == 0:
+        if self.data_bytes <= 0:
             return 0.0
         return (self.shadow_bytes + self.rc_bytes) / self.data_bytes
 
@@ -92,7 +100,9 @@ class RunStats:
 
 
 def time_overhead(base: RunStats, instrumented: RunStats) -> float:
-    """Relative step-count overhead of the instrumented run."""
-    if base.steps_total == 0:
+    """Relative step-count overhead of the instrumented run.  Guarded
+    like every other ratio here: a zero or negative (corrupt) baseline
+    yields 0.0 instead of dividing by zero."""
+    if base.steps_total <= 0:
         return 0.0
     return instrumented.steps_total / base.steps_total - 1.0

@@ -1,0 +1,129 @@
+"""Tests for the cross-sweep metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.explore.driver import (ExplorationSummary, ScheduleOutcome,
+                                  explore_source)
+from repro.obs.metrics import (METRICS_SCHEMA, MetricsRegistry,
+                               validate_metrics, write_metrics)
+
+RACY = """
+int counter = 0;
+
+void *bump(void *arg) {
+  counter = counter + 1;
+  return NULL;
+}
+
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return counter;
+}
+"""
+
+
+def _outcome(seed, policy, *, reports=0, steps=100, trace_hash="h",
+             updates=50, fastpath=20):
+    return ScheduleOutcome(
+        seed=seed, policy=policy, checker="sharc",
+        report_keys=("write conflict:x@1",) if reports else (),
+        reports=reports, steps=steps, switches=3,
+        trace_hash=trace_hash, check_updates=updates,
+        check_fastpath=fastpath)
+
+
+def _summary(outcomes, filename="a.c"):
+    summary = ExplorationSummary(filename=filename, checker="sharc",
+                                 policies=("random",))
+    for outcome in outcomes:
+        summary.add(outcome)
+    return summary
+
+
+class TestMetricsRegistry:
+    def test_empty_registry_is_valid(self):
+        payload = MetricsRegistry().as_dict()
+        assert validate_metrics(payload) == []
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["totals"]["schedules"] == 0
+        assert payload["totals"]["check_hit_rate"] == 0.0
+
+    def test_totals_accumulate_across_sweeps(self):
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([
+            _outcome(0, "random", trace_hash="a"),
+            _outcome(1, "random", reports=1, trace_hash="b"),
+        ]))
+        registry.record_sweep(_summary([
+            _outcome(0, "pct:3:50", trace_hash="a"),
+        ], filename="b.c"))
+        payload = registry.as_dict()
+        assert validate_metrics(payload) == []
+        totals = payload["totals"]
+        assert totals["sweeps"] == 2
+        assert totals["schedules"] == 3
+        assert totals["failing_schedules"] == 1
+        assert totals["distinct_traces"] == 2  # "a" shared across sweeps
+        assert totals["check_updates"] == 150
+        assert totals["check_fastpath_hits"] == 60
+        assert totals["check_hit_rate"] == pytest.approx(0.4)
+        assert totals["races_per_1k"] == pytest.approx(1000 / 3, abs=0.01)
+
+    def test_per_policy_breakdown(self):
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([
+            _outcome(0, "random", reports=1, trace_hash="a",
+                     updates=100, fastpath=90),
+            _outcome(1, "pb", trace_hash="b", updates=100, fastpath=10),
+        ]))
+        per_policy = registry.as_dict()["per_policy"]
+        assert per_policy["random"]["failures"] == 1
+        assert per_policy["random"]["check_hit_rate"] == \
+            pytest.approx(0.9)
+        assert per_policy["pb"]["failures"] == 0
+        assert per_policy["pb"]["check_hit_rate"] == pytest.approx(0.1)
+
+    def test_render_mentions_policies(self):
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([_outcome(0, "random")]))
+        text = registry.render()
+        assert "1 sweep(s)" in text
+        assert "random" in text
+
+    def test_real_sweep_produces_valid_metrics(self, tmp_path):
+        summary = explore_source(RACY, "racy.c", seeds=4,
+                                 policies=("random", "round-robin"))
+        registry = MetricsRegistry()
+        registry.record_sweep(summary)
+        path = tmp_path / "metrics.json"
+        payload = write_metrics(registry, str(path))
+        assert validate_metrics(payload) == []
+        reloaded = json.loads(path.read_text())
+        assert reloaded == payload
+        totals = reloaded["totals"]
+        assert totals["schedules"] == 8
+        assert totals["check_updates"] > 0
+        assert 0.0 <= totals["check_hit_rate"] <= 1.0
+        assert set(reloaded["per_policy"]) == {"random", "round-robin"}
+
+
+class TestValidateMetrics:
+    def test_flags_schema_and_ranges(self):
+        assert validate_metrics([]) == ["payload is not an object"]
+        payload = MetricsRegistry().as_dict()
+        payload["schema"] = "bogus/9"
+        payload["totals"]["check_hit_rate"] = 2.0
+        payload["totals"]["schedules"] = -1
+        problems = validate_metrics(payload)
+        assert any("schema" in p for p in problems)
+        assert any("check_hit_rate" in p for p in problems)
+        assert any("schedules" in p for p in problems)
+
+    def test_flags_missing_sections(self):
+        problems = validate_metrics({"schema": METRICS_SCHEMA})
+        assert "totals missing" in problems

@@ -1,5 +1,7 @@
 """Tests for the wall-clock profiler (repro.runtime.profile)."""
 
+import time
+
 import pytest
 
 from repro.runtime.profile import Profiler, ProfileReport, profile_source
@@ -61,8 +63,33 @@ class TestProfiler:
         assert prof.total_seconds() == pytest.approx(
             prof.phases["a"] + prof.phases["b"])
         shape = prof.as_dict()
-        assert set(shape) == {"phases", "counters"}
+        assert set(shape) == {"phases", "inclusive", "counters"}
         assert set(shape["phases"]) == {"a", "b"}
+
+    def test_nested_phases_not_double_counted(self):
+        # A phase enclosing another must report only its *self* time:
+        # before the fix, total_seconds() counted the inner phase's
+        # elapsed time once for itself and again inside the parent.
+        prof = Profiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                time.sleep(0.02)
+        assert prof.inclusive["outer"] >= prof.inclusive["inner"] >= 0.02
+        # outer self-time excludes inner: the sleep is charged once.
+        assert prof.phases["outer"] == pytest.approx(
+            prof.inclusive["outer"] - prof.inclusive["inner"])
+        assert prof.total_seconds() == pytest.approx(
+            prof.inclusive["outer"], rel=0.05)
+
+    def test_nested_reentrant_phase_accumulates_self_time(self):
+        prof = Profiler()
+        with prof.phase("sweep"):
+            for _ in range(3):
+                with prof.phase("run"):
+                    time.sleep(0.005)
+        assert prof.inclusive["run"] >= 0.015
+        assert prof.total_seconds() == pytest.approx(
+            prof.inclusive["sweep"], rel=0.05)
 
     def test_render_lists_phases_and_counters(self):
         prof = Profiler()

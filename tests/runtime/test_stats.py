@@ -41,6 +41,43 @@ class TestTimeOverhead:
         assert time_overhead(base, inst) < 0
 
 
+class TestStepsPerSec:
+    def test_zero_wall(self):
+        assert RunStats(steps_total=100).steps_per_sec == 0.0
+
+    def test_negative_wall_guarded(self):
+        # A corrupt / backwards clock must not produce a negative rate.
+        assert RunStats(steps_total=100,
+                        wall_seconds=-0.5).steps_per_sec == 0.0
+
+    def test_rate(self):
+        stats = RunStats(steps_total=100, wall_seconds=0.5)
+        assert stats.steps_per_sec == 200.0
+
+
+class TestCheckFastpathRate:
+    def test_zero_updates(self):
+        assert RunStats().check_fastpath_rate == 0.0
+        assert RunStats(shadow_fastpath_hits=3,
+                        shadow_updates=-1).check_fastpath_rate == 0.0
+
+    def test_fraction(self):
+        stats = RunStats(shadow_updates=40, shadow_fastpath_hits=10)
+        assert stats.check_fastpath_rate == 0.25
+
+
+class TestGuardUniformity:
+    """Every ratio treats a zero *or negative* denominator as 0.0."""
+
+    def test_negative_denominators(self):
+        stats = RunStats(accesses_total=-5, accesses_dynamic=2,
+                         data_bytes=-100, shadow_bytes=10)
+        assert stats.pct_dynamic == 0.0
+        assert stats.memory_overhead() == 0.0
+        base = RunStats(steps_total=-10)
+        assert time_overhead(base, RunStats(steps_total=10)) == 0.0
+
+
 def test_summary_renders_key_numbers():
     stats = RunStats(steps_total=42, steps_checks=7, steps_rc=3,
                      accesses_total=10, accesses_dynamic=5,
