@@ -103,8 +103,23 @@ class BenchResult:
             return 0.0
         return self.base_result.stats.wall_seconds
 
+    @property
+    def checks_per_1k_steps(self) -> float:
+        """Shadow-walking check density of the instrumented run."""
+        if self.sharc_result is None:
+            return 0.0
+        return self.sharc_result.stats.checks_per_1k_steps
+
+    @property
+    def checks_elided_pct(self) -> float:
+        """Fraction of dynamic checks discharged by the eliminator."""
+        if self.sharc_result is None:
+            return 0.0
+        return self.sharc_result.stats.checks_elided_pct
+
     def bench_entry(self) -> dict:
-        """The BENCH_interp.json record for this workload."""
+        """The BENCH_interp.json record for this workload
+        (``sharc-bench-interp/2``)."""
         return {
             "base_steps": self.base_steps,
             "sharc_steps": self.sharc_steps,
@@ -115,6 +130,8 @@ class BenchResult:
             "mem_overhead": round(self.mem_overhead, 6),
             "pct_dynamic": round(self.pct_dynamic, 6),
             "reports": self.reports,
+            "checks_per_1k_steps": round(self.checks_per_1k_steps, 3),
+            "checks_elided_pct": round(self.checks_elided_pct, 6),
         }
 
     def row(self) -> dict:
@@ -150,8 +167,12 @@ def check_workload(workload: Workload,
 
 def run_workload(workload: Workload, *, seed: Optional[int] = None,
                  annotated: bool = True,
-                 rc_scheme: str = "lp") -> BenchResult:
-    """Runs baseline + SharC and returns the measured row."""
+                 rc_scheme: str = "lp",
+                 checkelim: bool = True) -> BenchResult:
+    """Runs baseline + SharC and returns the measured row.
+    ``checkelim=False`` ablates the static check eliminator in the
+    instrumented run (steps and reports are identical either way; only
+    wall time and the check-mix counters move)."""
     checked = check_workload(workload, annotated)
     if annotated and not checked.ok:
         raise AssertionError(
@@ -166,6 +187,7 @@ def run_workload(workload: Workload, *, seed: Optional[int] = None,
                         world=workload.world_factory(),
                         instrument=True, rc_scheme=rc_scheme,
                         policy=workload.policy,
+                        checkelim=checkelim,
                         max_steps=workload.max_steps)
     for result, label in ((base, "baseline"), (sharc, "sharc")):
         if result.error or result.deadlock or result.timeout:

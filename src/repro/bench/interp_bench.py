@@ -9,8 +9,9 @@ PRs.  It writes ``BENCH_interp.json``:
 .. code-block:: json
 
     {
-      "schema": "sharc-bench-interp/1",
+      "schema": "sharc-bench-interp/2",
       "seed": null,
+      "checkelim": true,
       "workloads": {
         "pfscan": {
           "base_steps": 64086,
@@ -21,7 +22,9 @@ PRs.  It writes ``BENCH_interp.json``:
           "time_overhead": 0.687,
           "mem_overhead": 0.205,
           "pct_dynamic": 0.338,
-          "reports": 0
+          "reports": 0,
+          "checks_per_1k_steps": 12.4,
+          "checks_elided_pct": 0.858
         },
         "...": {}
       },
@@ -37,11 +40,22 @@ PRs.  It writes ``BENCH_interp.json``:
 is the deterministic step-count overhead (identical across machines for a
 given seed), so the file mixes one machine-dependent axis with the
 machine-independent ones that anchor it.
+
+Schema history: ``/1`` lacked ``checks_per_1k_steps`` and
+``checks_elided_pct``.  ``upgrade_payload`` is the reader shim — every
+consumer (the CI canary, ``--compare``) accepts both versions through
+it, so committed ``/1`` baselines keep working.
+
+``sharc bench --compare OLD.json`` re-runs the workloads and diffs them
+against a previously written payload (either schema), exiting nonzero
+when throughput regresses beyond ``--compare-threshold`` — the CI
+canary's building block.
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
 import json
 import sys
 from typing import Optional
@@ -49,12 +63,21 @@ from typing import Optional
 from repro.bench.harness import BenchResult, run_workload
 from repro.bench.workloads import all_workloads
 
-SCHEMA = "sharc-bench-interp/1"
+SCHEMA_V1 = "sharc-bench-interp/1"
+SCHEMA = "sharc-bench-interp/2"
 DEFAULT_OUT = "BENCH_interp.json"
+#: ``--compare`` flags a workload whose steps/sec fell below
+#: ``old * (1 - threshold)``; 0.5 tolerates the usual host jitter while
+#: catching complexity cliffs.
+DEFAULT_COMPARE_THRESHOLD = 0.5
+
+#: fields new in /2, with the value the shim backfills for /1 payloads
+_V2_FIELDS = {"checks_per_1k_steps": 0.0, "checks_elided_pct": 0.0}
 
 
 def bench_workloads(names: Optional[list[str]] = None, *,
-                    seed: Optional[int] = None) -> list[BenchResult]:
+                    seed: Optional[int] = None,
+                    checkelim: bool = True) -> list[BenchResult]:
     """Runs the requested workloads (all six by default)."""
     selected = all_workloads()
     if names:
@@ -65,17 +88,20 @@ def bench_workloads(names: Optional[list[str]] = None, *,
                 f"unknown workload(s): {', '.join(unknown)}; "
                 f"available: {', '.join(sorted(by_name))}")
         selected = [by_name[n] for n in names]
-    return [run_workload(w, seed=seed) for w in selected]
+    return [run_workload(w, seed=seed, checkelim=checkelim)
+            for w in selected]
 
 
 def bench_payload(results: list[BenchResult],
-                  seed: Optional[int] = None) -> dict:
+                  seed: Optional[int] = None,
+                  checkelim: bool = True) -> dict:
     total_steps = sum(r.sharc_steps for r in results)
     total_wall = sum(r.wall_seconds for r in results)
     overheads = [r.time_overhead for r in results]
     return {
         "schema": SCHEMA,
         "seed": seed,
+        "checkelim": checkelim,
         "workloads": {r.workload: r.bench_entry() for r in results},
         "summary": {
             "total_sharc_steps": total_steps,
@@ -88,11 +114,36 @@ def bench_payload(results: list[BenchResult],
     }
 
 
+def upgrade_payload(payload: dict) -> dict:
+    """Reader shim: accepts a ``/1`` or ``/2`` payload and returns a
+    ``/2`` one.  ``/2`` passes through untouched; ``/1`` is deep-copied,
+    re-stamped, and has the new per-workload fields backfilled with 0.0
+    (plus an ``upgraded_from`` marker).  Anything else raises
+    ``ValueError``."""
+    schema = payload.get("schema")
+    if schema == SCHEMA:
+        return payload
+    if schema != SCHEMA_V1:
+        raise ValueError(
+            f"unsupported bench schema {schema!r} "
+            f"(expected {SCHEMA!r} or {SCHEMA_V1!r})")
+    out = copy.deepcopy(payload)
+    out["schema"] = SCHEMA
+    out["upgraded_from"] = SCHEMA_V1
+    for entry in (out.get("workloads") or {}).values():
+        for key, default in _V2_FIELDS.items():
+            entry.setdefault(key, default)
+    return out
+
+
 def validate_payload(payload: dict) -> list[str]:
-    """Schema check for the benchmark smoke tests; returns problems."""
+    """Schema check for the benchmark smoke tests; returns problems.
+    Validates ``/2`` payloads directly and ``/1`` payloads against the
+    ``/1`` field set (consumers upgrade via :func:`upgrade_payload`)."""
     problems: list[str] = []
-    if payload.get("schema") != SCHEMA:
-        problems.append(f"schema != {SCHEMA!r}")
+    schema = payload.get("schema")
+    if schema not in (SCHEMA, SCHEMA_V1):
+        problems.append(f"schema != {SCHEMA!r} (or legacy {SCHEMA_V1!r})")
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         return problems + ["workloads missing or empty"]
@@ -101,6 +152,9 @@ def validate_payload(payload: dict) -> list[str]:
                 "steps_per_sec": int, "time_overhead": float,
                 "mem_overhead": float, "pct_dynamic": float,
                 "reports": int}
+    if schema == SCHEMA:
+        required = dict(required, checks_per_1k_steps=float,
+                        checks_elided_pct=float)
     for name, entry in workloads.items():
         for key, kind in required.items():
             value = entry.get(key)
@@ -110,6 +164,9 @@ def validate_payload(payload: dict) -> list[str]:
         if isinstance(entry.get("wall_seconds"), (int, float)) \
                 and entry["wall_seconds"] < 0:
             problems.append(f"{name}.wall_seconds negative")
+        pct = entry.get("checks_elided_pct")
+        if isinstance(pct, (int, float)) and not 0.0 <= pct <= 1.0:
+            problems.append(f"{name}.checks_elided_pct out of [0, 1]")
     summary = payload.get("summary")
     if not isinstance(summary, dict):
         problems.append("summary missing")
@@ -118,12 +175,57 @@ def validate_payload(payload: dict) -> list[str]:
 
 def render_table(results: list[BenchResult]) -> str:
     lines = [f"{'workload':<10} {'sharc steps':>12} {'wall (s)':>9} "
-             f"{'steps/sec':>10} {'overhead':>9}"]
+             f"{'steps/sec':>10} {'overhead':>9} {'chk/1k':>7} "
+             f"{'elided':>7}"]
     for r in results:
         lines.append(f"{r.workload:<10} {r.sharc_steps:>12,} "
                      f"{r.wall_seconds:>9.3f} {r.steps_per_sec:>10,.0f} "
-                     f"{r.time_overhead:>8.1%}")
+                     f"{r.time_overhead:>8.1%} "
+                     f"{r.checks_per_1k_steps:>7.1f} "
+                     f"{r.checks_elided_pct:>7.1%}")
     return "\n".join(lines)
+
+
+def compare_payloads(old: dict, new: dict, *,
+                     threshold: float = DEFAULT_COMPARE_THRESHOLD
+                     ) -> tuple[str, list[str]]:
+    """Diffs two bench payloads (either schema).  Returns the rendered
+    per-workload delta table and the list of regression messages: a
+    workload regresses when its new ``steps_per_sec`` drops below
+    ``old * (1 - threshold)``.  Deterministic axes (step counts,
+    overhead) are displayed but never gated — a PR that legitimately
+    changes step accounting updates the baseline in the same commit."""
+    old = upgrade_payload(old)
+    new = upgrade_payload(new)
+    regressions: list[str] = []
+    if not 0.0 < threshold < 1.0:
+        return "", [f"threshold must be in (0, 1), got {threshold}"]
+    old_workloads = old.get("workloads") or {}
+    lines = [f"{'workload':<10} {'old steps/s':>12} {'new steps/s':>12} "
+             f"{'delta':>7} {'old ovh':>8} {'new ovh':>8} "
+             f"{'elided':>7}  verdict"]
+    for name, entry in (new.get("workloads") or {}).items():
+        base = old_workloads.get(name)
+        if base is None:
+            lines.append(f"{name:<10} {'(new workload)':>12}")
+            continue
+        old_sps = base.get("steps_per_sec") or 0
+        new_sps = entry.get("steps_per_sec") or 0
+        delta = (new_sps / old_sps - 1.0) if old_sps else 0.0
+        old_ovh = base.get("time_overhead") or 0.0
+        new_ovh = entry.get("time_overhead") or 0.0
+        elided = entry.get("checks_elided_pct") or 0.0
+        regressed = old_sps > 0 and new_sps < old_sps * (1.0 - threshold)
+        verdict = "REGRESSED" if regressed else "ok"
+        lines.append(f"{name:<10} {old_sps:>12,} {new_sps:>12,} "
+                     f"{delta:>+7.1%} {old_ovh:>8.1%} {new_ovh:>8.1%} "
+                     f"{elided:>7.1%}  {verdict}")
+        if regressed:
+            regressions.append(
+                f"{name}: {new_sps:,} steps/sec is below the floor "
+                f"{old_sps * (1.0 - threshold):,.0f} "
+                f"(old {old_sps:,} - {threshold:.0%})")
+    return "\n".join(lines), regressions
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -140,14 +242,38 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "'-' to skip writing)")
     parser.add_argument("--workloads", nargs="*", default=None,
                         help="subset of workload names (default: all)")
+    parser.add_argument("--no-checkelim", action="store_true",
+                        help="ablation: run with the static check "
+                             "eliminator disabled")
+    parser.add_argument("--compare", default=None, metavar="OLD.json",
+                        help="diff against a previously written payload "
+                             "(schema /1 or /2); exits 3 on a "
+                             "throughput regression")
+    parser.add_argument("--compare-threshold", type=float,
+                        default=DEFAULT_COMPARE_THRESHOLD,
+                        help="allowed fractional steps/sec drop for "
+                             "--compare (default "
+                             f"{DEFAULT_COMPARE_THRESHOLD:g})")
     args = parser.parse_args(argv)
 
+    old_payload = None
+    if args.compare is not None:
+        try:
+            with open(args.compare, encoding="utf-8") as handle:
+                old_payload = upgrade_payload(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {args.compare}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    checkelim = not args.no_checkelim
     try:
-        results = bench_workloads(args.workloads, seed=args.seed)
+        results = bench_workloads(args.workloads, seed=args.seed,
+                                  checkelim=checkelim)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    payload = bench_payload(results, seed=args.seed)
+    payload = bench_payload(results, seed=args.seed, checkelim=checkelim)
     problems = validate_payload(payload)
     if problems:
         print("error: invalid benchmark payload:\n  "
@@ -163,6 +289,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(render_table(results))
         if args.out != "-":
             print(f"\nwrote {args.out}")
+    if old_payload is not None:
+        table, regressions = compare_payloads(
+            old_payload, payload, threshold=args.compare_threshold)
+        print(f"\ncompare vs {args.compare}:")
+        print(table)
+        if regressions:
+            print("\nbench compare FAILED:\n  "
+                  + "\n  ".join(regressions), file=sys.stderr)
+            return 3
+        print("\nbench compare ok")
     return 0
 
 

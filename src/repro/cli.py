@@ -109,6 +109,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                                     rc_scheme="lp" if args.rc == "off"
                                     else args.rc,
                                     max_steps=args.max_steps,
+                                    checkelim=not args.no_checkelim,
                                     profiler=profiler)
         except SharcError as exc:
             print(exc)
@@ -123,6 +124,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          rc_scheme=args.rc,
                          checker=getattr(args, "checker", "sharc"),
                          max_steps=args.max_steps,
+                         checkelim=not args.no_checkelim,
                          trace=trace_config)
     if result.output:
         print(result.output, end="")
@@ -160,6 +162,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv += ["--out", args.out]
     if args.workloads:
         argv += ["--workloads", *args.workloads]
+    if args.no_checkelim:
+        argv.append("--no-checkelim")
+    if args.compare is not None:
+        argv += ["--compare", args.compare,
+                 "--compare-threshold", str(args.compare_threshold)]
     return interp_bench.main(argv)
 
 
@@ -363,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="time each pipeline phase, run an uninstrumented "
                         "baseline too, and report steps/sec")
+    p.add_argument("--no-checkelim", action="store_true",
+                   help="ablation: disable the static check eliminator "
+                        "(identical reports/steps, more full checks)")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="record structured runtime events: Chrome "
                         "trace-event JSON (Perfetto), or JSON Lines "
@@ -384,6 +394,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.add_argument("--out", default=None)
     p.add_argument("--workloads", nargs="*", default=None)
+    p.add_argument("--no-checkelim", action="store_true",
+                   help="ablation: disable the static check eliminator")
+    p.add_argument("--compare", default=None, metavar="OLD.json",
+                   help="diff against a previous BENCH_interp.json "
+                        "(schema /1 or /2); exit 3 on regression")
+    p.add_argument("--compare-threshold", type=float, default=0.5,
+                   help="allowed fractional steps/sec drop for "
+                        "--compare (default 0.5)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("ablate-rc", help="refcounting ablation")

@@ -203,9 +203,12 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                  max_burst: int = 8,
                  world_factory: Optional[Callable] = None,
                  shadow_bytes: int = DEFAULT_SHADOW_BYTES,
+                 checkelim: bool = True,
                  ) -> ScheduleOutcome:
     """Executes one (seed, policy) schedule and reduces it to an
-    outcome."""
+    outcome.  ``checkelim=False`` ablates the static check eliminator —
+    every outcome field is guaranteed identical either way (the
+    eliminator's soundness gate), so sweeps default to elimination on."""
     from repro.runtime.interp import run_checked
 
     checked = _checked_program(source, filename)
@@ -214,6 +217,7 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                          checker=checker, max_steps=max_steps,
                          max_burst=max_burst, world=world,
                          shadow_bytes=shadow_bytes,
+                         checkelim=checkelim,
                          record_trace=True)
     trace = result.trace or []
     return ScheduleOutcome(

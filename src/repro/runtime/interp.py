@@ -178,12 +178,18 @@ class Interp:
                  rc_scheme: str = "lp", instrument: bool = True,
                  shadow_bytes: int = 1, max_burst: int = 8,
                  checker: str = "sharc",
+                 checkelim: bool = True,
                  record_trace: bool = False,
                  trace: Optional[TraceConfig] = None) -> None:
         self.checked = checked
         self.program = checked.program
         self.structs = self.program.structs
         self.instrument = instrument
+        #: consume the static check-elimination marks
+        #: (repro.sharc.checkelim)?  Off = the ablation baseline; the
+        #: soundness gate guarantees both settings are bit-identical in
+        #: reports, steps, and scheduler RNG.
+        self.checkelim = checkelim
         #: "sharc" (mode-targeted checks) or "eraser" (the lockset
         #: baseline of Section 6.2: every access monitored)
         self.eraser = None
@@ -289,42 +295,55 @@ class Interp:
 
     def _apply_check(self, info: AccessInfo, addr: int, size: int,
                      thread: Thread, frame: Frame, is_write: bool):
-        """Performs one attached runtime check (a generator: lock
-        expressions are evaluated in the current environment).  The check
-        kind was resolved once at instrumentation time (``info.is_lock``)
-        instead of re-deriving it from the mode on every access."""
+        """Performs one attached runtime check.  A generator only
+        because lock checks evaluate their lock expression in the
+        current environment; the (much hotter) dynamic checks run in
+        the plain :meth:`_dynamic_check`, skipping the per-access
+        generator frame.  The check kind was resolved once at
+        instrumentation time (``info.is_lock``) instead of re-deriving
+        it from the mode on every access."""
         if info.is_lock:
-            self._charge_check(1)
-            lock_addr = 0
-            if info.lock_ast is not None:
-                lock_qt = info.lock_ast.ctype
-                if lock_qt is not None and (lock_qt.is_struct
-                                            or lock_qt.is_array):
-                    # locked(m) naming a mutex object denotes its address.
-                    lock_addr = yield from self.eval_lvalue(
-                        info.lock_ast, thread, frame)
-                else:
-                    lock_addr = yield from self.eval_expr(
-                        info.lock_ast, thread, frame)
-            held = self.locks.holds_for_access(thread.tid,
-                                               int(lock_addr), is_write)
-            if not held:
-                hist = (self.history.provenance(addr, size)
-                        if self.history is not None else ())
-                self._report(lock_not_held(
-                    addr, Access(thread.tid, info.lvalue_text, info.loc),
-                    str(info.mode), hist))
-            if self.history is not None:
-                self.history.record(addr, size, thread.tid,
-                                    info.lvalue_text, info.loc, is_write,
-                                    self.stats.steps_total)
-            if self.bus is not None:
-                self.bus.emit(CAT_CHECK, "chklock", thread.tid, dur=1,
-                              hit=held, lvalue=info.lvalue_text)
-            self.stats.accesses_locked += 1
-            return
-        # dynamic / dynamic_in: the n-readers-or-1-writer discipline.
-        self.stats.accesses_dynamic += 1
+            yield from self._lock_check(info, addr, size, thread, frame,
+                                        is_write)
+        else:
+            self._dynamic_check(info, addr, size, thread, is_write)
+
+    def _lock_check(self, info: AccessInfo, addr: int, size: int,
+                    thread: Thread, frame: Frame, is_write: bool):
+        self._charge_check(1)
+        lock_addr = 0
+        if info.lock_ast is not None:
+            lock_qt = info.lock_ast.ctype
+            if lock_qt is not None and (lock_qt.is_struct
+                                        or lock_qt.is_array):
+                # locked(m) naming a mutex object denotes its address.
+                lock_addr = yield from self.eval_lvalue(
+                    info.lock_ast, thread, frame)
+            else:
+                lock_addr = yield from self.eval_expr(
+                    info.lock_ast, thread, frame)
+        held = self.locks.holds_for_access(thread.tid,
+                                           int(lock_addr), is_write)
+        if not held:
+            hist = (self.history.provenance(addr, size)
+                    if self.history is not None else ())
+            self._report(lock_not_held(
+                addr, Access(thread.tid, info.lvalue_text, info.loc),
+                str(info.mode), hist))
+        if self.history is not None:
+            self.history.record(addr, size, thread.tid,
+                                info.lvalue_text, info.loc, is_write,
+                                self.stats.steps_total)
+        if self.bus is not None:
+            self.bus.emit(CAT_CHECK, "chklock", thread.tid, dur=1,
+                          hit=held, lvalue=info.lvalue_text)
+        self.stats.accesses_locked += 1
+
+    def _dynamic_check(self, info: AccessInfo, addr: int, size: int,
+                       thread: Thread, is_write: bool) -> None:
+        """dynamic / dynamic_in: the n-readers-or-1-writer discipline."""
+        stats = self.stats
+        stats.accesses_dynamic += 1
         if self.sched.live_count <= 1:
             # Only one live thread: a spawn happens-after every access
             # made so far, so these accesses can never be part of a race;
@@ -336,32 +355,52 @@ class Interp:
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
                                     info.lvalue_text, info.loc, is_write,
-                                    self.stats.steps_total)
+                                    stats.steps_total)
             return
-        if is_write:
-            conflict, slow = self.shadow.chkwrite(
-                addr, size, thread.tid, info.lvalue_text, info.loc)
-            if conflict is not None:
-                who = Access(thread.tid, info.lvalue_text, info.loc)
-                # Provenance is fetched *before* recording this access,
-                # so the hist lines show the accesses leading up to it.
-                hist = (self.history.provenance(addr, size)
-                        if self.history is not None else ())
-                self._report(write_conflict(addr, who,
-                                            conflict.as_access(), hist))
+        if info.elide and self.checkelim \
+                and self.shadow.recheck(addr, size, thread.tid, is_write):
+            # Statically elided check, revalidated by the runtime guard:
+            # ``recheck`` has already replayed exactly the fast path the
+            # full check would have taken (same counters, no conflict
+            # possible, no bitmap writes), so history, cost, and trace
+            # below are byte-identical to the elimination-off run.
+            stats.checks_elided += 1
+            if self.history is not None:
+                self.history.record(addr, size, thread.tid,
+                                    info.lvalue_text, info.loc, is_write,
+                                    stats.steps_total)
+            self._charge_check(1)
+            if self.bus is not None:
+                self.bus.emit(CAT_CHECK,
+                              "chkwrite" if is_write else "chkread",
+                              thread.tid, dur=1, hit=True,
+                              conflict=False, elided=True,
+                              lvalue=info.lvalue_text)
+            return
+        shadow = self.shadow
+        if info.range_walk and self.checkelim:
+            # Monotone array walk: the range-batched APIs (identical
+            # semantics, page lookup hoisted out of the granule loop).
+            chk = (shadow.chkwrite_range if is_write
+                   else shadow.chkread_range)
+            stats.checks_range += 1
         else:
-            conflict, slow = self.shadow.chkread(
-                addr, size, thread.tid, info.lvalue_text, info.loc)
-            if conflict is not None:
-                who = Access(thread.tid, info.lvalue_text, info.loc)
-                hist = (self.history.provenance(addr, size)
-                        if self.history is not None else ())
-                self._report(read_conflict(addr, who,
-                                           conflict.as_access(), hist))
+            chk = shadow.chkwrite if is_write else shadow.chkread
+            stats.checks_full += 1
+        conflict, slow = chk(addr, size, thread.tid, info.lvalue_text,
+                             info.loc)
+        if conflict is not None:
+            who = Access(thread.tid, info.lvalue_text, info.loc)
+            # Provenance is fetched *before* recording this access,
+            # so the hist lines show the accesses leading up to it.
+            hist = (self.history.provenance(addr, size)
+                    if self.history is not None else ())
+            make = write_conflict if is_write else read_conflict
+            self._report(make(addr, who, conflict.as_access(), hist))
         if self.history is not None:
             self.history.record(addr, size, thread.tid, info.lvalue_text,
                                 info.loc, is_write,
-                                self.stats.steps_total)
+                                stats.steps_total)
         # Fast path (bits already set): a load + test.  Slow path:
         # a cmpxchg per granule.
         cost = 1 + 3 * slow
@@ -395,9 +434,13 @@ class Interp:
             return
         slow = 0
         conflict = None
+        counted = False
         if is_write:
-            conflict, slow = self.shadow.chkwrite(
+            # A library summary covers the whole touched byte range in
+            # one go — the natural consumer of the range-batched walk.
+            conflict, slow = self.shadow.chkwrite_range(
                 addr, length, thread.tid, info.lvalue_text, info.loc)
+            counted = True
             if conflict is not None:
                 who = Access(thread.tid, info.lvalue_text, info.loc)
                 hist = (self.history.provenance(addr, length)
@@ -405,14 +448,17 @@ class Interp:
                 self._report(write_conflict(addr, who,
                                             conflict.as_access(), hist))
         elif "r" in rw:
-            conflict, slow = self.shadow.chkread(
+            conflict, slow = self.shadow.chkread_range(
                 addr, length, thread.tid, info.lvalue_text, info.loc)
+            counted = True
             if conflict is not None:
                 who = Access(thread.tid, info.lvalue_text, info.loc)
                 hist = (self.history.provenance(addr, length)
                         if self.history is not None else ())
                 self._report(read_conflict(addr, who,
                                            conflict.as_access(), hist))
+        if counted:
+            self.stats.checks_range += 1
         if self.history is not None and rw:
             self.history.record(addr, length, thread.tid,
                                 info.lvalue_text, info.loc, is_write,
@@ -485,8 +531,11 @@ class Interp:
         if self.instrument:
             info = getattr(node, "sharc_read", None)
             if info is not None:
-                yield from self._apply_check(info, addr, size, thread,
-                                             frame, is_write=False)
+                if info.is_lock:
+                    yield from self._lock_check(info, addr, size, thread,
+                                                frame, False)
+                else:
+                    self._dynamic_check(info, addr, size, thread, False)
         yield self._flush()
         return self.space.read(addr, node.loc)
 
@@ -508,8 +557,11 @@ class Interp:
         if self.instrument:
             info = getattr(node, "sharc_write", None)
             if info is not None:
-                yield from self._apply_check(info, addr, size, thread,
-                                             frame, is_write=True)
+                if info.is_lock:
+                    yield from self._lock_check(info, addr, size, thread,
+                                                frame, True)
+                else:
+                    self._dynamic_check(info, addr, size, thread, True)
         yield self._flush()
         old = self.space.write(addr, value, node.loc)
         if rc_track:
@@ -1260,17 +1312,19 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 shadow_bytes: int = 1, max_burst: int = 8,
                 max_steps: int = 2_000_000,
                 checker: str = "sharc",
+                checkelim: bool = True,
                 record_trace: bool = False,
                 trace: Optional[TraceConfig] = None) -> RunResult:
     """Executes a statically checked program once.  ``policy`` may be a
     spec string (``"random"``, ``"pct:4"``, ...) or a
     :class:`~repro.runtime.scheduler.SchedulingPolicy` instance.
-    ``trace`` enables structured event tracing (:mod:`repro.obs`)."""
+    ``trace`` enables structured event tracing (:mod:`repro.obs`);
+    ``checkelim=False`` ablates the static check eliminator."""
     interp = Interp(checked, seed=seed, world=world, policy=policy,
                     rc_scheme=rc_scheme, instrument=instrument,
                     shadow_bytes=shadow_bytes, max_burst=max_burst,
-                    checker=checker, record_trace=record_trace,
-                    trace=trace)
+                    checker=checker, checkelim=checkelim,
+                    record_trace=record_trace, trace=trace)
     result = interp.run(max_steps=max_steps)
     if record_trace:
         result.trace = list(interp.sched.trace or [])

@@ -147,10 +147,14 @@ class ProfileReport:
 
 def profile_source(source: str, filename: str = "<input>", *,
                    seed: int = 0, rc_scheme: str = "lp",
-                   max_steps: int = 2_000_000,
+                   max_steps: int = 2_000_000, checkelim: bool = True,
                    profiler: Optional[Profiler] = None) -> ProfileReport:
     """Profiles the full pipeline over one program: static phases, a
-    baseline (uninstrumented) run, and the instrumented run."""
+    baseline (uninstrumented) run, and the instrumented run.
+
+    ``checkelim=False`` ablates the static check eliminator in the
+    instrumented run (reports and step counts are identical either
+    way; only check costs move)."""
     from repro.errors import SharcError
     from repro.sharc.checker import check_source
     from repro.runtime.interp import run_checked
@@ -175,10 +179,13 @@ def profile_source(source: str, filename: str = "<input>", *,
     report.base_wall = base.stats.wall_seconds
     with prof.phase("instrumented"):
         sharc = run_checked(checked, seed=seed, rc_scheme=rc_scheme,
-                            max_steps=max_steps)
+                            max_steps=max_steps, checkelim=checkelim)
     report.sharc_steps = sharc.stats.steps_total
     report.sharc_wall = sharc.stats.wall_seconds
     report.reports = len(sharc.reports)
     prof.count("dynamic_accesses", sharc.stats.accesses_dynamic)
     prof.count("shadow_updates", sharc.stats.shadow_updates)
+    prof.count("checks_full", sharc.stats.checks_full)
+    prof.count("checks_range", sharc.stats.checks_range)
+    prof.count("checks_elided", sharc.stats.checks_elided)
     return report

@@ -39,6 +39,21 @@ no intervening shadow mutation, the check degenerates to the paper's
 lookup (this is what keeps pfscan at ~12%% overhead despite 80%% checked
 accesses).  ``updates`` and ``slow`` accounting are identical on both
 paths.
+
+Two further entry points serve the static check-elimination pass
+(:mod:`repro.sharc.checkelim`):
+
+- ``recheck`` — the cache-hit prefix of ``chkread``/``chkwrite`` exposed
+  on its own.  A statically elided check calls it to prove the elision is
+  still valid at runtime (no intervening shadow mutation); on a hit the
+  accounting is byte-for-byte what the full check would have done, which
+  is what keeps elimination-on and elimination-off runs bit-identical.
+- ``chkread_range``/``chkwrite_range`` — bulk equivalents of the scalar
+  checks that hoist the page lookup out of the per-granule loop.  They
+  perform *exactly* the same conflict detection, bitmap updates, logging
+  and cache maintenance as a scalar check over the same range; only the
+  ``range_calls`` counter tells them apart.  ``chkread``/``chkwrite``
+  delegate to them automatically above ``range_threshold`` granules.
 """
 
 from __future__ import annotations
@@ -94,6 +109,11 @@ class ShadowMemory:
         self.updates = 0
         #: fast-path cache hits (per granule, like ``updates``)
         self.fastpath_hits = 0
+        #: how many checks went through the range-batched walk
+        self.range_calls = 0
+        #: accesses spanning more than this many granules take the
+        #: page-sliced range walk; tests pin it to force either path
+        self.range_threshold = 8
         #: every granule ever checked (memory-overhead accounting survives
         #: thread exits and frees)
         self.touched: set[int] = set()
@@ -155,6 +175,29 @@ class ShadowMemory:
 
     # -- the checks ---------------------------------------------------------
 
+    def recheck(self, addr: int, size: int, tid: int,
+                is_write: bool) -> bool:
+        """Runtime guard for a statically elided check: exactly the
+        cache-hit prefix of ``chkread``/``chkwrite``.  Returns True when
+        the thread's most recent check covered this very range with no
+        intervening shadow mutation — in which case the full check would
+        have taken the fast path and this call has already performed its
+        entire effect (the per-granule ``updates``/``fastpath_hits``
+        accounting; a cache hit writes neither bitmaps nor ``last``).
+        Returns False otherwise, having done nothing: the caller must
+        fall back to the full check."""
+        first = addr >> GRANULE_SHIFT
+        last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
+        cached = self._cache.get(tid)
+        if cached is None or cached[0] != first or cached[1] != last \
+                or cached[3] != self._version \
+                or (is_write and not cached[2]):
+            return False
+        n = last - first + 1
+        self.updates += n
+        self.fastpath_hits += n
+        return True
+
     def chkread(self, addr: int, size: int, tid: int, lvalue: str,
                 loc: Loc) -> tuple[Optional[LastAccess], int]:
         """Records a read; returns (conflicting access | None, number of
@@ -164,6 +207,8 @@ class ShadowMemory:
         overhead at 12%% on pfscan despite 80%% checked accesses."""
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
+        if last - first >= self.range_threshold:
+            return self._chk_range(first, last, tid, lvalue, loc, False)
         cached = self._cache.get(tid)
         if cached is not None and cached[0] == first \
                 and cached[1] == last and cached[3] == self._version:
@@ -210,6 +255,8 @@ class ShadowMemory:
         granules needing the slow atomic update)."""
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
+        if last - first >= self.range_threshold:
+            return self._chk_range(first, last, tid, lvalue, loc, True)
         cached = self._cache.get(tid)
         if cached is not None and cached[2] and cached[0] == first \
                 and cached[1] == last and cached[3] == self._version:
@@ -246,6 +293,78 @@ class ShadowMemory:
             self._version += 1
         if conflict is None:
             self._cache[tid] = (first, last, True, self._version)
+        return conflict, slow
+
+    def chkread_range(self, addr: int, size: int, tid: int, lvalue: str,
+                      loc: Loc) -> tuple[Optional[LastAccess], int]:
+        """Range-batched ``chkread``: one call covering every granule of
+        ``[addr, addr+size)``.  Semantically identical to ``chkread``
+        over the same range (same conflicts, bitmap updates, logs, cache,
+        single version bump); the walk hoists the page lookup out of the
+        per-granule loop."""
+        first = addr >> GRANULE_SHIFT
+        last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
+        return self._chk_range(first, last, tid, lvalue, loc, False)
+
+    def chkwrite_range(self, addr: int, size: int, tid: int, lvalue: str,
+                       loc: Loc) -> tuple[Optional[LastAccess], int]:
+        """Range-batched ``chkwrite``; see :meth:`chkread_range`."""
+        first = addr >> GRANULE_SHIFT
+        last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
+        return self._chk_range(first, last, tid, lvalue, loc, True)
+
+    def _chk_range(self, first: int, last: int, tid: int, lvalue: str,
+                   loc: Loc, is_write: bool
+                   ) -> tuple[Optional[LastAccess], int]:
+        cached = self._cache.get(tid)
+        if cached is not None and cached[0] == first \
+                and cached[1] == last and cached[3] == self._version \
+                and (cached[2] or not is_write):
+            n = last - first + 1
+            self.updates += n
+            self.fastpath_hits += n
+            return None, 0
+        self._check_tid(tid)
+        self.range_calls += 1
+        conflict: Optional[LastAccess] = None
+        slow = 0
+        mybit = 1 << tid
+        want = (mybit | 1) if is_write else mybit
+        pages = self._pages
+        last_map = self.last
+        writer_map = self.last_writer
+        acc = LastAccess(tid, lvalue, loc, is_write)
+        granule = first
+        while granule <= last:
+            # One page lookup per up-to-PAGE_SIZE granules instead of
+            # one per granule.
+            page_idx = granule >> PAGE_SHIFT
+            page_end = min(last, ((page_idx + 1) << PAGE_SHIFT) - 1)
+            page = pages.get(page_idx)
+            self.updates += page_end - granule + 1
+            for g in range(granule, page_end + 1):
+                slot = g & PAGE_MASK
+                bits = page[slot] if page is not None else 0
+                if is_write:
+                    if bits & ~1 & ~mybit and conflict is None:
+                        conflict = last_map.get(g)
+                elif (bits & 1) and (bits & ~1 & ~mybit) \
+                        and conflict is None:
+                    conflict = writer_map.get(g) or last_map.get(g)
+                if bits & want != want:
+                    slow += 1
+                    if page is None:
+                        page = pages[page_idx] = [0] * PAGE_SIZE
+                    page[slot] = bits | want
+                    self._log(tid, g)
+                last_map[g] = acc
+                if is_write:
+                    writer_map[g] = acc
+            granule = page_end + 1
+        if slow:
+            self._version += 1
+        if conflict is None:
+            self._cache[tid] = (first, last, is_write, self._version)
         return conflict, slow
 
     # -- lifecycle ------------------------------------------------------------

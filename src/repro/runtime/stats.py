@@ -46,6 +46,14 @@ class RunStats:
     context_switches: int = 0
     shadow_updates: int = 0
     shadow_fastpath_hits: int = 0
+    #: dynamic checks that ran the full per-granule shadow walk
+    checks_full: int = 0
+    #: dynamic checks routed through the range-batched walk
+    #: (library-call summaries and statically marked monotone array walks)
+    checks_range: int = 0
+    #: statically marked checks discharged by ``ShadowMemory.recheck``
+    #: (the elision guard) instead of a shadow walk
+    checks_elided: int = 0
     rc_writes: int = 0
     rc_collections: int = 0
     lock_acquisitions: int = 0
@@ -77,6 +85,25 @@ class RunStats:
         if self.shadow_updates <= 0:
             return 0.0
         return self.shadow_fastpath_hits / self.shadow_updates
+
+    @property
+    def checks_per_1k_steps(self) -> float:
+        """Shadow-walking dynamic checks (full + range) per thousand
+        interpreter steps — the check *density* the eliminator is trying
+        to push down."""
+        if self.steps_total <= 0:
+            return 0.0
+        return 1000.0 * (self.checks_full + self.checks_range) \
+            / self.steps_total
+
+    @property
+    def checks_elided_pct(self) -> float:
+        """Fraction of would-be dynamic checks discharged by the static
+        eliminator's runtime guard."""
+        total = self.checks_full + self.checks_range + self.checks_elided
+        if total <= 0:
+            return 0.0
+        return self.checks_elided / total
 
     @property
     def metadata_pages(self) -> int:

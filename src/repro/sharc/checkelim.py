@@ -1,0 +1,398 @@
+"""Static check elimination: discharge dynamic checks before they run.
+
+PR 1 made each ``chkread``/``chkwrite`` cheaper; this pass makes them
+*rarer*, the standard next lever of lightweight static race analyses
+(RacerF; Miné's static analysis of embedded parallel C).  Two
+transformations, both driven by an evaluation-order dataflow walk that
+mirrors the interpreter:
+
+- **Redundant-check elimination** (``AccessInfo.elide`` /
+  ``node.sharc_check_elided``): a check is marked when a previous check
+  of the same lvalue, at least as strong (a write check covers a later
+  read check), reaches it on every path with no intervening *yield
+  point* — calls (which may spawn, lock, or run library summaries),
+  sharing casts (which reset granule bitmaps), and loop boundaries are
+  the kill points.  Loop bodies are walked twice so covers carried
+  around the back-edge (``h[i]`` in a scan loop covering itself) are
+  found.
+
+- **Range-walk marking** (``AccessInfo.range_walk`` /
+  ``node.sharc_range_check``): an indexed access inside a call-free
+  loop whose index variable is monotonically stepped is routed through
+  the range-batched ``ShadowMemory.chkread_range``/``chkwrite_range``
+  APIs, which hoist the page lookup out of the per-granule walk.
+
+Soundness is *not* this pass's burden, by design.  The scheduler may
+preempt a thread at any yield and another thread may mutate the shadow
+state between two statically adjacent checks, so a purely static
+elision could change which conflicts are observed.  Instead every
+``elide`` mark is guarded at runtime by ``ShadowMemory.recheck`` — the
+exact cache-hit prefix of the full check — so an elided check either
+replays precisely the fast path the full check would have taken (same
+cost, same counters, no conflict possible) or falls back to the full
+check.  Elimination on and off are therefore bit-identical in reports,
+step counts, and scheduler RNG; the marks only decide how often the
+cheap guard gets to answer first.  The pass can accordingly mark
+aggressively: a wrong (never-hitting) mark costs one predicate test,
+not a missed race.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfront import cast as A
+from repro.sharc.typecheck import AccessInfo
+
+#: cover strength: a read check proves the thread's read bit is set, a
+#: write check proves exclusive ownership (which covers later reads too)
+_READ, _WRITE = 1, 2
+
+
+@dataclass
+class ElimStats:
+    """Census of statically discharged check sites."""
+
+    elided_reads: int = 0
+    elided_writes: int = 0
+    range_reads: int = 0
+    range_writes: int = 0
+
+    @property
+    def elided(self) -> int:
+        return self.elided_reads + self.elided_writes
+
+    @property
+    def ranges(self) -> int:
+        return self.range_reads + self.range_writes
+
+    def summary(self) -> str:
+        return (f"checkelim: {self.elided} elidable check site(s) "
+                f"({self.elided_reads} read, {self.elided_writes} "
+                f"write), {self.ranges} range-walk site(s)")
+
+
+def mark_elisions(program: A.Program) -> ElimStats:
+    """Annotates every function's checked accesses in place."""
+    stats = ElimStats()
+    walker = _Walker(stats)
+    for func in program.functions():
+        if func.body is not None:
+            walker.stmt(func.body, {})
+    return stats
+
+
+def _meet(a: dict, b: dict) -> dict:
+    """Path join: a cover survives only at the weaker of its strengths
+    on the two paths (absent = strength 0 = dropped)."""
+    return {key: min(strength, b.get(key, 0))
+            for key, strength in a.items() if b.get(key, 0)}
+
+
+def _idents(e: A.Expr) -> set:
+    return {sub.name for sub in A.walk_expr(e)
+            if sub.__class__ is A.Ident}
+
+
+def _has_break(s) -> bool:
+    """Does this loop body break out of *this* loop?  (Breaks inside
+    nested loops exit those, not this one.)"""
+    cls = s.__class__
+    if cls is A.Break:
+        return True
+    if cls in (A.While, A.DoWhile, A.For):
+        return False
+    if cls is A.Compound:
+        return any(_has_break(sub) for sub in s.stmts)
+    if cls is A.If:
+        if _has_break(s.then):
+            return True
+        return s.other is not None and _has_break(s.other)
+    return False
+
+
+class _Walker:
+    """Evaluation-order walk mirroring ``Interp.eval_expr`` /
+    ``Interp.exec_stmt``.  The state is ``lvalue text -> cover
+    strength``; it is mutated in place and copied at branches."""
+
+    def __init__(self, stats: ElimStats) -> None:
+        self.stats = stats
+
+    # -- marking -------------------------------------------------------------
+
+    def check(self, node: A.Expr, info, is_write: bool,
+              st: dict) -> None:
+        """One runtime check firing at ``node``: mark it elidable if a
+        covering check reaches it, then record its own cover."""
+        if info is None or not info.is_dynamic:
+            return
+        need = _WRITE if is_write else _READ
+        key = info.lvalue_text
+        if st.get(key, 0) >= need:
+            if not info.elide:
+                info.elide = True
+                node.sharc_check_elided = True  # type: ignore[attr-defined]
+                if is_write:
+                    self.stats.elided_writes += 1
+                else:
+                    self.stats.elided_reads += 1
+        if st.get(key, 0) < need:
+            st[key] = need
+
+    # -- expressions ---------------------------------------------------------
+
+    def lvalue(self, e: A.Expr, st: dict) -> None:
+        """Address computation only: the reads embedded in the address
+        expression fire, the node's own access check does not."""
+        cls = e.__class__
+        if cls is A.Ident:
+            return
+        if cls is A.Unop and e.op == "*":
+            self.expr(e.operand, st)
+            return
+        if cls is A.Member:
+            if e.arrow:
+                self.expr(e.obj, st)
+            else:
+                self.lvalue(e.obj, st)
+            return
+        if cls is A.Index:
+            if getattr(e, "sharc_on_array", False):
+                self.lvalue(e.arr, st)
+            else:
+                self.expr(e.arr, st)
+            self.expr(e.idx, st)
+            return
+
+    def expr(self, e, st: dict) -> None:
+        if e is None:
+            return
+        cls = e.__class__
+        if cls is A.Ident:
+            self.check(e, getattr(e, "sharc_read", None), False, st)
+            return
+        if cls in (A.IntLit, A.CharLit, A.FloatLit, A.NullLit,
+                   A.StrLit, A.SizeofExpr):
+            # sizeof's operand is never evaluated at runtime.
+            return
+        if cls in (A.Member, A.Index):
+            self.lvalue(e, st)
+            self.check(e, getattr(e, "sharc_read", None), False, st)
+            return
+        if cls is A.Unop:
+            if e.op == "&":
+                self.lvalue(e.operand, st)
+                return
+            if e.op == "*":
+                self.expr(e.operand, st)
+                self.check(e, getattr(e, "sharc_read", None), False, st)
+                return
+            if e.op in ("++", "--"):
+                op = e.operand
+                self.lvalue(op, st)
+                self.check(op, getattr(op, "sharc_read", None), False, st)
+                self.check(op, getattr(op, "sharc_write", None), True, st)
+                return
+            self.expr(e.operand, st)
+            return
+        if cls is A.Binop:
+            if e.op in ("&&", "||"):
+                self.expr(e.lhs, st)
+                branch = dict(st)
+                self.expr(e.rhs, branch)
+                met = _meet(st, branch)
+                st.clear()
+                st.update(met)
+                return
+            self.expr(e.lhs, st)
+            self.expr(e.rhs, st)
+            return
+        if cls is A.Assign:
+            lhs = e.lhs
+            lhs_qt = lhs.ctype
+            if e.op == "=" and lhs_qt is not None and lhs_qt.is_struct:
+                self.lvalue(e.rhs, st)
+                self.lvalue(lhs, st)
+                self.check(lhs, getattr(lhs, "sharc_write", None),
+                           True, st)
+                self.check(e.rhs, getattr(e.rhs, "sharc_read", None),
+                           False, st)
+                return
+            self.expr(e.rhs, st)
+            self.lvalue(lhs, st)
+            if e.op != "=":
+                self.check(lhs, getattr(lhs, "sharc_read", None),
+                           False, st)
+            self.check(lhs, getattr(lhs, "sharc_write", None), True, st)
+            return
+        if cls is A.Call:
+            if e.callee.__class__ is not A.Ident:
+                self.expr(e.callee, st)
+            for arg in e.args:
+                self.expr(arg, st)
+            # Yield point: the callee may spawn, lock, run a library
+            # read/write summary, or touch the shadow version.
+            st.clear()
+            return
+        if cls is A.SCastExpr:
+            self.lvalue(e.expr, st)
+            self.check(e.expr, getattr(e.expr, "sharc_read", None),
+                       False, st)
+            self.check(e, getattr(e, "sharc_src_write", None), True, st)
+            # scast resets the object's granule bitmaps.
+            st.clear()
+            return
+        if cls is A.CastExpr:
+            self.expr(e.expr, st)
+            return
+        if cls is A.CondExpr:
+            self.expr(e.cond, st)
+            then_st = dict(st)
+            self.expr(e.then, then_st)
+            other_st = dict(st)
+            self.expr(e.other, other_st)
+            met = _meet(then_st, other_st)
+            st.clear()
+            st.update(met)
+            return
+        if cls is A.CommaExpr:
+            for part in e.parts:
+                self.expr(part, st)
+            return
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, s, st: dict) -> None:
+        if s is None:
+            return
+        cls = s.__class__
+        if cls is A.Compound:
+            for sub in s.stmts:
+                self.stmt(sub, st)
+            return
+        if cls is A.ExprStmt:
+            self.expr(s.expr, st)
+            return
+        if cls is A.DeclStmt:
+            for d in s.decls:
+                if d.init is not None:
+                    self.expr(d.init, st)
+            return
+        if cls is A.If:
+            self.expr(s.cond, st)
+            then_st = dict(st)
+            self.stmt(s.then, then_st)
+            other_st = dict(st)
+            if s.other is not None:
+                self.stmt(s.other, other_st)
+            met = _meet(then_st, other_st)
+            st.clear()
+            st.update(met)
+            return
+        if cls is A.While:
+            self.expr(s.cond, st)
+            exits = [dict(st)]  # zero-iteration exit
+            body_st = dict(st)
+            for _ in range(2):
+                # Pass 1 marks straight-line covers; pass 2 re-enters
+                # with the state carried around the back-edge, finding
+                # the loop-carried self-covers that dominate scan loops.
+                self.stmt(s.body, body_st)
+                self.expr(s.cond, body_st)
+                exits.append(dict(body_st))
+            self._mark_ranges(s.body, None)
+            self._loop_exit(s.body, exits, st)
+            return
+        if cls is A.DoWhile:
+            exits = []  # the body always runs at least once
+            body_st = dict(st)
+            for _ in range(2):
+                self.stmt(s.body, body_st)
+                self.expr(s.cond, body_st)
+                exits.append(dict(body_st))
+            self._mark_ranges(s.body, None)
+            self._loop_exit(s.body, exits, st)
+            return
+        if cls is A.For:
+            if isinstance(s.init, A.DeclStmt):
+                self.stmt(s.init, st)
+            elif s.init is not None:
+                self.expr(s.init, st)
+            if s.cond is not None:
+                self.expr(s.cond, st)
+            exits = [dict(st)]
+            body_st = dict(st)
+            for _ in range(2):
+                self.stmt(s.body, body_st)
+                if s.step is not None:
+                    self.expr(s.step, body_st)
+                if s.cond is not None:
+                    self.expr(s.cond, body_st)
+                exits.append(dict(body_st))
+            self._mark_ranges(s.body, s.step)
+            self._loop_exit(s.body, exits, st)
+            return
+        if cls is A.Return:
+            if s.value is not None:
+                self.expr(s.value, st)
+            return
+        # Break / Continue: the loop's post-state is already cleared
+        # conservatively, so early exits need no extra bookkeeping.
+
+    def _loop_exit(self, body, exits: list, st: dict) -> None:
+        """Post-loop state: the meet of every normal exit state (zero
+        iterations, one-plus iterations).  A body that can ``break``
+        exits mid-iteration with an unmodelled state, so it clears the
+        covers outright."""
+        if _has_break(body) or not exits:
+            st.clear()
+            return
+        met = exits[0]
+        for other in exits[1:]:
+            met = _meet(met, other)
+        st.clear()
+        st.update(met)
+
+    # -- range-walk detection -------------------------------------------------
+
+    def _mark_ranges(self, body, step) -> None:
+        """Marks indexed accesses of a monotone, call-free loop for the
+        range-batched check APIs."""
+        exprs = list(A.all_exprs(body))
+        if step is not None:
+            exprs.extend(A.walk_expr(step))
+        for e in exprs:
+            if e.__class__ in (A.Call, A.SCastExpr):
+                return
+        stepped = set()
+        for e in exprs:
+            cls = e.__class__
+            if cls is A.Unop and e.op in ("++", "--") \
+                    and e.operand.__class__ is A.Ident:
+                stepped.add(e.operand.name)
+            elif cls is A.Assign and e.lhs.__class__ is A.Ident:
+                if e.op in ("+=", "-="):
+                    stepped.add(e.lhs.name)
+                elif e.op == "=" and e.rhs.__class__ is A.Binop \
+                        and e.rhs.op in ("+", "-") \
+                        and e.lhs.name in _idents(e.rhs):
+                    stepped.add(e.lhs.name)
+        if not stepped:
+            return
+        for e in exprs:
+            if e.__class__ is not A.Index:
+                continue
+            if not (_idents(e.idx) & stepped):
+                continue
+            for attr, is_write in (("sharc_read", False),
+                                   ("sharc_write", True)):
+                info = getattr(e, attr, None)
+                if info is None or not info.is_dynamic or info.range_walk:
+                    continue
+                info.range_walk = True
+                e.sharc_range_check = True  # type: ignore[attr-defined]
+                if is_write:
+                    self.stats.range_writes += 1
+                else:
+                    self.stats.range_reads += 1

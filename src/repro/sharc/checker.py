@@ -21,6 +21,7 @@ from repro.errors import Diagnostic, DiagnosticSink, SharcError
 from repro.cfront import cast as A
 from repro.cfront.parser import parse_program
 from repro.cfront.pretty import pretty_program
+from repro.sharc.checkelim import ElimStats, mark_elisions
 from repro.sharc.inference import InferenceResult, infer_program
 from repro.sharc.instrument import (
     InstrumentStats, instrumented_listing, mark_rc_writes,
@@ -39,6 +40,10 @@ class CheckedProgram:
     rc_stats: InstrumentStats
     source: str = ""
     filename: str = "<input>"
+    #: check-elimination census (repro.sharc.checkelim).  The marks are
+    #: always computed; whether the interpreter consumes them is the
+    #: run-time ``checkelim`` switch.
+    elim_stats: ElimStats = field(default_factory=ElimStats)
 
     @property
     def ok(self) -> bool:
@@ -77,8 +82,9 @@ def check_program(program: A.Program, source: str = "",
     inference = infer_program(program, sink)
     stats = typecheck_program(program, sink)
     rc_stats = mark_rc_writes(program, inference, rc_all=rc_all)
+    elim_stats = mark_elisions(program)
     return CheckedProgram(program, sink, inference, stats, rc_stats,
-                          source, filename)
+                          source, filename, elim_stats)
 
 
 def check_source(source: str, filename: str = "<input>",

@@ -81,6 +81,28 @@ def mark_rc_writes(program: A.Program, inference: InferenceResult,
     return stats
 
 
+def _check_line(info, fallback_kind: str) -> str:
+    """One ``// loc: check(...)`` listing line for an access check."""
+    if info.mode.is_locked:
+        # Name the lock expression: two lock-held checks at the same
+        # lvalue guarding different locks must be distinguishable.
+        if info.lock_ast is not None:
+            from repro.cfront.pretty import pretty_expr
+            lock = pretty_expr(info.lock_ast)
+        else:
+            lock = "?"
+        body = f"lock-held({info.lvalue_text}, {lock})"
+    else:
+        body = f"{fallback_kind}({info.lvalue_text})"
+    flags = []
+    if getattr(info, "elide", False):
+        flags.append("elide")
+    if getattr(info, "range_walk", False):
+        flags.append("range")
+    suffix = f" [{','.join(flags)}]" if flags else ""
+    return f"// {info.loc}: {body}{suffix}"
+
+
 def instrumented_listing(program: A.Program) -> str:
     """The program rendered with inferred qualifiers, followed by a table
     of the runtime checks the interpreter will perform."""
@@ -92,14 +114,9 @@ def instrumented_listing(program: A.Program) -> str:
             read = getattr(e, "sharc_read", None)
             write = getattr(e, "sharc_write", None)
             if read is not None:
-                kind = ("lock-held" if read.mode.is_locked
-                        else "chkread")
-                lines.append(f"// {read.loc}: {kind}({read.lvalue_text})")
+                lines.append(_check_line(read, "chkread"))
             if write is not None:
-                kind = ("lock-held" if write.mode.is_locked
-                        else "chkwrite")
-                lines.append(
-                    f"// {write.loc}: {kind}({write.lvalue_text})")
+                lines.append(_check_line(write, "chkwrite"))
             if getattr(e, "sharc_oneref", False):
                 src = getattr(e, "sharc_src_write", None)
                 lv = getattr(e, "src_lv", None)

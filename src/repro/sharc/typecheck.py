@@ -60,6 +60,14 @@ class AccessInfo:
     #: precomputed dispatch: lock-held check vs dynamic discipline check
     is_lock: bool = field(init=False, default=False)
     is_dynamic: bool = field(init=False, default=False)
+    #: static check-elimination marks (repro.sharc.checkelim).  ``elide``:
+    #: a prior check of the same lvalue dominates this one with no yield
+    #: point between — the interpreter may discharge it via the
+    #: ``ShadowMemory.recheck`` guard.  ``range_walk``: this access is a
+    #: monotone array walk inside a call-free loop — route it through the
+    #: range-batched check APIs.
+    elide: bool = field(init=False, default=False)
+    range_walk: bool = field(init=False, default=False)
 
     def __post_init__(self) -> None:
         self.is_lock = self.mode.is_locked

@@ -7,7 +7,8 @@ import pytest
 
 from repro.cli import main
 from repro.bench.interp_bench import (
-    SCHEMA, bench_payload, bench_workloads, validate_payload,
+    SCHEMA, SCHEMA_V1, bench_payload, bench_workloads, compare_payloads,
+    upgrade_payload, validate_payload,
 )
 
 
@@ -125,3 +126,119 @@ class TestPayloadValidation:
         assert first.sharc_steps == second.sharc_steps
         assert first.time_overhead == second.time_overhead
         assert first.reports == second.reports
+
+
+def _v1_payload():
+    """A minimal legacy (schema /1) payload, as a committed baseline
+    from before the check-elimination PR would look."""
+    payload = bench_payload(bench_workloads(["aget"]))
+    payload["schema"] = SCHEMA_V1
+    del payload["checkelim"]
+    for entry in payload["workloads"].values():
+        del entry["checks_per_1k_steps"]
+        del entry["checks_elided_pct"]
+    return payload
+
+
+class TestSchemaV2:
+    def test_payload_carries_check_mix_fields(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        assert payload["schema"] == SCHEMA
+        assert payload["checkelim"] is True
+        entry = payload["workloads"]["aget"]
+        assert entry["checks_per_1k_steps"] >= 0.0
+        assert 0.0 <= entry["checks_elided_pct"] <= 1.0
+
+    def test_v1_payload_still_validates(self):
+        # Legacy baselines must not be rejected by the validator; the
+        # new fields are only required at /2.
+        assert validate_payload(_v1_payload()) == []
+
+    def test_v2_payload_missing_new_fields_is_flagged(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        del payload["workloads"]["aget"]["checks_elided_pct"]
+        problems = validate_payload(payload)
+        assert any("checks_elided_pct" in p for p in problems)
+
+    def test_upgrade_shim_backfills_v1(self):
+        v1 = _v1_payload()
+        v2 = upgrade_payload(v1)
+        assert v2["schema"] == SCHEMA
+        assert v2["upgraded_from"] == SCHEMA_V1
+        entry = v2["workloads"]["aget"]
+        assert entry["checks_per_1k_steps"] == 0.0
+        assert entry["checks_elided_pct"] == 0.0
+        # The original payload is untouched (deep copy).
+        assert v1["schema"] == SCHEMA_V1
+        assert "checks_elided_pct" not in v1["workloads"]["aget"]
+
+    def test_upgrade_passes_v2_through(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        assert upgrade_payload(payload) is payload
+
+    def test_upgrade_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            upgrade_payload({"schema": "sharc-bench-interp/99"})
+
+
+class TestBenchCompare:
+    def test_identical_payloads_compare_clean(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        table, regressions = compare_payloads(payload, payload)
+        assert regressions == []
+        assert "aget" in table and "ok" in table
+
+    def test_throughput_cliff_is_a_regression(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        slower = json.loads(json.dumps(payload))
+        entry = slower["workloads"]["aget"]
+        entry["steps_per_sec"] = max(1, entry["steps_per_sec"] // 10)
+        table, regressions = compare_payloads(payload, slower,
+                                              threshold=0.5)
+        assert len(regressions) == 1
+        assert "aget" in regressions[0]
+        assert "REGRESSED" in table
+
+    def test_v1_baseline_is_accepted(self):
+        current = bench_payload(bench_workloads(["aget"]))
+        _, regressions = compare_payloads(_v1_payload(), current,
+                                          threshold=0.99)
+        assert regressions == []
+
+    def test_cli_compare_exits_3_on_regression(self, tmp_path, capsys):
+        baseline = _v1_payload()
+        for entry in baseline["workloads"].values():
+            entry["steps_per_sec"] = entry["steps_per_sec"] * 1000
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(baseline))
+        code = main(["bench", "--workloads", "aget", "--out", "-",
+                     "--compare", str(old),
+                     "--compare-threshold", "0.5"])
+        assert code == 3
+        assert "bench compare FAILED" in capsys.readouterr().err
+
+    def test_cli_compare_ok_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--workloads", "aget",
+                     "--out", str(out)]) == 0
+        assert main(["bench", "--workloads", "aget", "--out", "-",
+                     "--compare", str(out)]) == 0
+        assert "bench compare ok" in capsys.readouterr().out
+
+
+class TestCheckelimFlag:
+    def test_no_checkelim_payload_is_marked_and_unelided(self, tmp_path):
+        out = tmp_path / "off.json"
+        assert main(["bench", "--workloads", "pfscan", "--out", str(out),
+                     "--no-checkelim"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["checkelim"] is False
+        assert payload["workloads"]["pfscan"]["checks_elided_pct"] == 0.0
+
+    def test_step_axis_identical_on_and_off(self):
+        on = bench_workloads(["pfscan"], checkelim=True)[0]
+        off = bench_workloads(["pfscan"], checkelim=False)[0]
+        assert on.sharc_steps == off.sharc_steps
+        assert on.reports == off.reports
+        assert on.checks_elided_pct > 0.0
+        assert off.checks_elided_pct == 0.0

@@ -1,0 +1,133 @@
+"""The check eliminator's soundness gate: running with ``checkelim`` on
+vs off must be *bit-identical* — same reports, same step counts, same
+scheduling decisions — across seeds and scheduling policies.  The only
+thing allowed to differ is the check-mix accounting (full vs range vs
+elided) and therefore wall time.
+
+This holds by construction: an elided check still runs the
+``ShadowMemory.recheck`` guard, which is exactly the cache-hit prefix of
+the full check, and falls back to the full check on a miss.  These tests
+keep the construction honest."""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import check_ok
+from repro.explore.driver import run_schedule
+from repro.runtime.interp import run_checked
+
+RACY = """
+int shared = 0;
+int buf[32];
+void *w(void *a) {
+  int i; int x;
+  for (i = 0; i < 16; i++) {
+    x = shared;
+    shared = x + buf[i];
+    buf[i] = buf[i] + 1;
+  }
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(w, NULL);
+  int t2 = thread_create(w, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+POLICIES = ["random", "round-robin", "pct", "pb"]
+
+
+def _run(checked, seed, policy, checkelim):
+    return run_checked(checked, seed=seed, policy=policy,
+                       checkelim=checkelim, record_trace=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_on_off_runs_are_bit_identical(seed, policy):
+    checked = check_ok(RACY)
+    on = _run(checked, seed, policy, True)
+    off = _run(checked, seed, policy, False)
+    assert on.stats.steps_total == off.stats.steps_total
+    assert on.trace == off.trace  # every context switch, in order
+    assert on.report_counts == off.report_counts
+    assert [r.render() for r in on.reports] == \
+        [r.render() for r in off.reports]
+    assert on.output == off.output
+    assert (on.deadlock, on.error, on.timeout, on.exit_code) == \
+        (off.deadlock, off.error, off.timeout, off.exit_code)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_explore_outcomes_are_identical(seed, policy):
+    """The ``sharc explore`` path (trace hash included) can't tell the
+    two configurations apart either."""
+    on = run_schedule(RACY, "t.c", seed, policy, checkelim=True)
+    off = run_schedule(RACY, "t.c", seed, policy, checkelim=False)
+    assert on.trace_hash == off.trace_hash
+    assert on.report_keys == off.report_keys
+    assert (on.steps, on.switches, on.deadlock, on.error) == \
+        (off.steps, off.switches, off.deadlock, off.error)
+
+
+class TestCheckMix:
+    """What IS allowed to change: how the same checks get discharged."""
+
+    def test_elision_actually_fires(self):
+        checked = check_ok(RACY)
+        on = _run(checked, 3, "random", True)
+        assert on.stats.checks_elided > 0
+        assert on.stats.checks_elided_pct > 0.0
+
+    def test_off_run_never_elides(self):
+        checked = check_ok(RACY)
+        off = _run(checked, 3, "random", False)
+        assert off.stats.checks_elided == 0
+        assert off.stats.checks_elided_pct == 0.0
+
+    def test_total_dynamic_checks_are_conserved(self):
+        # Every check an on-run elides, the off-run walks in full: the
+        # grand total of check *sites hit* is the same run to run.
+        checked = check_ok(RACY)
+        on = _run(checked, 3, "random", True)
+        off = _run(checked, 3, "random", False)
+        assert (on.stats.checks_full + on.stats.checks_range
+                + on.stats.checks_elided) == \
+            (off.stats.checks_full + off.stats.checks_range
+             + off.stats.checks_elided)
+        assert on.stats.accesses_dynamic == off.stats.accesses_dynamic
+
+
+class TestWorkloadReduction:
+    """The acceptance criterion: >= 20%% fewer full shadow walks on at
+    least two Table 1 workloads, with everything observable identical."""
+
+    def _pair(self, name):
+        from repro.bench.workloads import all_workloads
+        workload = {w.name: w for w in all_workloads()}[name]
+        from repro.bench.harness import run_workload
+        on = run_workload(workload, checkelim=True)
+        off = run_workload(workload, checkelim=False)
+        return on, off
+
+    def _assert_reduced(self, name):
+        on, off = self._pair(name)
+        assert on.sharc_steps == off.sharc_steps
+        assert on.reports == off.reports
+        walked_on = (on.sharc_result.stats.checks_full
+                     + on.sharc_result.stats.checks_range)
+        walked_off = (off.sharc_result.stats.checks_full
+                      + off.sharc_result.stats.checks_range)
+        assert walked_on <= 0.8 * walked_off, \
+            f"{name}: {walked_on} vs {walked_off} shadow walks"
+
+    def test_pfscan_walks_drop_at_least_20_pct(self):
+        self._assert_reduced("pfscan")
+
+    def test_dillo_walks_drop_at_least_20_pct(self):
+        self._assert_reduced("dillo")

@@ -1,0 +1,212 @@
+"""Tests for the static check eliminator (:mod:`repro.sharc.checkelim`).
+
+These pin the *marking* behaviour: which dynamic checks get the
+``elide`` hint, which array walks get the ``range`` hint, and what the
+instrumented listing shows for both.  The run-time half — that consuming
+the marks never changes reports, steps, or scheduling — lives in
+``tests/runtime/test_checkelim_identity.py``."""
+
+from repro.cfront import cast as A
+from repro.sharc.checkelim import mark_elisions
+from tests.conftest import check_ok
+
+
+def _marks(checked):
+    """(elided lvalues, range lvalues) actually attached to the AST."""
+    elided, ranged = [], []
+    for func in checked.program.functions():
+        for e in A.all_exprs(func.body):
+            for attr in ("sharc_read", "sharc_write"):
+                info = getattr(e, attr, None)
+                if info is None:
+                    continue
+                if getattr(e, "sharc_check_elided", False):
+                    elided.append(info.lvalue_text)
+                if getattr(e, "sharc_range_check", False):
+                    ranged.append(info.lvalue_text)
+    return elided, ranged
+
+
+def _prog(body: str) -> str:
+    # The globals must really be cross-thread shared, or inference gives
+    # them a static mode and no dynamic checks exist to elide.
+    return f"""
+    int g = 0;
+    int h = 0;
+    int buf[64];
+    void helper() {{ }}
+    void *w(void *a) {{
+      int x; int i;
+      {body}
+      return NULL;
+    }}
+    int main() {{
+      int t1 = thread_create(w, NULL);
+      int t2 = thread_create(w, NULL);
+      thread_join(t1);
+      thread_join(t2);
+      return 0;
+    }}
+    """
+
+
+class TestRedundantCheckElision:
+    def test_second_read_of_same_lvalue_is_elided(self):
+        checked = check_ok(_prog("x = g; x = x + g;"))
+        elided, _ = _marks(checked)
+        assert elided == ["g"]
+        assert checked.elim_stats.elided_reads == 1
+
+    def test_call_between_checks_blocks_elision(self):
+        # A call is a yield point: another thread may mutate the shadow
+        # state before the second read executes.
+        checked = check_ok(_prog("x = g; helper(); x = x + g;"))
+        elided, _ = _marks(checked)
+        assert elided == []
+
+    def test_write_covers_a_later_read(self):
+        checked = check_ok(_prog("g = 1; x = g;"))
+        elided, _ = _marks(checked)
+        assert "g" in elided
+        assert checked.elim_stats.elided_reads >= 1
+
+    def test_read_does_not_cover_a_later_write(self):
+        # chkread only proves read permission; the write still needs the
+        # full writer-bit check.
+        checked = check_ok(_prog("x = g; g = 1;"))
+        assert checked.elim_stats.elided_writes == 0
+
+    def test_checks_of_different_lvalues_are_independent(self):
+        checked = check_ok(_prog("x = g; x = x + h;"))
+        elided, _ = _marks(checked)
+        assert elided == []
+
+    def test_branch_meet_requires_both_arms(self):
+        both = check_ok(_prog(
+            "if (x) { x = g; } else { x = g + 1; } x = x + g;"))
+        one = check_ok(_prog(
+            "if (x) { x = g; } else { x = 1; } x = x + g;"))
+        assert _marks(both)[0] == ["g"]
+        assert _marks(one)[0] == []
+
+    def test_loop_carried_cover_found_on_second_pass(self):
+        # buf[i] = buf[i] + 1: iteration n's write covers iteration
+        # n+1's read of the *textually* same lvalue — the runtime
+        # recheck guard is what makes that safe when i moved.
+        checked = check_ok(_prog(
+            "for (i = 0; i < 8; i++) buf[i] = buf[i] + 1;"))
+        assert checked.elim_stats.elided_reads >= 1
+
+    def test_break_in_loop_clears_covers(self):
+        # With a break the post-loop state may come from any iteration
+        # prefix, so nothing survives the loop.
+        with_break = check_ok(_prog(
+            "x = g; while (x) { if (h) break; x = x - 1; } x = x + g;"))
+        without = check_ok(_prog(
+            "x = g; while (x) { x = x - 1; } x = x + g;"))
+        assert "g" not in _marks(with_break)[0]
+        assert "g" in _marks(without)[0]
+
+    def test_remarking_is_a_no_op(self):
+        # Existing marks persist; a second pass finds nothing new to
+        # count, so accidental double-marking can't inflate the stats.
+        checked = check_ok(_prog("x = g; x = x + g;"))
+        assert checked.elim_stats.elided == 1
+        again = mark_elisions(checked.program)
+        assert again.elided == 0
+        assert _marks(checked)[0] == ["g"]
+
+
+class TestRangeMarking:
+    def test_monotone_array_walk_is_range_marked(self):
+        checked = check_ok(_prog(
+            "for (i = 0; i < 64; i++) x = x + buf[i];"))
+        _, ranged = _marks(checked)
+        assert "buf[i]" in ranged
+        assert checked.elim_stats.range_reads >= 1
+
+    def test_downward_walk_is_range_marked(self):
+        checked = check_ok(_prog(
+            "for (i = 63; i >= 0; i--) buf[i] = i;"))
+        assert checked.elim_stats.range_writes >= 1
+
+    def test_call_in_body_blocks_range_marking(self):
+        checked = check_ok(_prog(
+            "for (i = 0; i < 64; i++) { helper(); x = x + buf[i]; }"))
+        assert checked.elim_stats.ranges == 0
+
+    def test_unstepped_index_is_not_range_marked(self):
+        # j never moves inside the loop, so buf[j] is no array walk.
+        # (buf[x] with x = x + ... WOULD count: x is stepped.)
+        checked = check_ok(_prog(
+            "int j; j = 3; for (i = 0; i < 64; i++) x = x + buf[j];"))
+        _, ranged = _marks(checked)
+        assert "buf[j]" not in ranged
+
+
+class TestWorkloadCensus:
+    """The acceptance anchor: the Table 1 models the benchmark measures
+    actually carry marks (pfscan and dillo are the array-walking ones)."""
+
+    def _stats(self, name):
+        from repro.bench.workloads import all_workloads
+        workload = {w.name: w for w in all_workloads()}[name]
+        return check_ok(workload.annotated_source).elim_stats
+
+    def test_pfscan_has_elision_and_range_sites(self):
+        stats = self._stats("pfscan")
+        assert stats.elided >= 1
+        assert stats.ranges >= 2
+
+    def test_dillo_has_elision_sites(self):
+        stats = self._stats("dillo")
+        assert stats.elided >= 2
+
+
+class TestListing:
+    def test_listing_flags_elided_and_range_checks(self):
+        from repro.sharc.instrument import instrumented_listing
+        checked = check_ok(_prog(
+            "x = g; x = x + g; for (i = 0; i < 64; i++) x = x + buf[i];"))
+        listing = instrumented_listing(checked.program)
+        table = listing.split("// --- runtime checks ---")[1]
+        assert "chkread(g) [elide]" in table
+        # The loop read is both loop-carried-covered and a range walk.
+        assert "chkread(buf[i]) [elide,range]" in table
+        # The un-elided first read is listed bare.
+        assert "chkread(g)\n" in table
+
+    def test_golden_check_table(self):
+        """Golden test of the whole check table for one small program:
+        order, lock naming, and flags."""
+        from repro.sharc.instrument import instrumented_listing
+        checked = check_ok("""
+mutex lk;
+int locked(lk) c = 0;
+int g = 0;
+void *w(void *a) {
+  int x;
+  mutexLock(&lk);
+  c = c + 1;
+  mutexUnlock(&lk);
+  x = g;
+  x = x + g;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(w, NULL);
+  int t2 = thread_create(w, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+""")
+        listing = instrumented_listing(checked.program)
+        table = [line for line in listing.splitlines()
+                 if line.startswith("// test.c:")]
+        assert table == [
+            "// test.c:8:3: lock-held(c, lk)",
+            "// test.c:8:7: lock-held(c, lk)",
+            "// test.c:10:7: chkread(g)",
+            "// test.c:11:11: chkread(g) [elide]",
+        ]

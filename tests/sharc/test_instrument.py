@@ -94,7 +94,9 @@ class TestInstrumentedListing:
         int main() { thread_create(w, NULL); return 0; }
         """)
         listing = checked.instrumented_source()
-        assert "lock-held(c)" in listing
+        # The guarding lock is named: two lock-held checks at the same
+        # lvalue under different locks must be distinguishable.
+        assert "lock-held(c, lk)" in listing
         assert "chkread(buf[0])" in listing
 
     def test_listing_names_oneref(self):
