@@ -80,6 +80,8 @@ class BenchResult:
     annotations: int
     changes: int
     paper: PaperRow
+    #: locations the static lockset analysis refined to locked(l)
+    lockset_refined: int = 0
     base_result: Optional[RunResult] = field(repr=False, default=None)
     sharc_result: Optional[RunResult] = field(repr=False, default=None)
 
@@ -117,9 +119,17 @@ class BenchResult:
             return 0.0
         return self.sharc_result.stats.checks_elided_pct
 
+    @property
+    def checks_locked_pct(self) -> float:
+        """Fraction of dynamic checks discharged through the held-lock
+        log thanks to locked(l) lockset refinement."""
+        if self.sharc_result is None:
+            return 0.0
+        return self.sharc_result.stats.checks_locked_pct
+
     def bench_entry(self) -> dict:
         """The BENCH_interp.json record for this workload
-        (``sharc-bench-interp/2``)."""
+        (``sharc-bench-interp/3``)."""
         return {
             "base_steps": self.base_steps,
             "sharc_steps": self.sharc_steps,
@@ -132,6 +142,8 @@ class BenchResult:
             "reports": self.reports,
             "checks_per_1k_steps": round(self.checks_per_1k_steps, 3),
             "checks_elided_pct": round(self.checks_elided_pct, 6),
+            "checks_locked_pct": round(self.checks_locked_pct, 6),
+            "lockset_refined": self.lockset_refined,
         }
 
     def row(self) -> dict:
@@ -168,11 +180,13 @@ def check_workload(workload: Workload,
 def run_workload(workload: Workload, *, seed: Optional[int] = None,
                  annotated: bool = True,
                  rc_scheme: str = "lp",
-                 checkelim: bool = True) -> BenchResult:
+                 checkelim: bool = True,
+                 lockset: bool = True) -> BenchResult:
     """Runs baseline + SharC and returns the measured row.
-    ``checkelim=False`` ablates the static check eliminator in the
-    instrumented run (steps and reports are identical either way; only
-    wall time and the check-mix counters move)."""
+    ``checkelim=False`` ablates the static check eliminator and
+    ``lockset=False`` the locked(l) refinement in the instrumented run
+    (steps and reports are identical either way; only wall time and the
+    check-mix counters move)."""
     checked = check_workload(workload, annotated)
     if annotated and not checked.ok:
         raise AssertionError(
@@ -187,7 +201,7 @@ def run_workload(workload: Workload, *, seed: Optional[int] = None,
                         world=workload.world_factory(),
                         instrument=True, rc_scheme=rc_scheme,
                         policy=workload.policy,
-                        checkelim=checkelim,
+                        checkelim=checkelim, lockset=lockset,
                         max_steps=workload.max_steps)
     for result, label in ((base, "baseline"), (sharc, "sharc")):
         if result.error or result.deadlock or result.timeout:
@@ -207,6 +221,7 @@ def run_workload(workload: Workload, *, seed: Optional[int] = None,
         annotations=workload.annotations,
         changes=workload.changes,
         paper=workload.paper,
+        lockset_refined=len(checked.lockset_result.refinements),
         base_result=base,
         sharc_result=sharc,
     )

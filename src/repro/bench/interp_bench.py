@@ -9,9 +9,10 @@ PRs.  It writes ``BENCH_interp.json``:
 .. code-block:: json
 
     {
-      "schema": "sharc-bench-interp/2",
+      "schema": "sharc-bench-interp/3",
       "seed": null,
       "checkelim": true,
+      "lockset": true,
       "workloads": {
         "pfscan": {
           "base_steps": 64086,
@@ -24,7 +25,9 @@ PRs.  It writes ``BENCH_interp.json``:
           "pct_dynamic": 0.338,
           "reports": 0,
           "checks_per_1k_steps": 12.4,
-          "checks_elided_pct": 0.858
+          "checks_elided_pct": 0.858,
+          "checks_locked_pct": 0.0,
+          "lockset_refined": 0
         },
         "...": {}
       },
@@ -42,12 +45,17 @@ given seed), so the file mixes one machine-dependent axis with the
 machine-independent ones that anchor it.
 
 Schema history: ``/1`` lacked ``checks_per_1k_steps`` and
-``checks_elided_pct``.  ``upgrade_payload`` is the reader shim — every
-consumer (the CI canary, ``--compare``) accepts both versions through
-it, so committed ``/1`` baselines keep working.
+``checks_elided_pct``; ``/2`` lacked ``checks_locked_pct`` and
+``lockset_refined``.  On the annotated Table 1 suite both lockset
+fields are legitimately 0 — every consistently-locked location already
+carries a hand-written ``locked(l)``, so there is nothing left for the
+static refinement to convert; its wins show up on the unannotated
+variants (see EXPERIMENTS.md).  ``upgrade_payload`` is the reader shim — every
+consumer (the CI canary, ``--compare``) accepts all versions through
+it, so committed older baselines keep working.
 
 ``sharc bench --compare OLD.json`` re-runs the workloads and diffs them
-against a previously written payload (either schema), exiting nonzero
+against a previously written payload (any schema), exiting nonzero
 when throughput regresses beyond ``--compare-threshold`` — the CI
 canary's building block.
 """
@@ -64,7 +72,8 @@ from repro.bench.harness import BenchResult, run_workload
 from repro.bench.workloads import all_workloads
 
 SCHEMA_V1 = "sharc-bench-interp/1"
-SCHEMA = "sharc-bench-interp/2"
+SCHEMA_V2 = "sharc-bench-interp/2"
+SCHEMA = "sharc-bench-interp/3"
 DEFAULT_OUT = "BENCH_interp.json"
 #: ``--compare`` flags a workload whose steps/sec fell below
 #: ``old * (1 - threshold)``; 0.5 tolerates the usual host jitter while
@@ -73,11 +82,14 @@ DEFAULT_COMPARE_THRESHOLD = 0.5
 
 #: fields new in /2, with the value the shim backfills for /1 payloads
 _V2_FIELDS = {"checks_per_1k_steps": 0.0, "checks_elided_pct": 0.0}
+#: fields new in /3, backfilled for /1 and /2 payloads
+_V3_FIELDS = {"checks_locked_pct": 0.0, "lockset_refined": 0}
 
 
 def bench_workloads(names: Optional[list[str]] = None, *,
                     seed: Optional[int] = None,
-                    checkelim: bool = True) -> list[BenchResult]:
+                    checkelim: bool = True,
+                    lockset: bool = True) -> list[BenchResult]:
     """Runs the requested workloads (all six by default)."""
     selected = all_workloads()
     if names:
@@ -88,13 +100,15 @@ def bench_workloads(names: Optional[list[str]] = None, *,
                 f"unknown workload(s): {', '.join(unknown)}; "
                 f"available: {', '.join(sorted(by_name))}")
         selected = [by_name[n] for n in names]
-    return [run_workload(w, seed=seed, checkelim=checkelim)
+    return [run_workload(w, seed=seed, checkelim=checkelim,
+                         lockset=lockset)
             for w in selected]
 
 
 def bench_payload(results: list[BenchResult],
                   seed: Optional[int] = None,
-                  checkelim: bool = True) -> dict:
+                  checkelim: bool = True,
+                  lockset: bool = True) -> dict:
     total_steps = sum(r.sharc_steps for r in results)
     total_wall = sum(r.wall_seconds for r in results)
     overheads = [r.time_overhead for r in results]
@@ -102,6 +116,7 @@ def bench_payload(results: list[BenchResult],
         "schema": SCHEMA,
         "seed": seed,
         "checkelim": checkelim,
+        "lockset": lockset,
         "workloads": {r.workload: r.bench_entry() for r in results},
         "summary": {
             "total_sharc_steps": total_steps,
@@ -115,35 +130,39 @@ def bench_payload(results: list[BenchResult],
 
 
 def upgrade_payload(payload: dict) -> dict:
-    """Reader shim: accepts a ``/1`` or ``/2`` payload and returns a
-    ``/2`` one.  ``/2`` passes through untouched; ``/1`` is deep-copied,
-    re-stamped, and has the new per-workload fields backfilled with 0.0
-    (plus an ``upgraded_from`` marker).  Anything else raises
-    ``ValueError``."""
+    """Reader shim: accepts a ``/1``, ``/2``, or ``/3`` payload and
+    returns a ``/3`` one.  ``/3`` passes through untouched; older
+    schemas are deep-copied, re-stamped, and have the newer per-workload
+    fields backfilled with their zero values (plus an ``upgraded_from``
+    marker).  Anything else raises ``ValueError``."""
     schema = payload.get("schema")
     if schema == SCHEMA:
         return payload
-    if schema != SCHEMA_V1:
+    if schema not in (SCHEMA_V1, SCHEMA_V2):
         raise ValueError(
             f"unsupported bench schema {schema!r} "
-            f"(expected {SCHEMA!r} or {SCHEMA_V1!r})")
+            f"(expected {SCHEMA!r}, {SCHEMA_V2!r}, or {SCHEMA_V1!r})")
     out = copy.deepcopy(payload)
     out["schema"] = SCHEMA
-    out["upgraded_from"] = SCHEMA_V1
+    out["upgraded_from"] = schema
+    backfill = dict(_V3_FIELDS)
+    if schema == SCHEMA_V1:
+        backfill.update(_V2_FIELDS)
     for entry in (out.get("workloads") or {}).values():
-        for key, default in _V2_FIELDS.items():
+        for key, default in backfill.items():
             entry.setdefault(key, default)
     return out
 
 
 def validate_payload(payload: dict) -> list[str]:
     """Schema check for the benchmark smoke tests; returns problems.
-    Validates ``/2`` payloads directly and ``/1`` payloads against the
-    ``/1`` field set (consumers upgrade via :func:`upgrade_payload`)."""
+    Validates ``/3`` payloads directly and older payloads against their
+    own field sets (consumers upgrade via :func:`upgrade_payload`)."""
     problems: list[str] = []
     schema = payload.get("schema")
-    if schema not in (SCHEMA, SCHEMA_V1):
-        problems.append(f"schema != {SCHEMA!r} (or legacy {SCHEMA_V1!r})")
+    if schema not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
+        problems.append(f"schema != {SCHEMA!r} (or legacy "
+                        f"{SCHEMA_V2!r} / {SCHEMA_V1!r})")
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         return problems + ["workloads missing or empty"]
@@ -152,9 +171,12 @@ def validate_payload(payload: dict) -> list[str]:
                 "steps_per_sec": int, "time_overhead": float,
                 "mem_overhead": float, "pct_dynamic": float,
                 "reports": int}
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V2):
         required = dict(required, checks_per_1k_steps=float,
                         checks_elided_pct=float)
+    if schema == SCHEMA:
+        required = dict(required, checks_locked_pct=float,
+                        lockset_refined=int)
     for name, entry in workloads.items():
         for key, kind in required.items():
             value = entry.get(key)
@@ -164,9 +186,10 @@ def validate_payload(payload: dict) -> list[str]:
         if isinstance(entry.get("wall_seconds"), (int, float)) \
                 and entry["wall_seconds"] < 0:
             problems.append(f"{name}.wall_seconds negative")
-        pct = entry.get("checks_elided_pct")
-        if isinstance(pct, (int, float)) and not 0.0 <= pct <= 1.0:
-            problems.append(f"{name}.checks_elided_pct out of [0, 1]")
+        for pct_key in ("checks_elided_pct", "checks_locked_pct"):
+            pct = entry.get(pct_key)
+            if isinstance(pct, (int, float)) and not 0.0 <= pct <= 1.0:
+                problems.append(f"{name}.{pct_key} out of [0, 1]")
     summary = payload.get("summary")
     if not isinstance(summary, dict):
         problems.append("summary missing")
@@ -176,13 +199,15 @@ def validate_payload(payload: dict) -> list[str]:
 def render_table(results: list[BenchResult]) -> str:
     lines = [f"{'workload':<10} {'sharc steps':>12} {'wall (s)':>9} "
              f"{'steps/sec':>10} {'overhead':>9} {'chk/1k':>7} "
-             f"{'elided':>7}"]
+             f"{'elided':>7} {'locked':>7} {'refined':>8}"]
     for r in results:
         lines.append(f"{r.workload:<10} {r.sharc_steps:>12,} "
                      f"{r.wall_seconds:>9.3f} {r.steps_per_sec:>10,.0f} "
                      f"{r.time_overhead:>8.1%} "
                      f"{r.checks_per_1k_steps:>7.1f} "
-                     f"{r.checks_elided_pct:>7.1%}")
+                     f"{r.checks_elided_pct:>7.1%} "
+                     f"{r.checks_locked_pct:>7.1%} "
+                     f"{r.lockset_refined:>8d}")
     return "\n".join(lines)
 
 
@@ -245,9 +270,12 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--no-checkelim", action="store_true",
                         help="ablation: run with the static check "
                              "eliminator disabled")
+    parser.add_argument("--no-lockset", action="store_true",
+                        help="ablation: run with the locked(l) lockset "
+                             "refinement disabled")
     parser.add_argument("--compare", default=None, metavar="OLD.json",
                         help="diff against a previously written payload "
-                             "(schema /1 or /2); exits 3 on a "
+                             "(schema /1, /2, or /3); exits 3 on a "
                              "throughput regression")
     parser.add_argument("--compare-threshold", type=float,
                         default=DEFAULT_COMPARE_THRESHOLD,
@@ -267,13 +295,15 @@ def main(argv: Optional[list[str]] = None) -> int:
             return 2
 
     checkelim = not args.no_checkelim
+    lockset = not args.no_lockset
     try:
         results = bench_workloads(args.workloads, seed=args.seed,
-                                  checkelim=checkelim)
+                                  checkelim=checkelim, lockset=lockset)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    payload = bench_payload(results, seed=args.seed, checkelim=checkelim)
+    payload = bench_payload(results, seed=args.seed, checkelim=checkelim,
+                            lockset=lockset)
     problems = validate_payload(payload)
     if problems:
         print("error: invalid benchmark payload:\n  "

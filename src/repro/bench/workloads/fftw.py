@@ -15,6 +15,14 @@ structure as an FFT, with ±1 twiddles so no trig tables are needed (see
 DESIGN.md's substitution table) — and publishes the array back; main
 reclaims both arrays and checks a spectral sum.  Compute runs entirely on
 private data: the ~0% dynamic column.
+
+Like the real library's threaded planner (which serialises plan/wisdom
+access behind a mutex), the model keeps a little mutex-protected planner
+state: ``wisdom_reps`` (tuned by main before the workers start, consulted
+by every worker pass) and ``transforms_done`` (a completion count each
+worker bumps per pass).  Both are ``locked(planner_lock)`` in the
+annotated variant; in the unannotated variant they are what the static
+lockset analysis refines.
 """
 
 from repro.bench.harness import PaperRow, Workload
@@ -32,6 +40,12 @@ typedef struct plan {
   double *data;
   long checksum;
 } plan_t;
+
+// Planner state, serialised behind the planner lock exactly like the
+// real library's threaded planner serialises wisdom access.
+mutex planner_lock;
+long locked(planner_lock) wisdom_reps = 0;
+long locked(planner_lock) transforms_done = 0;
 
 // The transform assumes it owns the array: private argument, as the
 // paper annotates the compute kernels.
@@ -61,11 +75,18 @@ void *transform_thread(void *arg) {
   plan_t *p = arg;
   double *mine;
   long sum = 0;
+  long w;
   int i;
   int r;
   mine = SCAST(double private *, p->data);
-  for (r = 0; r < p->reps; r++)
+  for (r = 0; r < p->reps; r++) {
+    // Consult the planner's wisdom and log the pass, under its lock.
+    mutexLock(&planner_lock);
+    w = wisdom_reps;
+    transforms_done = transforms_done + 1;
+    mutexUnlock(&planner_lock);
     wht(mine, p->n);
+  }
   for (i = 0; i < p->n; i++)
     sum = sum + mine[i];
   p->checksum = sum;
@@ -95,14 +116,21 @@ int main() {
   int t1;
   int t2;
   long total;
+  long done;
+  mutexLock(&planner_lock);
+  wisdom_reps = 2;
+  mutexUnlock(&planner_lock);
   p1 = mkplan(N, LOGN, 2, 3);
   p2 = mkplan(N, LOGN, 2, 5);
   t1 = thread_create(transform_thread, p1);
   t2 = thread_create(transform_thread, p2);
   thread_join(t1);
   thread_join(t2);
+  mutexLock(&planner_lock);
+  done = transforms_done;
+  mutexUnlock(&planner_lock);
   total = p1->checksum + p2->checksum;
-  printf("fftw: spectral sum %ld\n", total);
+  printf("fftw: spectral sum %ld over %ld passes\n", total, done);
   return 0;
 }
 """
@@ -111,6 +139,7 @@ UNANNOTATED = (ANNOTATED
                .replace("double private *", "double *")
                .replace("double dynamic *", "double *")
                .replace("plan_t dynamic *", "plan_t *")
+               .replace("locked(planner_lock) ", "")
                .replace("SCAST(double *, ", "(")
                .replace("SCAST(plan_t *, ", "("))
 
@@ -126,7 +155,7 @@ WORKLOAD = Workload(
     unannotated_source=UNANNOTATED,
     paper=PaperRow("fftw", 3, "197k", 7, 39, 0.07, 0.012, 0.002),
     world_factory=make_world,
-    annotations=7,
+    annotations=9,   # 7 ownership (paper) + 2 locked planner globals
     changes=5,   # the sharing casts at ownership transfer/reclaim
     max_steps=8_000_000,
     seed=17,

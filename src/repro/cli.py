@@ -4,6 +4,11 @@ Subcommands mirror how the paper's tool is used:
 
 - ``sharc check FILE``   — parse, infer, type-check; print diagnostics
   and SCAST suggestions (exit 1 on errors);
+- ``sharc analyze FILE`` — the static lockset view: inferred modes per
+  global/formal, must-held lockset per shared location, locked(l)
+  refinements, and compile-time ``static-race`` findings; ``--json``
+  emits a versioned machine-readable payload and ``--fail-on-race``
+  turns findings into exit code 2 (the CI lint gate);
 - ``sharc infer FILE``   — print the program with all inferred
   qualifiers made explicit (the paper's Figure 2 view);
 - ``sharc run FILE``     — check then execute under the dynamic checker,
@@ -81,6 +86,106 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if checked.ok else 1
 
 
+#: version tag of the ``sharc analyze --json`` payload.
+ANALYZE_SCHEMA = "sharc-analyze/1"
+
+
+def _mode_text(qt) -> str | None:
+    return str(qt.mode) if qt is not None and qt.mode is not None \
+        else None
+
+
+def analyze_payload(checked) -> dict:
+    """The machine-readable ``sharc analyze`` view of one checked
+    program (schema ``sharc-analyze/1``)."""
+    ls = checked.lockset_result
+    program = checked.program
+    formals = {}
+    for func in program.functions():
+        ftype = func.qtype.base
+        formals[func.name] = [
+            {"name": pname, "mode": _mode_text(ptype)}
+            for pname, ptype in zip(func.param_names, ftype.params)]
+    return {
+        "schema": ANALYZE_SCHEMA,
+        "file": checked.filename,
+        "ok": checked.ok,
+        "errors": [str(d) for d in checked.errors],
+        "globals": [{"name": g.name, "mode": _mode_text(g.qtype)}
+                    for g in program.globals()],
+        "formals": formals,
+        "locations": [
+            {"location": info.text,
+             "lockset": sorted(info.lockset),
+             "tainted": info.tainted,
+             "sites": len(info.sites),
+             "reads": info.reads,
+             "writes": info.writes}
+            for _, info in sorted(ls.locations.items())],
+        "refinements": [
+            {"location": r.text, "lock": r.lock, "sites": r.sites,
+             "reads": r.reads, "writes": r.writes,
+             "loc": str(r.first_loc)}
+            for r in ls.refinements],
+        "static_races": [
+            {"key": f"static-race {d.message_key}",
+             "message": d.message, "loc": str(d.loc),
+             "notes": list(d.notes)}
+            for d in ls.races],
+    }
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    checked = check_source(_read(args.file), args.file)
+    ls = checked.lockset_result
+    if args.json:
+        payload = analyze_payload(checked)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.write("\n")
+            print(f"analysis written to {args.out}")
+        else:
+            print(json.dumps(payload, indent=2))
+    else:
+        if not checked.ok:
+            print(checked.render_diagnostics())
+        print("== inferred modes ==")
+        for g in checked.program.globals():
+            print(f"  global {g.name}: {_mode_text(g.qtype) or '-'}")
+        for func in checked.program.functions():
+            params = ", ".join(
+                f"{pname}: {_mode_text(ptype) or '-'}"
+                for pname, ptype in zip(func.param_names,
+                                        func.qtype.base.params))
+            print(f"  fn {func.name}({params})")
+        if ls.locations:
+            print("== shared locations ==")
+            for _, info in sorted(ls.locations.items()):
+                locks = ("{" + ", ".join(sorted(info.lockset)) + "}"
+                         if info.lockset else "{}")
+                taint = " [tainted]" if info.tainted else ""
+                print(f"  {info.text}: lockset={locks} "
+                      f"{len(info.sites)} site(s), {info.reads} read / "
+                      f"{info.writes} write{taint}")
+        if ls.refinements:
+            print("== refinements ==")
+            for r in ls.refinements:
+                print(f"  {r.render()}")
+        if ls.races:
+            print("== static races ==")
+            for d in ls.races:
+                print(str(d))
+        print(ls.summary())
+    if not checked.ok:
+        return 1
+    if args.fail_on_race and ls.races:
+        return 2
+    return 0
+
+
 def cmd_infer(args: argparse.Namespace) -> int:
     checked = check_source(_read(args.file), args.file)
     print(checked.inferred_source())
@@ -110,6 +215,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                                     else args.rc,
                                     max_steps=args.max_steps,
                                     checkelim=not args.no_checkelim,
+                                    lockset=not args.no_lockset,
                                     profiler=profiler)
         except SharcError as exc:
             print(exc)
@@ -125,6 +231,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          checker=getattr(args, "checker", "sharc"),
                          max_steps=args.max_steps,
                          checkelim=not args.no_checkelim,
+                         lockset=not args.no_lockset,
                          trace=trace_config)
     if result.output:
         print(result.output, end="")
@@ -164,6 +271,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv += ["--workloads", *args.workloads]
     if args.no_checkelim:
         argv.append("--no-checkelim")
+    if args.no_lockset:
+        argv.append("--no-lockset")
     if args.compare is not None:
         argv += ["--compare", args.compare,
                  "--compare-threshold", str(args.compare_threshold)]
@@ -243,6 +352,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
         for one in sweeps:
             registry.record_sweep(one)
+        if args.checker == "both":
+            registry.record_differential(summary)
         write_metrics(registry, args.metrics_out)
         print(f"metrics written to {args.metrics_out}")
 
@@ -355,6 +466,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(func=cmd_check)
 
+    p = sub.add_parser(
+        "analyze",
+        help="static lockset view: inferred modes, locksets, locked(l) "
+             "refinements, compile-time race findings")
+    p.add_argument("file")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output (schema "
+                        f"{ANALYZE_SCHEMA})")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="with --json: write the payload to FILE")
+    p.add_argument("--fail-on-race", action="store_true",
+                   help="exit 2 when any static race is found "
+                        "(the CI lint gate)")
+    p.set_defaults(func=cmd_analyze)
+
     p = sub.add_parser("infer", help="show inferred qualifiers")
     p.add_argument("file")
     p.set_defaults(func=cmd_infer)
@@ -373,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-checkelim", action="store_true",
                    help="ablation: disable the static check eliminator "
                         "(identical reports/steps, more full checks)")
+    p.add_argument("--no-lockset", action="store_true",
+                   help="ablation: disable the locked(l) lockset "
+                        "refinement (identical reports/steps, more "
+                        "shadow walks)")
     p.add_argument("--trace-out", default=None, metavar="FILE",
                    help="record structured runtime events: Chrome "
                         "trace-event JSON (Perfetto), or JSON Lines "
@@ -396,9 +526,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", nargs="*", default=None)
     p.add_argument("--no-checkelim", action="store_true",
                    help="ablation: disable the static check eliminator")
+    p.add_argument("--no-lockset", action="store_true",
+                   help="ablation: disable the locked(l) lockset "
+                        "refinement")
     p.add_argument("--compare", default=None, metavar="OLD.json",
                    help="diff against a previous BENCH_interp.json "
-                        "(schema /1 or /2); exit 3 on regression")
+                        "(schema /1, /2, or /3); exit 3 on regression")
     p.add_argument("--compare-threshold", type=float, default=0.5,
                    help="allowed fractional steps/sec drop for "
                         "--compare (default 0.5)")

@@ -63,6 +63,7 @@ class DiagKind(enum.Enum):
     WRITE_CONFLICT = "write conflict"
     LOCK_NOT_HELD = "lock not held"
     ONEREF_FAILED = "object has more than one reference"
+    STATIC_RACE = "static race"
     RUNTIME = "runtime error"
 
 

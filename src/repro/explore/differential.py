@@ -14,6 +14,15 @@ property of the *detectors*, not of scheduling luck:
 
 Every disagreement row carries its (seed, policy) coordinates, so each
 one is a replayable counterexample, not a statistic.
+
+The sweep also carries a *static* column: the compile-time lockset
+analysis (:mod:`repro.sharc.lockset`) gives one verdict per program with
+zero dynamic execution, which is scored against each dynamic checker's
+per-schedule verdict — agreeing (both flag, or both clean),
+static-only (flagged at compile time, clean on this schedule: the
+schedule simply never hit the racy interleaving), or dynamic-only
+(raced at runtime but statically invisible — e.g. heap locations the
+static abstraction cannot name).
 """
 
 from __future__ import annotations
@@ -24,6 +33,48 @@ from typing import Callable, Optional, Sequence
 from repro.explore.driver import (
     DEFAULT_MAX_STEPS, ExplorationSummary, explore_source,
 )
+
+
+@dataclass(frozen=True)
+class StaticAgreement:
+    """The static verdict scored against one dynamic checker, schedule
+    by schedule."""
+
+    checker: str
+    agreeing: int = 0
+    static_only: int = 0
+    dynamic_only: int = 0
+
+    @property
+    def schedules(self) -> int:
+        return self.agreeing + self.static_only + self.dynamic_only
+
+    def as_dict(self) -> dict:
+        return {"checker": self.checker, "agreeing": self.agreeing,
+                "static_only": self.static_only,
+                "dynamic_only": self.dynamic_only}
+
+    @staticmethod
+    def from_dict(data: dict) -> "StaticAgreement":
+        return StaticAgreement(
+            checker=data["checker"], agreeing=data["agreeing"],
+            static_only=data["static_only"],
+            dynamic_only=data["dynamic_only"])
+
+    @staticmethod
+    def score(checker: str, static_flagged: bool,
+              outcomes) -> "StaticAgreement":
+        agreeing = static_only = dynamic_only = 0
+        for outcome in outcomes:
+            dynamic_flagged = bool(outcome.report_keys)
+            if static_flagged and not dynamic_flagged:
+                static_only += 1
+            elif dynamic_flagged and not static_flagged:
+                dynamic_only += 1
+            else:
+                agreeing += 1
+        return StaticAgreement(checker, agreeing, static_only,
+                               dynamic_only)
 
 
 @dataclass(frozen=True)
@@ -56,6 +107,10 @@ class DifferentialSummary:
     sharc: ExplorationSummary
     eraser: ExplorationSummary
     disagreements: list[Disagreement] = field(default_factory=list)
+    #: compile-time race keys from the static lockset analysis
+    static_keys: tuple[str, ...] = ()
+    static_vs_sharc: Optional[StaticAgreement] = None
+    static_vs_eraser: Optional[StaticAgreement] = None
 
     @property
     def schedules(self) -> int:
@@ -74,6 +129,13 @@ class DifferentialSummary:
                  "sharc_only": list(d.sharc_only),
                  "eraser_only": list(d.eraser_only)}
                 for d in self.disagreements],
+            "static": {
+                "keys": list(self.static_keys),
+                "vs_sharc": (self.static_vs_sharc.as_dict()
+                             if self.static_vs_sharc else None),
+                "vs_eraser": (self.static_vs_eraser.as_dict()
+                              if self.static_vs_eraser else None),
+            },
             "sharc": self.sharc.as_dict(),
             "eraser": self.eraser.as_dict(),
         }
@@ -89,6 +151,17 @@ class DifferentialSummary:
             f"{len(self.eraser.first_failures)} distinct reports",
             f"  disagreements: {len(self.disagreements)}",
         ]
+        if self.static_vs_sharc is not None:
+            lines.insert(3, f"  static: {len(self.static_keys)} "
+                            "compile-time race(s)")
+            for agr in (self.static_vs_sharc, self.static_vs_eraser):
+                if agr is None:
+                    continue
+                lines.insert(4 + (agr is self.static_vs_eraser),
+                             f"    vs {agr.checker:<6}: "
+                             f"{agr.agreeing} agreeing, "
+                             f"{agr.static_only} static-only, "
+                             f"{agr.dynamic_only} dynamic-only")
         for d in self.disagreements[:20]:
             parts = []
             if d.sharc_only:
@@ -111,13 +184,27 @@ def differential_sweep(source: str, filename: str = "<input>", *,
                        world_factory: Optional[Callable] = None,
                        ) -> DifferentialSummary:
     """Runs the same ``seeds x policies`` grid under both checkers and
-    diffs the verdicts schedule by schedule."""
+    diffs the verdicts schedule by schedule; the static lockset verdict
+    (computed once, no execution) is scored against each."""
+    from repro.sharc.checker import check_source
+
     common = dict(seeds=seeds, seed_start=seed_start, policies=policies,
                   jobs=jobs, max_steps=max_steps, max_burst=max_burst,
                   world_factory=world_factory)
     sharc = explore_source(source, filename, checker="sharc", **common)
     eraser = explore_source(source, filename, checker="eraser", **common)
-    summary = DifferentialSummary(sharc=sharc, eraser=eraser)
+    try:
+        static_keys = tuple(
+            check_source(source, filename).lockset_result.race_keys)
+    except Exception:
+        static_keys = ()  # unparseable input still gets a dynamic diff
+    flagged = bool(static_keys)
+    summary = DifferentialSummary(
+        sharc=sharc, eraser=eraser, static_keys=static_keys,
+        static_vs_sharc=StaticAgreement.score(
+            "sharc", flagged, sharc.outcomes),
+        static_vs_eraser=StaticAgreement.score(
+            "eraser", flagged, eraser.outcomes))
     eraser_by_coords = {(o.seed, o.policy): o for o in eraser.outcomes}
     for s in sharc.outcomes:
         e = eraser_by_coords.get((s.seed, s.policy))

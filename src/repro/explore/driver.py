@@ -204,11 +204,13 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                  world_factory: Optional[Callable] = None,
                  shadow_bytes: int = DEFAULT_SHADOW_BYTES,
                  checkelim: bool = True,
+                 lockset: bool = True,
                  ) -> ScheduleOutcome:
     """Executes one (seed, policy) schedule and reduces it to an
-    outcome.  ``checkelim=False`` ablates the static check eliminator —
-    every outcome field is guaranteed identical either way (the
-    eliminator's soundness gate), so sweeps default to elimination on."""
+    outcome.  ``checkelim=False`` ablates the static check eliminator
+    and ``lockset=False`` the locked(l) lockset refinement — every
+    outcome field is guaranteed identical either way (the soundness
+    gates of both passes), so sweeps default to both on."""
     from repro.runtime.interp import run_checked
 
     checked = _checked_program(source, filename)
@@ -217,7 +219,7 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                          checker=checker, max_steps=max_steps,
                          max_burst=max_burst, world=world,
                          shadow_bytes=shadow_bytes,
-                         checkelim=checkelim,
+                         checkelim=checkelim, lockset=lockset,
                          record_trace=True)
     trace = result.trace or []
     return ScheduleOutcome(

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 
-METRICS_SCHEMA = "sharc-metrics/1"
+METRICS_SCHEMA = "sharc-metrics/2"
 
 
 def _rate(hits: int, total: int) -> float:
@@ -47,6 +47,10 @@ class MetricsRegistry:
         #: policy -> accumulated bucket
         self._policies: dict[str, dict] = {}
         self._reports: set = set()
+        # static-vs-dynamic agreement (differential sweeps only)
+        self.static_races = 0
+        #: checker -> {"agreeing", "static_only", "dynamic_only"}
+        self._static: dict[str, dict] = {}
 
     def record_sweep(self, summary) -> None:
         """Folds one :class:`ExplorationSummary` in."""
@@ -86,6 +90,22 @@ class MetricsRegistry:
             acc["updates"] += counts.get("updates", 0)
             acc["fastpath"] += counts.get("fastpath", 0)
 
+    def record_differential(self, summary) -> None:
+        """Folds one :class:`DifferentialSummary`'s static column in
+        (both dynamic sweeps should also be recorded via
+        :meth:`record_sweep`)."""
+        self.static_races += len(summary.static_keys)
+        for agreement in (summary.static_vs_sharc,
+                          summary.static_vs_eraser):
+            if agreement is None:
+                continue
+            acc = self._static.setdefault(
+                agreement.checker,
+                {"agreeing": 0, "static_only": 0, "dynamic_only": 0})
+            acc["agreeing"] += agreement.agreeing
+            acc["static_only"] += agreement.static_only
+            acc["dynamic_only"] += agreement.dynamic_only
+
     @property
     def races_per_1k(self) -> float:
         return _per_1k(self.failing, self.schedules)
@@ -109,6 +129,12 @@ class MetricsRegistry:
                 "check_updates": self.check_updates,
                 "check_fastpath_hits": self.check_fastpath,
                 "check_hit_rate": round(self.check_hit_rate, 6),
+            },
+            "static": {
+                "races": self.static_races,
+                "agreement": {
+                    checker: dict(acc)
+                    for checker, acc in sorted(self._static.items())},
             },
             "per_policy": {
                 policy: {
@@ -140,6 +166,14 @@ class MetricsRegistry:
                 f" failing ({row['races_per_1k']:>6.1f}/1k), "
                 f"{row['distinct_traces']} traces, "
                 f"hit rate {row['check_hit_rate']:.1%}")
+        static = data["static"]
+        if static["agreement"]:
+            lines.append(f"  static races: {static['races']}")
+            for checker, row in static["agreement"].items():
+                lines.append(
+                    f"    static vs {checker:<6}: {row['agreeing']} "
+                    f"agreeing, {row['static_only']} static-only, "
+                    f"{row['dynamic_only']} dynamic-only")
         return "\n".join(lines)
 
 
@@ -167,6 +201,24 @@ def validate_metrics(payload: dict) -> list:
                             f"[0, {hi}], got {value!r}")
     if not isinstance(payload.get("sweeps"), list):
         problems.append("sweeps missing or not an array")
+    static = payload.get("static")
+    if not isinstance(static, dict):
+        problems.append("static missing")
+    else:
+        races = static.get("races")
+        if not isinstance(races, int) or races < 0:
+            problems.append("static.races: expected non-negative int, "
+                            f"got {races!r}")
+        agreement = static.get("agreement")
+        if not isinstance(agreement, dict):
+            problems.append("static.agreement missing")
+        else:
+            for checker, row in agreement.items():
+                for key in ("agreeing", "static_only", "dynamic_only"):
+                    if not isinstance(row.get(key), int):
+                        problems.append(
+                            f"static.agreement.{checker}.{key}: "
+                            "expected int")
     per_policy = payload.get("per_policy")
     if not isinstance(per_policy, dict):
         problems.append("per_policy missing")

@@ -179,6 +179,7 @@ class Interp:
                  shadow_bytes: int = 1, max_burst: int = 8,
                  checker: str = "sharc",
                  checkelim: bool = True,
+                 lockset: bool = True,
                  record_trace: bool = False,
                  trace: Optional[TraceConfig] = None) -> None:
         self.checked = checked
@@ -190,6 +191,11 @@ class Interp:
         #: soundness gate guarantees both settings are bit-identical in
         #: reports, steps, and scheduler RNG.
         self.checkelim = checkelim
+        #: consume the static lockset refinement marks
+        #: (repro.sharc.lockset)?  Same ablation contract as checkelim:
+        #: ``--no-lockset`` is bit-identical in reports, steps, and
+        #: scheduler RNG.
+        self.lockset = lockset
         #: "sharc" (mode-targeted checks) or "eraser" (the lockset
         #: baseline of Section 6.2: every access monitored)
         self.eraser = None
@@ -375,6 +381,35 @@ class Interp:
                               "chkwrite" if is_write else "chkread",
                               thread.tid, dur=1, hit=True,
                               conflict=False, elided=True,
+                              lvalue=info.lvalue_text)
+            return
+        if info.lockset_refined and self.lockset \
+                and self.locks.holds_for_access(
+                    thread.tid,
+                    self.globals_env.get(info.refined_lock, -1),
+                    is_write) \
+                and self.shadow.recheck_locked(addr, size, thread.tid,
+                                               is_write, info.lvalue_text,
+                                               info.loc):
+            # locked(l)-refined check: the static lockset analysis proved
+            # every access to this location holds ``refined_lock``; the
+            # held-lock-log test confirms it here, and ``recheck_locked``
+            # discharges the shadow walk whenever the full check would
+            # have been conflict-free at cost 1, replaying its exact
+            # effects — so a wrong mark costs a probe, never a missed
+            # race, and history, cost, and trace stay byte-identical to
+            # the --no-lockset run.
+            stats.checks_locked_refined += 1
+            if self.history is not None:
+                self.history.record(addr, size, thread.tid,
+                                    info.lvalue_text, info.loc, is_write,
+                                    stats.steps_total)
+            self._charge_check(1)
+            if self.bus is not None:
+                self.bus.emit(CAT_CHECK,
+                              "chkwrite" if is_write else "chkread",
+                              thread.tid, dur=1, hit=True,
+                              conflict=False, locked=True,
                               lvalue=info.lvalue_text)
             return
         shadow = self.shadow
@@ -1313,17 +1348,19 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 max_steps: int = 2_000_000,
                 checker: str = "sharc",
                 checkelim: bool = True,
+                lockset: bool = True,
                 record_trace: bool = False,
                 trace: Optional[TraceConfig] = None) -> RunResult:
     """Executes a statically checked program once.  ``policy`` may be a
     spec string (``"random"``, ``"pct:4"``, ...) or a
     :class:`~repro.runtime.scheduler.SchedulingPolicy` instance.
     ``trace`` enables structured event tracing (:mod:`repro.obs`);
-    ``checkelim=False`` ablates the static check eliminator."""
+    ``checkelim=False`` ablates the static check eliminator and
+    ``lockset=False`` the locked(l) qualifier refinement."""
     interp = Interp(checked, seed=seed, world=world, policy=policy,
                     rc_scheme=rc_scheme, instrument=instrument,
                     shadow_bytes=shadow_bytes, max_burst=max_burst,
-                    checker=checker, checkelim=checkelim,
+                    checker=checker, checkelim=checkelim, lockset=lockset,
                     record_trace=record_trace, trace=trace)
     result = interp.run(max_steps=max_steps)
     if record_trace:

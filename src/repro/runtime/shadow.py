@@ -198,6 +198,55 @@ class ShadowMemory:
         self.fastpath_hits += n
         return True
 
+    def recheck_locked(self, addr: int, size: int, tid: int,
+                       is_write: bool, lvalue: str, loc: Loc) -> bool:
+        """Runtime guard for a ``locked(l)``-refined check.  Stronger
+        than :meth:`recheck` (which needs the thread's *immediately*
+        preceding check to cover the same range): this probes the
+        granule bitmaps directly and succeeds whenever the full
+        ``chkread``/``chkwrite`` would find no conflict and no granule
+        needing the slow atomic update — i.e. whenever the full check
+        would have charged cost 1 and mutated nothing but the
+        last-access maps and the cache.  On success those exact effects
+        are replayed (``updates`` accounting, ``last``/``last_writer``
+        records, cache entry), so refined and unrefined runs stay
+        byte-for-byte identical in reports, costs, and shadow state.
+        Returns False having done *nothing* when any granule would go
+        slow or conflict: the caller must fall back to the full check,
+        which then reports/updates exactly as it would have anyway."""
+        first = addr >> GRANULE_SHIFT
+        last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
+        cached = self._cache.get(tid)
+        if cached is not None and cached[0] == first \
+                and cached[1] == last and cached[3] == self._version \
+                and (cached[2] or not is_write):
+            n = last - first + 1
+            self.updates += n
+            self.fastpath_hits += n
+            return True
+        self._check_tid(tid)
+        mybit = 1 << tid
+        want = (mybit | 1) if is_write else mybit
+        pages = self._pages
+        for granule in range(first, last + 1):
+            page = pages.get(granule >> PAGE_SHIFT)
+            bits = page[granule & PAGE_MASK] if page is not None else 0
+            if bits & want != want:
+                return False  # full check would take the slow path
+            if is_write:
+                if bits & ~1 & ~mybit:
+                    return False  # would report a write conflict
+            elif (bits & 1) and (bits & ~1 & ~mybit):
+                return False  # would report a read conflict
+        acc = LastAccess(tid, lvalue, loc, is_write)
+        for granule in range(first, last + 1):
+            self.updates += 1
+            self.last[granule] = acc
+            if is_write:
+                self.last_writer[granule] = acc
+        self._cache[tid] = (first, last, is_write, self._version)
+        return True
+
     def chkread(self, addr: int, size: int, tid: int, lvalue: str,
                 loc: Loc) -> tuple[Optional[LastAccess], int]:
         """Records a read; returns (conflicting access | None, number of

@@ -54,6 +54,9 @@ class RunStats:
     #: statically marked checks discharged by ``ShadowMemory.recheck``
     #: (the elision guard) instead of a shadow walk
     checks_elided: int = 0
+    #: dynamic checks discharged through the held-lock log because the
+    #: static lockset analysis refined the location to locked(l)
+    checks_locked_refined: int = 0
     rc_writes: int = 0
     rc_collections: int = 0
     lock_acquisitions: int = 0
@@ -104,6 +107,16 @@ class RunStats:
         if total <= 0:
             return 0.0
         return self.checks_elided / total
+
+    @property
+    def checks_locked_pct(self) -> float:
+        """Fraction of would-be dynamic checks discharged through the
+        held-lock log thanks to locked(l) lockset refinement."""
+        total = (self.checks_full + self.checks_range
+                 + self.checks_elided + self.checks_locked_refined)
+        if total <= 0:
+            return 0.0
+        return self.checks_locked_refined / total
 
     @property
     def metadata_pages(self) -> int:

@@ -26,6 +26,7 @@ from repro.sharc.inference import InferenceResult, infer_program
 from repro.sharc.instrument import (
     InstrumentStats, instrumented_listing, mark_rc_writes,
 )
+from repro.sharc.lockset import LocksetResult, analyze_locksets
 from repro.sharc.typecheck import CheckStats, typecheck_program
 
 
@@ -44,6 +45,12 @@ class CheckedProgram:
     #: always computed; whether the interpreter consumes them is the
     #: run-time ``checkelim`` switch.
     elim_stats: ElimStats = field(default_factory=ElimStats)
+    #: static lockset analysis (repro.sharc.lockset): locked(l)
+    #: refinements and compile-time race findings.  Like check
+    #: elimination, refinement marks are always computed; the
+    #: interpreter's ``lockset`` switch decides whether they are
+    #: consumed.  Static races are warnings kept out of ``ok``.
+    lockset_result: LocksetResult = field(default_factory=LocksetResult)
 
     @property
     def ok(self) -> bool:
@@ -83,8 +90,9 @@ def check_program(program: A.Program, source: str = "",
     stats = typecheck_program(program, sink)
     rc_stats = mark_rc_writes(program, inference, rc_all=rc_all)
     elim_stats = mark_elisions(program)
+    lockset_result = analyze_locksets(program, inference.seeds)
     return CheckedProgram(program, sink, inference, stats, rc_stats,
-                          source, filename, elim_stats)
+                          source, filename, elim_stats, lockset_result)
 
 
 def check_source(source: str, filename: str = "<input>",

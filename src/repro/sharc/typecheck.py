@@ -68,6 +68,12 @@ class AccessInfo:
     #: range-batched check APIs.
     elide: bool = field(init=False, default=False)
     range_walk: bool = field(init=False, default=False)
+    #: static lockset refinement marks (repro.sharc.lockset).  A refined
+    #: access is still ``dynamic`` — the interpreter merely gets to
+    #: discharge it through the held-lock log + ``recheck`` guard when
+    #: ``refined_lock`` (a program global mutex) is indeed held.
+    lockset_refined: bool = field(init=False, default=False)
+    refined_lock: Optional[str] = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         self.is_lock = self.mode.is_locked

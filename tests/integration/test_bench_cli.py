@@ -7,8 +7,8 @@ import pytest
 
 from repro.cli import main
 from repro.bench.interp_bench import (
-    SCHEMA, SCHEMA_V1, bench_payload, bench_workloads, compare_payloads,
-    upgrade_payload, validate_payload,
+    SCHEMA, SCHEMA_V1, SCHEMA_V2, bench_payload, bench_workloads,
+    compare_payloads, upgrade_payload, validate_payload,
 )
 
 
@@ -179,6 +179,82 @@ class TestSchemaV2:
     def test_upgrade_rejects_unknown_schema(self):
         with pytest.raises(ValueError, match="unsupported bench schema"):
             upgrade_payload({"schema": "sharc-bench-interp/99"})
+
+
+def _v2_payload():
+    """A committed baseline from before the lockset-refinement PR:
+    schema /2 without the locked-check fields."""
+    payload = bench_payload(bench_workloads(["aget"]))
+    payload["schema"] = SCHEMA_V2
+    del payload["lockset"]
+    for entry in payload["workloads"].values():
+        del entry["checks_locked_pct"]
+        del entry["lockset_refined"]
+    return payload
+
+
+class TestSchemaV3:
+    def test_payload_carries_locked_check_fields(self):
+        payload = bench_payload(bench_workloads(["pfscan"]))
+        assert payload["schema"] == SCHEMA
+        assert payload["lockset"] is True
+        entry = payload["workloads"]["pfscan"]
+        assert 0.0 <= entry["checks_locked_pct"] <= 1.0
+        assert entry["lockset_refined"] >= 0
+
+    def test_v2_payload_still_validates(self):
+        assert validate_payload(_v2_payload()) == []
+
+    def test_v3_payload_missing_new_fields_is_flagged(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        del payload["workloads"]["aget"]["checks_locked_pct"]
+        problems = validate_payload(payload)
+        assert any("checks_locked_pct" in p for p in problems)
+
+    def test_upgrade_shim_backfills_v2(self):
+        v2 = _v2_payload()
+        v3 = upgrade_payload(v2)
+        assert v3["schema"] == SCHEMA
+        assert v3["upgraded_from"] == SCHEMA_V2
+        entry = v3["workloads"]["aget"]
+        assert entry["checks_locked_pct"] == 0.0
+        assert entry["lockset_refined"] == 0
+        # /2 fields were already there; untouched
+        assert entry["checks_elided_pct"] >= 0.0
+        # The original payload is untouched (deep copy).
+        assert v2["schema"] == SCHEMA_V2
+        assert "checks_locked_pct" not in v2["workloads"]["aget"]
+
+    def test_upgrade_shim_backfills_v1_with_both_generations(self):
+        v3 = upgrade_payload(_v1_payload())
+        assert v3["schema"] == SCHEMA
+        assert v3["upgraded_from"] == SCHEMA_V1
+        entry = v3["workloads"]["aget"]
+        assert entry["checks_elided_pct"] == 0.0
+        assert entry["checks_locked_pct"] == 0.0
+        assert entry["lockset_refined"] == 0
+
+    def test_v2_baseline_is_accepted_by_compare(self):
+        current = bench_payload(bench_workloads(["aget"]))
+        _, regressions = compare_payloads(_v2_payload(), current,
+                                          threshold=0.99)
+        assert regressions == []
+
+
+class TestLocksetFlag:
+    def test_no_lockset_payload_is_marked_and_unconverted(self, tmp_path):
+        out = tmp_path / "off.json"
+        assert main(["bench", "--workloads", "pfscan", "--out", str(out),
+                     "--no-lockset"]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["lockset"] is False
+        assert payload["workloads"]["pfscan"]["checks_locked_pct"] == 0.0
+
+    def test_step_axis_identical_on_and_off(self):
+        on = bench_workloads(["pfscan"], lockset=True)[0]
+        off = bench_workloads(["pfscan"], lockset=False)[0]
+        assert on.sharc_steps == off.sharc_steps
+        assert on.reports == off.reports
 
 
 class TestBenchCompare:

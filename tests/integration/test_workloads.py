@@ -102,7 +102,12 @@ class TestHarness:
         n * original sum — a real correctness check of the kernel."""
         result = run_workload(get_workload("fftw"))
         out = result.sharc_result.output
-        total = int(out.strip().rsplit(" ", 1)[1])
+        # "fftw: spectral sum <total> over <passes> passes"
+        words = out.split()
+        total = int(words[3])
+        # each of the two workers logs reps=2 planner passes under the
+        # planner lock
+        assert int(words[5]) == 4
         # initial data: d[i] = (i*seed) % 17 - 8 summed over both arrays,
         # times N (=256) for the double transform.
         def original_sum(seed):

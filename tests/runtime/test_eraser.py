@@ -78,6 +78,86 @@ class TestStateMachine:
         assert reports  # Eraser cannot model the transfer
 
 
+class TestEdgeCases:
+    """Corner behavior the differential static-vs-dynamic scoring leans
+    on: partial frees, tid reuse after exit, and the exact transition
+    point from read-sharing to lockset enforcement."""
+
+    def test_free_range_mid_granule_resets_whole_granule(self, checker):
+        """Freeing any byte range resets every granule it overlaps —
+        including a range that starts and ends mid-granule."""
+        access(checker, 0x100, 1, True)          # granule 0x10
+        access(checker, 0x118, 1, True)          # granule 0x11
+        access(checker, 0x118, 2, True)          # 0x11 leaves EXCLUSIVE
+        checker.free_range(0x108, 4)             # mid-granule slice of 0x10
+        assert 0x10 not in checker.granules      # reset outright
+        assert checker.granules[0x11].state is LockState.SHARED_MODIFIED
+        # the reset granule restarts its state machine: a fresh thread's
+        # access is initialization again, not a race
+        assert access(checker, 0x100, 3, True) == []
+        assert checker.granules[0x10].state is LockState.EXCLUSIVE
+        assert checker.granules[0x10].owner == 3
+
+    def test_free_range_spanning_granules_resets_all_of_them(self, checker):
+        access(checker, 0x100, 1, True)
+        access(checker, 0x118, 1, True)
+        checker.free_range(0x10c, 16)            # straddles 0x10 and 0x11
+        assert 0x10 not in checker.granules
+        assert 0x11 not in checker.granules
+
+    def test_thread_exit_keeps_state_so_tid_reuse_inherits_it(self,
+                                                              checker):
+        """Eraser has no happens-before for exit: EXCLUSIVE(1) survives
+        the owner's death, so a recycled tid 1 still looks like the
+        owner and an unlocked write by it stays silent — the documented
+        false-negative flavor of the missing exit edge."""
+        access(checker, 0x100, 1, True)
+        checker.thread_exit(1)
+        st = checker.granules[0x10]
+        assert st.state is LockState.EXCLUSIVE and st.owner == 1
+        assert access(checker, 0x100, 1, True) == []   # reused tid
+        assert checker.granules[0x10].state is LockState.EXCLUSIVE
+
+    def test_thread_exit_keeps_state_so_next_thread_still_shares(
+            self, checker):
+        """...and conversely a *different* thread after the owner's exit
+        still leaves initialization, even though the two never ran
+        concurrently — the false-positive flavor."""
+        access(checker, 0x100, 1, True)
+        checker.thread_exit(1)
+        reports = access(checker, 0x100, 2, True, held=())
+        assert reports  # no exit edge: flagged despite no overlap
+        assert checker.granules[0x10].state is LockState.SHARED_MODIFIED
+
+    def test_first_write_after_shared_read_transitions_and_checks(
+            self, checker):
+        """SHARED tolerates an empty candidate set; the *first* write
+        moves to SHARED_MODIFIED and enforces it immediately."""
+        access(checker, 0x100, 1, False, held={0x900})
+        # leaving EXCLUSIVE seeds C(v) from the transitioning access
+        access(checker, 0x100, 2, False, held={0x901})
+        st = checker.granules[0x10]
+        assert st.state is LockState.SHARED
+        assert st.lockset == frozenset({0x901})
+        assert not st.reported                # reads never report
+        reports = access(checker, 0x100, 1, True, held={0x900})
+        assert st.state is LockState.SHARED_MODIFIED
+        assert st.lockset == frozenset()      # {0x901} & {0x900}
+        assert reports                        # enforced on the write
+        assert "lockset" in reports[0].detail
+
+    def test_first_write_after_shared_read_with_consistent_lock(
+            self, checker):
+        """Same transition with a surviving candidate set stays quiet."""
+        access(checker, 0x100, 1, False, held={0x900})
+        access(checker, 0x100, 2, False, held={0x900})
+        reports = access(checker, 0x100, 1, True, held={0x900})
+        st = checker.granules[0x10]
+        assert st.state is LockState.SHARED_MODIFIED
+        assert st.lockset == frozenset({0x900})
+        assert reports == []
+
+
 class TestEraserInterp:
     RACY = """
     int shared = 0;

@@ -251,6 +251,107 @@ class TestDifferential:
         assert len(data["disagreements"]) == len(summary.disagreements)
 
 
+class TestDifferentialStatic:
+    """The static column: the compile-time lockset verdict scored
+    against each dynamic checker, schedule by schedule."""
+
+    def _sweep(self, seeds=4):
+        from repro.explore import differential_sweep
+
+        source, spec = racy_c_program(3, kind="write-write")
+        return spec, differential_sweep(source, "racy3.c", seeds=seeds,
+                                        policies=("random",),
+                                        max_steps=200_000)
+
+    def test_static_keys_present_for_seeded_race(self):
+        spec, summary = self._sweep()
+        assert any(spec.global_name in k for k in summary.static_keys)
+
+    def test_agreement_counts_cover_every_schedule(self):
+        _, summary = self._sweep(seeds=5)
+        for agr in (summary.static_vs_sharc, summary.static_vs_eraser):
+            assert agr is not None
+            assert agr.schedules == 5
+            assert (agr.agreeing + agr.static_only
+                    + agr.dynamic_only) == 5
+
+    def test_as_dict_includes_static_column(self):
+        _, summary = self._sweep()
+        data = summary.as_dict()
+        static = data["static"]
+        assert static["keys"] == list(summary.static_keys)
+        assert static["vs_sharc"]["checker"] == "sharc"
+        assert static["vs_eraser"]["checker"] == "eraser"
+
+    def test_static_agreement_round_trips(self):
+        from repro.explore.differential import StaticAgreement
+
+        _, summary = self._sweep()
+        for agr in (summary.static_vs_sharc, summary.static_vs_eraser):
+            again = StaticAgreement.from_dict(agr.as_dict())
+            assert again == agr
+
+    def test_score_classification(self):
+        from repro.explore.differential import StaticAgreement
+
+        class Outcome:
+            def __init__(self, keys):
+                self.report_keys = keys
+
+        outcomes = [Outcome(("k",)), Outcome(()), Outcome(("k", "j"))]
+        flagged = StaticAgreement.score("sharc", True, outcomes)
+        assert (flagged.agreeing, flagged.static_only,
+                flagged.dynamic_only) == (2, 1, 0)
+        clean = StaticAgreement.score("sharc", False, outcomes)
+        assert (clean.agreeing, clean.static_only,
+                clean.dynamic_only) == (1, 0, 2)
+
+    def test_render_mentions_static_column(self):
+        _, summary = self._sweep()
+        text = summary.render()
+        assert "compile-time race(s)" in text
+        assert "vs sharc" in text
+        assert "vs eraser" in text
+
+    def test_metrics_registry_accumulates_static(self):
+        from repro.obs.metrics import MetricsRegistry, validate_metrics
+
+        _, summary = self._sweep()
+        registry = MetricsRegistry()
+        registry.record_sweep(summary.sharc)
+        registry.record_sweep(summary.eraser)
+        registry.record_differential(summary)
+        payload = registry.as_dict()
+        assert validate_metrics(payload) == []
+        static = payload["static"]
+        assert static["races"] == len(summary.static_keys)
+        assert set(static["agreement"]) == {"sharc", "eraser"}
+        agr = static["agreement"]["sharc"]
+        assert (agr["agreeing"] + agr["static_only"]
+                + agr["dynamic_only"]) == summary.schedules
+        assert "static races:" in registry.render()
+
+
+class TestDisagreementCoords:
+    def test_replay_coords_multi_digit_seeds(self):
+        from repro.explore.differential import Disagreement
+
+        d = Disagreement(seed=1234, policy="pct",
+                         sharc_keys=("a",), eraser_keys=())
+        assert d.replay_coords() == "seed=1234 policy=pct"
+        d2 = Disagreement(seed=40567, policy="round-robin",
+                          sharc_keys=(), eraser_keys=("b",))
+        assert d2.replay_coords() == "seed=40567 policy=round-robin"
+
+    def test_only_keys_are_set_differences(self):
+        from repro.explore.differential import Disagreement
+
+        d = Disagreement(seed=10, policy="random",
+                         sharc_keys=("a", "b"), eraser_keys=("b", "c"))
+        assert d.sharc_only == ("a",)
+        assert d.eraser_only == ("c",)
+
+
 class TestWorkloadExploration:
     def test_explore_workload_runs(self):
         from repro.explore import explore_workload

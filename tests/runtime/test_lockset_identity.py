@@ -1,0 +1,163 @@
+"""The lockset refinement's soundness gate: running with ``lockset`` on
+vs off must be *bit-identical* — same reports, same step counts, same
+scheduling decisions — across seeds and scheduling policies, exactly
+like the check eliminator's gate in ``test_checkelim_identity``.
+
+This holds by construction: a refined check runs the held-lock-log test
+plus ``ShadowMemory.recheck_locked``, which succeeds only when the full
+check would have been conflict-free at cost 1 and then replays that fast
+path's exact effects; any miss falls back to the full check."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import check_ok
+from repro.explore.driver import run_schedule
+from repro.runtime.interp import run_checked
+
+# A mix the analysis can sink its teeth into: one consistently locked
+# counter (refined), one read-mostly locked config (refined), and one
+# unlocked racy global (static race; conflicts keep firing dynamically).
+MIXED = """
+mutex lk;
+int counter = 0;
+int config = 0;
+int racy_g = 0;
+void *w(void *a) {
+  int i; int c;
+  for (i = 0; i < 8; i++) {
+    mutexLock(&lk);
+    c = config;
+    counter = counter + c + 1;
+    mutexUnlock(&lk);
+    racy_g = racy_g + 1;
+  }
+  return NULL;
+}
+int main() {
+  mutexLock(&lk);
+  config = 2;
+  mutexUnlock(&lk);
+  int t1 = thread_create(w, NULL);
+  int t2 = thread_create(w, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  mutexLock(&lk);
+  int c = counter;
+  mutexUnlock(&lk);
+  return c;
+}
+"""
+
+POLICIES = ["random", "round-robin", "pct", "pb"]
+
+
+def _run(checked, seed, policy, lockset):
+    return run_checked(checked, seed=seed, policy=policy,
+                       lockset=lockset, record_trace=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_on_off_runs_are_bit_identical(seed, policy):
+    checked = check_ok(MIXED)
+    on = _run(checked, seed, policy, True)
+    off = _run(checked, seed, policy, False)
+    assert on.stats.steps_total == off.stats.steps_total
+    assert on.trace == off.trace  # every context switch, in order
+    assert on.report_counts == off.report_counts
+    assert [r.render() for r in on.reports] == \
+        [r.render() for r in off.reports]
+    assert on.output == off.output
+    assert (on.deadlock, on.error, on.timeout, on.exit_code) == \
+        (off.deadlock, off.error, off.timeout, off.exit_code)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_explore_outcomes_are_identical(seed, policy):
+    """The ``sharc explore`` path (trace hash included) can't tell the
+    two configurations apart either."""
+    on = run_schedule(MIXED, "t.c", seed, policy, lockset=True)
+    off = run_schedule(MIXED, "t.c", seed, policy, lockset=False)
+    assert on.trace_hash == off.trace_hash
+    assert on.report_keys == off.report_keys
+    assert (on.steps, on.switches, on.deadlock, on.error) == \
+        (off.steps, off.switches, off.deadlock, off.error)
+
+
+class TestCheckMix:
+    """What IS allowed to change: how the same checks get discharged."""
+
+    def test_refined_checks_actually_fire(self):
+        checked = check_ok(MIXED)
+        on = _run(checked, 3, "random", True)
+        assert on.stats.checks_locked_refined > 0
+        assert on.stats.checks_locked_pct > 0.0
+
+    def test_off_run_never_takes_the_locked_path(self):
+        checked = check_ok(MIXED)
+        off = _run(checked, 3, "random", False)
+        assert off.stats.checks_locked_refined == 0
+        assert off.stats.checks_locked_pct == 0.0
+
+    def test_total_dynamic_checks_are_conserved(self):
+        # Every check the on-run discharges through the held-lock log,
+        # the off-run walks in full: the grand total of check sites hit
+        # is the same run to run.
+        checked = check_ok(MIXED)
+        on = _run(checked, 3, "random", True)
+        off = _run(checked, 3, "random", False)
+        total = lambda s: (s.checks_full + s.checks_range
+                           + s.checks_elided + s.checks_locked_refined)
+        assert total(on.stats) == total(off.stats)
+        assert on.stats.accesses_dynamic == off.stats.accesses_dynamic
+
+    def test_shadow_state_identical_after_runs(self):
+        """The refined fast path replays the full check's effects, so
+        even the final shadow bitmaps and last-access maps agree."""
+        checked = check_ok(MIXED)
+        on = _run(checked, 5, "random", True)
+        off = _run(checked, 5, "random", False)
+        assert on.stats.shadow_updates == off.stats.shadow_updates
+
+
+class TestWorkloadAcceptance:
+    """The acceptance criterion: on pfscan/dillo/fftw the refinement
+    converts a nonzero fraction of dynamic checks to locked(l) checks,
+    with everything observable bit-identical."""
+
+    def _pair(self, name, seed=None):
+        from repro.bench.workloads import get_workload
+        from repro.bench.harness import run_workload
+        workload = get_workload(name)
+        on = run_workload(workload, annotated=False, seed=seed,
+                          lockset=True)
+        off = run_workload(workload, annotated=False, seed=seed,
+                          lockset=False)
+        return on, off
+
+    @pytest.mark.parametrize("name", ["pfscan", "dillo", "fftw"])
+    def test_nonzero_conversion_and_identity(self, name):
+        on, off = self._pair(name)
+        assert on.sharc_steps == off.sharc_steps
+        assert on.reports == off.reports
+        s_on = on.sharc_result.stats
+        s_off = off.sharc_result.stats
+        assert s_on.checks_locked_refined > 0, \
+            f"{name}: no checks were converted to locked(l)"
+        assert s_off.checks_locked_refined == 0
+        assert sorted(on.sharc_result.report_counts.items()) == \
+            sorted(off.sharc_result.report_counts.items())
+        assert on.lockset_refined > 0  # refined locations reported
+
+    @pytest.mark.parametrize("name", ["pfscan", "dillo", "fftw"])
+    @pytest.mark.parametrize("seed", [2, 23])
+    def test_identity_across_seeds(self, name, seed):
+        on, off = self._pair(name, seed=seed)
+        assert on.sharc_steps == off.sharc_steps
+        assert sorted(on.sharc_result.report_counts.items()) == \
+            sorted(off.sharc_result.report_counts.items())
+        assert on.sharc_result.stats.checks_locked_refined > 0

@@ -127,3 +127,26 @@ class TestValidateMetrics:
     def test_flags_missing_sections(self):
         problems = validate_metrics({"schema": METRICS_SCHEMA})
         assert "totals missing" in problems
+
+    def test_flags_missing_static_block(self):
+        payload = MetricsRegistry().as_dict()
+        del payload["static"]
+        problems = validate_metrics(payload)
+        assert "static missing" in problems
+
+    def test_flags_bad_static_block(self):
+        payload = MetricsRegistry().as_dict()
+        payload["static"]["races"] = -3
+        payload["static"]["agreement"] = {
+            "sharc": {"agreeing": 1, "static_only": "no"}}
+        problems = validate_metrics(payload)
+        assert any("static.races" in p for p in problems)
+        assert any("static.agreement.sharc.static_only" in p
+                   for p in problems)
+        assert any("static.agreement.sharc.dynamic_only" in p
+                   for p in problems)
+
+    def test_empty_registry_static_block_is_valid(self):
+        payload = MetricsRegistry().as_dict()
+        assert validate_metrics(payload) == []
+        assert payload["static"] == {"races": 0, "agreement": {}}

@@ -145,6 +145,101 @@ class TestFastPath:
         assert slow == 0
 
 
+class TestRecheckLocked:
+    """The ``locked(l)``-refined probe: succeed exactly when the full
+    check would be a conflict-free cost-1 fast path, replaying its
+    effects; otherwise do nothing so the caller's fallback full check
+    behaves as if the probe never happened."""
+
+    def relock(self, shadow, addr, tid, write, size=4, lvalue="y"):
+        return shadow.recheck_locked(addr, size, tid, write, lvalue,
+                                     Loc("t.c", 9))
+
+    def test_virgin_granule_fails_without_side_effects(self, shadow):
+        assert self.relock(shadow, 0x100, 1, True) is False
+        assert shadow.updates == 0
+        assert shadow.bits == {}
+        assert shadow.last == {}
+        assert shadow._cache == {}
+
+    def test_write_probe_succeeds_after_own_write(self, shadow):
+        write(shadow, 0x100, 1)
+        write(shadow, 0x200, 1)       # displace the cache off 0x100
+        before = shadow.updates
+        assert self.relock(shadow, 0x100, 1, True) is True
+        # Replays the fast path's effects: one update per granule, new
+        # last/last_writer records naming this access, cache refreshed.
+        assert shadow.updates == before + 1
+        assert shadow.last[0x10].lvalue == "y"
+        assert shadow.last[0x10].loc.line == 9
+        assert shadow.last_writer[0x10].lvalue == "y"
+        # The refreshed cache makes the next full check a pure fast path.
+        _, slow = shadow.chkwrite(0x100, 4, 1, "x", LOC)
+        assert slow == 0
+
+    def test_read_probe_succeeds_among_readers(self, shadow):
+        read(shadow, 0x100, 1)
+        read(shadow, 0x100, 2)
+        assert self.relock(shadow, 0x100, 1, False) is True
+        assert shadow.last[0x10].tid == 1
+        assert not shadow.last[0x10].is_write
+        # A read probe must not forge a writer record.
+        assert 0x10 not in shadow.last_writer
+
+    def test_cache_hit_branch_counts_like_full_fast_path(self, shadow):
+        write(shadow, 0x100, 1)
+        hits = shadow.fastpath_hits
+        updates = shadow.updates
+        assert self.relock(shadow, 0x100, 1, True) is True
+        assert shadow.fastpath_hits == hits + 1
+        assert shadow.updates == updates + 1
+
+    def test_write_probe_fails_on_foreign_reader(self, shadow):
+        write(shadow, 0x100, 1)
+        shadow.clear_thread(1)
+        read(shadow, 0x100, 2)
+        read(shadow, 0x100, 1)
+        # Full chkwrite would report a conflict with thread 2's read;
+        # the probe must refuse and leave that report to the fallback.
+        state = dict(shadow.bits)
+        assert self.relock(shadow, 0x100, 1, True) is False
+        assert shadow.bits == state
+        assert write(shadow, 0x100, 1) is not None
+
+    def test_read_probe_fails_under_foreign_writer(self, shadow):
+        read(shadow, 0x100, 1)
+        write(shadow, 0x100, 2)       # reported conflict; writer bit set
+        assert self.relock(shadow, 0x100, 1, False) is False
+
+    def test_read_cache_cannot_authorize_write_probe(self, shadow):
+        read(shadow, 0x100, 1)
+        # Cached read covers the range, but a write needs the writer
+        # bit, which only this thread's bit plus bit 0 would prove.
+        assert self.relock(shadow, 0x100, 1, True) is False
+        _, slow = shadow.chkwrite(0x100, 4, 1, "x", LOC)
+        assert slow == 1              # the fallback did the real upgrade
+
+    def test_multi_granule_range_needs_every_granule_clean(self, shadow):
+        write(shadow, 0x100, 1, size=32)      # granules 0x10 and 0x11
+        shadow.clear_range(0x110, 16)         # 0x11 back to virgin
+        before = shadow.updates
+        assert self.relock(shadow, 0x100, 1, True, size=32) is False
+        assert shadow.updates == before       # probe is side-effect free
+        assert self.relock(shadow, 0x100, 1, True, size=16) is True
+
+    def test_probe_never_bumps_version(self, shadow):
+        write(shadow, 0x100, 1)
+        version = shadow._version
+        assert self.relock(shadow, 0x100, 1, True) is True
+        assert shadow._version == version
+
+    def test_tid_validation_matches_full_checks(self, shadow):
+        with pytest.raises(TooManyThreads):
+            self.relock(shadow, 0x100, 8, False)
+        with pytest.raises(ValueError):
+            self.relock(shadow, 0x100, 0, False)
+
+
 @given(st.lists(st.tuples(st.sampled_from(["r", "w"]),
                           st.integers(min_value=1, max_value=7),
                           st.integers(min_value=0, max_value=3)),
