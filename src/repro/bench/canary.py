@@ -9,6 +9,16 @@ only on a *cliff*: current throughput below ``baseline / factor``
 between the baseline's recording host and a CI runner while still
 catching accidental O(n) -> O(n^2) style regressions.
 
+With the default ``--backend both`` the canary also gates the compiled
+executor two ways: each workload's *same-run* compiled/interp ratio must
+stay above ``--min-speedup`` (the ratio is measured on one host in one
+run, so runner speed cancels out — the honest form of "compiled is
+still several times the interp baseline"; the default floor of 1.5
+leaves room for the ±30%% single-shot jitter observed on loaded
+runners), and when the
+committed baseline carries a compiled column, compiled throughput gets
+the same ``/ factor`` cliff check the interpreter does.
+
 Deterministic axes (step counts) are reported but never gated — a PR
 that legitimately changes step accounting updates the baseline file in
 the same commit.
@@ -25,22 +35,32 @@ from repro.bench.interp_bench import (bench_payload, bench_workloads,
                                       upgrade_payload, validate_payload)
 
 DEFAULT_FACTOR = 3.0
+#: same-run compiled/interp ratio each workload must clear (0 = off);
+#: measured speedups are 2.6-5.6x but single-shot ratios swing ±30%%
+#: under runner load, so the floor sits at 1.5x
+DEFAULT_MIN_SPEEDUP = 1.5
 #: fast subset: the two cheapest workloads keep the CI gate under a few
 #: seconds while still exercising the full checked pipeline.
 DEFAULT_WORKLOADS = ["aget", "pbzip2"]
 
 
 def check_canary(baseline: dict, current: dict, *,
-                 factor: float = DEFAULT_FACTOR) -> list[str]:
+                 factor: float = DEFAULT_FACTOR,
+                 min_speedup: float = DEFAULT_MIN_SPEEDUP) -> list[str]:
     """Compares ``current`` against ``baseline``; returns problems.
 
     A workload regresses when its current ``steps_per_sec`` falls below
-    ``baseline_steps_per_sec / factor``.  Workloads missing from either
-    side are skipped (the canary runs a subset of the baseline).
+    ``baseline_steps_per_sec / factor``; when both runs carry compiled
+    throughput, the compiled column gets the same cliff check, and the
+    same-run compiled/interp ratio must clear ``min_speedup`` (0
+    disables that gate).  Workloads missing from either side are
+    skipped (the canary runs a subset of the baseline).
     """
     problems: list[str] = []
     if factor <= 1.0:
         return [f"factor must be > 1 (got {factor})"]
+    if min_speedup < 0.0:
+        return [f"min-speedup must be >= 0 (got {min_speedup})"]
     base_workloads = baseline.get("workloads") or {}
     for name, entry in (current.get("workloads") or {}).items():
         base = base_workloads.get(name)
@@ -48,22 +68,41 @@ def check_canary(baseline: dict, current: dict, *,
             continue
         base_sps = base.get("steps_per_sec") or 0
         cur_sps = entry.get("steps_per_sec") or 0
-        if base_sps <= 0:
-            continue
-        floor = base_sps / factor
-        if cur_sps < floor:
+        if base_sps > 0:
+            floor = base_sps / factor
+            if cur_sps < floor:
+                problems.append(
+                    f"{name}: {cur_sps:,.0f} steps/sec is below the "
+                    f"canary floor {floor:,.0f} (baseline "
+                    f"{base_sps:,.0f} / factor {factor:g})")
+        cur_compiled = entry.get("compiled_steps_per_sec") or 0
+        base_compiled = base.get("compiled_steps_per_sec") or 0
+        if cur_compiled and base_compiled:
+            floor = base_compiled / factor
+            if cur_compiled < floor:
+                problems.append(
+                    f"{name}: compiled {cur_compiled:,.0f} steps/sec is "
+                    f"below the canary floor {floor:,.0f} (baseline "
+                    f"{base_compiled:,.0f} / factor {factor:g})")
+        speedup = entry.get("compiled_speedup") or 0.0
+        if min_speedup > 0.0 and speedup > 0.0 \
+                and speedup < min_speedup:
             problems.append(
-                f"{name}: {cur_sps:,.0f} steps/sec is below the canary "
-                f"floor {floor:,.0f} (baseline {base_sps:,.0f} / "
-                f"factor {factor:g})")
+                f"{name}: compiled backend is only {speedup:.2f}x the "
+                f"interpreter this run (gate: >= {min_speedup:g}x)")
     return problems
 
 
 def render_comparison(baseline: dict, current: dict,
                       factor: float = DEFAULT_FACTOR) -> str:
     base_workloads = baseline.get("workloads") or {}
-    lines = [f"{'workload':<10} {'baseline/s':>12} {'current/s':>12} "
-             f"{'ratio':>7}  gate(>1/{factor:g})"]
+    both = any((entry.get("compiled_steps_per_sec") or 0)
+               for entry in (current.get("workloads") or {}).values())
+    header = (f"{'workload':<10} {'baseline/s':>12} {'current/s':>12} "
+              f"{'ratio':>7}  gate(>1/{factor:g})")
+    if both:
+        header += f" {'compiled/s':>12} {'speedup':>8}"
+    lines = [header]
     for name, entry in (current.get("workloads") or {}).items():
         base = base_workloads.get(name)
         if base is None:
@@ -73,8 +112,12 @@ def render_comparison(baseline: dict, current: dict,
         cur_sps = entry.get("steps_per_sec") or 0
         ratio = cur_sps / base_sps if base_sps else 0.0
         verdict = "ok" if ratio * factor >= 1.0 else "REGRESSED"
-        lines.append(f"{name:<10} {base_sps:>12,} {cur_sps:>12,} "
-                     f"{ratio:>7.2f}  {verdict}")
+        line = (f"{name:<10} {base_sps:>12,} {cur_sps:>12,} "
+                f"{ratio:>7.2f}  {verdict}")
+        if both:
+            line += (f" {entry.get('compiled_steps_per_sec') or 0:>12,} "
+                     f"{entry.get('compiled_speedup') or 0.0:>7.2f}x")
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -101,6 +144,15 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--no-checkelim", action="store_true",
                         help="ablation: run with the static check "
                              "eliminator disabled")
+    parser.add_argument("--backend", default="both",
+                        choices=("interp", "compiled", "both"),
+                        help="executor(s) to time (default both, which "
+                             "arms the compiled-speedup gate)")
+    parser.add_argument("--min-speedup", type=float,
+                        default=DEFAULT_MIN_SPEEDUP, metavar="N",
+                        help="fail when a workload's same-run compiled/"
+                             "interp ratio is below N (default "
+                             f"{DEFAULT_MIN_SPEEDUP:g}; 0 disables)")
     parser.add_argument("--no-gate", action="store_true",
                         help="report the comparison but always exit 0 "
                              "(for non-gating CI artifact runs)")
@@ -117,7 +169,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     checkelim = not args.no_checkelim
     try:
         results = bench_workloads(args.workloads or None, seed=args.seed,
-                                  checkelim=checkelim)
+                                  checkelim=checkelim,
+                                  backend=args.backend)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -133,7 +186,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             handle.write("\n")
 
     print(render_comparison(baseline, current, args.factor))
-    regressions = check_canary(baseline, current, factor=args.factor)
+    regressions = check_canary(baseline, current, factor=args.factor,
+                               min_speedup=args.min_speedup)
     if regressions:
         print("\nbench canary FAILED:\n  " + "\n  ".join(regressions),
               file=sys.stderr)

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.sharc.checker import CheckedProgram, check_source
-from repro.runtime.interp import RunResult, run_checked
+from repro.runtime.interp import RunResult, resolve_backend, run_checked
 from repro.runtime.stats import time_overhead
 from repro.runtime.world import World
 
@@ -82,6 +82,12 @@ class BenchResult:
     paper: PaperRow
     #: locations the static lockset analysis refined to locked(l)
     lockset_refined: int = 0
+    #: executor that produced ``sharc_result`` / ``base_result``
+    backend: str = "interp"
+    #: per-backend instrumented throughput; 0.0 = that backend was not
+    #: timed in this measurement
+    interp_steps_per_sec: float = 0.0
+    compiled_steps_per_sec: float = 0.0
     base_result: Optional[RunResult] = field(repr=False, default=None)
     sharc_result: Optional[RunResult] = field(repr=False, default=None)
 
@@ -127,10 +133,19 @@ class BenchResult:
             return 0.0
         return self.sharc_result.stats.checks_locked_pct
 
+    @property
+    def compiled_speedup(self) -> float:
+        """compiled/interp instrumented throughput ratio (0.0 unless
+        both backends were timed)."""
+        if self.interp_steps_per_sec and self.compiled_steps_per_sec:
+            return self.compiled_steps_per_sec / self.interp_steps_per_sec
+        return 0.0
+
     def bench_entry(self) -> dict:
         """The BENCH_interp.json record for this workload
-        (``sharc-bench-interp/3``)."""
+        (``sharc-bench-interp/4``)."""
         return {
+            "backend": self.backend,
             "base_steps": self.base_steps,
             "sharc_steps": self.sharc_steps,
             "base_wall_seconds": round(self.base_wall_seconds, 6),
@@ -144,6 +159,9 @@ class BenchResult:
             "checks_elided_pct": round(self.checks_elided_pct, 6),
             "checks_locked_pct": round(self.checks_locked_pct, 6),
             "lockset_refined": self.lockset_refined,
+            "interp_steps_per_sec": round(self.interp_steps_per_sec),
+            "compiled_steps_per_sec": round(self.compiled_steps_per_sec),
+            "compiled_speedup": round(self.compiled_speedup, 3),
         }
 
     def row(self) -> dict:
@@ -181,12 +199,14 @@ def run_workload(workload: Workload, *, seed: Optional[int] = None,
                  annotated: bool = True,
                  rc_scheme: str = "lp",
                  checkelim: bool = True,
-                 lockset: bool = True) -> BenchResult:
+                 lockset: bool = True,
+                 backend: Optional[str] = None) -> BenchResult:
     """Runs baseline + SharC and returns the measured row.
     ``checkelim=False`` ablates the static check eliminator and
     ``lockset=False`` the locked(l) refinement in the instrumented run
     (steps and reports are identical either way; only wall time and the
-    check-mix counters move)."""
+    check-mix counters move).  ``backend`` picks the executor for both
+    runs (steps and reports are backend-invariant as well)."""
     checked = check_workload(workload, annotated)
     if annotated and not checked.ok:
         raise AssertionError(
@@ -196,21 +216,27 @@ def run_workload(workload: Workload, *, seed: Optional[int] = None,
     base = run_checked(checked, seed=use_seed,
                        world=workload.world_factory(),
                        instrument=False, policy=workload.policy,
-                       max_steps=workload.max_steps)
+                       max_steps=workload.max_steps, backend=backend)
     sharc = run_checked(checked, seed=use_seed,
                         world=workload.world_factory(),
                         instrument=True, rc_scheme=rc_scheme,
                         policy=workload.policy,
                         checkelim=checkelim, lockset=lockset,
-                        max_steps=workload.max_steps)
+                        max_steps=workload.max_steps, backend=backend)
     for result, label in ((base, "baseline"), (sharc, "sharc")):
         if result.error or result.deadlock or result.timeout:
             raise AssertionError(
                 f"{workload.name} ({label}): error={result.error} "
                 f"deadlock={result.deadlock} timeout={result.timeout}")
+    resolved = resolve_backend(backend)
     return BenchResult(
         workload=workload.name,
         threads_peak=sharc.stats.threads_peak,
+        backend=resolved,
+        interp_steps_per_sec=(sharc.stats.steps_per_sec
+                              if resolved == "interp" else 0.0),
+        compiled_steps_per_sec=(sharc.stats.steps_per_sec
+                                if resolved == "compiled" else 0.0),
         base_steps=base.stats.steps_total,
         sharc_steps=sharc.stats.steps_total,
         time_overhead=time_overhead(base.stats, sharc.stats),

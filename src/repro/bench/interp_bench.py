@@ -9,12 +9,14 @@ PRs.  It writes ``BENCH_interp.json``:
 .. code-block:: json
 
     {
-      "schema": "sharc-bench-interp/3",
+      "schema": "sharc-bench-interp/4",
       "seed": null,
       "checkelim": true,
       "lockset": true,
+      "backend": "both",
       "workloads": {
         "pfscan": {
+          "backend": "both",
           "base_steps": 64086,
           "sharc_steps": 108122,
           "base_wall_seconds": 0.08,
@@ -27,7 +29,10 @@ PRs.  It writes ``BENCH_interp.json``:
           "checks_per_1k_steps": 12.4,
           "checks_elided_pct": 0.858,
           "checks_locked_pct": 0.0,
-          "lockset_refined": 0
+          "lockset_refined": 0,
+          "interp_steps_per_sec": 514867,
+          "compiled_steps_per_sec": 2095421,
+          "compiled_speedup": 4.07
         },
         "...": {}
       },
@@ -46,7 +51,11 @@ machine-independent ones that anchor it.
 
 Schema history: ``/1`` lacked ``checks_per_1k_steps`` and
 ``checks_elided_pct``; ``/2`` lacked ``checks_locked_pct`` and
-``lockset_refined``.  On the annotated Table 1 suite both lockset
+``lockset_refined``; ``/3`` lacked the per-backend throughput columns
+(``backend``, ``interp_steps_per_sec``, ``compiled_steps_per_sec``,
+``compiled_speedup``) that ``/4`` added with the compiled executor —
+upgraded payloads copy their single measured ``steps_per_sec`` into
+``interp_steps_per_sec``, since that is what older versions timed.  On the annotated Table 1 suite both lockset
 fields are legitimately 0 — every consistently-locked location already
 carries a hand-written ``locked(l)``, so there is nothing left for the
 static refinement to convert; its wins show up on the unannotated
@@ -73,7 +82,8 @@ from repro.bench.workloads import all_workloads
 
 SCHEMA_V1 = "sharc-bench-interp/1"
 SCHEMA_V2 = "sharc-bench-interp/2"
-SCHEMA = "sharc-bench-interp/3"
+SCHEMA_V3 = "sharc-bench-interp/3"
+SCHEMA = "sharc-bench-interp/4"
 DEFAULT_OUT = "BENCH_interp.json"
 #: ``--compare`` flags a workload whose steps/sec fell below
 #: ``old * (1 - threshold)``; 0.5 tolerates the usual host jitter while
@@ -84,13 +94,31 @@ DEFAULT_COMPARE_THRESHOLD = 0.5
 _V2_FIELDS = {"checks_per_1k_steps": 0.0, "checks_elided_pct": 0.0}
 #: fields new in /3, backfilled for /1 and /2 payloads
 _V3_FIELDS = {"checks_locked_pct": 0.0, "lockset_refined": 0}
+#: fields new in /4, backfilled for older payloads
+#: (``interp_steps_per_sec`` is special-cased: it inherits the entry's
+#: measured ``steps_per_sec``, which is what pre-/4 versions timed)
+_V4_FIELDS = {"backend": "interp", "compiled_steps_per_sec": 0,
+              "compiled_speedup": 0.0}
+#: legal values for the ``backend`` knob
+_BACKEND_CHOICES = ("interp", "compiled", "both")
 
 
 def bench_workloads(names: Optional[list[str]] = None, *,
                     seed: Optional[int] = None,
                     checkelim: bool = True,
-                    lockset: bool = True) -> list[BenchResult]:
-    """Runs the requested workloads (all six by default)."""
+                    lockset: bool = True,
+                    backend: Optional[str] = None) -> list[BenchResult]:
+    """Runs the requested workloads (all six by default).
+
+    ``backend`` picks the executor: ``"interp"``/``"compiled"`` time
+    that backend alone; ``"both"`` times each workload under both and
+    returns the interp row (the canonical deterministic metrics) with
+    the compiled throughput column attached — after asserting the two
+    runs agree on steps and reports, which bit-identical backends must.
+    ``None`` defers to ``$SHARC_BACKEND`` (default interp)."""
+    if backend is not None and backend not in _BACKEND_CHOICES:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"available: {', '.join(_BACKEND_CHOICES)}")
     selected = all_workloads()
     if names:
         by_name = {w.name: w for w in selected}
@@ -100,9 +128,26 @@ def bench_workloads(names: Optional[list[str]] = None, *,
                 f"unknown workload(s): {', '.join(unknown)}; "
                 f"available: {', '.join(sorted(by_name))}")
         selected = [by_name[n] for n in names]
-    return [run_workload(w, seed=seed, checkelim=checkelim,
-                         lockset=lockset)
-            for w in selected]
+    if backend != "both":
+        return [run_workload(w, seed=seed, checkelim=checkelim,
+                             lockset=lockset, backend=backend)
+                for w in selected]
+    results = []
+    for w in selected:
+        interp = run_workload(w, seed=seed, checkelim=checkelim,
+                              lockset=lockset, backend="interp")
+        compiled = run_workload(w, seed=seed, checkelim=checkelim,
+                                lockset=lockset, backend="compiled")
+        if (compiled.sharc_steps != interp.sharc_steps
+                or compiled.reports != interp.reports):
+            raise AssertionError(
+                f"{w.name}: backends diverged "
+                f"(steps {interp.sharc_steps} vs {compiled.sharc_steps}, "
+                f"reports {interp.reports} vs {compiled.reports})")
+        interp.backend = "both"
+        interp.compiled_steps_per_sec = compiled.compiled_steps_per_sec
+        results.append(interp)
+    return results
 
 
 def bench_payload(results: list[BenchResult],
@@ -112,11 +157,15 @@ def bench_payload(results: list[BenchResult],
     total_steps = sum(r.sharc_steps for r in results)
     total_wall = sum(r.wall_seconds for r in results)
     overheads = [r.time_overhead for r in results]
+    speedups = [r.compiled_speedup for r in results
+                if r.compiled_speedup > 0.0]
+    backends = {r.backend for r in results}
     return {
         "schema": SCHEMA,
         "seed": seed,
         "checkelim": checkelim,
         "lockset": lockset,
+        "backend": backends.pop() if len(backends) == 1 else "mixed",
         "workloads": {r.workload: r.bench_entry() for r in results},
         "summary": {
             "total_sharc_steps": total_steps,
@@ -125,44 +174,53 @@ def bench_payload(results: list[BenchResult],
                               if total_wall else 0),
             "avg_time_overhead": (round(sum(overheads) / len(overheads), 6)
                                   if overheads else 0.0),
+            "avg_compiled_speedup": (round(sum(speedups) / len(speedups), 3)
+                                     if speedups else 0.0),
         },
     }
 
 
 def upgrade_payload(payload: dict) -> dict:
-    """Reader shim: accepts a ``/1``, ``/2``, or ``/3`` payload and
-    returns a ``/3`` one.  ``/3`` passes through untouched; older
+    """Reader shim: accepts a ``/1``, ``/2``, ``/3``, or ``/4`` payload
+    and returns a ``/4`` one.  ``/4`` passes through untouched; older
     schemas are deep-copied, re-stamped, and have the newer per-workload
-    fields backfilled with their zero values (plus an ``upgraded_from``
-    marker).  Anything else raises ``ValueError``."""
+    fields backfilled (plus an ``upgraded_from`` marker).  Pre-/4
+    payloads timed the interpreter, so their ``steps_per_sec`` becomes
+    ``interp_steps_per_sec``.  Anything else raises ``ValueError``."""
     schema = payload.get("schema")
     if schema == SCHEMA:
         return payload
-    if schema not in (SCHEMA_V1, SCHEMA_V2):
+    if schema not in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3):
         raise ValueError(
             f"unsupported bench schema {schema!r} "
-            f"(expected {SCHEMA!r}, {SCHEMA_V2!r}, or {SCHEMA_V1!r})")
+            f"(expected {SCHEMA!r}, {SCHEMA_V3!r}, {SCHEMA_V2!r}, "
+            f"or {SCHEMA_V1!r})")
     out = copy.deepcopy(payload)
     out["schema"] = SCHEMA
     out["upgraded_from"] = schema
-    backfill = dict(_V3_FIELDS)
+    out.setdefault("backend", "interp")
+    backfill = dict(_V4_FIELDS)
+    if schema in (SCHEMA_V1, SCHEMA_V2):
+        backfill.update(_V3_FIELDS)
     if schema == SCHEMA_V1:
         backfill.update(_V2_FIELDS)
     for entry in (out.get("workloads") or {}).values():
         for key, default in backfill.items():
             entry.setdefault(key, default)
+        entry.setdefault("interp_steps_per_sec",
+                         entry.get("steps_per_sec") or 0)
     return out
 
 
 def validate_payload(payload: dict) -> list[str]:
     """Schema check for the benchmark smoke tests; returns problems.
-    Validates ``/3`` payloads directly and older payloads against their
+    Validates ``/4`` payloads directly and older payloads against their
     own field sets (consumers upgrade via :func:`upgrade_payload`)."""
     problems: list[str] = []
     schema = payload.get("schema")
-    if schema not in (SCHEMA, SCHEMA_V2, SCHEMA_V1):
+    if schema not in (SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
         problems.append(f"schema != {SCHEMA!r} (or legacy "
-                        f"{SCHEMA_V2!r} / {SCHEMA_V1!r})")
+                        f"{SCHEMA_V3!r} / {SCHEMA_V2!r} / {SCHEMA_V1!r})")
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         return problems + ["workloads missing or empty"]
@@ -171,12 +229,17 @@ def validate_payload(payload: dict) -> list[str]:
                 "steps_per_sec": int, "time_overhead": float,
                 "mem_overhead": float, "pct_dynamic": float,
                 "reports": int}
-    if schema in (SCHEMA, SCHEMA_V2):
+    if schema in (SCHEMA, SCHEMA_V3, SCHEMA_V2):
         required = dict(required, checks_per_1k_steps=float,
                         checks_elided_pct=float)
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V3):
         required = dict(required, checks_locked_pct=float,
                         lockset_refined=int)
+    if schema == SCHEMA:
+        required = dict(required, backend=str,
+                        interp_steps_per_sec=int,
+                        compiled_steps_per_sec=int,
+                        compiled_speedup=float)
     for name, entry in workloads.items():
         for key, kind in required.items():
             value = entry.get(key)
@@ -190,6 +253,10 @@ def validate_payload(payload: dict) -> list[str]:
             pct = entry.get(pct_key)
             if isinstance(pct, (int, float)) and not 0.0 <= pct <= 1.0:
                 problems.append(f"{name}.{pct_key} out of [0, 1]")
+        if schema == SCHEMA \
+                and entry.get("backend") not in (*_BACKEND_CHOICES, None):
+            problems.append(f"{name}.backend not one of "
+                            f"{', '.join(_BACKEND_CHOICES)}")
     summary = payload.get("summary")
     if not isinstance(summary, dict):
         problems.append("summary missing")
@@ -197,27 +264,42 @@ def validate_payload(payload: dict) -> list[str]:
 
 
 def render_table(results: list[BenchResult]) -> str:
-    lines = [f"{'workload':<10} {'sharc steps':>12} {'wall (s)':>9} "
-             f"{'steps/sec':>10} {'overhead':>9} {'chk/1k':>7} "
-             f"{'elided':>7} {'locked':>7} {'refined':>8}"]
+    both = any(r.compiled_speedup > 0.0 for r in results)
+    header = (f"{'workload':<10} {'sharc steps':>12} {'wall (s)':>9} "
+              f"{'steps/sec':>10} {'overhead':>9} {'chk/1k':>7} "
+              f"{'elided':>7} {'locked':>7} {'refined':>8}")
+    if both:
+        header += f" {'compiled/s':>11} {'speedup':>8}"
+    lines = [header]
     for r in results:
-        lines.append(f"{r.workload:<10} {r.sharc_steps:>12,} "
-                     f"{r.wall_seconds:>9.3f} {r.steps_per_sec:>10,.0f} "
-                     f"{r.time_overhead:>8.1%} "
-                     f"{r.checks_per_1k_steps:>7.1f} "
-                     f"{r.checks_elided_pct:>7.1%} "
-                     f"{r.checks_locked_pct:>7.1%} "
-                     f"{r.lockset_refined:>8d}")
+        line = (f"{r.workload:<10} {r.sharc_steps:>12,} "
+                f"{r.wall_seconds:>9.3f} {r.steps_per_sec:>10,.0f} "
+                f"{r.time_overhead:>8.1%} "
+                f"{r.checks_per_1k_steps:>7.1f} "
+                f"{r.checks_elided_pct:>7.1%} "
+                f"{r.checks_locked_pct:>7.1%} "
+                f"{r.lockset_refined:>8d}")
+        if both:
+            line += (f" {r.compiled_steps_per_sec:>11,.0f} "
+                     f"{r.compiled_speedup:>7.2f}x")
+        lines.append(line)
     return "\n".join(lines)
 
 
 def compare_payloads(old: dict, new: dict, *,
-                     threshold: float = DEFAULT_COMPARE_THRESHOLD
+                     threshold: float = DEFAULT_COMPARE_THRESHOLD,
+                     compiled_floor: float = 0.0
                      ) -> tuple[str, list[str]]:
-    """Diffs two bench payloads (either schema).  Returns the rendered
+    """Diffs two bench payloads (any schema).  Returns the rendered
     per-workload delta table and the list of regression messages: a
     workload regresses when its new ``steps_per_sec`` drops below
-    ``old * (1 - threshold)``.  Deterministic axes (step counts,
+    ``old * (1 - threshold)``.  When ``compiled_floor`` > 0 and the new
+    payload carries compiled throughput, a workload also regresses if
+    ``compiled_steps_per_sec`` falls below ``compiled_floor`` times the
+    *old* interp throughput — the CI canary's "compiled is still at
+    least Nx the committed interpreter baseline" gate (the floor is
+    deliberately well under the measured 2.8-4.8x speedups, so host
+    jitter does not trip it).  Deterministic axes (step counts,
     overhead) are displayed but never gated — a PR that legitimately
     changes step accounting updates the baseline in the same commit."""
     old = upgrade_payload(old)
@@ -225,6 +307,8 @@ def compare_payloads(old: dict, new: dict, *,
     regressions: list[str] = []
     if not 0.0 < threshold < 1.0:
         return "", [f"threshold must be in (0, 1), got {threshold}"]
+    if compiled_floor < 0.0:
+        return "", [f"compiled floor must be >= 0, got {compiled_floor}"]
     old_workloads = old.get("workloads") or {}
     lines = [f"{'workload':<10} {'old steps/s':>12} {'new steps/s':>12} "
              f"{'delta':>7} {'old ovh':>8} {'new ovh':>8} "
@@ -242,6 +326,16 @@ def compare_payloads(old: dict, new: dict, *,
         elided = entry.get("checks_elided_pct") or 0.0
         regressed = old_sps > 0 and new_sps < old_sps * (1.0 - threshold)
         verdict = "REGRESSED" if regressed else "ok"
+        compiled_sps = entry.get("compiled_steps_per_sec") or 0
+        old_interp = base.get("interp_steps_per_sec") or 0
+        if compiled_floor > 0.0 and compiled_sps and old_interp:
+            if compiled_sps < compiled_floor * old_interp:
+                verdict = "REGRESSED"
+                regressions.append(
+                    f"{name}: compiled {compiled_sps:,} steps/sec is "
+                    f"below {compiled_floor:g}x the committed interp "
+                    f"baseline {old_interp:,} "
+                    f"(floor {compiled_floor * old_interp:,.0f})")
         lines.append(f"{name:<10} {old_sps:>12,} {new_sps:>12,} "
                      f"{delta:>+7.1%} {old_ovh:>8.1%} {new_ovh:>8.1%} "
                      f"{elided:>7.1%}  {verdict}")
@@ -273,15 +367,25 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--no-lockset", action="store_true",
                         help="ablation: run with the locked(l) lockset "
                              "refinement disabled")
+    parser.add_argument("--backend", default="both",
+                        choices=_BACKEND_CHOICES,
+                        help="executor(s) to time: 'both' (default) "
+                             "writes interp and compiled throughput "
+                             "columns; 'interp'/'compiled' time one")
     parser.add_argument("--compare", default=None, metavar="OLD.json",
                         help="diff against a previously written payload "
-                             "(schema /1, /2, or /3); exits 3 on a "
+                             "(schema /1 through /4); exits 3 on a "
                              "throughput regression")
     parser.add_argument("--compare-threshold", type=float,
                         default=DEFAULT_COMPARE_THRESHOLD,
                         help="allowed fractional steps/sec drop for "
                              "--compare (default "
                              f"{DEFAULT_COMPARE_THRESHOLD:g})")
+    parser.add_argument("--compiled-floor", type=float, default=0.0,
+                        metavar="N",
+                        help="with --compare: also fail unless compiled "
+                             "throughput is at least N times the old "
+                             "payload's interp baseline (0 = off)")
     args = parser.parse_args(argv)
 
     old_payload = None
@@ -298,7 +402,8 @@ def main(argv: Optional[list[str]] = None) -> int:
     lockset = not args.no_lockset
     try:
         results = bench_workloads(args.workloads, seed=args.seed,
-                                  checkelim=checkelim, lockset=lockset)
+                                  checkelim=checkelim, lockset=lockset,
+                                  backend=args.backend)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -321,7 +426,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"\nwrote {args.out}")
     if old_payload is not None:
         table, regressions = compare_payloads(
-            old_payload, payload, threshold=args.compare_threshold)
+            old_payload, payload, threshold=args.compare_threshold,
+            compiled_floor=args.compiled_floor)
         print(f"\ncompare vs {args.compare}:")
         print(table)
         if regressions:

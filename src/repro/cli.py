@@ -216,6 +216,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                                     max_steps=args.max_steps,
                                     checkelim=not args.no_checkelim,
                                     lockset=not args.no_lockset,
+                                    backend=args.backend,
                                     profiler=profiler)
         except SharcError as exc:
             print(exc)
@@ -232,7 +233,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          max_steps=args.max_steps,
                          checkelim=not args.no_checkelim,
                          lockset=not args.no_lockset,
-                         trace=trace_config)
+                         trace=trace_config, backend=args.backend)
     if result.output:
         print(result.output, end="")
     for report in result.reports:
@@ -275,7 +276,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         argv.append("--no-lockset")
     if args.compare is not None:
         argv += ["--compare", args.compare,
-                 "--compare-threshold", str(args.compare_threshold)]
+                 "--compare-threshold", str(args.compare_threshold),
+                 "--compiled-floor", str(args.compiled_floor)]
+    if args.backend is not None:
+        argv += ["--backend", args.backend]
     return interp_bench.main(argv)
 
 
@@ -332,7 +336,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                                                        "pb")
     common = dict(seeds=args.seeds, seed_start=args.seed_start,
                   policies=policies, jobs=args.jobs,
-                  max_steps=args.max_steps)
+                  max_steps=args.max_steps, backend=args.backend)
     if args.checker == "both":
         summary = differential_sweep(source, filename, **common)
         print(summary.render() if not args.json
@@ -492,6 +496,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checker", choices=("sharc", "eraser"),
                    default="sharc")
     p.add_argument("--max-steps", type=int, default=2_000_000)
+    p.add_argument("--backend", choices=("interp", "compiled"),
+                   default=None,
+                   help="executor: tree-walking interpreter or the "
+                        "compiled backend (bit-identical by seed; "
+                        "default $SHARC_BACKEND or interp)")
     p.add_argument("--stats", action="store_true")
     p.add_argument("--profile", action="store_true",
                    help="time each pipeline phase, run an uninstrumented "
@@ -531,10 +540,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "refinement")
     p.add_argument("--compare", default=None, metavar="OLD.json",
                    help="diff against a previous BENCH_interp.json "
-                        "(schema /1, /2, or /3); exit 3 on regression")
+                        "(schema /1 through /4); exit 3 on regression")
     p.add_argument("--compare-threshold", type=float, default=0.5,
                    help="allowed fractional steps/sec drop for "
                         "--compare (default 0.5)")
+    p.add_argument("--compiled-floor", type=float, default=0.0,
+                   metavar="N",
+                   help="with --compare: also fail unless compiled "
+                        "throughput is at least N times the old "
+                        "payload's interp baseline (0 = off)")
+    p.add_argument("--backend", choices=("interp", "compiled", "both"),
+                   default=None,
+                   help="executor to time (default both: the table "
+                        "carries one column per backend)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("ablate-rc", help="refcounting ablation")
@@ -585,6 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="replay a saved schedule artifact and verify it "
                         "still reproduces its report")
     p.add_argument("--max-steps", type=int, default=200_000)
+    p.add_argument("--backend", choices=("interp", "compiled"),
+                   default=None,
+                   help="executor for every schedule (outcomes are "
+                        "backend-invariant; compiled sweeps faster)")
     p.add_argument("--json", action="store_true")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write a schema-validated metrics.json "

@@ -182,6 +182,7 @@ def differential_sweep(source: str, filename: str = "<input>", *,
                        max_steps: int = DEFAULT_MAX_STEPS,
                        max_burst: int = 8,
                        world_factory: Optional[Callable] = None,
+                       backend: Optional[str] = None,
                        ) -> DifferentialSummary:
     """Runs the same ``seeds x policies`` grid under both checkers and
     diffs the verdicts schedule by schedule; the static lockset verdict
@@ -190,7 +191,7 @@ def differential_sweep(source: str, filename: str = "<input>", *,
 
     common = dict(seeds=seeds, seed_start=seed_start, policies=policies,
                   jobs=jobs, max_steps=max_steps, max_burst=max_burst,
-                  world_factory=world_factory)
+                  world_factory=world_factory, backend=backend)
     sharc = explore_source(source, filename, checker="sharc", **common)
     eraser = explore_source(source, filename, checker="eraser", **common)
     try:

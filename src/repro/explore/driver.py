@@ -82,6 +82,13 @@ class ExplorationSummary:
     steps_total: int = 0
     outcomes: list[ScheduleOutcome] = field(default_factory=list)
     failures: list[ScheduleOutcome] = field(default_factory=list)
+    #: schedules whose *harness* crashed (not program-level reports) —
+    #: error-tagged rather than sweep-aborting, so one bad schedule
+    #: cannot take down a thousand-schedule sweep
+    crashes: list[ScheduleOutcome] = field(default_factory=list)
+    #: set when the sweep was cut short by Ctrl-C; the summary still
+    #: holds every outcome collected before the interrupt
+    interrupted: bool = False
     #: report key -> the first schedule that produced it
     first_failures: dict[str, ScheduleOutcome] = field(
         default_factory=dict)
@@ -94,11 +101,18 @@ class ExplorationSummary:
         self.schedules += 1
         self.steps_total += outcome.steps
         self.outcomes.append(outcome)
-        self.trace_hashes.add(outcome.trace_hash)
         bucket = self.per_policy.setdefault(
             outcome.policy,
-            {"schedules": 0, "failures": 0, "traces": set()})
+            {"schedules": 0, "failures": 0, "crashes": 0,
+             "traces": set()})
         bucket["schedules"] += 1
+        if not outcome.trace_hash:
+            # A crashed schedule has no trace; an empty hash must not
+            # count as a distinct point of the schedule space.
+            self.crashes.append(outcome)
+            bucket["crashes"] += 1
+            return
+        self.trace_hashes.add(outcome.trace_hash)
         bucket["traces"].add(outcome.trace_hash)
         if outcome.failing:
             self.failures.append(outcome)
@@ -128,6 +142,11 @@ class ExplorationSummary:
             "schedules": self.schedules,
             "steps_total": self.steps_total,
             "failing_schedules": len(self.failures),
+            "crashed_schedules": len(self.crashes),
+            "crashes": [
+                {"seed": o.seed, "policy": o.policy, "error": o.error}
+                for o in self.crashes],
+            "interrupted": self.interrupted,
             "distinct_traces": self.distinct_traces,
             "races_per_1k": round(self.races_per_1k, 3),
             "distinct_reports": sorted(self.first_failures),
@@ -138,6 +157,7 @@ class ExplorationSummary:
                 policy: {
                     "schedules": b["schedules"],
                     "failures": b["failures"],
+                    "crashes": b.get("crashes", 0),
                     "distinct_traces": len(b["traces"]),
                 }
                 for policy, b in sorted(self.per_policy.items())},
@@ -153,6 +173,12 @@ class ExplorationSummary:
             f"  failing schedules: {len(self.failures)} "
             f"({self.races_per_1k:.1f} races / 1k schedules)",
         ]
+        if self.interrupted:
+            lines.append("  (sweep interrupted; partial results)")
+        if self.crashes:
+            lines.append(f"  crashed schedules: {len(self.crashes)} "
+                         f"(first: {self.crashes[0].error} at "
+                         f"{self.crashes[0].replay_coords()})")
         for policy, b in sorted(self.per_policy.items()):
             lines.append(
                 f"  {policy:<12} {b['failures']:>4}/{b['schedules']:<4}"
@@ -205,12 +231,15 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                  shadow_bytes: int = DEFAULT_SHADOW_BYTES,
                  checkelim: bool = True,
                  lockset: bool = True,
+                 backend: Optional[str] = None,
                  ) -> ScheduleOutcome:
     """Executes one (seed, policy) schedule and reduces it to an
     outcome.  ``checkelim=False`` ablates the static check eliminator
     and ``lockset=False`` the locked(l) lockset refinement — every
     outcome field is guaranteed identical either way (the soundness
-    gates of both passes), so sweeps default to both on."""
+    gates of both passes), so sweeps default to both on.  ``backend``
+    picks the executor; outcomes are backend-invariant by the same
+    guarantee (bit-identical steps, reports, and traces by seed)."""
     from repro.runtime.interp import run_checked
 
     checked = _checked_program(source, filename)
@@ -220,7 +249,7 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                          max_burst=max_burst, world=world,
                          shadow_bytes=shadow_bytes,
                          checkelim=checkelim, lockset=lockset,
-                         record_trace=True)
+                         record_trace=True, backend=backend)
     trace = result.trace or []
     return ScheduleOutcome(
         seed=seed, policy=policy, checker=checker,
@@ -239,10 +268,22 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
 
 def _run_task(task) -> ScheduleOutcome:
     (source, filename, seed, policy, checker, max_steps, max_burst,
-     world_factory, shadow_bytes) = task
-    return run_schedule(source, filename, seed, policy, checker,
-                        max_steps, max_burst, world_factory,
-                        shadow_bytes)
+     world_factory, shadow_bytes, backend) = task
+    try:
+        return run_schedule(source, filename, seed, policy, checker,
+                            max_steps, max_burst, world_factory,
+                            shadow_bytes, backend=backend)
+    except Exception as exc:  # noqa: BLE001 - sweep survival
+        # A crashing schedule (interpreter bug, bad world, recursion
+        # blow-up) must not abort the whole sweep: pool.imap re-raises
+        # worker exceptions in the parent, which used to discard every
+        # other schedule's result.  Tag it instead; the empty
+        # trace_hash keeps it out of the coverage metrics.
+        return ScheduleOutcome(
+            seed=seed, policy=policy, checker=checker,
+            report_keys=(), reports=0, steps=0, switches=0,
+            trace_hash="",
+            error=f"{type(exc).__name__}: {exc}")
 
 
 # -- the sweep -------------------------------------------------------------
@@ -297,12 +338,16 @@ def explore_source(source: str, filename: str = "<input>", *,
                    max_burst: int = 8,
                    world_factory: Optional[Callable] = None,
                    shadow_bytes: int = DEFAULT_SHADOW_BYTES,
+                   backend: Optional[str] = None,
                    ) -> ExplorationSummary:
     """Sweeps ``seeds x policies`` schedules of one program.
 
     ``jobs > 1`` distributes schedules over a process pool;
     ``world_factory`` (a picklable zero-argument callable) rebuilds the
-    simulated I/O world per run so runs stay independent.
+    simulated I/O world per run so runs stay independent.  A schedule
+    whose run crashes is recorded as an error-tagged outcome instead of
+    aborting the sweep, and Ctrl-C returns the partial summary
+    (``interrupted=True``) instead of discarding collected outcomes.
     """
     summary = ExplorationSummary(filename=filename, checker=checker,
                                  policies=tuple(policies))
@@ -314,18 +359,21 @@ def explore_source(source: str, filename: str = "<input>", *,
                                      world_factory, shadow_bytes)
     summary.policies = policies
     tasks = [(source, filename, seed, policy, checker, max_steps,
-              max_burst, world_factory, shadow_bytes)
+              max_burst, world_factory, shadow_bytes, backend)
              for policy in policies
              for seed in range(seed_start, seed_start + seeds)]
     with summary.profiler.phase("sweep"):
-        if jobs > 1:
-            with multiprocessing.Pool(jobs) as pool:
-                for outcome in pool.imap(_run_task, tasks,
-                                         chunksize=8):
-                    summary.add(outcome)
-        else:
-            for task in tasks:
-                summary.add(_run_task(task))
+        try:
+            if jobs > 1:
+                with multiprocessing.Pool(jobs) as pool:
+                    for outcome in pool.imap(_run_task, tasks,
+                                             chunksize=8):
+                        summary.add(outcome)
+            else:
+                for task in tasks:
+                    summary.add(_run_task(task))
+        except KeyboardInterrupt:
+            summary.interrupted = True
     summary.profiler.count("schedules", summary.schedules)
     summary.profiler.count("failing_schedules", len(summary.failures))
     summary.profiler.count("distinct_traces", summary.distinct_traces)

@@ -25,6 +25,7 @@ deterministically per seed, so every reported race is replayable.
 
 from __future__ import annotations
 
+import os
 import random
 import sys
 import time
@@ -135,6 +136,31 @@ class Frame:
     rc_slots: list[int] = field(default_factory=list)
     slab: int = 0
     slab_size: int = 0
+
+
+def frame_layout(func: A.FuncDef, structs) -> tuple[dict[str, int], int]:
+    """Byte offset of every parameter and local within the function's
+    frame slab, plus the slab size.  The single source of truth for
+    frame layout: ``Interp._make_frame`` builds environments from it and
+    the compiled backend (:mod:`repro.compile`) bakes the offsets into
+    its closures, so both backends place every local at the same
+    address."""
+    from repro.sharc.defaults import collect_local_decls
+    ftype = func.qtype.base
+    assert isinstance(ftype, FuncType)
+    entries: list[tuple[str, QualType]] = list(
+        zip(func.param_names, ftype.params))
+    entries.extend((d.name, d.qtype)
+                   for d in collect_local_decls(func))
+    offset = 0
+    offsets: dict[str, int] = {}
+    for name, qtype in entries:
+        size = qtype.base.size(structs)
+        align = qtype.base.align(structs)
+        offset = (offset + align - 1) // align * align
+        offsets[name] = offset
+        offset += size
+    return offsets, max(offset, 1)
 
 
 @dataclass
@@ -996,22 +1022,8 @@ class Interp:
                           e.loc)
 
     def _make_frame(self, func: A.FuncDef) -> Frame:
-        from repro.sharc.defaults import collect_local_decls
-        ftype = func.qtype.base
-        assert isinstance(ftype, FuncType)
-        entries: list[tuple[str, QualType]] = list(
-            zip(func.param_names, ftype.params))
-        decls = collect_local_decls(func)
-        entries.extend((d.name, d.qtype) for d in decls)
-        offset = 0
-        offsets: dict[str, int] = {}
-        for name, qtype in entries:
-            size = qtype.base.size(self.structs)
-            align = qtype.base.align(self.structs)
-            offset = (offset + align - 1) // align * align
-            offsets[name] = offset
-            offset += size
-        frame = Frame(func, slab_size=max(offset, 1))
+        offsets, slab_size = frame_layout(func, self.structs)
+        frame = Frame(func, slab_size=slab_size)
         frame.slab = self.space.alloc(frame.slab_size, "stack")
         for name, off in offsets.items():
             frame.env[name] = frame.slab + off
@@ -1240,10 +1252,12 @@ class Interp:
             ran = 0
             stop_run = False
             bus = self.bus
-            burst_start = self.stats.steps_total
+            stats = self.stats
+            gen = thread.gen
+            burst_start = stats.steps_total
             for _ in range(burst):
                 try:
-                    item = next(thread.gen)
+                    item = next(gen)
                     ran += 1
                 except StopIteration as stop:
                     ran += 1
@@ -1270,17 +1284,24 @@ class Interp:
                     self.sched.fail(thread, ie)
                     self._thread_exited(thread)
                     break
-                if isinstance(item, tuple) and item and item[0] == "block":
-                    self.sched.block(thread, item[1], item[2])
-                    steps += 1
-                    break
-                if isinstance(item, tuple) and item and item[0] == "io":
-                    # Explicit I/O latency / atomic-op cost from builtins.
-                    cost = int(item[1])
-                    self.stats.steps_total += cost
-                    self.stats.steps_io += cost
+                if type(item) is int:
+                    # _flush() yields already-charged evaluation cost —
+                    # by far the common case, so it is tested first.
+                    cost = item
+                elif isinstance(item, tuple) and item:
+                    if item[0] == "block":
+                        self.sched.block(thread, item[1], item[2])
+                        steps += 1
+                        break
+                    if item[0] == "io":
+                        # Explicit I/O latency / atomic-op cost from
+                        # builtins.
+                        cost = int(item[1])
+                        stats.steps_total += cost
+                        stats.steps_io += cost
+                    else:
+                        cost = 0
                 else:
-                    # _flush() yields already-charged evaluation cost.
                     cost = item if isinstance(item, int) else 0
                 if cost < 1:
                     cost = 1
@@ -1290,7 +1311,7 @@ class Interp:
                 # One slice per scheduler burst: start = step counter
                 # when the burst began, duration = steps it consumed.
                 bus.emit(CAT_SCHED, "run", thread.tid, ts=burst_start,
-                         dur=self.stats.steps_total - burst_start,
+                         dur=stats.steps_total - burst_start,
                          items=ran)
             self.sched.note_ran(thread, ran)
             if stop_run:
@@ -1341,6 +1362,34 @@ def _truthy(value) -> bool:
     return bool(value)
 
 
+BACKENDS = ("interp", "compiled")
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Resolves a ``backend`` argument: an explicit value wins, ``None``
+    falls back to the ``SHARC_BACKEND`` environment variable (which is
+    how CI runs the whole suite under the compiled backend), and the
+    default is the tree-walking interpreter."""
+    if backend is None:
+        backend = os.environ.get("SHARC_BACKEND") or "interp"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {', '.join(BACKENDS)}")
+    return backend
+
+
+def make_interp(checked: CheckedProgram, *,
+                backend: Optional[str] = None, **kwargs) -> Interp:
+    """Instantiates the right executor for ``backend`` — the tree-walker
+    (:class:`Interp`) or the closure-compiling backend
+    (:class:`repro.compile.CompiledInterp`).  Both run the same checked
+    program bit-identically by seed; only steps/sec differs."""
+    if resolve_backend(backend) == "compiled":
+        from repro.compile import CompiledInterp
+        return CompiledInterp(checked, **kwargs)
+    return Interp(checked, **kwargs)
+
+
 def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 world: Optional[World] = None, policy: str = "random",
                 rc_scheme: str = "lp", instrument: bool = True,
@@ -1350,18 +1399,24 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 checkelim: bool = True,
                 lockset: bool = True,
                 record_trace: bool = False,
-                trace: Optional[TraceConfig] = None) -> RunResult:
+                trace: Optional[TraceConfig] = None,
+                backend: Optional[str] = None) -> RunResult:
     """Executes a statically checked program once.  ``policy`` may be a
     spec string (``"random"``, ``"pct:4"``, ...) or a
     :class:`~repro.runtime.scheduler.SchedulingPolicy` instance.
     ``trace`` enables structured event tracing (:mod:`repro.obs`);
     ``checkelim=False`` ablates the static check eliminator and
-    ``lockset=False`` the locked(l) qualifier refinement."""
-    interp = Interp(checked, seed=seed, world=world, policy=policy,
-                    rc_scheme=rc_scheme, instrument=instrument,
-                    shadow_bytes=shadow_bytes, max_burst=max_burst,
-                    checker=checker, checkelim=checkelim, lockset=lockset,
-                    record_trace=record_trace, trace=trace)
+    ``lockset=False`` the locked(l) qualifier refinement.  ``backend``
+    selects the executor: ``"interp"`` (the tree-walker) or
+    ``"compiled"`` (:mod:`repro.compile`), which runs the same program
+    bit-identically — same steps, reports, and scheduler RNG — at a
+    multiple of the throughput; ``None`` defers to ``SHARC_BACKEND``."""
+    interp = make_interp(checked, backend=backend, seed=seed, world=world,
+                         policy=policy, rc_scheme=rc_scheme,
+                         instrument=instrument, shadow_bytes=shadow_bytes,
+                         max_burst=max_burst, checker=checker,
+                         checkelim=checkelim, lockset=lockset,
+                         record_trace=record_trace, trace=trace)
     result = interp.run(max_steps=max_steps)
     if record_trace:
         result.trace = list(interp.sched.trace or [])

@@ -148,7 +148,7 @@ class ProfileReport:
 def profile_source(source: str, filename: str = "<input>", *,
                    seed: int = 0, rc_scheme: str = "lp",
                    max_steps: int = 2_000_000, checkelim: bool = True,
-                   lockset: bool = True,
+                   lockset: bool = True, backend: Optional[str] = None,
                    profiler: Optional[Profiler] = None) -> ProfileReport:
     """Profiles the full pipeline over one program: static phases, a
     baseline (uninstrumented) run, and the instrumented run.
@@ -176,13 +176,13 @@ def profile_source(source: str, filename: str = "<input>", *,
     })
     with prof.phase("baseline"):
         base = run_checked(checked, seed=seed, instrument=False,
-                           max_steps=max_steps)
+                           max_steps=max_steps, backend=backend)
     report.base_steps = base.stats.steps_total
     report.base_wall = base.stats.wall_seconds
     with prof.phase("instrumented"):
         sharc = run_checked(checked, seed=seed, rc_scheme=rc_scheme,
                             max_steps=max_steps, checkelim=checkelim,
-                            lockset=lockset)
+                            lockset=lockset, backend=backend)
     report.sharc_steps = sharc.stats.steps_total
     report.sharc_wall = sharc.stats.wall_seconds
     report.reports = len(sharc.reports)

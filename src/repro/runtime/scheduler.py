@@ -321,6 +321,11 @@ class Scheduler:
         self.policy = self._policy.name
         self.max_burst = max(1, max_burst)
         self.threads: dict[int, Thread] = {}
+        #: insertion-ordered subset of ``threads`` that is still
+        #: RUNNABLE or BLOCKED — the only threads picking ever looks
+        #: at, so per-pick scans stay O(live) instead of O(all-time)
+        #: in thread-churn programs
+        self._live: dict[int, Thread] = {}
         self._next_tid = 1
         self.context_switches = 0
         #: merged (tid, items) context-switch trace; None when disabled
@@ -343,6 +348,7 @@ class Scheduler:
         self._next_tid += 1
         thread = Thread(tid, gen, name or f"thread{tid}")
         self.threads[tid] = thread
+        self._live[tid] = thread
         self.live_count += 1
         self._policy.on_spawn(thread, self)
         if self.bus is not None:
@@ -358,6 +364,7 @@ class Scheduler:
     def finish(self, thread: Thread, result: object) -> None:
         if thread.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
             self.live_count -= 1
+            self._live.pop(thread.tid, None)
         thread.state = ThreadState.DONE
         thread.result = result
         thread.ready = None
@@ -368,6 +375,7 @@ class Scheduler:
     def fail(self, thread: Thread, error: BaseException) -> None:
         if thread.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED):
             self.live_count -= 1
+            self._live.pop(thread.tid, None)
         thread.state = ThreadState.FAILED
         thread.error = error
         thread.ready = None
@@ -378,7 +386,7 @@ class Scheduler:
     # -- picking ----------------------------------------------------------------
 
     def _wake_ready(self) -> None:
-        for thread in self.threads.values():
+        for thread in self._live.values():
             if thread.state is ThreadState.BLOCKED and thread.ready is not \
                     None and thread.ready():
                 thread.state = ThreadState.RUNNABLE
@@ -387,11 +395,11 @@ class Scheduler:
 
     def runnable(self) -> list[Thread]:
         self._wake_ready()
-        return [t for t in self.threads.values()
+        return [t for t in self._live.values()
                 if t.state is ThreadState.RUNNABLE]
 
     def live(self) -> list[Thread]:
-        return [t for t in self.threads.values()
+        return [t for t in self._live.values()
                 if t.state in (ThreadState.RUNNABLE, ThreadState.BLOCKED)]
 
     def pick(self) -> tuple[Optional[Thread], int]:

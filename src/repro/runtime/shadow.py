@@ -186,6 +186,10 @@ class ShadowMemory:
         accounting; a cache hit writes neither bitmaps nor ``last``).
         Returns False otherwise, having done nothing: the caller must
         fall back to the full check."""
+        if size <= 0:
+            # A zero-size access touches no memory, hence no granules:
+            # the full check is a no-op, so the guard holds vacuously.
+            return True
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
         cached = self._cache.get(tid)
@@ -214,6 +218,8 @@ class ShadowMemory:
         Returns False having done *nothing* when any granule would go
         slow or conflict: the caller must fall back to the full check,
         which then reports/updates exactly as it would have anyway."""
+        if size <= 0:
+            return True  # no granules: the full check is a no-op
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
         cached = self._cache.get(tid)
@@ -254,6 +260,13 @@ class ShadowMemory:
         already record this thread's read takes the fast path: a plain
         load and test, no ``cmpxchg`` — this is what keeps SharC's
         overhead at 12%% on pfscan despite 80%% checked accesses."""
+        if size <= 0:
+            # A zero-size access (memcpy(p, q, 0), a zero-length summary
+            # range) reads no bytes, so it cannot race: no granule walk,
+            # no bitmap updates, no conflict.  Clamping it to one granule
+            # would check — and report against — memory the program never
+            # touches.
+            return None, 0
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
         if last - first >= self.range_threshold:
@@ -279,12 +292,17 @@ class ShadowMemory:
             slot = granule & PAGE_MASK
             bits = page[slot] if page is not None else 0
             if (bits & 1) and (bits & ~1 & ~mybit):
-                # Another thread is the writer of this granule: report
-                # that writer (not merely the last access, which may be
-                # an innocent third thread's read).
+                # Writer bit plus some other thread's bit.  That other
+                # bit may belong to a *reader* who already had their
+                # conflict reported while this thread stays the writer —
+                # bits alone cannot tell the two apart, so consult the
+                # writer record and only report when the writer really
+                # is another thread (a thread never races with itself).
                 if conflict is None:
-                    conflict = (self.last_writer.get(granule)
-                                or self.last.get(granule))
+                    candidate = (self.last_writer.get(granule)
+                                 or self.last.get(granule))
+                    if candidate is not None and candidate.tid != tid:
+                        conflict = candidate
             if not bits & mybit:
                 slow += 1
                 if page is None:
@@ -302,6 +320,8 @@ class ShadowMemory:
                  loc: Loc) -> tuple[Optional[LastAccess], int]:
         """Records a write; returns (conflicting access | None, number of
         granules needing the slow atomic update)."""
+        if size <= 0:
+            return None, 0  # zero-size: no granules (see chkread)
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
         if last - first >= self.range_threshold:
@@ -351,6 +371,8 @@ class ShadowMemory:
         over the same range (same conflicts, bitmap updates, logs, cache,
         single version bump); the walk hoists the page lookup out of the
         per-granule loop."""
+        if size <= 0:
+            return None, 0  # zero-size: no granules (see chkread)
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
         return self._chk_range(first, last, tid, lvalue, loc, False)
@@ -358,6 +380,8 @@ class ShadowMemory:
     def chkwrite_range(self, addr: int, size: int, tid: int, lvalue: str,
                        loc: Loc) -> tuple[Optional[LastAccess], int]:
         """Range-batched ``chkwrite``; see :meth:`chkread_range`."""
+        if size <= 0:
+            return None, 0  # zero-size: no granules (see chkread)
         first = addr >> GRANULE_SHIFT
         last = (addr + (size if size > 1 else 1) - 1) >> GRANULE_SHIFT
         return self._chk_range(first, last, tid, lvalue, loc, True)
@@ -399,7 +423,10 @@ class ShadowMemory:
                         conflict = last_map.get(g)
                 elif (bits & 1) and (bits & ~1 & ~mybit) \
                         and conflict is None:
-                    conflict = writer_map.get(g) or last_map.get(g)
+                    # Same self-conflict guard as the scalar chkread.
+                    candidate = writer_map.get(g) or last_map.get(g)
+                    if candidate is not None and candidate.tid != tid:
+                        conflict = candidate
                 if bits & want != want:
                     slow += 1
                     if page is None:

@@ -360,3 +360,70 @@ class TestWorkloadExploration:
                                    policies=("random",))
         assert summary.schedules == 2
         assert summary.filename == "pbzip2.c"
+
+
+class _FlakyWorld:
+    """World factory that blows up on every second construction —
+    deterministic in a serial sweep, so exactly half the schedules
+    crash inside ``run_schedule`` before the program even starts."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self):
+        from repro.runtime.world import World
+
+        self.calls += 1
+        if self.calls % 2 == 0:
+            raise RuntimeError("world construction failed")
+        return World()
+
+
+class TestSweepCrashTolerance:
+    """Regression: one crashing schedule used to abort the whole sweep
+    (``pool.imap`` re-raises worker exceptions in the parent), throwing
+    away every other schedule's result.  Crashes are now error-tagged
+    outcomes that stay out of the coverage metrics."""
+
+    def test_crashing_schedules_do_not_abort_the_sweep(self):
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=6,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        assert summary.schedules == 6
+        assert len(summary.crashes) == 3
+        assert not summary.interrupted
+        # The surviving half still ran and was measured normally.
+        healthy = [o for o in summary.outcomes if o.trace_hash]
+        assert len(healthy) == 3
+        assert all(o.steps > 0 for o in healthy)
+
+    def test_crash_outcomes_are_tagged_not_counted_as_coverage(self):
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=4,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        crash = summary.crashes[0]
+        assert crash.trace_hash == ""
+        assert "RuntimeError" in crash.error
+        assert crash.replay_coords()  # replayable coordinates survive
+        # Empty hashes never count as distinct schedule-space points.
+        assert "" not in summary.trace_hashes
+        bucket = summary.per_policy["round-robin"]
+        assert bucket["crashes"] == 2
+        assert bucket["schedules"] == 4
+
+    def test_crashes_surface_in_dict_and_rendering(self):
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=2,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        payload = summary.as_dict()
+        assert payload["crashed_schedules"] == 1
+        assert payload["crashes"][0]["error"].startswith("RuntimeError")
+        assert payload["interrupted"] is False
+        assert "crashed schedules: 1" in summary.render()
+
+    def test_clean_sweep_reports_no_crashes(self):
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=3,
+                                 policies=("round-robin",))
+        assert summary.crashes == []
+        assert summary.as_dict()["crashed_schedules"] == 0
+        assert "crashed schedules" not in summary.render()

@@ -52,8 +52,13 @@ class DictShadow:
             bits = self.bits.get(granule, 0)
             if (bits & 1) and (bits & ~1 & ~mybit):
                 if conflict is None:
-                    conflict = (self.last_writer.get(granule)
-                                or self.last.get(granule))
+                    candidate = (self.last_writer.get(granule)
+                                 or self.last.get(granule))
+                    # A thread never races with itself: when the reader
+                    # *is* the writer on record, the writer bit plus some
+                    # other thread's reader bit is not a conflict for it.
+                    if candidate is not None and candidate[0] != tid:
+                        conflict = candidate
             if not bits & mybit:
                 slow += 1
                 self.bits[granule] = bits | mybit

@@ -12,6 +12,12 @@ Each test here fails on the pre-fix implementation:
 3. ``_check_tid`` accepted thread id 0 (and negatives), silently
    aliasing bit 0 — the "single thread reads and writes" writer bit —
    and corrupting the encoding.
+4. Zero-size accesses (``memcpy(p, q, 0)``, empty summary ranges) were
+   clamped to one granule and checked memory the program never touched,
+   so they could set bits and report phantom conflicts.
+5. ``chkread`` by the thread that *is* the granule's writer reported the
+   thread as conflicting with itself once any other thread's reader bit
+   appeared alongside the writer bit.
 """
 
 import pytest
@@ -115,3 +121,79 @@ class TestTidValidation:
         assert shadow.bits == {}
         assert shadow.thread_log == {}
         assert shadow.updates == 0
+
+
+class TestZeroSizeAccessIsNoOp:
+    """Bug 4: zero-size accesses must not walk (or claim) any granule."""
+
+    def test_zero_size_read_and_write_return_clean(self, shadow):
+        for chk in (shadow.chkread, shadow.chkwrite,
+                    shadow.chkread_range, shadow.chkwrite_range):
+            assert chk(0x100, 0, 1, "p", LOC) == (None, 0)
+        assert shadow.bits == {}
+        assert shadow.updates == 0
+        assert shadow.touched == set()
+        assert shadow.thread_log == {}
+
+    def test_zero_size_read_ignores_another_threads_write(self, shadow):
+        # Thread 1 owns the granule; thread 2's zero-size overlapping
+        # "access" reads no bytes and must not be reported as a race.
+        shadow.chkwrite(0x100, 16, 1, "buf", LOC)
+        conflict, slow = shadow.chkread(0x100, 0, 2, "buf+0..0", LOC)
+        assert conflict is None and slow == 0
+        # ...and thread 2 gained no reader bit for thread 1 to trip on.
+        conflict, slow = shadow.chkwrite(0x100, 16, 1, "buf", LOC)
+        assert conflict is None
+
+    def test_zero_size_recheck_guards_hold_vacuously(self, shadow):
+        assert shadow.recheck(0x100, 0, 1, True)
+        assert shadow.recheck_locked(0x100, 0, 1, True, "p", LOC)
+        assert shadow.updates == 0
+        assert shadow.bits == {}
+
+    def test_zero_size_does_not_disturb_the_fastpath_cache(self, shadow):
+        shadow.chkwrite(0x200, 4, 1, "x", LOC)
+        shadow.chkread(0x300, 0, 1, "y", LOC)
+        # The cached range is still 0x200's write: the next identical
+        # write takes the fast path.
+        before = shadow.fastpath_hits
+        conflict, slow = shadow.chkwrite(0x200, 4, 1, "x", LOC)
+        assert conflict is None and slow == 0
+        assert shadow.fastpath_hits > before
+
+
+class TestWriterDoesNotConflictWithItself:
+    """Bug 5: the granule's writer re-reading it is not a race."""
+
+    def _seed_writer_plus_foreign_reader(self, shadow, addr=0x100):
+        # Thread 1 writes (bits = writer|t1); thread 2's read is a
+        # genuine conflict for *thread 2* but still sets t2's bit.
+        shadow.chkwrite(addr, 4, 1, "q->data", Loc("w.c", 7))
+        conflict, _ = shadow.chkread(addr, 4, 2, "q->data", Loc("r.c", 8))
+        assert conflict is not None and conflict.tid == 1
+
+    def test_writer_reread_is_clean(self, shadow):
+        self._seed_writer_plus_foreign_reader(shadow)
+        # Thread 1 — still the writer on record — reads its own data:
+        # "another thread is the writer" does not hold.
+        conflict, slow = shadow.chkread(0x100, 4, 1, "q->data",
+                                        Loc("r1.c", 9))
+        assert conflict is None
+        assert slow == 0  # thread 1's bit was already set: fast path
+
+    def test_writer_reread_is_clean_on_range_walk(self, shadow):
+        shadow.range_threshold = 1  # force the page-sliced range path
+        self._seed_writer_plus_foreign_reader(shadow)
+        conflict, _ = shadow.chkread(0x100, 4, 1, "q->data",
+                                     Loc("r1.c", 9))
+        assert conflict is None
+
+    def test_foreign_reader_still_conflicts_after_writer_reread(
+            self, shadow):
+        self._seed_writer_plus_foreign_reader(shadow)
+        shadow.chkread(0x100, 4, 1, "q->data", Loc("r1.c", 9))
+        # Thread 3 reading is still a real race with writer thread 1.
+        conflict, _ = shadow.chkread(0x100, 4, 3, "q->data",
+                                     Loc("r3.c", 10))
+        assert conflict is not None
+        assert conflict.tid == 1 and conflict.is_write
