@@ -402,6 +402,58 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if not sweep.failures else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fuzz import (
+        FuzzConfig, fuzz_campaign, replay_corpus, validate_fuzz_report,
+    )
+
+    if args.replay_corpus:
+        backends = ((args.backend,) if args.backend
+                    else ("interp", "compiled"))
+        rows = replay_corpus(args.replay_corpus, backends=backends)
+        bad = [r for r in rows if not r["ok"]]
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            for row in rows:
+                mark = "ok" if row["ok"] else "FAIL"
+                print(f"  [{mark}] {row['artifact']} "
+                      f"({row['backend']})")
+                for problem in row["problems"]:
+                    print(f"        {problem}")
+            print(f"corpus: {len(rows)} replays, {len(bad)} failing")
+        return 1 if bad or not rows else 0
+
+    policies = tuple(args.policy) if args.policy else ("random", "pct")
+    config = FuzzConfig(
+        budget=args.budget, seeds=args.seeds,
+        seed_start=args.seed_start, policies=policies,
+        gen_seed=args.gen_seed, jobs=args.jobs,
+        max_steps=args.max_steps, racy_fraction=args.racy_fraction,
+        shrink=not args.no_shrink, out_dir=args.out,
+        formal_seeds=args.formal_seeds)
+    progress = None if args.json else print
+    report = fuzz_campaign(config, progress=progress)
+    payload = report.as_dict()
+    problems = validate_fuzz_report(payload)
+    if problems:  # pragma: no cover - would be a FuzzReport bug
+        print("invalid fuzz report: " + "; ".join(problems),
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"fuzz report written to {args.report_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Inspects / converts a saved trace or schedule artifact.
 
@@ -612,6 +664,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a schema-validated metrics.json "
                         "aggregating the sweep")
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="generate topology x sharing-idiom scenarios with known "
+             "oracles and hunt detector disagreements")
+    p.add_argument("--budget", type=int, default=13,
+                   help="scenarios to generate (default 13: one per "
+                        "supported family)")
+    p.add_argument("--seeds", type=int, default=8,
+                   help="schedule seeds per scenario per policy")
+    p.add_argument("--seed-start", type=int, default=0)
+    p.add_argument("--policy", action="append", default=None,
+                   metavar="SPEC",
+                   help="scheduling policy spec, repeatable; "
+                        "default: random, pct")
+    p.add_argument("--gen-seed", type=int, default=0,
+                   help="scenario-sampling seed (campaigns are a pure "
+                        "function of this)")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--max-steps", type=int, default=120_000)
+    p.add_argument("--racy-fraction", type=float, default=0.5,
+                   help="fraction of scenarios carrying injected races")
+    p.add_argument("--formal-seeds", type=int, default=0,
+                   metavar="N",
+                   help="also confirm injected races on the formal "
+                        "Machine over N schedules (0: off)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip ddmin-shrinking oracle violations")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="directory for shrunk disagreement artifacts")
+    p.add_argument("--report-out", default=None, metavar="FILE",
+                   help="write the schema-validated campaign report")
+    p.add_argument("--replay-corpus", default=None, metavar="DIR",
+                   help="instead of fuzzing, replay a corpus directory "
+                        "and gate on bit-identical reproduction")
+    p.add_argument("--backend", choices=("interp", "compiled"),
+                   default=None,
+                   help="with --replay-corpus: replay under one "
+                        "backend only (default: both)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
         "trace",

@@ -32,10 +32,15 @@ from repro.explore.shrink import (
     ShrinkResult, load_artifact, replay_artifact, save_artifact,
     shrink_failure,
 )
-from repro.explore.differential import DifferentialSummary, differential_sweep
+from repro.explore.differential import (
+    BackendDivergence, DifferentialSummary, backend_divergences,
+    differential_sweep,
+)
 
 __all__ = [
+    "BackendDivergence",
     "DifferentialSummary",
+    "backend_divergences",
     "ExplorationSummary",
     "ScheduleOutcome",
     "ShrinkResult",

@@ -100,6 +100,55 @@ class Disagreement:
         return f"seed={self.seed} policy={self.policy}"
 
 
+@dataclass(frozen=True)
+class BackendDivergence:
+    """One schedule the two executors disagreed on — a violation of the
+    compiled backend's bit-identical-by-seed guarantee, and therefore
+    always a bug, never a scheduling effect."""
+
+    seed: int
+    policy: str
+    field: str  # "trace_hash" | "report_keys" | "steps"
+    interp: object
+    compiled: object
+
+    def replay_coords(self) -> str:
+        return f"seed={self.seed} policy={self.policy}"
+
+    def as_dict(self) -> dict:
+        return {"seed": self.seed, "policy": self.policy,
+                "field": self.field, "interp": self.interp,
+                "compiled": self.compiled}
+
+
+def backend_divergences(interp_summary: ExplorationSummary,
+                        compiled_summary: ExplorationSummary,
+                        ) -> list[BackendDivergence]:
+    """Diffs two sweeps of the *same* grid run under the interp and
+    compiled executors, schedule by schedule.  Crash-tagged outcomes on
+    either side are reported as divergences only when the other side did
+    not crash too (matching crashes are a harness property)."""
+    out: list[BackendDivergence] = []
+    compiled_by = {(o.seed, o.policy): o
+                   for o in compiled_summary.outcomes}
+    for a in interp_summary.outcomes:
+        b = compiled_by.get((a.seed, a.policy))
+        if b is None:
+            continue
+        if bool(a.trace_hash) != bool(b.trace_hash):
+            out.append(BackendDivergence(
+                a.seed, a.policy, "crash", a.error, b.error))
+            continue
+        for name in ("trace_hash", "report_keys", "steps"):
+            va, vb = getattr(a, name), getattr(b, name)
+            if va != vb:
+                out.append(BackendDivergence(
+                    a.seed, a.policy, name,
+                    list(va) if isinstance(va, tuple) else va,
+                    list(vb) if isinstance(vb, tuple) else vb))
+    return out
+
+
 @dataclass
 class DifferentialSummary:
     """Both sweeps plus the per-schedule disagreement table."""

@@ -125,10 +125,17 @@ class ExplorationSummary:
         return len(self.trace_hashes)
 
     @property
+    def completed_schedules(self) -> int:
+        """Schedules that actually ran to a verdict — crash-tagged
+        outcomes never executed a schedule, so they are excluded from
+        every rate denominator (races/1k, coverage)."""
+        return self.schedules - len(self.crashes)
+
+    @property
     def races_per_1k(self) -> float:
-        if not self.schedules:
+        if not self.completed_schedules:
             return 0.0
-        return 1000.0 * len(self.failures) / self.schedules
+        return 1000.0 * len(self.failures) / self.completed_schedules
 
     @property
     def first_failure(self) -> Optional[ScheduleOutcome]:
@@ -143,6 +150,7 @@ class ExplorationSummary:
             "steps_total": self.steps_total,
             "failing_schedules": len(self.failures),
             "crashed_schedules": len(self.crashes),
+            "completed_schedules": self.completed_schedules,
             "crashes": [
                 {"seed": o.seed, "policy": o.policy, "error": o.error}
                 for o in self.crashes],

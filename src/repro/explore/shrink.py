@@ -80,7 +80,7 @@ class ShrinkResult:
 def _replay(checked, trace: Sequence[tuple[int, int]], *,
             checker: str, max_steps: int, max_burst: int,
             world_factory: Optional[Callable], shadow_bytes: int = 2,
-            obs_trace=None):
+            obs_trace=None, backend: Optional[str] = None):
     from repro.runtime.interp import run_checked
     from repro.runtime.scheduler import ReplayPolicy
 
@@ -89,7 +89,7 @@ def _replay(checked, trace: Sequence[tuple[int, int]], *,
                        checker=checker, max_steps=max_steps,
                        max_burst=max_burst, world=world,
                        shadow_bytes=shadow_bytes, record_trace=True,
-                       trace=obs_trace)
+                       trace=obs_trace, backend=backend)
 
 
 def _ddmin(entries: list, reproduces: Callable[[list], bool]) -> list:
@@ -122,7 +122,8 @@ def shrink_failure(source: str, filename: str = "<input>", *,
                    max_steps: int = 200_000, max_burst: int = 8,
                    world_factory: Optional[Callable] = None,
                    shadow_bytes: int = 2,
-                   workload: Optional[str] = None) -> ShrinkResult:
+                   workload: Optional[str] = None,
+                   backend: Optional[str] = None) -> ShrinkResult:
     """Minimizes the failing schedule ``(seed, policy)`` of ``source``.
 
     ``target_keys`` selects which reports must survive shrinking; by
@@ -140,7 +141,8 @@ def shrink_failure(source: str, filename: str = "<input>", *,
     original = run_checked(checked, seed=seed, policy=policy,
                            checker=checker, max_steps=max_steps,
                            max_burst=max_burst, world=world,
-                           shadow_bytes=shadow_bytes, record_trace=True)
+                           shadow_bytes=shadow_bytes, record_trace=True,
+                           backend=backend)
     if not original.reports:
         raise ValueError(
             f"seed={seed} policy={policy} does not fail; nothing to "
@@ -164,7 +166,7 @@ def shrink_failure(source: str, filename: str = "<input>", *,
         replayed = _replay(checked, trace, checker=checker,
                            max_steps=max_steps, max_burst=max_burst,
                            world_factory=world_factory,
-                           shadow_bytes=shadow_bytes)
+                           shadow_bytes=shadow_bytes, backend=backend)
         return all(k in replayed.report_counts for k in keys)
 
     if not reproduces(original_trace):
@@ -178,7 +180,7 @@ def shrink_failure(source: str, filename: str = "<input>", *,
     final = _replay(checked, result.trace, checker=checker,
                     max_steps=max_steps, max_burst=max_burst,
                     world_factory=world_factory,
-                    shadow_bytes=shadow_bytes)
+                    shadow_bytes=shadow_bytes, backend=backend)
     executed = list(final.trace or [])
     if executed and all(k in final.report_counts for k in keys) and \
             len(executed) <= len(result.trace):
@@ -192,8 +194,13 @@ def shrink_failure(source: str, filename: str = "<input>", *,
 # -- replayable artifacts ----------------------------------------------------
 
 
-def save_artifact(result: ShrinkResult, path: str) -> None:
-    """Writes a self-contained JSON repro for a shrunk schedule."""
+def save_artifact(result: ShrinkResult, path: str,
+                  extra: Optional[dict] = None) -> None:
+    """Writes a self-contained JSON repro for a shrunk schedule.
+
+    ``extra`` merges additional top-level keys into the payload (the
+    fuzzing pipeline attaches the scenario spec/oracle under ``"fuzz"``);
+    reserved keys cannot be overridden."""
     payload = {
         "version": ARTIFACT_VERSION,
         "kind": "sharc-schedule",
@@ -211,6 +218,12 @@ def save_artifact(result: ShrinkResult, path: str) -> None:
         "source": result.source,
         "notes": list(result.notes),
     }
+    if extra:
+        clash = sorted(set(extra) & set(payload))
+        if clash:
+            raise ValueError(f"extra keys shadow artifact fields: "
+                             f"{clash}")
+        payload.update(extra)
     with open(path, "w") as f:
         json.dump(payload, f, indent=2)
         f.write("\n")
@@ -229,12 +242,14 @@ def load_artifact(path: str) -> dict:
 
 def replay_artifact(payload: dict,
                     world_factory: Optional[Callable] = None,
-                    obs_trace=None):
+                    obs_trace=None, backend: Optional[str] = None):
     """Replays a loaded artifact's minimal trace and returns the
     :class:`repro.runtime.interp.RunResult`.  ``obs_trace`` (a
     :class:`repro.obs.events.TraceConfig`) additionally records
     structured events during the replay, so a shrunk schedule can be
-    rendered as a Perfetto timeline (``sharc trace artifact.json``)."""
+    rendered as a Perfetto timeline (``sharc trace artifact.json``).
+    ``backend`` picks the executor — artifacts are backend-invariant, so
+    the corpus regression suite replays each one under both."""
     from repro.explore.driver import _checked_program
 
     if world_factory is None and payload.get("workload"):
@@ -249,4 +264,4 @@ def replay_artifact(payload: dict,
                    max_burst=payload.get("max_burst", 8),
                    world_factory=world_factory,
                    shadow_bytes=payload.get("shadow_bytes", 2),
-                   obs_trace=obs_trace)
+                   obs_trace=obs_trace, backend=backend)

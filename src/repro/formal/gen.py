@@ -179,6 +179,69 @@ class RaceSpec:
         lvalue = key.rsplit("@", 1)[0].split()[-1]
         return lvalue == self.global_name
 
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "global": self.global_name,
+                "threads": list(self.threads),
+                "values": list(self.values)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "RaceSpec":
+        return RaceSpec(kind=data["kind"], global_name=data["global"],
+                        threads=tuple(data["threads"]),
+                        values=tuple(data["values"]))
+
+
+def inject_races(rng: random.Random, program: Program,
+                 kinds: "list[str] | tuple[str, ...]",
+                 ) -> tuple[Program, tuple[RaceSpec, ...]]:
+    """Injects one race per entry of ``kinds`` into ``program``.
+
+    Each race is a fresh ``dynamic int`` global written once by each of
+    two sampled worker threads; main spawns every racing thread up front
+    so their lifetimes can overlap under *some* schedule.  For a single
+    ``"write-write"``/``"lock-elision"`` entry the rng consumption is
+    exactly what :func:`gen_racy_program` always drew, so seeded
+    programs are unchanged.
+    """
+    victims = [t.name for t in program.threads if t.name != "main"]
+    if len(victims) < 2:
+        raise ValueError("need at least two worker threads to race")
+    globals_ = list(program.globals)
+    specs: list[RaceSpec] = []
+    #: thread name -> statements to inject, in race order
+    plan: dict[str, list] = {}
+    for kind in kinds:
+        if kind not in ("write-write", "lock-elision"):
+            raise ValueError(f"unknown race kind {kind!r}")
+        racy_name = f"race{len(globals_)}"
+        globals_.append(Global(racy_name, IntType(Mode.DYNAMIC)))
+        first, second = rng.sample(victims, 2)
+        values = (rng.randint(10, 49), rng.randint(50, 99))
+        plan.setdefault(first, []).append(
+            Assign(Var(racy_name), Num(values[0])))
+        plan.setdefault(second, []).append(
+            Assign(Var(racy_name), Num(values[1])))
+        specs.append(RaceSpec(kind=kind, global_name=racy_name,
+                              threads=(first, second), values=values))
+    spawn_first: list[str] = []
+    for spec in specs:
+        for name in spec.threads:
+            if name not in spawn_first:
+                spawn_first.append(name)
+    threads: list[ThreadDef] = []
+    for tdef in program.threads:
+        body = tdef.body
+        if tdef.name == "main":
+            # Spawns may duplicate main's own random spawns; extra
+            # instances only add interleavings.
+            for name in reversed(spawn_first):
+                body = Seq(Spawn(name), body)
+        else:
+            for stmt in plan.get(tdef.name, ()):
+                body = _inject(rng, body, stmt)
+        threads.append(ThreadDef(tdef.name, list(tdef.locals), body))
+    return Program(globals_, threads, main=program.main), tuple(specs)
+
 
 def gen_racy_program(rng: random.Random, kind: str = "write-write",
                      n_threads: int = 3, n_stmts: int = 8,
@@ -199,32 +262,8 @@ def gen_racy_program(rng: random.Random, kind: str = "write-write",
     n_threads = max(2, n_threads)
     program = gen_program(rng, n_threads=n_threads, n_stmts=n_stmts,
                           n_globals=n_globals, n_locals=n_locals)
-    racy_name = f"race{len(program.globals)}"
-    racy = Global(racy_name, IntType(Mode.DYNAMIC))
-    victims = [t.name for t in program.threads if t.name != "main"]
-    first, second = rng.sample(victims, 2)
-    values = (rng.randint(10, 49), rng.randint(50, 99))
-    threads: list[ThreadDef] = []
-    for tdef in program.threads:
-        if tdef.name == first:
-            body = _inject(rng, tdef.body,
-                           Assign(Var(racy_name), Num(values[0])))
-        elif tdef.name == second:
-            body = _inject(rng, tdef.body,
-                           Assign(Var(racy_name), Num(values[1])))
-        elif tdef.name == "main":
-            # Spawn both racing threads up front so their lifetimes can
-            # overlap under *some* schedule (main's random spawns may
-            # duplicate these; extra instances only add interleavings).
-            body = Seq(Spawn(first), Seq(Spawn(second), tdef.body))
-        else:
-            body = tdef.body
-        threads.append(ThreadDef(tdef.name, list(tdef.locals), body))
-    racy_program = Program(program.globals + [racy], threads,
-                           main=program.main)
-    spec = RaceSpec(kind=kind, global_name=racy_name,
-                    threads=(first, second), values=values)
-    return racy_program, spec
+    racy_program, specs = inject_races(rng, program, [kind])
+    return racy_program, specs[0]
 
 
 def _flatten(stmt) -> list:

@@ -1,0 +1,40 @@
+"""Scenario fuzzing: generated workload models with known-race oracles.
+
+The paper validates SharC on six hand-ported workloads; this package
+turns scenario diversity into a pipeline.  :mod:`repro.fuzz.gen` emits
+whole workload models — parameterized thread topologies crossed with
+sharing idioms — each carrying a machine-checkable
+:class:`~repro.fuzz.scenarios.ScenarioOracle` (injected races with
+:class:`~repro.formal.gen.RaceSpec` ground truth, or certified
+race-freedom).  :mod:`repro.fuzz.pipeline` sweeps every scenario under
+SharC x Eraser x static lockset x {interp, compiled} and ddmin-shrinks
+any oracle disagreement into a replayable JSON artifact;
+:mod:`repro.fuzz.replay` turns saved artifacts and recorded obs-traces
+back into pinned schedules, and :mod:`repro.fuzz.corpus` builds the
+committed regression corpus that ``tests/fuzz/test_replay_corpus.py``
+re-runs deterministically under both backends.
+"""
+
+from repro.fuzz.scenarios import (
+    IDIOMS, SUPPORTED_FAMILIES, TOPOLOGIES, Scenario, ScenarioOracle,
+    ScenarioSpec,
+)
+from repro.fuzz.gen import generate_scenario, sample_specs, verify_formal
+from repro.fuzz.pipeline import (
+    FUZZ_REPORT_SCHEMA, FuzzConfig, FuzzReport, OracleViolation,
+    fuzz_campaign, replay_corpus, validate_fuzz_report,
+)
+from repro.fuzz.replay import (
+    reshrink_artifact, schedule_from_events, schedule_from_trace_file,
+    seed_from_artifact,
+)
+
+__all__ = [
+    "IDIOMS", "SUPPORTED_FAMILIES", "TOPOLOGIES",
+    "Scenario", "ScenarioOracle", "ScenarioSpec",
+    "generate_scenario", "sample_specs", "verify_formal",
+    "FUZZ_REPORT_SCHEMA", "FuzzConfig", "FuzzReport", "OracleViolation",
+    "fuzz_campaign", "replay_corpus", "validate_fuzz_report",
+    "reshrink_artifact", "schedule_from_events",
+    "schedule_from_trace_file", "seed_from_artifact",
+]

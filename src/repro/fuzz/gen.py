@@ -1,0 +1,787 @@
+"""The scenario generator: (topology x idiom) -> mini-C workload model.
+
+Every generated program is a *whole workload*: a main that creates
+worker threads, shared state dressed in one sharing idiom, per-thread
+private computation (malloc'd dynamic buffers walked with monotone loops
+— the shapes the static check eliminator range-batches), and a printed
+result.  The construction rules come straight from the SharC sharing
+semantics:
+
+- ``lock-protected`` state is declared ``locked(l)`` and only touched
+  with ``l`` held, so the checker's lock-discipline path certifies every
+  access;
+- ``barrier-phased`` scenarios confine each phase's writable state to
+  one thread (per-worker scratch globals) and publish only through a
+  ``locked(l)`` accumulator — barriers order the phases but the shadow
+  bitmaps never see a cross-thread conflict;
+- ``ownership-transfer`` moves dynamic buffers between threads through
+  ``locked(l)`` slots with ``SCAST`` at both hand-off points, clearing
+  the reader/writer sets exactly like pfscan's buffer pool;
+- ``read-mostly`` state is ``readonly`` (initialized at declaration,
+  never written), the bulk of each worker's accesses.
+
+A scenario with an empty ``race_kinds`` tuple is therefore *race-free by
+construction*: any SharC report on any schedule is an oracle violation.
+A racy scenario injects one fresh global per requested race — either a
+``write-write`` pair of unguarded stores (schedule-dependent detection)
+or a ``lock-elision`` where one thread skips the lock (SharC's
+lock-discipline check fires on every schedule that executes the eliding
+store; the Eraser baseline only on schedules where the lockset empties).
+Each injection is described by a :class:`~repro.formal.gen.RaceSpec`,
+and a formal (Figure 3) companion program carrying the same races lets
+the Machine's ``races_in_trace()`` oracle confirm them independently of
+the C-level detectors (:func:`verify_formal`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.formal.gen import RaceSpec
+from repro.formal.lang import (
+    Assign, Global, IntType, Mode, Num, Program, Skip, Spawn, ThreadDef,
+    Var, seq_of,
+)
+from repro.fuzz.scenarios import (
+    SUPPORTED_FAMILIES, Scenario, ScenarioOracle, ScenarioSpec,
+)
+
+_LETTERS = "abcde"
+
+
+# -- race injection ----------------------------------------------------------
+
+
+def _plan_races(rng: random.Random, spec: ScenarioSpec,
+                workers: Sequence[str]):
+    """Returns (race specs, global decl lines, per-worker body lines).
+
+    The injected writes go at the *top* of each racing worker's body:
+    workers are spawned together, so both writes land early in their
+    threads' lifetimes and almost any interleaving of the two prefixes
+    exposes a write-write pair before either writer exits."""
+    specs: list[RaceSpec] = []
+    globals_: list[str] = []
+    lines: dict[str, list[str]] = {w: [] for w in workers}
+    for i, kind in enumerate(spec.race_kinds):
+        name = f"fz_race{i}"
+        first, second = rng.sample(list(workers), 2)
+        values = (rng.randint(10, 49), rng.randint(50, 99))
+        if kind == "lock-elision":
+            globals_.append(f"mutex fz_rlk{i};")
+            globals_.append(f"int locked(fz_rlk{i}) {name} = 0;")
+            # The disciplined accessor locks; the second elides.
+            lines[first] += [f"mutexLock(&fz_rlk{i});",
+                             f"{name} = {values[0]};",
+                             f"mutexUnlock(&fz_rlk{i});"]
+            lines[second].append(f"{name} = {values[1]};")
+        else:  # write-write
+            globals_.append(f"int dynamic {name};")
+            lines[first].append(f"{name} = {values[0]};")
+            lines[second].append(f"{name} = {values[1]};")
+        specs.append(RaceSpec(kind=kind, global_name=name,
+                              threads=(first, second), values=values))
+    return specs, globals_, lines
+
+
+def _formal_companion(races: Sequence[RaceSpec]) -> Optional[Program]:
+    """A Figure 3 program with the same injected races: each racing
+    thread writes its dynamic globals, main spawns them all up front.
+    ``lock-elision`` lowers to the same write-write shape (the core
+    language has no locks), exactly as :class:`RaceSpec` documents."""
+    if not races:
+        return None
+    bodies: dict[str, list] = {}
+    names: list[str] = []
+    for race in races:
+        for tname, value in zip(race.threads, race.values):
+            bodies.setdefault(tname, []).append(
+                Assign(Var(race.global_name), Num(value)))
+            if tname not in names:
+                names.append(tname)
+    globals_ = [Global(race.global_name, IntType(Mode.DYNAMIC))
+                for race in races]
+    # Trailing skips keep each writer alive past its last store:
+    # races_in_trace() only pairs accesses from threads whose
+    # executions overlap, and a two-statement thread would otherwise
+    # exit before its peer gets scheduled on most seeds.
+    threads = [ThreadDef(name, [],
+                         seq_of(bodies[name] + [Skip()] * 8))
+               for name in names]
+    main = ThreadDef("main", [], seq_of([Spawn(n) for n in names]))
+    return Program(globals_, threads + [main], main="main")
+
+
+def verify_formal(scenario: Scenario, seeds: int = 40,
+                  max_steps: int = 5000) -> dict:
+    """Runs the formal companion under ``seeds`` Machine schedules in
+    ``enforce="record"`` mode and reports, per injected race, whether
+    ``races_in_trace()`` observed a conflicting pair on that global for
+    at least one seed.  Race-free scenarios trivially return ``{}``."""
+    from repro.formal.semantics import Machine, MachineConfig
+    from repro.formal.statics import typecheck
+
+    if scenario.formal is None:
+        return {}
+    checked = typecheck(scenario.formal)
+    found = {race.global_name: False for race in scenario.oracle.races}
+    for seed in range(seeds):
+        machine = Machine(checked, MachineConfig(
+            seed=seed, enforce="record", max_steps=max_steps))
+        machine.run()
+        raced = {a.addr for a, _ in machine.races_in_trace()}
+        for race in scenario.oracle.races:
+            if machine.global_env[race.global_name] in raced:
+                found[race.global_name] = True
+        if all(found.values()):
+            break
+    return found
+
+
+# -- shared idiom blocks -----------------------------------------------------
+
+
+def _agg_globals(hist: bool, alen: int) -> list[str]:
+    out = ["mutex agg_lk;", "int locked(agg_lk) agg_sum = 0;"]
+    if hist:
+        out.append(f"int locked(agg_lk) agg_hist[{alen}];")
+    return out
+
+
+def _cfg_globals(rng: random.Random, length: int) -> list[str]:
+    text = "".join(rng.choice(_LETTERS) for _ in range(length))
+    return [f'char readonly * readonly cfg = "{text}";',
+            f"int readonly cfg_len = {length};"]
+
+
+def _buffer_walk(var: str, alen: int, salt: int, acc: str) -> list[str]:
+    """A private malloc'd dynamic buffer, filled and summed with
+    monotone loops — the checkelim range-batching shape."""
+    return [
+        f"{var} = malloc({alen});",
+        f"for (i = 0; i < {alen}; i++)",
+        f"  {var}[i] = (i + {salt}) % 23;",
+        f"for (i = 0; i < {alen}; i++)",
+        f"  {acc} = {acc} + {var}[i];",
+        f"free({var});",
+    ]
+
+
+def _cfg_scan(probe: str, counter: str) -> list[str]:
+    return [
+        f"c0 = cfg[{probe} % cfg_len];",
+        "for (i = 0; i < cfg_len; i++) {",
+        "  if (cfg[i] == c0)",
+        f"    {counter} = {counter} + 1;",
+        "}",
+    ]
+
+
+class _Dressing:
+    """Density-gated optional annotations/state.  None of these change
+    whether the scenario is race-free — ``racy`` counters are unchecked
+    by definition and the explicit ``dynamic`` qualifiers only make the
+    inference's verdict textual."""
+
+    def __init__(self, rng: random.Random, density: float) -> None:
+        self.debug_counter = rng.random() < density
+        self.explicit_dynamic = rng.random() < density
+
+    def globals(self) -> list[str]:
+        return ["int racy fz_dbg = 0;"] if self.debug_counter else []
+
+    def worker_lines(self) -> list[str]:
+        return ["fz_dbg = fz_dbg + 1;"] if self.debug_counter else []
+
+    def scratch_decl(self, name: str) -> str:
+        qual = "dynamic " if self.explicit_dynamic else ""
+        return f"int {qual}{name} = 0;"
+
+
+def _fn(sig: str, locals_: Sequence[str], body: Sequence[str],
+        tail: str = "  return NULL;") -> list[str]:
+    if "(" not in sig:
+        sig = f"{sig}(void *arg)"
+    lines = [f"{sig} {{"]
+    for decl in locals_:
+        lines.append(f"  {decl}")
+    for line in body:
+        lines.append(f"  {line}")
+    if tail:
+        lines.append(tail)
+    lines.append("}")
+    lines.append("")
+    return lines
+
+
+def _spawn_join(workers: Sequence[str]) -> tuple[list, list, list]:
+    decls = [f"int h{k};" for k in range(len(workers))]
+    spawns = [f"h{k} = thread_create({w}, NULL);"
+              for k, w in enumerate(workers)]
+    joins = [f"thread_join(h{k});" for k in range(len(workers))]
+    return decls, spawns, joins
+
+
+# -- topology builders -------------------------------------------------------
+
+
+def _gen_fork_join(rng: random.Random, spec: ScenarioSpec,
+                   workers, race_lines, dress) -> list[str]:
+    alen, items, rounds = spec.array_len, spec.n_items, spec.rounds
+    nw = spec.n_workers
+    lines: list[str] = []
+    if spec.idiom == "lock-protected":
+        lines += _agg_globals(hist=True, alen=alen)
+    elif spec.idiom == "barrier-phased":
+        lines += ["barrier phase_b;"] + _agg_globals(hist=False,
+                                                     alen=alen)
+        for k in range(nw):
+            lines.append(dress.scratch_decl(f"w{k}_acc"))
+    elif spec.idiom == "ownership-transfer":
+        lines += [
+            "mutex box_lk;", "cond box_cv;",
+            f"char dynamic * locked(box_lk) box[{nw}];",
+            "int locked(box_lk) box_n = 0;",
+        ] + _agg_globals(hist=False, alen=alen)
+    else:  # read-mostly
+        lines += _cfg_globals(rng, alen) + _agg_globals(hist=False,
+                                                        alen=alen)
+    lines += dress.globals()
+    lines.append("")
+    salts = [rng.randrange(1, 10) for _ in range(nw)]
+    for k, w in enumerate(workers):
+        s = salts[k]
+        body = list(race_lines[w]) + dress.worker_lines()
+        if spec.idiom == "lock-protected":
+            locals_ = ["int i;", "int j;", "int acc;",
+                       "char dynamic *buf;"]
+            body += ["acc = 0;"] + _buffer_walk("buf", alen, s, "acc")
+            body += [
+                f"for (i = 0; i < {items}; i++) {{",
+                "  mutexLock(&agg_lk);",
+                "  agg_sum = agg_sum + acc + i;",
+                f"  j = (i * {s} + {k}) % {alen};",
+                "  agg_hist[j] = agg_hist[j] + 1;",
+                "  mutexUnlock(&agg_lk);",
+                "}",
+            ]
+        elif spec.idiom == "barrier-phased":
+            locals_ = ["int r;", "int i;", "int t;"]
+            body += [
+                f"for (r = 0; r < {rounds}; r++) {{",
+                "  t = 0;",
+                f"  for (i = 0; i < {items}; i++)",
+                f"    t = t + (i * {s} + r) % 7;",
+                f"  w{k}_acc = w{k}_acc + t;",
+                "  barrier_wait(&phase_b);",
+                "  mutexLock(&agg_lk);",
+                f"  agg_sum = agg_sum + w{k}_acc;",
+                "  mutexUnlock(&agg_lk);",
+                "  barrier_wait(&phase_b);",
+                "}",
+            ]
+        elif spec.idiom == "ownership-transfer":
+            locals_ = ["int i;", "int t;", "char dynamic *b;"]
+            body += [
+                f"b = malloc({alen});",
+                f"for (i = 0; i < {alen}; i++)",
+                f"  b[i] = (i * {s} + {k}) % 19;",
+                "mutexLock(&box_lk);",
+                "box[box_n] = SCAST(char dynamic *, b);",
+                "box_n = box_n + 1;",
+                "condSignal(&box_cv);",
+                "mutexUnlock(&box_lk);",
+                "mutexLock(&box_lk);",
+                "while (box_n == 0)",
+                "  condWait(&box_cv, &box_lk);",
+                "box_n = box_n - 1;",
+                "b = SCAST(char dynamic *, box[box_n]);",
+                "mutexUnlock(&box_lk);",
+                "t = 0;",
+                f"for (i = 0; i < {alen}; i++)",
+                "  t = t + b[i];",
+                "free(b);",
+                "mutexLock(&agg_lk);",
+                "agg_sum = agg_sum + t;",
+                "mutexUnlock(&agg_lk);",
+            ]
+        else:  # read-mostly
+            locals_ = ["int i;", "int rdx;", "int m;", "char c0;"]
+            body += ["m = 0;",
+                     f"c0 = cfg[{s} % cfg_len];",
+                     f"for (rdx = 0; rdx < {items}; rdx++) {{"]
+            body += ["  for (i = 0; i < cfg_len; i++) {",
+                     "    if (cfg[i] == c0)",
+                     "      m = m + 1;",
+                     "  }",
+                     "}"]
+            body += ["mutexLock(&agg_lk);",
+                     "agg_sum = agg_sum + m;",
+                     "mutexUnlock(&agg_lk);"]
+        lines += _fn(f"void *{w}", locals_, body)
+    decls, spawns, joins = _spawn_join(workers)
+    main = decls
+    if spec.idiom == "barrier-phased":
+        main += [f"barrier_init(&phase_b, {nw});"]
+    main += spawns + joins
+    main += ["mutexLock(&agg_lk);",
+             'printf("agg=%d\\n", agg_sum);',
+             "mutexUnlock(&agg_lk);"]
+    lines += _fn("int main()", [], main, tail="  return 0;")
+    return lines
+
+
+def _gen_worker_pool(rng: random.Random, spec: ScenarioSpec,
+                     workers, race_lines, dress) -> list[str]:
+    alen, items, nw = spec.array_len, spec.n_items, spec.n_workers
+    qsize = max(2, min(4, items))
+    npool = min(nw, 3)
+    lines: list[str] = [
+        f"#define FZ_QSIZE {qsize}",
+        "",
+        "mutex q_lk;", "cond q_ne;", "cond q_nf;",
+        "int locked(q_lk) fzq[FZ_QSIZE];",
+        "int locked(q_lk) q_head = 0;",
+        "int locked(q_lk) q_tail = 0;",
+        "int locked(q_lk) q_count = 0;",
+        "int locked(q_lk) q_done = 0;",
+    ]
+    if spec.idiom == "lock-protected":
+        lines += _agg_globals(hist=True, alen=alen)
+    elif spec.idiom == "ownership-transfer":
+        lines += [
+            "mutex p_lk;", "cond p_ne;",
+            f"char dynamic * locked(p_lk) fzpool[{npool}];",
+            "int locked(p_lk) p_top = 0;",
+        ] + _agg_globals(hist=False, alen=alen)
+    else:  # read-mostly
+        lines += _cfg_globals(rng, alen) + _agg_globals(hist=False,
+                                                        alen=alen)
+    lines += dress.globals()
+    lines.append("")
+    lines += [
+        "void fz_enqueue(int idx) {",
+        "  mutexLock(&q_lk);",
+        "  while (q_count == FZ_QSIZE)",
+        "    condWait(&q_nf, &q_lk);",
+        "  fzq[q_tail] = idx;",
+        "  q_tail = (q_tail + 1) % FZ_QSIZE;",
+        "  q_count = q_count + 1;",
+        "  condSignal(&q_ne);",
+        "  mutexUnlock(&q_lk);",
+        "}",
+        "",
+        "int fz_dequeue() {",
+        "  int idx;",
+        "  mutexLock(&q_lk);",
+        "  while (q_count == 0 && !q_done)",
+        "    condWait(&q_ne, &q_lk);",
+        "  if (q_count == 0) {",
+        "    mutexUnlock(&q_lk);",
+        "    return 0 - 1;",
+        "  }",
+        "  idx = fzq[q_head];",
+        "  q_head = (q_head + 1) % FZ_QSIZE;",
+        "  q_count = q_count - 1;",
+        "  condSignal(&q_nf);",
+        "  mutexUnlock(&q_lk);",
+        "  return idx;",
+        "}",
+        "",
+    ]
+    salts = [rng.randrange(1, 10) for _ in range(nw)]
+    for k, w in enumerate(workers):
+        s = salts[k]
+        if spec.idiom == "lock-protected":
+            locals_ = ["int idx;", "int j;", "int t;"]
+            item = [
+                f"t = (idx * {s} + {k}) % 31;",
+                "mutexLock(&agg_lk);",
+                "agg_sum = agg_sum + t;",
+                f"j = (idx + {k}) % {alen};",
+                "agg_hist[j] = agg_hist[j] + 1;",
+                "mutexUnlock(&agg_lk);",
+            ]
+        elif spec.idiom == "ownership-transfer":
+            locals_ = ["int idx;", "int j;", "int t;",
+                       "char dynamic *b;"]
+            item = [
+                "mutexLock(&p_lk);",
+                "while (p_top == 0)",
+                "  condWait(&p_ne, &p_lk);",
+                "p_top = p_top - 1;",
+                "b = SCAST(char dynamic *, fzpool[p_top]);",
+                "mutexUnlock(&p_lk);",
+                f"for (j = 0; j < {alen}; j++)",
+                f"  b[j] = (idx + j + {s}) % 29;",
+                "t = 0;",
+                f"for (j = 0; j < {alen}; j++)",
+                "  t = t + b[j];",
+                "mutexLock(&p_lk);",
+                "fzpool[p_top] = SCAST(char dynamic *, b);",
+                "p_top = p_top + 1;",
+                "condSignal(&p_ne);",
+                "mutexUnlock(&p_lk);",
+                "mutexLock(&agg_lk);",
+                "agg_sum = agg_sum + t;",
+                "mutexUnlock(&agg_lk);",
+            ]
+        else:  # read-mostly
+            locals_ = ["int idx;", "int i;", "int m;", "char c0;"]
+            item = (["m = 0;"]
+                    + _cfg_scan("idx", "m")
+                    + ["mutexLock(&agg_lk);",
+                       "agg_sum = agg_sum + m;",
+                       "mutexUnlock(&agg_lk);"])
+        body = list(race_lines[w]) + dress.worker_lines()
+        body += ["while (1) {",
+                 "  idx = fz_dequeue();",
+                 "  if (idx < 0)",
+                 "    break;"]
+        body += [f"  {line}" for line in item]
+        body += ["}"]
+        lines += _fn(f"void *{w}", locals_, body)
+    decls, spawns, joins = _spawn_join(workers)
+    main = ["int i;"] + decls
+    if spec.idiom == "ownership-transfer":
+        main += [
+            "mutexLock(&p_lk);",
+            f"for (i = 0; i < {npool}; i++) {{",
+            f"  fzpool[i] = malloc({alen});",
+            "  p_top = p_top + 1;",
+            "}",
+            "mutexUnlock(&p_lk);",
+        ]
+    main += spawns
+    main += [f"for (i = 0; i < {items}; i++)",
+             "  fz_enqueue(i);",
+             "mutexLock(&q_lk);",
+             "q_done = 1;",
+             "condBroadcast(&q_ne);",
+             "mutexUnlock(&q_lk);"]
+    main += joins
+    main += ["mutexLock(&agg_lk);",
+             'printf("pool agg=%d\\n", agg_sum);',
+             "mutexUnlock(&agg_lk);"]
+    lines += _fn("int main()", [], main, tail="  return 0;")
+    return lines
+
+
+def _int_link(j: int) -> list[str]:
+    return [
+        f"mutex l{j}_lk;", f"cond l{j}_full;", f"cond l{j}_empty;",
+        f"int locked(l{j}_lk) l{j}_val = 0;",
+        f"int locked(l{j}_lk) l{j}_has = 0;",
+        f"int locked(l{j}_lk) l{j}_done = 0;",
+        f"void fz_push{j}(int v) {{",
+        f"  mutexLock(&l{j}_lk);",
+        f"  while (l{j}_has == 1)",
+        f"    condWait(&l{j}_empty, &l{j}_lk);",
+        f"  l{j}_val = v;",
+        f"  l{j}_has = 1;",
+        f"  condSignal(&l{j}_full);",
+        f"  mutexUnlock(&l{j}_lk);",
+        "}",
+        f"int fz_pop{j}() {{",
+        "  int v;",
+        f"  mutexLock(&l{j}_lk);",
+        f"  while (l{j}_has == 0 && l{j}_done == 0)",
+        f"    condWait(&l{j}_full, &l{j}_lk);",
+        f"  if (l{j}_has == 0) {{",
+        f"    mutexUnlock(&l{j}_lk);",
+        "    return 0 - 1;",
+        "  }",
+        f"  v = l{j}_val;",
+        f"  l{j}_has = 0;",
+        f"  condSignal(&l{j}_empty);",
+        f"  mutexUnlock(&l{j}_lk);",
+        "  return v;",
+        "}",
+        f"void fz_close{j}() {{",
+        f"  mutexLock(&l{j}_lk);",
+        f"  l{j}_done = 1;",
+        f"  condBroadcast(&l{j}_full);",
+        f"  mutexUnlock(&l{j}_lk);",
+        "}",
+        "",
+    ]
+
+
+def _buf_link(j: int) -> list[str]:
+    # Buffer links get no push/pop helpers: SCAST's null-out clears the
+    # *source lvalue* only, so handing a dynamic pointer through a
+    # function parameter would leave the caller's copy live and trip the
+    # oneref check.  The hand-off protocol is inlined at each use site
+    # (see _buf_push/_buf_pop) exactly like pfscan's buffer pool.
+    return [
+        f"mutex l{j}_lk;", f"cond l{j}_full;", f"cond l{j}_empty;",
+        f"char dynamic * locked(l{j}_lk) l{j}_buf;",
+        f"int locked(l{j}_lk) l{j}_has = 0;",
+        f"int locked(l{j}_lk) l{j}_done = 0;",
+        f"void fz_close{j}() {{",
+        f"  mutexLock(&l{j}_lk);",
+        f"  l{j}_done = 1;",
+        f"  condBroadcast(&l{j}_full);",
+        f"  mutexUnlock(&l{j}_lk);",
+        "}",
+        "",
+    ]
+
+
+def _buf_push(j: int, var: str) -> list[str]:
+    """Inline capacity-1 publish of ``var`` into link ``j`` — the SCAST
+    nulls ``var``, keeping the object single-referenced."""
+    return [
+        f"mutexLock(&l{j}_lk);",
+        f"while (l{j}_has == 1)",
+        f"  condWait(&l{j}_empty, &l{j}_lk);",
+        f"l{j}_buf = SCAST(char dynamic *, {var});",
+        f"l{j}_has = 1;",
+        f"condSignal(&l{j}_full);",
+        f"mutexUnlock(&l{j}_lk);",
+    ]
+
+
+def _buf_pop(j: int, var: str, drained: Sequence[str]) -> list[str]:
+    """Inline claim from link ``j`` into ``var``; ``drained`` runs (and
+    must end the loop) once the link is closed and empty."""
+    out = [
+        f"mutexLock(&l{j}_lk);",
+        f"while (l{j}_has == 0 && l{j}_done == 0)",
+        f"  condWait(&l{j}_full, &l{j}_lk);",
+        f"if (l{j}_has == 0) {{",
+        f"  mutexUnlock(&l{j}_lk);",
+    ]
+    out += [f"  {line}" for line in drained]
+    out += [
+        "}",
+        f"{var} = SCAST(char dynamic *, l{j}_buf);",
+        f"l{j}_has = 0;",
+        f"condSignal(&l{j}_empty);",
+        f"mutexUnlock(&l{j}_lk);",
+    ]
+    return out
+
+
+def _gen_pipeline(rng: random.Random, spec: ScenarioSpec,
+                  workers, race_lines, dress) -> list[str]:
+    alen, items, stages = spec.array_len, spec.n_items, spec.n_workers
+    buffers = spec.idiom == "ownership-transfer"
+    lines: list[str] = []
+    lines += _agg_globals(hist=False, alen=alen)
+    if spec.idiom == "read-mostly":
+        lines += _cfg_globals(rng, alen)
+    lines += dress.globals()
+    lines.append("")
+    for j in range(stages):
+        lines += _buf_link(j) if buffers else _int_link(j)
+    salts = [rng.randrange(1, 10) for _ in range(stages)]
+    for k, w in enumerate(workers):
+        s = salts[k]
+        last = k == stages - 1
+        body = list(race_lines[w]) + dress.worker_lines()
+        if buffers:
+            locals_ = ["int j;", "int t;", "char dynamic *b;"]
+            drained = ([f"fz_close{k + 1}();"] if not last else [])
+            drained += ["break;"]
+            body += ["while (1) {"]
+            body += [f"  {line}" for line in _buf_pop(k, "b", drained)]
+            if last:
+                body += ["  t = 0;",
+                         f"  for (j = 0; j < {alen}; j++)",
+                         "    t = t + b[j];",
+                         "  free(b);",
+                         "  mutexLock(&agg_lk);",
+                         "  agg_sum = agg_sum + t;",
+                         "  mutexUnlock(&agg_lk);"]
+            else:
+                body += [f"  for (j = 0; j < {alen}; j++)",
+                         f"    b[j] = (b[j] + {s}) % 23;"]
+                body += [f"  {line}" for line in _buf_push(k + 1, "b")]
+            body += ["}"]
+        else:
+            locals_ = ["int v;"]
+            if spec.idiom == "read-mostly" and not last:
+                locals_ += ["int i;", "int m;", "char c0;"]
+            body += ["while (1) {",
+                     f"  v = fz_pop{k}();",
+                     "  if (v < 0) {"]
+            body += ([f"    fz_close{k + 1}();"] if not last else [])
+            body += ["    break;", "  }"]
+            if last:
+                body += ["  mutexLock(&agg_lk);",
+                         "  agg_sum = agg_sum + v;",
+                         "  mutexUnlock(&agg_lk);"]
+            elif spec.idiom == "read-mostly":
+                body += ["  m = 0;"]
+                body += [f"  {line}"
+                         for line in _cfg_scan(f"(v + {s})", "m")]
+                body += ["  v = v + m;",
+                         f"  fz_push{k + 1}(v);"]
+            else:  # lock-protected transform
+                body += [f"  v = (v * {s} + {k}) % 97;",
+                         f"  fz_push{k + 1}(v);"]
+            body += ["}"]
+        lines += _fn(f"void *{w}", locals_, body)
+    decls, spawns, joins = _spawn_join(workers)
+    main = ["int i;"] + decls
+    if buffers:
+        main += ["char dynamic *b;"]
+    main += spawns
+    if buffers:
+        main += [f"for (i = 0; i < {items}; i++) {{",
+                 f"  b = malloc({alen});"]
+        main += [f"  {line}" for line in _buf_push(0, "b")]
+        main += ["}"]
+    else:
+        main += [f"for (i = 0; i < {items}; i++)",
+                 f"  fz_push0((i * 5 + 2) % 61);"]
+    main += ["fz_close0();"]
+    main += joins
+    main += ["mutexLock(&agg_lk);",
+             'printf("pipe agg=%d\\n", agg_sum);',
+             "mutexUnlock(&agg_lk);"]
+    lines += _fn("int main()", [], main, tail="  return 0;")
+    return lines
+
+
+def _gen_scatter_gather(rng: random.Random, spec: ScenarioSpec,
+                        workers, race_lines, dress) -> list[str]:
+    alen, items, rounds = spec.array_len, spec.n_items, spec.rounds
+    nw = spec.n_workers
+    lines: list[str] = [
+        "mutex sg_lk;",
+        f"int locked(sg_lk) sg_in[{nw}];",
+        f"int locked(sg_lk) sg_out[{nw}];",
+    ]
+    if spec.idiom == "lock-protected":
+        lines += _agg_globals(hist=True, alen=alen)
+    elif spec.idiom == "barrier-phased":
+        lines += ["barrier phase_b;"] + _agg_globals(hist=False,
+                                                     alen=alen)
+        for k in range(nw):
+            lines.append(dress.scratch_decl(f"w{k}_acc"))
+    else:  # read-mostly
+        lines += _cfg_globals(rng, alen) + _agg_globals(hist=False,
+                                                        alen=alen)
+    lines += dress.globals()
+    lines.append("")
+    a, b = rng.randrange(1, 9), rng.randrange(0, 9)
+    salts = [rng.randrange(1, 10) for _ in range(nw)]
+    for k, w in enumerate(workers):
+        s = salts[k]
+        body = list(race_lines[w]) + dress.worker_lines()
+        body += ["mutexLock(&sg_lk);",
+                 f"x = sg_in[{k}];",
+                 "mutexUnlock(&sg_lk);"]
+        if spec.idiom == "lock-protected":
+            locals_ = ["int x;", "int t;", "int i;", "int j;"]
+            body += ["t = 0;",
+                     f"for (i = 0; i < {items}; i++) {{",
+                     f"  t = t + (x + i * {s}) % 17;",
+                     "  mutexLock(&agg_lk);",
+                     f"  j = (x + i) % {alen};",
+                     "  agg_hist[j] = agg_hist[j] + 1;",
+                     "  mutexUnlock(&agg_lk);",
+                     "}"]
+        elif spec.idiom == "barrier-phased":
+            locals_ = ["int x;", "int t;", "int r;"]
+            body += [f"for (r = 0; r < {rounds}; r++) {{",
+                     f"  w{k}_acc = w{k}_acc + (x + r * {s}) % 11;",
+                     "  barrier_wait(&phase_b);",
+                     "  mutexLock(&agg_lk);",
+                     f"  agg_sum = agg_sum + w{k}_acc;",
+                     "  mutexUnlock(&agg_lk);",
+                     "  barrier_wait(&phase_b);",
+                     "}",
+                     f"t = w{k}_acc;"]
+        else:  # read-mostly
+            locals_ = ["int x;", "int t;", "int i;", "char c0;"]
+            body += ["t = 0;"] + _cfg_scan("x", "t")
+        body += ["mutexLock(&sg_lk);",
+                 f"sg_out[{k}] = t;",
+                 "mutexUnlock(&sg_lk);"]
+        lines += _fn(f"void *{w}", locals_, body)
+    decls, spawns, joins = _spawn_join(workers)
+    main = ["int i;", "int total;"] + decls
+    main += ["mutexLock(&sg_lk);",
+             f"for (i = 0; i < {nw}; i++)",
+             f"  sg_in[i] = (i * {a} + {b}) % 43;",
+             "mutexUnlock(&sg_lk);"]
+    if spec.idiom == "barrier-phased":
+        main += [f"barrier_init(&phase_b, {nw});"]
+    main += spawns + joins
+    main += ["total = 0;",
+             "mutexLock(&sg_lk);",
+             f"for (i = 0; i < {nw}; i++)",
+             "  total = total + sg_out[i];",
+             "mutexUnlock(&sg_lk);",
+             'printf("sg total=%d\\n", total);']
+    lines += _fn("int main()", [], main, tail="  return 0;")
+    return lines
+
+
+_BUILDERS = {
+    "fork-join": _gen_fork_join,
+    "pipeline": _gen_pipeline,
+    "worker-pool": _gen_worker_pool,
+    "scatter-gather": _gen_scatter_gather,
+}
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def generate_scenario(spec: ScenarioSpec) -> Scenario:
+    """The one scenario ``spec`` names — a pure function of the spec."""
+    rng = random.Random(spec.gen_seed)
+    prefix = "stage" if spec.topology == "pipeline" else "w"
+    workers = [f"{prefix}{k}" for k in range(spec.n_workers)]
+    races, race_globals, race_lines = _plan_races(rng, spec, workers)
+    dress = _Dressing(rng, spec.density)
+    body = _BUILDERS[spec.topology](rng, spec, workers, race_lines,
+                                    dress)
+    header = [f"// fuzz scenario {spec.family} "
+              f"(gen_seed={spec.gen_seed}, "
+              f"races={list(spec.race_kinds) or 'none'})"]
+    source = "\n".join(header + race_globals + body) + "\n"
+    oracle = ScenarioOracle(
+        kind="racy" if spec.racy else "race-free", races=tuple(races))
+    return Scenario(spec=spec, source=source, oracle=oracle,
+                    formal=_formal_companion(races))
+
+
+def sample_specs(rng: random.Random, budget: int,
+                 racy_fraction: float = 0.5,
+                 families: Optional[Sequence] = None,
+                 ) -> list[ScenarioSpec]:
+    """``budget`` specs cycling the supported family grid with
+    rng-driven shapes; roughly ``racy_fraction`` of them carry injected
+    races (alternating deterministically, not by coin flip, so small
+    budgets still cover both oracle kinds)."""
+    families = list(families or SUPPORTED_FAMILIES)
+    racy_every = (1.0 / racy_fraction) if racy_fraction > 0 else 0.0
+    specs: list[ScenarioSpec] = []
+    next_racy = racy_every / 2.0
+    for i in range(budget):
+        topology, idiom = families[i % len(families)]
+        racy = False
+        if racy_every and i + 1 >= next_racy:
+            racy = True
+            next_racy += racy_every
+        kinds: tuple[str, ...] = ()
+        if racy:
+            n_races = rng.choice((1, 1, 2))
+            kinds = tuple(rng.choice(("write-write", "lock-elision"))
+                          for _ in range(n_races))
+        specs.append(ScenarioSpec(
+            topology=topology, idiom=idiom,
+            n_workers=rng.randint(2, 3 if topology == "pipeline" else 4),
+            n_items=rng.randint(2, 6),
+            array_len=rng.choice((8, 12, 16, 24)),
+            rounds=rng.randint(1, 3),
+            density=rng.choice((0.3, 0.6, 1.0)),
+            race_kinds=kinds,
+            gen_seed=rng.randrange(1 << 30)))
+    return specs

@@ -1,0 +1,183 @@
+"""The scenario model: spec (knobs), oracle (ground truth), scenario.
+
+A *scenario family* is a (topology, sharing idiom) pair; a *spec* fixes
+a family plus size/shape/annotation knobs and a generation seed, so one
+spec names exactly one generated mini-C program.  The *oracle* is the
+ground truth the differential pipeline checks every detector against:
+either the scenario is race-free by construction (every shared access is
+lock-protected, barrier-confined to one thread, ownership-transferred
+via SCAST, or readonly — so SharC must report nothing on any schedule),
+or it carries injected races, each described by a
+:class:`~repro.formal.gen.RaceSpec` that detector report keys can be
+matched against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.formal.gen import RaceSpec
+
+#: thread-structure shapes the generator knows how to emit
+TOPOLOGIES = ("fork-join", "pipeline", "worker-pool", "scatter-gather")
+
+#: sharing-discipline idioms dressing the shared state
+IDIOMS = ("lock-protected", "barrier-phased", "ownership-transfer",
+          "read-mostly")
+
+#: the (topology, idiom) grid the generator supports — every topology
+#: carries at least three idioms; the barrier idiom only combines with
+#: topologies whose workers all run the same number of phases
+SUPPORTED_FAMILIES = (
+    ("fork-join", "lock-protected"),
+    ("fork-join", "barrier-phased"),
+    ("fork-join", "ownership-transfer"),
+    ("fork-join", "read-mostly"),
+    ("pipeline", "lock-protected"),
+    ("pipeline", "ownership-transfer"),
+    ("pipeline", "read-mostly"),
+    ("worker-pool", "lock-protected"),
+    ("worker-pool", "ownership-transfer"),
+    ("worker-pool", "read-mostly"),
+    ("scatter-gather", "lock-protected"),
+    ("scatter-gather", "barrier-phased"),
+    ("scatter-gather", "read-mostly"),
+)
+
+#: injectable race kinds (see :class:`repro.formal.gen.RaceSpec`)
+RACE_KINDS = ("write-write", "lock-elision")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything that determines one generated scenario."""
+
+    topology: str
+    idiom: str
+    #: workers for fork-join/pool/scatter-gather; stages for pipeline
+    n_workers: int = 2
+    #: work items (queue entries, pipeline payloads, loop trip counts)
+    n_items: int = 4
+    #: shared/scratch array and config-string length
+    array_len: int = 16
+    #: barrier rounds (barrier-phased idiom only)
+    rounds: int = 2
+    #: fraction of *optional* annotations emitted (the required ones —
+    #: locked()/readonly on genuinely shared state — are always present;
+    #: density only toggles redundant dynamic/racy/readonly dressing)
+    density: float = 1.0
+    #: one injected race per entry; empty means race-free-by-construction
+    race_kinds: tuple[str, ...] = ()
+    gen_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.topology, self.idiom) not in SUPPORTED_FAMILIES:
+            raise ValueError(
+                f"unsupported family {self.topology}/{self.idiom}")
+        if self.n_workers < 2:
+            raise ValueError("n_workers must be >= 2")
+        if self.n_items < 1 or self.array_len < 4 or self.rounds < 1:
+            raise ValueError("degenerate scenario shape")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError("density must be in [0, 1]")
+        for kind in self.race_kinds:
+            if kind not in RACE_KINDS:
+                raise ValueError(f"unknown race kind {kind!r}")
+
+    @property
+    def family(self) -> str:
+        return f"{self.topology}/{self.idiom}"
+
+    @property
+    def racy(self) -> bool:
+        return bool(self.race_kinds)
+
+    def as_dict(self) -> dict:
+        return {
+            "topology": self.topology, "idiom": self.idiom,
+            "n_workers": self.n_workers, "n_items": self.n_items,
+            "array_len": self.array_len, "rounds": self.rounds,
+            "density": self.density,
+            "race_kinds": list(self.race_kinds),
+            "gen_seed": self.gen_seed,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScenarioSpec":
+        return ScenarioSpec(
+            topology=data["topology"], idiom=data["idiom"],
+            n_workers=data["n_workers"], n_items=data["n_items"],
+            array_len=data["array_len"], rounds=data["rounds"],
+            density=data["density"],
+            race_kinds=tuple(data["race_kinds"]),
+            gen_seed=data["gen_seed"])
+
+
+@dataclass(frozen=True)
+class ScenarioOracle:
+    """Ground truth for one scenario.
+
+    ``kind`` is ``"racy"`` (the injected ``races`` are real and a sound
+    dynamic checker given enough schedules must find each of them —
+    missing one across a full sweep is a *missed-race* violation) or
+    ``"race-free"`` (the scenario is clean by construction, so *any*
+    SharC report on *any* schedule is a *false-positive* violation).
+    """
+
+    kind: str  # "racy" | "race-free"
+    races: tuple[RaceSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("racy", "race-free"):
+            raise ValueError(f"unknown oracle kind {self.kind!r}")
+        if (self.kind == "racy") != bool(self.races):
+            raise ValueError("racy oracles need races; race-free "
+                             "oracles must not carry any")
+
+    def matched_races(self, keys: Sequence[str]) -> list[RaceSpec]:
+        """The injected races at least one report key hits."""
+        return [race for race in self.races
+                if any(race.matches_key(k) for k in keys)]
+
+    def missed_races(self, keys: Sequence[str]) -> list[RaceSpec]:
+        """The injected races *no* report key hits."""
+        return [race for race in self.races
+                if not any(race.matches_key(k) for k in keys)]
+
+    def unexpected_keys(self, keys: Sequence[str]) -> list[str]:
+        """Report keys no injected race accounts for — on a race-free
+        scenario that is every key; on a racy one, any finding beyond
+        the injected ground truth."""
+        return [k for k in keys
+                if not any(race.matches_key(k) for race in self.races)]
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind,
+                "races": [race.as_dict() for race in self.races]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ScenarioOracle":
+        return ScenarioOracle(
+            kind=data["kind"],
+            races=tuple(RaceSpec.from_dict(r)
+                        for r in data.get("races", ())))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One generated workload model, ready for the pipeline."""
+
+    spec: ScenarioSpec
+    source: str
+    oracle: ScenarioOracle
+    #: formal (Figure 3) companion program carrying the same injected
+    #: races, so the Machine's races_in_trace() oracle can confirm each
+    #: one independently of the C-level detectors; None when race-free
+    formal: Optional[object] = field(default=None, compare=False)
+
+    @property
+    def filename(self) -> str:
+        tag = "racy" if self.spec.racy else "clean"
+        return (f"fuzz_{self.spec.topology}_{self.spec.idiom}"
+                f"_{tag}_{self.spec.gen_seed}.c")

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import json
 
-METRICS_SCHEMA = "sharc-metrics/2"
+METRICS_SCHEMA = "sharc-metrics/3"
 
 
 def _rate(hits: int, total: int) -> float:
@@ -40,6 +40,7 @@ class MetricsRegistry:
         self.sweeps: list[dict] = []
         self.schedules = 0
         self.failing = 0
+        self.crashed = 0
         self.steps_total = 0
         self.check_updates = 0
         self.check_fastpath = 0
@@ -62,12 +63,14 @@ class MetricsRegistry:
             "policies": list(summary.policies),
             "schedules": summary.schedules,
             "failing_schedules": len(summary.failures),
+            "crashed_schedules": len(summary.crashes),
             "races_per_1k": round(summary.races_per_1k, 3),
             "distinct_traces": summary.distinct_traces,
             "check_hit_rate": round(_rate(fastpath, updates), 6),
         })
         self.schedules += summary.schedules
         self.failing += len(summary.failures)
+        self.crashed += len(summary.crashes)
         self.steps_total += summary.steps_total
         self.check_updates += updates
         self.check_fastpath += fastpath
@@ -81,10 +84,11 @@ class MetricsRegistry:
             acc["fastpath"] += outcome.check_fastpath
         for policy, bucket in summary.per_policy.items():
             acc = self._policies.setdefault(
-                policy, {"schedules": 0, "failures": 0, "traces": set(),
-                         "updates": 0, "fastpath": 0})
+                policy, {"schedules": 0, "failures": 0, "crashes": 0,
+                         "traces": set(), "updates": 0, "fastpath": 0})
             acc["schedules"] += bucket["schedules"]
             acc["failures"] += bucket["failures"]
+            acc["crashes"] += bucket.get("crashes", 0)
             acc["traces"] |= bucket["traces"]
             counts = by_policy.get(policy, {})
             acc["updates"] += counts.get("updates", 0)
@@ -108,7 +112,9 @@ class MetricsRegistry:
 
     @property
     def races_per_1k(self) -> float:
-        return _per_1k(self.failing, self.schedules)
+        # Crash-tagged schedules never reached a verdict; counting them
+        # in the denominator would understate the observed race rate.
+        return _per_1k(self.failing, self.schedules - self.crashed)
 
     @property
     def check_hit_rate(self) -> float:
@@ -122,6 +128,7 @@ class MetricsRegistry:
                 "sweeps": len(self.sweeps),
                 "schedules": self.schedules,
                 "failing_schedules": self.failing,
+                "crashed_schedules": self.crashed,
                 "races_per_1k": round(self.races_per_1k, 3),
                 "distinct_traces": len(self._trace_hashes),
                 "distinct_reports": len(self._reports),
@@ -140,8 +147,11 @@ class MetricsRegistry:
                 policy: {
                     "schedules": acc["schedules"],
                     "failures": acc["failures"],
+                    "crashes": acc.get("crashes", 0),
                     "races_per_1k": round(
-                        _per_1k(acc["failures"], acc["schedules"]), 3),
+                        _per_1k(acc["failures"],
+                                acc["schedules"] - acc.get("crashes", 0)),
+                        3),
                     "distinct_traces": len(acc["traces"]),
                     "check_hit_rate": round(
                         _rate(acc["fastpath"], acc["updates"]), 6),
@@ -188,8 +198,8 @@ def validate_metrics(payload: dict) -> list:
     if not isinstance(totals, dict):
         return problems + ["totals missing"]
     for key in ("sweeps", "schedules", "failing_schedules",
-                "distinct_traces", "steps_total", "check_updates",
-                "check_fastpath_hits"):
+                "crashed_schedules", "distinct_traces", "steps_total",
+                "check_updates", "check_fastpath_hits"):
         value = totals.get(key)
         if not isinstance(value, int) or value < 0:
             problems.append(f"totals.{key}: expected non-negative int, "

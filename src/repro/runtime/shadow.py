@@ -72,6 +72,12 @@ PAGE_SHIFT = 10
 PAGE_SIZE = 1 << PAGE_SHIFT
 PAGE_MASK = PAGE_SIZE - 1
 
+#: accesses spanning at least this many granules take the page-sliced
+#: range walk (``chkread_range``/``chkwrite_range``); a module-level
+#: default so tests can lower it and force the range path on small
+#: buffers even when the interpreter builds the shadow internally
+DEFAULT_RANGE_THRESHOLD = 8
+
 
 @dataclass(frozen=True)
 class LastAccess:
@@ -112,8 +118,9 @@ class ShadowMemory:
         #: how many checks went through the range-batched walk
         self.range_calls = 0
         #: accesses spanning more than this many granules take the
-        #: page-sliced range walk; tests pin it to force either path
-        self.range_threshold = 8
+        #: page-sliced range walk; tests pin it (per instance, or via
+        #: the module-level DEFAULT_RANGE_THRESHOLD) to force either path
+        self.range_threshold = DEFAULT_RANGE_THRESHOLD
         #: every granule ever checked (memory-overhead accounting survives
         #: thread exits and frees)
         self.touched: set[int] = set()

@@ -1,0 +1,266 @@
+"""The fuzz campaign: oracle scoring, violation artifacts, report
+schema, and the corpus replay gate's failure modes.
+
+The forced-violation tests work by lying to the pipeline: a racy source
+labeled race-free must surface as a ``false-positive`` violation (with a
+shrunk, replayable artifact), and a fabricated race on a clean source
+must surface as ``missed-race`` — proving the oracle comparison actually
+runs in both directions rather than rubber-stamping the generator.
+"""
+
+import copy
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.explore.shrink import load_artifact, replay_artifact
+from repro.formal.gen import RaceSpec
+from repro.fuzz.gen import generate_scenario
+from repro.fuzz.pipeline import (
+    FUZZ_REPORT_SCHEMA, VIOLATION_KINDS, FuzzConfig, FuzzReport,
+    OracleViolation, fuzz_campaign, fuzz_scenario, replay_corpus,
+    validate_fuzz_report,
+)
+from repro.fuzz.scenarios import Scenario, ScenarioOracle, ScenarioSpec
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: a committed-corpus spec: its injected races are known to surface
+#: within an 8-seed random+pct sweep (the corpus builder proved it)
+RACY_SPEC = ScenarioSpec(
+    topology="fork-join", idiom="lock-protected", n_workers=4,
+    n_items=6, array_len=12, rounds=1, density=0.3,
+    race_kinds=("write-write", "lock-elision"), gen_seed=1067521741)
+
+CLEAN_SPEC = ScenarioSpec(
+    topology="scatter-gather", idiom="barrier-phased", n_workers=2,
+    n_items=3, array_len=8, rounds=2, density=0.6, gen_seed=5)
+
+CONFIG = FuzzConfig(seeds=8, policies=("random", "pct"),
+                    max_steps=120_000, shrink=False)
+
+
+def _campaign_report():
+    return fuzz_campaign(CONFIG, specs=[RACY_SPEC, CLEAN_SPEC])
+
+
+@pytest.fixture(scope="module")
+def report():
+    return _campaign_report()
+
+
+class TestCampaign:
+    def test_tiny_campaign_has_no_violations(self, report):
+        assert report.ok, [v.as_dict() for v in report.violations]
+        assert len(report.scenarios) == 2
+        racy_row = report.scenarios[0]
+        assert racy_row["racy"] is True
+        assert racy_row["sharc_keys"], \
+            "injected races produced no reports"
+        clean_row = report.scenarios[1]
+        assert clean_row["racy"] is False
+        assert clean_row["sharc_keys"] == []
+
+    def test_every_scenario_ran_both_backends(self, report):
+        per_sweep = CONFIG.seeds * len(CONFIG.policies)
+        for row in report.scenarios:
+            assert row["schedules"] == 2 * per_sweep
+            assert row["crashes"] == 0
+
+    def test_families_rollup(self, report):
+        families = report.families
+        assert families["fork-join/lock-protected"] \
+            == {"scenarios": 1, "racy": 1, "violations": 0}
+        assert families["scatter-gather/barrier-phased"]["racy"] == 0
+
+    def test_report_payload_validates_and_renders(self, report):
+        payload = report.as_dict()
+        assert validate_fuzz_report(payload) == []
+        assert payload["schema"] == FUZZ_REPORT_SCHEMA
+        assert json.loads(json.dumps(payload)) == payload
+        text = report.render()
+        assert "2 scenarios" in text
+        assert "no oracle violations" in text
+
+    def test_campaign_sampling_is_deterministic(self):
+        a = fuzz_campaign(FuzzConfig(budget=4, seeds=1,
+                                     policies=("random",),
+                                     gen_seed=2, shrink=False))
+        b = fuzz_campaign(FuzzConfig(budget=4, seeds=1,
+                                     policies=("random",),
+                                     gen_seed=2, shrink=False))
+        assert [r["scenario"] for r in a.scenarios] \
+            == [r["scenario"] for r in b.scenarios]
+
+
+class TestForcedViolations:
+    def test_racy_source_labeled_clean_is_a_false_positive(self,
+                                                           tmp_path):
+        racy = generate_scenario(RACY_SPEC)
+        lied = Scenario(spec=CLEAN_SPEC, source=racy.source,
+                        oracle=ScenarioOracle(kind="race-free"))
+        config = FuzzConfig(seeds=8, policies=("random", "pct"),
+                            shrink=True, out_dir=str(tmp_path))
+        report = FuzzReport(config=config)
+        fuzz_scenario(lied, config, report)
+        kinds = {v.kind for v in report.violations}
+        assert "false-positive" in kinds
+        fp = next(v for v in report.violations
+                  if v.kind == "false-positive")
+        assert fp.seed is not None and fp.policy
+        assert fp.artifact and os.path.exists(fp.artifact)
+        payload = load_artifact(fp.artifact)
+        assert payload["fuzz"]["violation"] == "false-positive"
+        assert payload["fuzz"]["spec"] == CLEAN_SPEC.as_dict()
+        assert payload["fuzz"]["oracle"]["kind"] == "race-free"
+        # The artifact replays to the reports it was shrunk to keep.
+        replayed = replay_artifact(payload)
+        assert set(payload["report_keys"]) \
+            <= set(replayed.report_counts)
+
+    def test_clean_source_with_fabricated_race_is_a_missed_race(self):
+        clean = generate_scenario(CLEAN_SPEC)
+        phantom = RaceSpec(kind="write-write",
+                           global_name="fz_phantom",
+                           threads=("w0", "w1"), values=(1, 2))
+        lied = Scenario(spec=RACY_SPEC, source=clean.source,
+                        oracle=ScenarioOracle(kind="racy",
+                                              races=(phantom,)))
+        config = FuzzConfig(seeds=2, policies=("random",),
+                            shrink=False)
+        report = FuzzReport(config=config)
+        fuzz_scenario(lied, config, report)
+        assert [v.kind for v in report.violations] == ["missed-race"]
+        violation = report.violations[0]
+        assert "fz_phantom" in violation.detail
+        assert violation.artifact is None
+        payload = report.as_dict()
+        assert validate_fuzz_report(payload) == []
+        assert "ORACLE VIOLATIONS" in report.render()
+
+
+class TestViolationModel:
+    def test_dict_round_trip(self):
+        violation = OracleViolation(
+            kind="backend-divergence", scenario="a.c", family="x/y",
+            detail="steps diverged", seed=3, policy="random",
+            artifact="/tmp/a.json")
+        assert OracleViolation.from_dict(violation.as_dict()) \
+            == violation
+
+    def test_report_ok_tracks_violations(self):
+        report = FuzzReport(config=FuzzConfig())
+        assert report.ok
+        report.violations.append(OracleViolation(
+            kind="missed-race", scenario="a.c", family="x/y",
+            detail="gone"))
+        assert not report.ok
+
+
+class TestValidateFuzzReport:
+    def test_rejects_non_object(self):
+        assert validate_fuzz_report([]) == ["payload is not an object"]
+
+    def test_flags_schema_and_missing_sections(self):
+        problems = validate_fuzz_report({"schema": "bogus/9"})
+        assert any("schema" in p for p in problems)
+        assert any("scenarios" in p for p in problems)
+        assert any("violations" in p for p in problems)
+        assert any("stats" in p for p in problems)
+        assert any("families" in p for p in problems)
+
+    def test_flags_bad_violation_rows(self, report):
+        payload = copy.deepcopy(report.as_dict())
+        payload["violations"] = [
+            {"kind": "made-up", "scenario": "a.c", "family": "f",
+             "detail": "d"},
+            {"kind": "missed-race", "scenario": 7, "family": "f",
+             "detail": "d"},
+            "not-an-object",
+        ]
+        problems = validate_fuzz_report(payload)
+        assert any("violations[0].kind" in p for p in problems)
+        assert any("violations[1].scenario" in p for p in problems)
+        assert any("violations[2]" in p for p in problems)
+
+    def test_flags_negative_stats(self, report):
+        payload = copy.deepcopy(report.as_dict())
+        payload["stats"]["eraser_missed"] = -1
+        problems = validate_fuzz_report(payload)
+        assert any("stats.eraser_missed" in p for p in problems)
+
+    def test_violation_kinds_is_the_closed_set(self):
+        assert set(VIOLATION_KINDS) == {
+            "missed-race", "false-positive", "unexpected-race",
+            "backend-divergence"}
+
+
+class TestReplayCorpusGate:
+    """The gate must actually fail on tampered artifacts — a gate that
+    cannot fire protects nothing."""
+
+    @pytest.fixture
+    def corpus_copy(self, tmp_path):
+        name = sorted(os.listdir(CORPUS))[0]
+        shutil.copy(os.path.join(CORPUS, name), tmp_path / name)
+        return str(tmp_path), name
+
+    def _rewrite(self, directory, name, mutate):
+        path = os.path.join(directory, name)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        mutate(payload)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    def test_pristine_artifact_passes(self, corpus_copy):
+        directory, name = corpus_copy
+        rows = replay_corpus(directory, backends=("interp",))
+        assert [row["ok"] for row in rows] == [True]
+        assert rows[0]["artifact"] == name
+        assert rows[0]["problems"] == []
+
+    def test_tampered_expectation_fails_the_gate(self, corpus_copy):
+        directory, name = corpus_copy
+
+        def bump_steps(payload):
+            payload["fuzz"]["expect"]["steps"] += 1
+
+        self._rewrite(directory, name, bump_steps)
+        rows = replay_corpus(directory, backends=("interp",))
+        assert not rows[0]["ok"]
+        assert any("steps diverged from recorded expectation" in p
+                   for p in rows[0]["problems"])
+
+    def test_phantom_report_key_fails_the_gate(self, corpus_copy):
+        directory, name = corpus_copy
+
+        def add_phantom(payload):
+            payload["report_keys"].append("write conflict ghost@1")
+
+        self._rewrite(directory, name, add_phantom)
+        rows = replay_corpus(directory, backends=("interp",))
+        assert not rows[0]["ok"]
+        assert any("missing expected reports" in p
+                   for p in rows[0]["problems"])
+
+    def test_unrunnable_artifact_reports_a_crash_row(self, corpus_copy):
+        directory, name = corpus_copy
+
+        def break_source(payload):
+            payload["source"] = "int main() { return syntax error"
+
+        self._rewrite(directory, name, break_source)
+        rows = replay_corpus(directory, backends=("interp",))
+        assert not rows[0]["ok"]
+        assert any("replay crashed" in p for p in rows[0]["problems"])
+
+    def test_name_filter_selects_a_subset(self, tmp_path):
+        names = sorted(os.listdir(CORPUS))[:2]
+        for name in names:
+            shutil.copy(os.path.join(CORPUS, name), tmp_path / name)
+        rows = replay_corpus(str(tmp_path), backends=("interp",),
+                             names=[names[1]])
+        assert [row["artifact"] for row in rows] == [names[1]]

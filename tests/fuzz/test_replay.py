@@ -1,0 +1,181 @@
+"""The replay frontend: artifact coordinates, trace conversion, and the
+shrink -> save -> replay -> re-shrink fixpoint.
+
+The fixpoint property is the round-trip contract: because the shrinker
+is deterministic (ReplayPolicy over the saved trace, fixed ddmin order),
+re-shrinking from an artifact's own coordinates must land on exactly the
+same minimal trace — any drift means save/load dropped something the
+shrinker depends on.
+"""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    explore_source, load_artifact, replay_artifact, save_artifact,
+    shrink_failure,
+)
+from repro.fuzz.replay import (
+    replay_trace_file, reshrink_artifact, schedule_from_events,
+    schedule_from_trace_file, seed_from_artifact,
+)
+from repro.obs import TraceConfig
+from repro.obs.events import Event
+from repro.obs.export import write_jsonl
+from repro.runtime.interp import run_source
+
+RACY = """
+int counter = 0;
+void *bump(void *arg) {
+  int i;
+  for (i = 0; i < 5; i++) counter = counter + 1;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+
+class TestSeedFromArtifact:
+    def test_accepts_plain_coordinates(self):
+        assert seed_from_artifact({"seed": 42, "policy": "random"}) \
+            == (42, "random")
+
+    @pytest.mark.parametrize("seed", [True, False, "7", 3.0, None])
+    def test_rejects_non_int_seeds(self, seed):
+        with pytest.raises(ValueError, match="seed must be an int"):
+            seed_from_artifact({"seed": seed, "policy": "random"})
+
+    @pytest.mark.parametrize("policy", [7, "", None, 0.5])
+    def test_rejects_non_string_policies(self, policy):
+        with pytest.raises(ValueError, match="policy must be"):
+            seed_from_artifact({"seed": 1, "policy": policy})
+
+
+class TestShrinkFixpoint:
+    """shrink -> save -> load -> replay -> re-shrink, per policy, with
+    multi-digit seeds (a bool/str seed surviving the JSON round trip is
+    exactly the bug seed_from_artifact guards against)."""
+
+    @pytest.mark.parametrize("policy", ["random", "round-robin", "pct",
+                                        "pb"])
+    def test_round_trip_is_a_fixpoint(self, policy, tmp_path):
+        summary = explore_source(RACY, "racy.c", checker="sharc",
+                                 seeds=6, seed_start=10,
+                                 policies=(policy,), max_steps=60_000)
+        outcome = summary.first_failure
+        assert outcome is not None, f"{policy}: no failing schedule"
+        assert outcome.seed >= 10  # multi-digit, not a truthy bool
+        first = shrink_failure(RACY, "racy.c", seed=outcome.seed,
+                               policy=outcome.policy, checker="sharc",
+                               target_keys=outcome.report_keys,
+                               max_steps=60_000)
+        path = tmp_path / f"{policy}.json"
+        save_artifact(first, str(path))
+        payload = load_artifact(str(path))
+        assert seed_from_artifact(payload) \
+            == (outcome.seed, outcome.policy)
+        # The saved minimal schedule still reproduces its reports.
+        replayed = replay_artifact(payload)
+        assert set(payload["report_keys"]) \
+            <= set(replayed.report_counts)
+        # Re-shrinking from the artifact's own coordinates is a no-op.
+        second = reshrink_artifact(payload)
+        assert second.trace == first.trace
+        assert second.original_trace == first.original_trace
+        assert second.report_keys == first.report_keys
+        assert second.switches == first.switches
+
+    def test_fixpoint_survives_a_json_byte_round_trip(self, tmp_path):
+        summary = explore_source(RACY, "racy.c", checker="sharc",
+                                 seeds=6, seed_start=10,
+                                 policies=("random",),
+                                 max_steps=60_000)
+        outcome = summary.first_failure
+        first = shrink_failure(RACY, "racy.c", seed=outcome.seed,
+                               policy=outcome.policy, checker="sharc",
+                               target_keys=outcome.report_keys,
+                               max_steps=60_000)
+        path = tmp_path / "a.json"
+        save_artifact(first, str(path))
+        # Decode/re-encode the raw bytes: what a git checkout sees.
+        reloaded = json.loads(path.read_text())
+        path.write_text(json.dumps(reloaded))
+        second = reshrink_artifact(load_artifact(str(path)))
+        assert second.trace == first.trace
+
+
+def _run_event(tid, items):
+    return Event(cat="sched", name="run", tid=tid, ts=0, dur=items,
+                 args={"items": items})
+
+
+class TestScheduleFromEvents:
+    def test_extracts_and_merges_consecutive_bursts(self):
+        events = [
+            _run_event(1, 3),
+            _run_event(1, 2),  # same tid: merged
+            Event(cat="check", name="chkread", tid=2, ts=0, dur=1,
+                  args={}),  # not a sched event
+            _run_event(2, 4),
+            Event(cat="sched", name="block", tid=2, ts=0, dur=0,
+                  args={}),  # sched but not a run burst
+            _run_event(1, 1),
+        ]
+        assert schedule_from_events(events) == [(1, 5), (2, 4), (1, 1)]
+
+    def test_skips_empty_bursts(self):
+        events = [_run_event(1, 2), _run_event(2, 0), _run_event(2, 3)]
+        assert schedule_from_events(events) == [(1, 2), (2, 3)]
+
+    def test_empty_stream(self):
+        assert schedule_from_events([]) == []
+
+
+class TestTraceFileRoundTrip:
+    @pytest.fixture
+    def traced_run(self):
+        return run_source(RACY, "racy.c", seed=3, trace=TraceConfig(),
+                          record_trace=True)
+
+    def test_jsonl_trace_reproduces_the_recorded_schedule(
+            self, traced_run, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(str(path), traced_run.events, traced_run.reports,
+                    thread_names=traced_run.thread_names)
+        schedule = schedule_from_trace_file(str(path))
+        assert schedule == traced_run.trace
+        assert schedule == schedule_from_events(traced_run.events)
+
+    def test_schedule_artifact_is_accepted_as_a_trace(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps({
+            "kind": "sharc-schedule",
+            "trace": [[1, 3], [2, 2], [1, 1]],
+        }))
+        assert schedule_from_trace_file(str(path)) \
+            == [(1, 3), (2, 2), (1, 1)]
+
+    def test_replay_trace_file_reproduces_the_run(self, traced_run,
+                                                  tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_jsonl(str(path), traced_run.events, traced_run.reports,
+                    thread_names=traced_run.thread_names)
+        replayed = replay_trace_file(RACY, str(path),
+                                     filename="racy.c")
+        assert replayed.trace == traced_run.trace
+        assert replayed.report_counts == traced_run.report_counts
+
+    def test_replay_trace_file_rejects_traces_without_bursts(
+            self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_jsonl(str(path), [Event(cat="check", name="chkread",
+                                      tid=1, ts=0, dur=1, args={})], [])
+        with pytest.raises(ValueError, match="no sched/run events"):
+            replay_trace_file(RACY, str(path))

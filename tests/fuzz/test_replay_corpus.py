@@ -1,0 +1,81 @@
+"""The committed corpus replays deterministically, forever.
+
+Every artifact under ``tests/fuzz/corpus/`` is a ddmin-shrunk failing
+schedule from a generated scenario, saved together with the full
+run-to-completion execution recorded when it was built
+(``fuzz.expect``).  This suite re-runs each one under both the
+tree-walking and the compiled backend and holds the replay to that
+recording bit-for-bit — same executed trace, same step count, same
+report multiset.  Any divergence means either a backend broke replay
+determinism or the checker's verdict on a pinned schedule changed; both
+are regressions, which is the point of committing the corpus.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.pipeline import replay_corpus
+from repro.fuzz.replay import seed_from_artifact
+from repro.fuzz.scenarios import ScenarioOracle, ScenarioSpec
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+ARTIFACTS = sorted(n for n in os.listdir(CORPUS)
+                   if n.endswith(".json"))
+
+
+def _payload(name):
+    with open(os.path.join(CORPUS, name), encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestCorpusShape:
+    def test_corpus_has_at_least_ten_artifacts(self):
+        assert len(ARTIFACTS) >= 10
+
+    def test_corpus_spans_the_family_grid(self):
+        specs = [ScenarioSpec.from_dict(_payload(n)["fuzz"]["spec"])
+                 for n in ARTIFACTS]
+        assert len({s.topology for s in specs}) >= 4
+        assert len({s.idiom for s in specs}) >= 3
+        # Family diversity, not twelve copies of one scenario.
+        assert len({s.family for s in specs}) >= 10
+
+    @pytest.mark.parametrize("name", ARTIFACTS)
+    def test_artifact_schema(self, name):
+        payload = _payload(name)
+        assert payload["kind"] == "sharc-schedule"
+        assert payload["checker"] == "sharc"
+        assert payload["source"]
+        assert payload["trace"], "empty pinned schedule"
+        assert payload["report_keys"], "artifact preserves no failure"
+        seed, policy = seed_from_artifact(payload)
+        assert seed >= 0 and policy
+        fuzz = payload["fuzz"]
+        assert fuzz["violation"] == "regression"
+        expect = fuzz["expect"]
+        assert expect["steps"] > 0
+        assert expect["trace"]
+        assert set(payload["report_keys"]) <= set(
+            expect["report_counts"])
+
+    @pytest.mark.parametrize("name", ARTIFACTS)
+    def test_saved_failure_matches_the_injected_oracle(self, name):
+        payload = _payload(name)
+        oracle = ScenarioOracle.from_dict(payload["fuzz"]["oracle"])
+        assert oracle.kind == "racy"
+        assert oracle.matched_races(payload["report_keys"]), \
+            "saved reports do not hit the injected race"
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize("name", ARTIFACTS)
+    def test_artifact_replays_bit_identically_under_both_backends(
+            self, name):
+        rows = replay_corpus(CORPUS, backends=("interp", "compiled"),
+                             names=[name])
+        assert [row["backend"] for row in rows] \
+            == ["interp", "compiled"]
+        bad = [row for row in rows if not row["ok"]]
+        assert not bad, bad

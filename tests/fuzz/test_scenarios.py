@@ -1,0 +1,211 @@
+"""The scenario generator: specs, oracles, and the family grid.
+
+Every supported (topology, idiom) family must generate a mini-C program
+that passes the static checker in both its race-free and its
+race-injected form, deterministically per spec — the fuzz pipeline's
+oracle judgements are meaningless if generation itself is flaky.
+"""
+
+import pytest
+
+from repro.formal.gen import RaceSpec
+from repro.fuzz.scenarios import (
+    IDIOMS, RACE_KINDS, SUPPORTED_FAMILIES, TOPOLOGIES, Scenario,
+    ScenarioOracle, ScenarioSpec,
+)
+from repro.fuzz.gen import generate_scenario, sample_specs, verify_formal
+
+from ..conftest import check_ok, run_ok
+
+
+def _spec(topology="fork-join", idiom="lock-protected", **kwargs):
+    return ScenarioSpec(topology=topology, idiom=idiom, **kwargs)
+
+
+class TestFamilyGrid:
+    """The acceptance floor: >= 4 topologies x >= 3 idioms each."""
+
+    def test_at_least_four_topologies(self):
+        assert len(TOPOLOGIES) >= 4
+        assert {t for t, _ in SUPPORTED_FAMILIES} == set(TOPOLOGIES)
+
+    def test_every_topology_carries_at_least_three_idioms(self):
+        for topology in TOPOLOGIES:
+            idioms = {i for t, i in SUPPORTED_FAMILIES if t == topology}
+            assert len(idioms) >= 3, topology
+            assert idioms <= set(IDIOMS)
+
+    def test_families_are_unique(self):
+        assert len(set(SUPPORTED_FAMILIES)) == len(SUPPORTED_FAMILIES)
+
+
+class TestScenarioSpec:
+    def test_rejects_unsupported_family(self):
+        with pytest.raises(ValueError, match="unsupported family"):
+            _spec("pipeline", "barrier-phased")
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            _spec(n_workers=1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_items": 0}, {"array_len": 3}, {"rounds": 0},
+    ])
+    def test_rejects_degenerate_shapes(self, kwargs):
+        with pytest.raises(ValueError, match="degenerate"):
+            _spec(**kwargs)
+
+    @pytest.mark.parametrize("density", [-0.1, 1.5])
+    def test_rejects_density_out_of_range(self, density):
+        with pytest.raises(ValueError, match="density"):
+            _spec(density=density)
+
+    def test_rejects_unknown_race_kind(self):
+        with pytest.raises(ValueError, match="unknown race kind"):
+            _spec(race_kinds=("deadlock",))
+
+    def test_family_and_racy_properties(self):
+        clean = _spec()
+        racy = _spec(race_kinds=("write-write",))
+        assert clean.family == "fork-join/lock-protected"
+        assert not clean.racy
+        assert racy.racy
+
+    def test_dict_round_trip(self):
+        spec = _spec("scatter-gather", "barrier-phased", n_workers=3,
+                     n_items=5, array_len=8, rounds=3, density=0.6,
+                     race_kinds=("write-write", "lock-elision"),
+                     gen_seed=12345)
+        assert ScenarioSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestScenarioOracle:
+    def _race(self, name="fz_race0"):
+        return RaceSpec(kind="write-write", global_name=name,
+                        threads=("w0", "w1"), values=(1, 2))
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown oracle kind"):
+            ScenarioOracle(kind="maybe-racy")
+
+    def test_kind_and_races_must_agree(self):
+        with pytest.raises(ValueError):
+            ScenarioOracle(kind="racy")  # racy needs races
+        with pytest.raises(ValueError):
+            ScenarioOracle(kind="race-free", races=(self._race(),))
+
+    def test_matched_missed_and_unexpected(self):
+        oracle = ScenarioOracle(kind="racy", races=(
+            self._race("fz_race0"), self._race("fz_race1")))
+        keys = ["write conflict fz_race0@10",
+                "read conflict fz_other@3"]
+        assert [r.global_name for r in oracle.matched_races(keys)] \
+            == ["fz_race0"]
+        assert [r.global_name for r in oracle.missed_races(keys)] \
+            == ["fz_race1"]
+        assert oracle.unexpected_keys(keys) \
+            == ["read conflict fz_other@3"]
+
+    def test_race_free_oracle_treats_every_key_as_unexpected(self):
+        oracle = ScenarioOracle(kind="race-free")
+        keys = ["write conflict x@1", "lock not held y@2"]
+        assert oracle.unexpected_keys(keys) == keys
+        assert oracle.matched_races(keys) == []
+
+    def test_dict_round_trip(self):
+        oracle = ScenarioOracle(kind="racy", races=(self._race(),))
+        assert ScenarioOracle.from_dict(oracle.as_dict()) == oracle
+
+
+class TestGeneration:
+    def test_generation_is_deterministic_per_spec(self):
+        spec = _spec(race_kinds=("write-write",), gen_seed=99)
+        a, b = generate_scenario(spec), generate_scenario(spec)
+        assert a.source == b.source
+        assert a.oracle == b.oracle
+        assert a.filename == b.filename
+
+    def test_filename_encodes_family_and_verdict(self):
+        racy = generate_scenario(_spec(race_kinds=("write-write",),
+                                       gen_seed=7))
+        clean = generate_scenario(_spec(gen_seed=7))
+        assert racy.filename == "fuzz_fork-join_lock-protected_racy_7.c"
+        assert clean.filename \
+            == "fuzz_fork-join_lock-protected_clean_7.c"
+
+    @pytest.mark.parametrize("topology,idiom", SUPPORTED_FAMILIES)
+    def test_every_family_race_free_variant_checks(self, topology,
+                                                   idiom):
+        scenario = generate_scenario(
+            ScenarioSpec(topology=topology, idiom=idiom, gen_seed=11))
+        assert scenario.oracle.kind == "race-free"
+        assert scenario.formal is None
+        check_ok(scenario.source, scenario.filename)
+
+    @pytest.mark.parametrize("topology,idiom", SUPPORTED_FAMILIES)
+    def test_every_family_racy_variant_checks(self, topology, idiom):
+        scenario = generate_scenario(
+            ScenarioSpec(topology=topology, idiom=idiom,
+                         race_kinds=RACE_KINDS, gen_seed=11))
+        assert scenario.oracle.kind == "racy"
+        assert len(scenario.oracle.races) == len(RACE_KINDS)
+        assert scenario.formal is not None
+        check_ok(scenario.source, scenario.filename)
+
+    def test_race_free_scenario_runs_clean(self):
+        scenario = generate_scenario(
+            _spec("worker-pool", "ownership-transfer", gen_seed=3))
+        result = run_ok(scenario.source, seed=1)
+        assert not result.reports, result.render_reports()
+
+    def test_injected_race_names_are_distinct(self):
+        scenario = generate_scenario(
+            _spec(race_kinds=("write-write", "lock-elision"),
+                  gen_seed=21))
+        names = [r.global_name for r in scenario.oracle.races]
+        assert len(set(names)) == len(names)
+        for name in names:
+            assert name in scenario.source
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_and_covers_families(self):
+        import random
+
+        specs_a = sample_specs(random.Random(4), 26)
+        specs_b = sample_specs(random.Random(4), 26)
+        assert specs_a == specs_b
+        assert len(specs_a) == 26
+        # Two full cycles through the grid: every family appears.
+        assert {s.family for s in specs_a} \
+            == {f"{t}/{i}" for t, i in SUPPORTED_FAMILIES}
+
+    def test_racy_fraction_is_respected(self):
+        import random
+
+        all_racy = sample_specs(random.Random(0), 10, racy_fraction=1.0)
+        none_racy = sample_specs(random.Random(0), 10,
+                                 racy_fraction=0.0)
+        assert all(s.racy for s in all_racy)
+        assert not any(s.racy for s in none_racy)
+
+    def test_family_filter(self):
+        import random
+
+        specs = sample_specs(random.Random(0), 6,
+                             families=[("pipeline", "read-mostly")])
+        assert {s.family for s in specs} == {"pipeline/read-mostly"}
+
+
+class TestFormalOracle:
+    def test_machine_confirms_injected_races(self):
+        scenario = generate_scenario(
+            _spec(race_kinds=("write-write", "lock-elision"),
+                  gen_seed=13))
+        found = verify_formal(scenario, seeds=40)
+        assert found, "no races to confirm"
+        assert all(found.values()), found
+
+    def test_race_free_scenario_has_no_formal_companion(self):
+        scenario = generate_scenario(_spec(gen_seed=13))
+        assert verify_formal(scenario) == {}

@@ -7,7 +7,8 @@ import pytest
 
 from repro.cli import main
 from repro.bench.interp_bench import (
-    SCHEMA, SCHEMA_V1, SCHEMA_V2, bench_payload, bench_workloads,
+    SCHEMA, SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, bench_payload,
+    bench_workloads,
     compare_payloads, upgrade_payload, validate_payload,
 )
 
@@ -128,10 +129,21 @@ class TestPayloadValidation:
         assert first.reports == second.reports
 
 
+def _strip_v4(payload):
+    """Remove the /4 backend/throughput generation, leaving what a
+    pre-compiled-backend baseline actually contained."""
+    del payload["backend"]
+    for entry in payload["workloads"].values():
+        for key in ("backend", "interp_steps_per_sec",
+                    "compiled_steps_per_sec", "compiled_speedup"):
+            del entry[key]
+    return payload
+
+
 def _v1_payload():
     """A minimal legacy (schema /1) payload, as a committed baseline
     from before the check-elimination PR would look."""
-    payload = bench_payload(bench_workloads(["aget"]))
+    payload = _strip_v4(bench_payload(bench_workloads(["aget"])))
     payload["schema"] = SCHEMA_V1
     del payload["checkelim"]
     for entry in payload["workloads"].values():
@@ -184,7 +196,7 @@ class TestSchemaV2:
 def _v2_payload():
     """A committed baseline from before the lockset-refinement PR:
     schema /2 without the locked-check fields."""
-    payload = bench_payload(bench_workloads(["aget"]))
+    payload = _strip_v4(bench_payload(bench_workloads(["aget"])))
     payload["schema"] = SCHEMA_V2
     del payload["lockset"]
     for entry in payload["workloads"].values():
@@ -237,6 +249,99 @@ class TestSchemaV3:
     def test_v2_baseline_is_accepted_by_compare(self):
         current = bench_payload(bench_workloads(["aget"]))
         _, regressions = compare_payloads(_v2_payload(), current,
+                                          threshold=0.99)
+        assert regressions == []
+
+
+def _v3_payload():
+    """A committed baseline from before the compiled backend: schema /3
+    without the backend/throughput columns."""
+    payload = _strip_v4(bench_payload(bench_workloads(["aget"])))
+    payload["schema"] = SCHEMA_V3
+    return payload
+
+
+class TestSchemaV4:
+    """Every schema hop lands on /4: /1 -> /4 backfills three
+    generations of fields, /2 -> /4 two, /3 -> /4 only the
+    compiled-backend columns — and pre-/4 ``steps_per_sec`` (which
+    timed the interpreter) becomes ``interp_steps_per_sec``."""
+
+    def test_payload_carries_backend_fields(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        assert payload["schema"] == SCHEMA
+        assert payload["backend"] in ("interp", "compiled")
+        entry = payload["workloads"]["aget"]
+        assert entry["interp_steps_per_sec"] >= 0
+        assert entry["compiled_steps_per_sec"] >= 0
+        assert entry["compiled_speedup"] >= 0.0
+
+    def test_v3_payload_still_validates(self):
+        assert validate_payload(_v3_payload()) == []
+
+    def test_v4_payload_missing_new_fields_is_flagged(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        del payload["workloads"]["aget"]["compiled_speedup"]
+        problems = validate_payload(payload)
+        assert any("compiled_speedup" in p for p in problems)
+
+    def test_upgrade_shim_backfills_v3(self):
+        v3 = _v3_payload()
+        v4 = upgrade_payload(v3)
+        assert v4["schema"] == SCHEMA
+        assert v4["upgraded_from"] == SCHEMA_V3
+        assert v4["backend"] == "interp"
+        entry = v4["workloads"]["aget"]
+        assert entry["backend"] == "interp"
+        assert entry["compiled_steps_per_sec"] == 0
+        assert entry["compiled_speedup"] == 0.0
+        # /3 timed the interpreter: its throughput becomes the interp
+        # column, not zero.
+        assert entry["interp_steps_per_sec"] == entry["steps_per_sec"]
+        # /3's own fields pass through untouched.
+        assert 0.0 <= entry["checks_locked_pct"] <= 1.0
+        assert entry["lockset_refined"] >= 0
+        # The original payload is untouched (deep copy).
+        assert v3["schema"] == SCHEMA_V3
+        assert "compiled_speedup" not in v3["workloads"]["aget"]
+
+    def test_upgrade_shim_backfills_v2_with_both_generations(self):
+        v4 = upgrade_payload(_v2_payload())
+        assert v4["schema"] == SCHEMA
+        assert v4["upgraded_from"] == SCHEMA_V2
+        entry = v4["workloads"]["aget"]
+        # /3 generation defaulted...
+        assert entry["checks_locked_pct"] == 0.0
+        assert entry["lockset_refined"] == 0
+        # ... and the /4 generation too.
+        assert entry["compiled_speedup"] == 0.0
+        assert entry["interp_steps_per_sec"] == entry["steps_per_sec"]
+
+    def test_upgrade_shim_backfills_v1_with_all_generations(self):
+        v4 = upgrade_payload(_v1_payload())
+        assert v4["schema"] == SCHEMA
+        assert v4["upgraded_from"] == SCHEMA_V1
+        entry = v4["workloads"]["aget"]
+        assert entry["checks_per_1k_steps"] == 0.0
+        assert entry["checks_elided_pct"] == 0.0
+        assert entry["checks_locked_pct"] == 0.0
+        assert entry["lockset_refined"] == 0
+        assert entry["backend"] == "interp"
+        assert entry["compiled_steps_per_sec"] == 0
+        assert entry["compiled_speedup"] == 0.0
+        assert entry["interp_steps_per_sec"] == entry["steps_per_sec"]
+
+    def test_every_upgraded_payload_validates_at_v4(self):
+        for legacy in (_v1_payload(), _v2_payload(), _v3_payload()):
+            assert validate_payload(upgrade_payload(legacy)) == []
+
+    def test_upgrade_passes_v4_through_unchanged(self):
+        payload = bench_payload(bench_workloads(["aget"]))
+        assert upgrade_payload(payload) is payload
+
+    def test_v3_baseline_is_accepted_by_compare(self):
+        current = bench_payload(bench_workloads(["aget"]))
+        _, regressions = compare_payloads(_v3_payload(), current,
                                           threshold=0.99)
         assert regressions == []
 

@@ -1,0 +1,91 @@
+"""CLI tests for ``sharc fuzz``: campaign runs and the corpus gate."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.cli import main
+
+CORPUS = os.path.join(os.path.dirname(__file__), os.pardir, "fuzz",
+                      "corpus")
+
+
+class TestFuzzCampaignCLI:
+    def test_small_clean_campaign_exits_zero(self, capsys):
+        # racy_fraction 0 keeps the campaign deterministic: race-free
+        # scenarios must produce zero reports on every schedule, so no
+        # sweep-budget luck is involved.
+        code = main(["fuzz", "--budget", "2", "--seeds", "2",
+                     "--policy", "random", "--racy-fraction", "0",
+                     "--gen-seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no oracle violations" in out
+        assert "2 scenarios" in out
+
+    def test_json_output_is_a_valid_report(self, capsys):
+        from repro.fuzz import FUZZ_REPORT_SCHEMA, validate_fuzz_report
+
+        code = main(["fuzz", "--budget", "2", "--seeds", "2",
+                     "--policy", "random", "--racy-fraction", "0",
+                     "--gen-seed", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == FUZZ_REPORT_SCHEMA
+        assert validate_fuzz_report(payload) == []
+        assert len(payload["scenarios"]) == 2
+
+    def test_report_out_writes_the_payload(self, tmp_path, capsys):
+        from repro.fuzz import validate_fuzz_report
+
+        path = tmp_path / "fuzz.json"
+        code = main(["fuzz", "--budget", "1", "--seeds", "2",
+                     "--policy", "random", "--racy-fraction", "0",
+                     "--gen-seed", "3", "--report-out", str(path)])
+        assert code == 0
+        assert f"fuzz report written to {path}" \
+            in capsys.readouterr().out
+        assert validate_fuzz_report(json.loads(path.read_text())) == []
+
+
+class TestReplayCorpusCLI:
+    def test_committed_corpus_passes_under_both_backends(self, capsys):
+        code = main(["fuzz", "--replay-corpus", CORPUS])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failing" in out
+        assert "FAIL" not in out
+        # Both backends replayed every artifact.
+        assert out.count("(interp)") == out.count("(compiled)")
+        assert out.count("(interp)") >= 10
+
+    def test_tampered_corpus_fails_the_gate(self, tmp_path, capsys):
+        name = sorted(os.listdir(CORPUS))[0]
+        path = tmp_path / name
+        shutil.copy(os.path.join(CORPUS, name), path)
+        payload = json.loads(path.read_text())
+        payload["fuzz"]["expect"]["steps"] += 1
+        path.write_text(json.dumps(payload))
+        code = main(["fuzz", "--replay-corpus", str(tmp_path),
+                     "--backend", "interp"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+        assert "steps diverged" in out
+
+    def test_empty_corpus_directory_fails(self, tmp_path, capsys):
+        code = main(["fuzz", "--replay-corpus", str(tmp_path)])
+        assert code == 1
+        assert "0 replays" in capsys.readouterr().out
+
+    def test_json_rows_for_ci_consumption(self, tmp_path, capsys):
+        name = sorted(os.listdir(CORPUS))[0]
+        shutil.copy(os.path.join(CORPUS, name), tmp_path / name)
+        code = main(["fuzz", "--replay-corpus", str(tmp_path),
+                     "--backend", "interp", "--json"])
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == [{"artifact": name, "backend": "interp",
+                         "ok": True, "problems": []}]

@@ -427,3 +427,60 @@ class TestSweepCrashTolerance:
         assert summary.crashes == []
         assert summary.as_dict()["crashed_schedules"] == 0
         assert "crashed schedules" not in summary.render()
+
+    def test_crash_outcomes_carry_the_exception_repr(self):
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=4,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        for crash in summary.crashes:
+            assert crash.error == \
+                "RuntimeError: world construction failed"
+        payload = summary.as_dict()
+        assert [c["error"] for c in payload["crashes"]] == \
+            ["RuntimeError: world construction failed"] * 2
+
+    def test_completed_schedules_excludes_crashes(self):
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=6,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        assert summary.schedules == 6
+        assert summary.completed_schedules == 3
+        assert summary.as_dict()["completed_schedules"] == 3
+
+    def test_races_per_1k_uses_the_crash_adjusted_denominator(self):
+        """With _FlakyWorld, every *surviving* round-robin schedule of
+        the racy counter fails — so the rate must be 1000/1k exactly.
+        Counting the 3 crashed schedules in the denominator would dilute
+        it to 500/1k, understating the observed race rate."""
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=6,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        assert len(summary.failures) == 3
+        assert summary.races_per_1k == pytest.approx(1000.0)
+        assert summary.as_dict()["races_per_1k"] == \
+            pytest.approx(1000.0)
+
+    def test_all_crashing_sweep_has_zero_rate_not_a_crash(self):
+        """completed_schedules == 0 must not divide by zero."""
+
+        class _AlwaysBroken:
+            def __call__(self):
+                raise RuntimeError("no world today")
+
+        summary = explore_source(RACY_COUNTER, "racy.c", seeds=3,
+                                 policies=("round-robin",),
+                                 world_factory=_AlwaysBroken())
+        assert summary.completed_schedules == 0
+        assert summary.races_per_1k == 0.0
+        assert summary.distinct_traces == 0
+
+    def test_crashes_stay_out_of_coverage_denominators(self):
+        flaky = explore_source(RACY_COUNTER, "racy.c", seeds=6,
+                               policies=("round-robin",),
+                               world_factory=_FlakyWorld())
+        clean = explore_source(RACY_COUNTER, "racy.c", seeds=3,
+                               policies=("round-robin",))
+        # The 3 surviving schedules measure exactly what a clean 3-seed
+        # sweep measures: crashes contribute nothing to coverage.
+        assert flaky.distinct_traces == clean.distinct_traces
+        assert flaky.races_per_1k == clean.races_per_1k

@@ -37,6 +37,14 @@ def _outcome(seed, policy, *, reports=0, steps=100, trace_hash="h",
         check_fastpath=fastpath)
 
 
+def _crash(seed, policy, error="RuntimeError: world construction failed"):
+    """A crash-tagged outcome: empty trace hash, exception repr, no
+    verdict."""
+    return ScheduleOutcome(
+        seed=seed, policy=policy, checker="sharc", report_keys=(),
+        reports=0, steps=0, switches=0, trace_hash="", error=error)
+
+
 def _summary(outcomes, filename="a.c"):
     summary = ExplorationSummary(filename=filename, checker="sharc",
                                  policies=("random",))
@@ -110,6 +118,88 @@ class TestMetricsRegistry:
         assert totals["check_updates"] > 0
         assert 0.0 <= totals["check_hit_rate"] <= 1.0
         assert set(reloaded["per_policy"]) == {"random", "round-robin"}
+
+
+class TestCrashAccounting:
+    """Crash-tagged schedules flow through the registry as a separate
+    column: surfaced in totals and per policy, excluded from every rate
+    denominator, and never tripping schema validation."""
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([
+            _outcome(0, "random", reports=1, trace_hash="a"),
+            _crash(1, "random"),
+            _crash(2, "random"),
+            _outcome(3, "pb", trace_hash="b"),
+        ]))
+        return registry
+
+    def test_totals_carry_the_crash_column(self):
+        payload = self._registry().as_dict()
+        assert validate_metrics(payload) == []
+        totals = payload["totals"]
+        assert totals["schedules"] == 4
+        assert totals["crashed_schedules"] == 2
+        assert totals["failing_schedules"] == 1
+
+    def test_rates_exclude_crashed_schedules(self):
+        payload = self._registry().as_dict()
+        # 1 failure over 2 *completed* schedules, not over all 4.
+        assert payload["totals"]["races_per_1k"] == \
+            pytest.approx(500.0)
+        random_row = payload["per_policy"]["random"]
+        assert random_row["crashes"] == 2
+        assert random_row["schedules"] == 3
+        # random: 1 failure / (3 - 2 crashes) completed.
+        assert random_row["races_per_1k"] == pytest.approx(1000.0)
+        assert payload["per_policy"]["pb"]["crashes"] == 0
+
+    def test_crashes_never_count_as_coverage(self):
+        payload = self._registry().as_dict()
+        assert payload["totals"]["distinct_traces"] == 2
+        assert payload["per_policy"]["random"]["distinct_traces"] == 1
+
+    def test_sweep_ledger_rows_carry_crashes(self):
+        payload = self._registry().as_dict()
+        assert payload["sweeps"][0]["crashed_schedules"] == 2
+
+    def test_real_crashing_sweep_writes_valid_metrics(self, tmp_path):
+        """End to end: a sweep with harness crashes still produces a
+        metrics.json that passes the schema gate (write_metrics raises
+        on invalid payloads)."""
+
+        class _FlakyWorld:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self):
+                from repro.runtime.world import World
+
+                self.calls += 1
+                if self.calls % 2 == 0:
+                    raise RuntimeError("world construction failed")
+                return World()
+
+        summary = explore_source(RACY, "racy.c", seeds=6,
+                                 policies=("round-robin",),
+                                 world_factory=_FlakyWorld())
+        assert summary.crashes, "fixture stopped crashing"
+        registry = MetricsRegistry()
+        registry.record_sweep(summary)
+        path = tmp_path / "metrics.json"
+        payload = write_metrics(registry, str(path))
+        assert validate_metrics(payload) == []
+        reloaded = json.loads(path.read_text())
+        assert reloaded["totals"]["crashed_schedules"] == 3
+        assert reloaded["totals"]["schedules"] == 6
+        assert reloaded["per_policy"]["round-robin"]["crashes"] == 3
+
+    def test_validator_flags_negative_crash_counts(self):
+        payload = MetricsRegistry().as_dict()
+        payload["totals"]["crashed_schedules"] = -1
+        problems = validate_metrics(payload)
+        assert any("crashed_schedules" in p for p in problems)
 
 
 class TestValidateMetrics:
