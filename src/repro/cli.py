@@ -25,6 +25,12 @@ Subcommands mirror how the paper's tool is used:
   minimal interleaving (``--shrink``) or replay a saved one
   (``--replay``); ``--metrics-out`` writes a schema-validated
   ``metrics.json`` aggregating the sweep;
+- ``sharc status DIR``   — live (or final) view of an explore/fuzz
+  campaign from its crash-safe ``telemetry.jsonl`` stream
+  (``--watch`` keeps redrawing, ``--json`` emits the folded status);
+- ``sharc report DIR``   — render a campaign into a self-contained
+  static HTML report (coverage curve, per-policy tables, violations,
+  hot check sites) with zero external dependencies;
 - ``sharc trace``        — inspect a saved trace (``.jsonl``) or replay
   a shrunk-schedule artifact into a timeline; ``--out`` converts to
   Chrome trace-event JSON (open in Perfetto / ``chrome://tracing``).
@@ -334,21 +340,52 @@ def cmd_explore(args: argparse.Namespace) -> int:
 
     policies = tuple(args.policy) if args.policy else ("random", "pct",
                                                        "pb")
+    telemetry = None
+    if args.telemetry_out:
+        telemetry = _open_telemetry(args.telemetry_out,
+                                    campaign=filename)
+
+    from repro.obs import ProgressPrinter
+
+    printer = ProgressPrinter(quiet=args.quiet or args.json)
+
+    def progress(done: int, total: int, partial) -> None:
+        printer.update(
+            f"  {done}/{total} schedules, "
+            f"{partial.distinct_traces} distinct traces, "
+            f"{len(partial.failures)} failing")
+
     common = dict(seeds=args.seeds, seed_start=args.seed_start,
                   policies=policies, jobs=args.jobs,
-                  max_steps=args.max_steps, backend=args.backend)
-    if args.checker == "both":
-        summary = differential_sweep(source, filename, **common)
-        print(summary.render() if not args.json
-              else json.dumps(summary.as_dict(), indent=2))
-        sweep = summary.sharc
-        sweeps = [summary.sharc, summary.eraser]
-    else:
-        sweep = explore_source(source, filename, checker=args.checker,
-                               **common)
-        print(sweep.render() if not args.json
-              else json.dumps(sweep.as_dict(), indent=2))
-        sweeps = [sweep]
+                  max_steps=args.max_steps, backend=args.backend,
+                  telemetry=telemetry, progress=progress)
+    summary = sweep = None
+    sweeps: list = []
+    interrupted = False
+    try:
+        if args.checker == "both":
+            summary = differential_sweep(source, filename, **common)
+            sweep = summary.sharc
+            sweeps = [summary.sharc, summary.eraser]
+            interrupted = (summary.sharc.interrupted
+                           or summary.eraser.interrupted)
+        else:
+            sweep = explore_source(source, filename,
+                                   checker=args.checker, **common)
+            sweeps = [sweep]
+            interrupted = sweep.interrupted
+    except KeyboardInterrupt:
+        # An interrupt outside the sweep loop (static check, policy
+        # resolution, pool teardown) — the sweeps list holds whatever
+        # completed; partial metrics/telemetry still get flushed below.
+        interrupted = True
+    finally:
+        printer.close()
+
+    if sweep is not None:
+        view = summary if args.checker == "both" else sweep
+        print(json.dumps(view.as_dict(), indent=2) if args.json
+              else view.render())
 
     if args.metrics_out:
         from repro.obs import MetricsRegistry, write_metrics
@@ -356,10 +393,29 @@ def cmd_explore(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
         for one in sweeps:
             registry.record_sweep(one)
-        if args.checker == "both":
+        if args.checker == "both" and summary is not None:
             registry.record_differential(summary)
         write_metrics(registry, args.metrics_out)
-        print(f"metrics written to {args.metrics_out}")
+        tag = " (partial: interrupted)" if interrupted else ""
+        print(f"metrics written to {args.metrics_out}{tag}")
+
+    if telemetry is not None:
+        telemetry.final(interrupted=interrupted)
+        print(f"telemetry written to {args.telemetry_out}")
+
+    if args.sites and sweep is not None and not args.json:
+        from repro.obs import merge_sites, render_hot_sites
+
+        sites: dict = {}
+        for one in sweeps:
+            merge_sites(sites, one.site_totals)
+        print(render_hot_sites(sites, source=source,
+                               limit=args.sites))
+
+    if interrupted and sweep is None:
+        print("explore: interrupted before any schedule completed",
+              file=sys.stderr)
+        return 130
 
     found = None
     if spec is not None:
@@ -434,8 +490,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         max_steps=args.max_steps, racy_fraction=args.racy_fraction,
         shrink=not args.no_shrink, out_dir=args.out,
         formal_seeds=args.formal_seeds)
+    telemetry = None
+    if args.telemetry_out:
+        telemetry = _open_telemetry(args.telemetry_out,
+                                    campaign="fuzz")
     progress = None if args.json else print
-    report = fuzz_campaign(config, progress=progress)
+    try:
+        report = fuzz_campaign(config, progress=progress,
+                               telemetry=telemetry)
+    except KeyboardInterrupt:
+        if telemetry is not None:
+            telemetry.final(interrupted=True)
+        print("fuzz: interrupted", file=sys.stderr)
+        return 130
+    if telemetry is not None:
+        telemetry.final()
+        print(f"telemetry written to {args.telemetry_out}")
     payload = report.as_dict()
     problems = validate_fuzz_report(payload)
     if problems:  # pragma: no cover - would be a FuzzReport bug
@@ -452,6 +522,108 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"fuzz report written to {args.report_out}")
     return 0 if report.ok else 1
+
+
+def _telemetry_path(target: str) -> str:
+    """Resolves a campaign DIR (or a direct stream path) to its
+    ``telemetry.jsonl``."""
+    import os
+
+    if os.path.isdir(target):
+        return os.path.join(target, "telemetry.jsonl")
+    return target
+
+
+def _open_telemetry(target: str, campaign: str):
+    """Opens a :class:`TelemetryWriter` for ``--telemetry-out``:
+    ``FILE.jsonl`` streams there directly, anything else is a campaign
+    directory (created as needed) holding ``telemetry.jsonl`` — the
+    layout ``sharc status DIR`` and ``sharc report DIR`` expect."""
+    import os
+
+    from repro.obs import TelemetryWriter
+
+    if target.endswith(".jsonl"):
+        parent = os.path.dirname(target)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        path = target
+    else:
+        os.makedirs(target, exist_ok=True)
+        path = os.path.join(target, "telemetry.jsonl")
+    return TelemetryWriter(path, campaign=campaign)
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import time
+
+    from repro.obs import (
+        CampaignStatus, supports_live, validate_status,
+    )
+
+    path = _telemetry_path(args.dir)
+    if not os.path.exists(path):
+        print(f"status: no telemetry stream at {path}",
+              file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = CampaignStatus.from_file(path).as_dict()
+        problems = validate_status(payload)
+        if problems:
+            print("status: invalid telemetry stream: "
+                  + "; ".join(problems), file=sys.stderr)
+            return 2
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    if not args.watch:
+        print(CampaignStatus.from_file(path).render())
+        return 0
+
+    # --watch: poll the stream until the campaign writes its final
+    # record.  On a live terminal the view redraws in place; piped
+    # output gets one plain snapshot per change.
+    live = supports_live(sys.stdout)
+    last_lines = 0
+    last_render = ""
+    try:
+        while True:
+            status = CampaignStatus.from_file(path)
+            rendered = status.render()
+            if live:
+                if last_lines:
+                    sys.stdout.write(f"\x1b[{last_lines}A\x1b[J")
+                sys.stdout.write(rendered + "\n")
+                sys.stdout.flush()
+                last_lines = rendered.count("\n") + 1
+            elif rendered != last_render:
+                print(rendered)
+                last_render = rendered
+            if status.finished:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        if live and last_lines:
+            sys.stdout.write("\n")
+        return 130
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import write_report
+
+    out = args.out or os.path.join(args.dir, "report.html")
+    try:
+        path = write_report(args.dir, out, title=args.title)
+    except FileNotFoundError as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 2
+    print(f"report written to {path}")
+    return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -662,7 +834,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write a schema-validated metrics.json "
-                        "aggregating the sweep")
+                        "aggregating the sweep (partial registry still "
+                        "written on Ctrl-C)")
+    p.add_argument("--telemetry-out", default=None, metavar="DEST",
+                   help="stream crash-safe campaign telemetry "
+                        "(heartbeats, coverage, violations) to DEST — "
+                        "a .jsonl file, or a campaign directory that "
+                        "gets telemetry.jsonl; tail it live with "
+                        "'sharc status'")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live progress line")
+    p.add_argument("--sites", type=int, default=0, metavar="N",
+                   help="print the N hottest check sites with their "
+                        "per-site cost attribution after the sweep")
     p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser(
@@ -703,8 +887,41 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="with --replay-corpus: replay under one "
                         "backend only (default: both)")
+    p.add_argument("--telemetry-out", default=None, metavar="DEST",
+                   help="stream crash-safe campaign telemetry to DEST "
+                        "(.jsonl file or campaign directory); tail it "
+                        "live with 'sharc status'")
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "status",
+        help="render a live or final view of an explore/fuzz campaign "
+             "from its telemetry.jsonl stream")
+    p.add_argument("dir",
+                   help="campaign directory holding telemetry.jsonl "
+                        "(or the stream file itself)")
+    p.add_argument("--watch", action="store_true",
+                   help="keep polling and redrawing until the campaign "
+                        "finishes")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="poll interval in seconds for --watch "
+                        "(default 1.0)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the folded campaign status as JSON "
+                        "(schema sharc-telemetry/1)")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "report",
+        help="render a campaign directory (telemetry.jsonl + optional "
+             "metrics.json) into a self-contained HTML report")
+    p.add_argument("dir",
+                   help="campaign directory holding telemetry.jsonl")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="output path (default: DIR/report.html)")
+    p.add_argument("--title", default="SharC campaign report")
+    p.set_defaults(func=cmd_report)
 
     p = sub.add_parser(
         "trace",

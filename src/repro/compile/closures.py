@@ -133,14 +133,20 @@ def _make_dyn_check(info, size, is_write):
     range_walk = info.range_walk
     lvtext = info.lvalue_text
     loc = info.loc
+    skey = info.site_key_w if is_write else info.site_key_r
     op = "chkwrite" if is_write else "chkread"
     make_report = write_conflict if is_write else read_conflict
 
     def dyn(I, th, addr):
         stats = I.stats
         stats.accesses_dynamic += 1
+        site = stats.sites.get(skey)
+        if site is None:
+            site = stats.sites[skey] = [0] * 8
         tid = th.tid
         if I.sched.live_count <= 1:
+            site[0] += 1  # solo
+            site[7] += 1  # cost
             I._pending += 1
             stats.steps_total += 1
             stats.steps_checks += 1
@@ -152,6 +158,8 @@ def _make_dyn_check(info, size, is_write):
         if elide and I.checkelim \
                 and shadow.recheck(addr, size, tid, is_write):
             stats.checks_elided += 1
+            site[3] += 1  # elided
+            site[7] += 1  # cost
             if I.history is not None:
                 I.history.record(addr, size, tid, lvtext, loc, is_write,
                                  stats.steps_total)
@@ -168,6 +176,8 @@ def _make_dyn_check(info, size, is_write):
                 and shadow.recheck_locked(addr, size, tid, is_write,
                                           lvtext, loc):
             stats.checks_locked_refined += 1
+            site[4] += 1  # locked
+            site[7] += 1  # cost
             if I.history is not None:
                 I.history.record(addr, size, tid, lvtext, loc, is_write,
                                  stats.steps_total)
@@ -181,11 +191,16 @@ def _make_dyn_check(info, size, is_write):
         if range_walk and I.checkelim:
             chk = shadow.chkwrite_range if is_write else shadow.chkread_range
             stats.checks_range += 1
+            site[2] += 1  # range
         else:
             chk = shadow.chkwrite if is_write else shadow.chkread
             stats.checks_full += 1
+            site[1] += 1  # full
         conflict, slow = chk(addr, size, tid, lvtext, loc)
+        if slow:
+            site[5] += 1  # miss
         if conflict is not None:
+            site[6] += 1  # conflicts
             who = Access(tid, lvtext, loc)
             hist = (I.history.provenance(addr, size)
                     if I.history is not None else ())
@@ -194,6 +209,7 @@ def _make_dyn_check(info, size, is_write):
             I.history.record(addr, size, tid, lvtext, loc, is_write,
                              stats.steps_total)
         cost = 1 + 3 * slow
+        site[7] += cost
         I._pending += cost
         stats.steps_total += cost
         stats.steps_checks += cost

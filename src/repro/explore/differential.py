@@ -232,17 +232,31 @@ def differential_sweep(source: str, filename: str = "<input>", *,
                        max_burst: int = 8,
                        world_factory: Optional[Callable] = None,
                        backend: Optional[str] = None,
+                       telemetry=None,
+                       progress: Optional[Callable] = None,
                        ) -> DifferentialSummary:
     """Runs the same ``seeds x policies`` grid under both checkers and
     diffs the verdicts schedule by schedule; the static lockset verdict
-    (computed once, no execution) is scored against each."""
+    (computed once, no execution) is scored against each.  ``telemetry``
+    and ``progress`` are forwarded to both sweeps (they accumulate
+    across the two, so done/total covers the whole campaign); an
+    interrupt during the sharc sweep skips the eraser sweep entirely
+    and returns a partial summary instead of starting a second
+    uninterruptible grid."""
     from repro.sharc.checker import check_source
 
     common = dict(seeds=seeds, seed_start=seed_start, policies=policies,
                   jobs=jobs, max_steps=max_steps, max_burst=max_burst,
-                  world_factory=world_factory, backend=backend)
+                  world_factory=world_factory, backend=backend,
+                  telemetry=telemetry, progress=progress)
     sharc = explore_source(source, filename, checker="sharc", **common)
-    eraser = explore_source(source, filename, checker="eraser", **common)
+    if sharc.interrupted:
+        eraser = ExplorationSummary(filename=filename, checker="eraser",
+                                    policies=sharc.policies,
+                                    interrupted=True)
+    else:
+        eraser = explore_source(source, filename, checker="eraser",
+                                **common)
     try:
         static_keys = tuple(
             check_source(source, filename).lockset_result.race_keys)

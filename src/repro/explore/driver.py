@@ -62,6 +62,10 @@ class ScheduleOutcome:
     #: check hit rate)
     check_updates: int = 0
     check_fastpath: int = 0
+    #: per-check-site attribution, encoded via
+    #: :func:`repro.obs.sitestats.encode_sites` (hashable, picklable —
+    #: this dataclass crosses the multiprocessing fan-out frozen)
+    sites: tuple = ()
 
     @property
     def failing(self) -> bool:
@@ -95,12 +99,19 @@ class ExplorationSummary:
     trace_hashes: set[str] = field(default_factory=set)
     #: policy -> {"schedules": n, "failures": n, "traces": set}
     per_policy: dict[str, dict] = field(default_factory=dict)
+    #: check-site attribution merged across every schedule
+    #: (:mod:`repro.obs.sitestats` layout)
+    site_totals: dict = field(default_factory=dict)
     profiler: Profiler = field(default_factory=Profiler)
 
     def add(self, outcome: ScheduleOutcome) -> None:
+        from repro.obs.sitestats import merge_sites
+
         self.schedules += 1
         self.steps_total += outcome.steps
         self.outcomes.append(outcome)
+        if outcome.sites:
+            merge_sites(self.site_totals, outcome.sites)
         bucket = self.per_policy.setdefault(
             outcome.policy,
             {"schedules": 0, "failures": 0, "crashes": 0,
@@ -248,6 +259,7 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
     gates of both passes), so sweeps default to both on.  ``backend``
     picks the executor; outcomes are backend-invariant by the same
     guarantee (bit-identical steps, reports, and traces by seed)."""
+    from repro.obs.sitestats import encode_sites
     from repro.runtime.interp import run_checked
 
     checked = _checked_program(source, filename)
@@ -271,6 +283,7 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
         timeout=result.timeout,
         check_updates=result.stats.shadow_updates,
         check_fastpath=result.stats.shadow_fastpath_hits,
+        sites=encode_sites(result.stats.sites),
     )
 
 
@@ -347,6 +360,8 @@ def explore_source(source: str, filename: str = "<input>", *,
                    world_factory: Optional[Callable] = None,
                    shadow_bytes: int = DEFAULT_SHADOW_BYTES,
                    backend: Optional[str] = None,
+                   telemetry=None,
+                   progress: Optional[Callable] = None,
                    ) -> ExplorationSummary:
     """Sweeps ``seeds x policies`` schedules of one program.
 
@@ -356,6 +371,12 @@ def explore_source(source: str, filename: str = "<input>", *,
     whose run crashes is recorded as an error-tagged outcome instead of
     aborting the sweep, and Ctrl-C returns the partial summary
     (``interrupted=True``) instead of discarding collected outcomes.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.TelemetryWriter`)
+    streams heartbeat records per result batch; ``progress`` is called
+    as ``progress(done, total, summary)`` after every outcome.  Both
+    observe the sweep without perturbing it — outcomes are computed
+    before either hook runs.
     """
     summary = ExplorationSummary(filename=filename, checker=checker,
                                  policies=tuple(policies))
@@ -370,18 +391,31 @@ def explore_source(source: str, filename: str = "<input>", *,
               max_burst, world_factory, shadow_bytes, backend)
              for policy in policies
              for seed in range(seed_start, seed_start + seeds)]
+    if telemetry is not None:
+        telemetry.begin_sweep(filename, checker, policies, len(tasks),
+                              backend=backend)
+
+    def took(outcome: ScheduleOutcome) -> None:
+        summary.add(outcome)
+        if telemetry is not None:
+            telemetry.record_outcome(outcome)
+        if progress is not None:
+            progress(summary.schedules, len(tasks), summary)
+
     with summary.profiler.phase("sweep"):
         try:
             if jobs > 1:
                 with multiprocessing.Pool(jobs) as pool:
                     for outcome in pool.imap(_run_task, tasks,
                                              chunksize=8):
-                        summary.add(outcome)
+                        took(outcome)
             else:
                 for task in tasks:
-                    summary.add(_run_task(task))
+                    took(_run_task(task))
         except KeyboardInterrupt:
             summary.interrupted = True
+    if telemetry is not None:
+        telemetry.end_sweep(summary)
     summary.profiler.count("schedules", summary.schedules)
     summary.profiler.count("failing_schedules", len(summary.failures))
     summary.profiler.count("distinct_traces", summary.distinct_traces)

@@ -283,15 +283,17 @@ def _shrink_and_save(scenario: Scenario, outcome, config: FuzzConfig,
 
 
 def fuzz_scenario(scenario: Scenario, config: FuzzConfig,
-                  report: FuzzReport) -> dict:
+                  report: FuzzReport, telemetry=None) -> dict:
     """Runs one scenario through the full grid and scores the oracle;
-    appends any violations to ``report`` and returns the scenario row."""
+    appends any violations to ``report`` and returns the scenario row.
+    ``telemetry`` (a :class:`repro.obs.telemetry.TelemetryWriter`)
+    streams heartbeats from all three sweeps."""
     from repro.sharc.checker import check_source
 
     common = dict(seeds=config.seeds, seed_start=config.seed_start,
                   policies=config.policies, jobs=config.jobs,
                   max_steps=config.max_steps,
-                  max_burst=config.max_burst)
+                  max_burst=config.max_burst, telemetry=telemetry)
     src, fname = scenario.source, scenario.filename
     sharc_i = explore_source(src, fname, checker="sharc",
                              backend="interp", **common)
@@ -392,19 +394,35 @@ def fuzz_scenario(scenario: Scenario, config: FuzzConfig,
 
 def fuzz_campaign(config: FuzzConfig,
                   specs: Optional[Sequence[ScenarioSpec]] = None,
-                  progress=None) -> FuzzReport:
+                  progress=None, telemetry=None) -> FuzzReport:
     """Runs a whole campaign: sample (or take) specs, generate, sweep,
     score.  ``progress`` (an optional callable taking one string) gets
-    a line per scenario for CLI streaming."""
+    a line per scenario for CLI streaming; ``telemetry`` streams
+    heartbeat/scenario records for ``sharc status``."""
     rng = random.Random(config.gen_seed)
     if specs is None:
         specs = sample_specs(rng, config.budget,
                              racy_fraction=config.racy_fraction)
     report = FuzzReport(config=config)
+    if telemetry is not None:
+        # 3 sweeps per scenario (sharc-interp, sharc-compiled, eraser)
+        telemetry.add_total(
+            3 * len(specs) * config.seeds * len(config.policies))
     for spec in specs:
         scenario = generate_scenario(spec)
-        row = fuzz_scenario(scenario, config, report)
+        before = len(report.violations)
+        row = fuzz_scenario(scenario, config, report,
+                            telemetry=telemetry)
         report.scenarios.append(row)
+        if telemetry is not None:
+            new = [v.as_dict() for v in report.violations[before:]]
+            telemetry.scenario(
+                row["scenario"],
+                "violations" if new else "ok",
+                family=row["family"], racy=row["racy"],
+                schedules=row["schedules"],
+                sharc_keys=row["sharc_keys"],
+                oracle_violations=new)
         if progress is not None:
             tag = "racy" if row["racy"] else "clean"
             progress(f"  {row['family']:<32} [{tag}] "

@@ -11,18 +11,31 @@ one machine-readable account of where the checking effort went.  A
   resulting check hit rate;
 - a per-policy breakdown of the same (PCT vs random vs pb efficiency is
   the headline comparison the exploration engine exists to make);
-- a per-sweep ledger so individual runs stay attributable.
+- a per-sweep ledger so individual runs stay attributable;
+- per-check-site cost attribution merged across every schedule of
+  every sweep (:mod:`repro.obs.sitestats`) — which ``chkread`` /
+  ``chkwrite`` occurrences dominate the charged cost, and how each was
+  discharged.
 
 ``sharc explore --metrics-out metrics.json`` writes the registry; the
 payload is schema-checked (:func:`validate_metrics`) before it touches
-disk, mirroring how ``BENCH_interp.json`` is handled.
+disk, mirroring how ``BENCH_interp.json`` is handled.  Older payloads
+on disk upgrade in place via :func:`upgrade_metrics_payload`
+(``/1`` added no static section, ``/2`` no crash accounting, ``/3`` no
+site attribution).
 """
 
 from __future__ import annotations
 
 import json
 
-METRICS_SCHEMA = "sharc-metrics/3"
+from repro.obs import sitestats
+
+METRICS_SCHEMA = "sharc-metrics/4"
+
+#: every schema tag this module can read (oldest first)
+KNOWN_SCHEMAS = ("sharc-metrics/1", "sharc-metrics/2",
+                 "sharc-metrics/3", "sharc-metrics/4")
 
 
 def _rate(hits: int, total: int) -> float:
@@ -52,6 +65,8 @@ class MetricsRegistry:
         self.static_races = 0
         #: checker -> {"agreeing", "static_only", "dynamic_only"}
         self._static: dict[str, dict] = {}
+        #: merged per-check-site attribution (sitestats layout)
+        self.sites: dict = {}
 
     def record_sweep(self, summary) -> None:
         """Folds one :class:`ExplorationSummary` in."""
@@ -76,6 +91,8 @@ class MetricsRegistry:
         self.check_fastpath += fastpath
         self._trace_hashes |= summary.trace_hashes
         self._reports.update(summary.first_failures)
+        sitestats.merge_sites(self.sites,
+                              getattr(summary, "site_totals", {}))
         by_policy: dict[str, dict] = {}
         for outcome in summary.outcomes:
             acc = by_policy.setdefault(outcome.policy,
@@ -157,6 +174,10 @@ class MetricsRegistry:
                         _rate(acc["fastpath"], acc["updates"]), 6),
                 }
                 for policy, acc in sorted(self._policies.items())},
+            "sites": {
+                "totals": sitestats.totals(self.sites),
+                "rows": sitestats.site_rows(self.sites),
+            },
         }
 
     def render(self) -> str:
@@ -184,6 +205,8 @@ class MetricsRegistry:
                     f"    static vs {checker:<6}: {row['agreeing']} "
                     f"agreeing, {row['static_only']} static-only, "
                     f"{row['dynamic_only']} dynamic-only")
+        if self.sites:
+            lines.append(sitestats.render_hot_sites(self.sites))
         return "\n".join(lines)
 
 
@@ -245,7 +268,71 @@ def validate_metrics(payload: dict) -> list:
             if not isinstance(rate, (int, float)) or not 0 <= rate <= 1:
                 problems.append(
                     f"per_policy.{policy}.check_hit_rate out of range")
+    sites = payload.get("sites")
+    if not isinstance(sites, dict):
+        problems.append("sites missing")
+    else:
+        if not isinstance(sites.get("totals"), dict):
+            problems.append("sites.totals missing")
+        rows = sites.get("rows")
+        if not isinstance(rows, list):
+            problems.append("sites.rows missing or not an array")
+        else:
+            for i, row in enumerate(rows):
+                if not isinstance(row, dict):
+                    problems.append(f"sites.rows[{i}]: not an object")
+                    continue
+                for key in ("file", "lvalue", "op"):
+                    if not isinstance(row.get(key), str):
+                        problems.append(
+                            f"sites.rows[{i}].{key}: expected string")
+                for key in ("line", "checks") + sitestats.SITE_FIELDS:
+                    value = row.get(key)
+                    if not isinstance(value, int) or value < 0:
+                        problems.append(
+                            f"sites.rows[{i}].{key}: expected "
+                            f"non-negative int, got {value!r}")
     return problems
+
+
+def upgrade_metrics_payload(payload: dict) -> dict:
+    """Upgrades a metrics payload written by an older release to the
+    current :data:`METRICS_SCHEMA` (a shallow-copied upgrade; the input
+    is never mutated):
+
+    - ``/1`` predates the static-agreement section — an empty one is
+      synthesized;
+    - ``/2`` predates crash accounting — zero ``crashed_schedules`` /
+      per-policy ``crashes`` are filled in;
+    - ``/3`` predates site attribution — an empty ``sites`` section is
+      synthesized.
+
+    Raises ``ValueError`` on a schema tag this module has never
+    written.
+    """
+    schema = payload.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        raise ValueError(f"unknown metrics schema {schema!r} "
+                         f"(known: {', '.join(KNOWN_SCHEMAS)})")
+    version = int(schema.rsplit("/", 1)[1])
+    out = dict(payload)
+    out["totals"] = dict(payload.get("totals", {}))
+    out["sweeps"] = [dict(row) for row in payload.get("sweeps", [])]
+    out["per_policy"] = {policy: dict(row) for policy, row
+                        in payload.get("per_policy", {}).items()}
+    if version < 2:
+        out.setdefault("static", {"races": 0, "agreement": {}})
+    if version < 3:
+        out["totals"].setdefault("crashed_schedules", 0)
+        for row in out["sweeps"]:
+            row.setdefault("crashed_schedules", 0)
+        for row in out["per_policy"].values():
+            row.setdefault("crashes", 0)
+    if version < 4:
+        out.setdefault("sites", {"totals": sitestats.totals({}),
+                                 "rows": []})
+    out["schema"] = METRICS_SCHEMA
+    return out
 
 
 def write_metrics(registry: MetricsRegistry, path: str) -> dict:

@@ -373,9 +373,18 @@ class Interp:
 
     def _dynamic_check(self, info: AccessInfo, addr: int, size: int,
                        thread: Thread, is_write: bool) -> None:
-        """dynamic / dynamic_in: the n-readers-or-1-writer discipline."""
+        """dynamic / dynamic_in: the n-readers-or-1-writer discipline.
+
+        Every branch also lands in the per-site attribution counters
+        (``stats.sites``, :mod:`repro.obs.sitestats` layout) — pure
+        observation, so it cannot perturb steps, reports, or RNG."""
         stats = self.stats
         stats.accesses_dynamic += 1
+        site = stats.sites.get(info.site_key_w if is_write
+                               else info.site_key_r)
+        if site is None:
+            site = stats.sites[info.site_key_w if is_write
+                               else info.site_key_r] = [0] * 8
         if self.sched.live_count <= 1:
             # Only one live thread: a spawn happens-after every access
             # made so far, so these accesses can never be part of a race;
@@ -383,6 +392,8 @@ class Interp:
             # positives.  The check degenerates to a thread-count test.
             # Provenance is still recorded: a later conflict's history
             # should show the single-threaded initialisation too.
+            site[0] += 1  # solo
+            site[7] += 1  # cost
             self._charge_check(1)
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
@@ -397,6 +408,8 @@ class Interp:
             # possible, no bitmap writes), so history, cost, and trace
             # below are byte-identical to the elimination-off run.
             stats.checks_elided += 1
+            site[3] += 1  # elided
+            site[7] += 1  # cost
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
                                     info.lvalue_text, info.loc, is_write,
@@ -426,6 +439,8 @@ class Interp:
             # race, and history, cost, and trace stay byte-identical to
             # the --no-lockset run.
             stats.checks_locked_refined += 1
+            site[4] += 1  # locked
+            site[7] += 1  # cost
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
                                     info.lvalue_text, info.loc, is_write,
@@ -445,12 +460,17 @@ class Interp:
             chk = (shadow.chkwrite_range if is_write
                    else shadow.chkread_range)
             stats.checks_range += 1
+            site[2] += 1  # range
         else:
             chk = shadow.chkwrite if is_write else shadow.chkread
             stats.checks_full += 1
+            site[1] += 1  # full
         conflict, slow = chk(addr, size, thread.tid, info.lvalue_text,
                              info.loc)
+        if slow:
+            site[5] += 1  # miss (left the fast path)
         if conflict is not None:
+            site[6] += 1  # conflicts
             who = Access(thread.tid, info.lvalue_text, info.loc)
             # Provenance is fetched *before* recording this access,
             # so the hist lines show the accesses leading up to it.
@@ -465,6 +485,7 @@ class Interp:
         # Fast path (bits already set): a load + test.  Slow path:
         # a cmpxchg per granule.
         cost = 1 + 3 * slow
+        site[7] += cost
         self._charge_check(cost)
         if self.bus is not None:
             self.bus.emit(CAT_CHECK,
@@ -486,7 +507,14 @@ class Interp:
         self.stats.accesses_dynamic += 1
         self.stats.accesses_total += 1
         is_write = "w" in rw
+        site = self.stats.sites.get(info.site_key_w if is_write
+                                    else info.site_key_r)
+        if site is None:
+            site = self.stats.sites[info.site_key_w if is_write
+                                    else info.site_key_r] = [0] * 8
         if self._solo():
+            site[0] += 1  # solo
+            site[7] += 1  # cost
             self._charge_check(1)
             if self.history is not None:
                 self.history.record(addr, length, thread.tid,
@@ -520,12 +548,18 @@ class Interp:
                                            conflict.as_access(), hist))
         if counted:
             self.stats.checks_range += 1
+            site[2] += 1  # range
+            if slow:
+                site[5] += 1  # miss
+            if conflict is not None:
+                site[6] += 1  # conflicts
         if self.history is not None and rw:
             self.history.record(addr, length, thread.tid,
                                 info.lvalue_text, info.loc, is_write,
                                 self.stats.steps_total)
         cost = 1 + 3 * slow
         self._charge_check(cost)
+        site[7] += cost
         if self.bus is not None:
             self.bus.emit(CAT_CHECK,
                           "chkwrite" if is_write else "chkread",

@@ -61,6 +61,14 @@ class RunStats:
     rc_collections: int = 0
     lock_acquisitions: int = 0
 
+    #: per-check-site attribution: ``(file, line, lvalue, op)`` ->
+    #: counter list in the :data:`repro.obs.sitestats.SITE_FIELDS`
+    #: layout.  Always collected (a dict lookup per check); pure
+    #: observation, so runs stay bit-identical either way.  The
+    #: per-site sums reconcile exactly with the ``checks_*`` counters
+    #: above (:func:`repro.obs.sitestats.reconcile`).
+    sites: dict = field(default_factory=dict)
+
     #: wall-clock duration of the run loop.  Observability only — every
     #: Table 1 metric stays in deterministic steps; wall time feeds the
     #: BENCH_interp.json throughput trajectory.

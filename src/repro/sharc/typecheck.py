@@ -74,11 +74,21 @@ class AccessInfo:
     #: ``refined_lock`` (a program global mutex) is indeed held.
     lockset_refined: bool = field(init=False, default=False)
     refined_lock: Optional[str] = field(init=False, default=None)
+    #: precomputed per-site attribution keys (repro.obs.sitestats):
+    #: ``(file, line, lvalue, op)`` for the read and write flavour of
+    #: this occurrence, built once here so the hot check paths never
+    #: allocate a key tuple per access
+    site_key_r: tuple = field(init=False, default=())
+    site_key_w: tuple = field(init=False, default=())
 
     def __post_init__(self) -> None:
         self.is_lock = self.mode.is_locked
         self.is_dynamic = self.mode.kind in (M.ModeKind.DYNAMIC,
                                              M.ModeKind.DYNAMIC_IN)
+        self.site_key_r = (self.loc.file, self.loc.line,
+                           self.lvalue_text, "r")
+        self.site_key_w = (self.loc.file, self.loc.line,
+                           self.lvalue_text, "w")
 
     @property
     def is_checked(self) -> bool:

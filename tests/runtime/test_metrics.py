@@ -6,7 +6,9 @@ import pytest
 
 from repro.explore.driver import (ExplorationSummary, ScheduleOutcome,
                                   explore_source)
+from repro.obs import sitestats
 from repro.obs.metrics import (METRICS_SCHEMA, MetricsRegistry,
+                               upgrade_metrics_payload,
                                validate_metrics, write_metrics)
 
 RACY = """
@@ -240,3 +242,153 @@ class TestValidateMetrics:
         payload = MetricsRegistry().as_dict()
         assert validate_metrics(payload) == []
         assert payload["static"] == {"races": 0, "agreement": {}}
+
+
+class TestRateEdgeCases:
+    def test_zero_denominator_rates_are_zero(self):
+        """All-crash sweeps leave every denominator at zero; rates must
+        come out 0.0, not NaN or ZeroDivisionError."""
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([_crash(0, "random"),
+                                        _crash(1, "random")]))
+        payload = registry.as_dict()
+        assert validate_metrics(payload) == []
+        assert payload["totals"]["races_per_1k"] == 0.0
+        assert payload["totals"]["check_hit_rate"] == 0.0
+        assert payload["per_policy"]["random"]["races_per_1k"] == 0.0
+        assert payload["per_policy"]["random"]["check_hit_rate"] == 0.0
+
+    def test_zero_update_outcomes_keep_hit_rate_zero(self):
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary(
+            [_outcome(0, "random", updates=0, fastpath=0)]))
+        payload = registry.as_dict()
+        assert payload["totals"]["check_hit_rate"] == 0.0
+        assert validate_metrics(payload) == []
+
+
+class TestDisjointPolicyMerge:
+    def test_per_policy_merge_across_disjoint_sweeps(self):
+        """Two sweeps over non-overlapping policy sets must union in
+        per_policy, each bucket carrying only its own sweep's rows."""
+        registry = MetricsRegistry()
+        a = ExplorationSummary(filename="a.c", checker="sharc",
+                               policies=("random",))
+        a.add(_outcome(0, "random", reports=1, trace_hash="t1"))
+        a.add(_outcome(1, "random", trace_hash="t2"))
+        b = ExplorationSummary(filename="b.c", checker="sharc",
+                               policies=("pct", "pb"))
+        b.add(_outcome(0, "pct", trace_hash="t3"))
+        b.add(_outcome(0, "pb", reports=1, trace_hash="t4"))
+        registry.record_sweep(a)
+        registry.record_sweep(b)
+        payload = registry.as_dict()
+        assert validate_metrics(payload) == []
+        assert set(payload["per_policy"]) == {"random", "pct", "pb"}
+        assert payload["per_policy"]["random"]["schedules"] == 2
+        assert payload["per_policy"]["random"]["failures"] == 1
+        assert payload["per_policy"]["pct"]["schedules"] == 1
+        assert payload["per_policy"]["pct"]["failures"] == 0
+        assert payload["per_policy"]["pb"]["failures"] == 1
+        assert payload["totals"]["schedules"] == 4
+
+    def test_overlapping_policy_buckets_accumulate(self):
+        registry = MetricsRegistry()
+        for _ in range(2):
+            summary = _summary([_outcome(0, "random", reports=1)])
+            registry.record_sweep(summary)
+        bucket = registry.as_dict()["per_policy"]["random"]
+        assert bucket["schedules"] == 2
+        assert bucket["failures"] == 2
+
+
+class TestSchemaUpgrades:
+    def _v1_payload(self):
+        """A minimal sharc-metrics/1 payload: no static block, no
+        crash accounting, no sites section."""
+        payload = MetricsRegistry().as_dict()
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([_outcome(0, "random",
+                                                 reports=1)]))
+        payload = registry.as_dict()
+        payload["schema"] = "sharc-metrics/1"
+        del payload["static"]
+        del payload["totals"]["crashed_schedules"]
+        del payload["sites"]
+        for row in payload["sweeps"]:
+            del row["crashed_schedules"]
+        for bucket in payload["per_policy"].values():
+            del bucket["crashes"]
+        return payload
+
+    def test_v1_upgrades_to_current(self):
+        upgraded = upgrade_metrics_payload(self._v1_payload())
+        assert upgraded["schema"] == METRICS_SCHEMA
+        assert validate_metrics(upgraded) == []
+        assert upgraded["static"] == {"races": 0, "agreement": {}}
+        assert upgraded["totals"]["crashed_schedules"] == 0
+        assert upgraded["sites"] == {"totals": sitestats.totals({}),
+                                     "rows": []}
+        assert all(r["crashed_schedules"] == 0
+                   for r in upgraded["sweeps"])
+        assert all(b["crashes"] == 0
+                   for b in upgraded["per_policy"].values())
+
+    def test_v3_upgrade_only_adds_sites(self):
+        v3 = self._v1_payload()
+        v3 = upgrade_metrics_payload(v3)
+        v3["schema"] = "sharc-metrics/3"
+        del v3["sites"]
+        upgraded = upgrade_metrics_payload(v3)
+        assert upgraded["schema"] == METRICS_SCHEMA
+        assert validate_metrics(upgraded) == []
+        assert upgraded["sites"]["rows"] == []
+
+    def test_current_payload_passes_through(self):
+        registry = MetricsRegistry()
+        registry.record_sweep(_summary([_outcome(0, "random")]))
+        payload = registry.as_dict()
+        upgraded = upgrade_metrics_payload(payload)
+        assert upgraded == payload
+
+    def test_upgrade_does_not_mutate_input(self):
+        v1 = self._v1_payload()
+        before = json.dumps(v1, sort_keys=True)
+        upgrade_metrics_payload(v1)
+        assert json.dumps(v1, sort_keys=True) == before
+
+    def test_unknown_schema_raises(self):
+        payload = MetricsRegistry().as_dict()
+        payload["schema"] = "sharc-metrics/99"
+        with pytest.raises(ValueError, match="sharc-metrics/99"):
+            upgrade_metrics_payload(payload)
+
+
+class TestSitesSection:
+    def test_sweep_sites_flow_into_payload(self):
+        registry = MetricsRegistry()
+        summary = explore_source(RACY, "racy.c", seeds=2,
+                                 policies=("random",))
+        registry.record_sweep(summary)
+        payload = registry.as_dict()
+        assert validate_metrics(payload) == []
+        rows = payload["sites"]["rows"]
+        assert rows, "sweep recorded no check sites"
+        assert payload["sites"]["totals"]["cost"] == \
+            sum(r["cost"] for r in rows)
+        assert all(r["file"] == "racy.c" for r in rows)
+
+    def test_validator_flags_malformed_site_rows(self):
+        payload = MetricsRegistry().as_dict()
+        payload["sites"]["rows"] = [{"file": "a.c", "line": -1,
+                                     "lvalue": "x", "op": "r"}]
+        problems = validate_metrics(payload)
+        assert problems and any("sites" in p for p in problems)
+
+    def test_render_includes_hot_sites(self):
+        registry = MetricsRegistry()
+        summary = explore_source(RACY, "racy.c", seeds=1,
+                                 policies=("random",))
+        registry.record_sweep(summary)
+        text = registry.render()
+        assert "racy.c:" in text

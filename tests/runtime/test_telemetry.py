@@ -1,0 +1,335 @@
+"""The campaign telemetry stream (repro.obs.telemetry).
+
+Covers the writer protocol (heartbeats, multi-sweep accumulation,
+rate/ETA with an injected clock), the crash-safety contract (truncated
+tails parse), the status fold, and the two invariants the tentpole
+rests on: the stream alone reconstructs a live view, and telemetry
+never perturbs the run it observes (bit-identity by seed).
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.explore.driver import explore_source
+from repro.obs.telemetry import (
+    TELEMETRY_SCHEMA, CampaignStatus, ProgressPrinter, TelemetryWriter,
+    read_telemetry, supports_live, validate_status, validate_telemetry,
+)
+
+RACY = """
+int counter = 0;
+void *bump(void *arg) {
+  counter = counter + 1;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(bump, NULL);
+  int t2 = thread_create(bump, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each reading advances by
+    ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+def _stream(tmp_path, **kwargs):
+    return TelemetryWriter(str(tmp_path / "telemetry.jsonl"), **kwargs)
+
+
+class TestWriter:
+    def test_start_and_final_frame_the_stream(self, tmp_path):
+        writer = _stream(tmp_path, campaign="demo", total=10,
+                         clock=FakeClock())
+        writer.final()
+        records = read_telemetry(writer.path)
+        assert [r["kind"] for r in records] == ["start", "final"]
+        assert records[0]["schema"] == TELEMETRY_SCHEMA
+        assert records[0]["campaign"] == "demo"
+        assert validate_telemetry(records) == []
+
+    def test_heartbeat_every_flush_batch(self, tmp_path):
+        writer = _stream(tmp_path, flush_every=2, clock=FakeClock())
+        summary = explore_source(RACY, "racy.c", seeds=3,
+                                 policies=("random",),
+                                 telemetry=writer)
+        writer.final()
+        records = read_telemetry(writer.path)
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "start" and kinds[-1] == "final"
+        assert kinds.count("sweep-start") == 1
+        assert kinds.count("sweep-end") == 1
+        progress = [r for r in records if r["kind"] == "progress"]
+        # 3 outcomes at flush_every=2: one mid-sweep heartbeat plus the
+        # end-of-sweep flush of the odd remainder.
+        assert len(progress) == 2
+        assert progress[-1]["done"] == summary.schedules == 3
+        assert validate_telemetry(records) == []
+
+    def test_rate_and_eta_use_injected_clock(self, tmp_path):
+        clock = FakeClock(step=0.0)  # manual control
+        clock.now = 0.0
+        writer = _stream(tmp_path, total=4, flush_every=100,
+                         clock=lambda: clock.now)
+        writer.begin_sweep("a.c", "sharc", ("random",), 4)
+
+        class _O:
+            policy, checker, seed = "random", "sharc", 0
+            trace_hash, reports, report_keys = "h", 0, ()
+
+        clock.now = 2.0
+        writer.record_outcome(_O())
+        writer.progress()
+        record = read_telemetry(writer.path)[-1]
+        # 1 schedule / 2 seconds; 3 remaining at 0.5/s -> 6s ETA.
+        assert record["rate"] == pytest.approx(0.5)
+        assert record["eta_seconds"] == pytest.approx(6.0)
+        writer.close()
+
+    def test_multi_sweep_totals_accumulate(self, tmp_path):
+        writer = _stream(tmp_path, clock=FakeClock())
+        explore_source(RACY, "racy.c", seeds=2, policies=("random",),
+                       telemetry=writer)
+        explore_source(RACY, "racy.c", seeds=2, policies=("random",),
+                       checker="eraser", telemetry=writer)
+        writer.final()
+        records = read_telemetry(writer.path)
+        final = records[-1]
+        assert final["done"] == final["total"] == 4
+        starts = [r for r in records if r["kind"] == "sweep-start"]
+        assert [s["checker"] for s in starts] == ["sharc", "eraser"]
+        assert validate_telemetry(records) == []
+
+    def test_violation_emitted_once_per_report_key(self, tmp_path):
+        writer = _stream(tmp_path, clock=FakeClock())
+        explore_source(RACY, "racy.c", seeds=12,
+                       policies=("pct", "random"), telemetry=writer)
+        writer.final()
+        records = read_telemetry(writer.path)
+        violations = [r for r in records if r["kind"] == "violation"]
+        keys = [v["report"] for v in violations]
+        assert len(keys) == len(set(keys)), "duplicate violation records"
+        for v in violations:
+            assert isinstance(v["seed"], int) and v["policy"]
+
+
+class TestCrashSafety:
+    def test_truncated_tail_is_dropped(self, tmp_path):
+        writer = _stream(tmp_path, clock=FakeClock())
+        writer.emit("progress", done=1, total=2, distinct_traces=1,
+                    failing=0, crashes=0, per_policy={},
+                    per_backend={})
+        writer.close()
+        with open(writer.path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "final", "t": 3.0, "do')  # killed
+        records = read_telemetry(writer.path)
+        assert [r["kind"] for r in records] == ["start", "progress"]
+        status = CampaignStatus.from_records(records)
+        assert status.state == "running"
+        assert status.done == 1
+
+    def test_every_record_is_durable_as_written(self, tmp_path):
+        """The file must be parseable after *every* emit — no buffered
+        tail held back by the writer."""
+        writer = _stream(tmp_path, clock=FakeClock())
+        for i in range(3):
+            writer.emit("scenario", name=f"s{i}", verdict="ok")
+            assert len(read_telemetry(writer.path)) == 2 + i
+        writer.close()
+
+
+class TestValidators:
+    def test_flags_bad_first_record_and_schema(self):
+        assert validate_telemetry([]) == ["empty telemetry stream"]
+        bad = [{"kind": "progress", "t": 0.0}]
+        assert any("start" in p for p in validate_telemetry(bad))
+        wrong = [{"kind": "start", "t": 0.0, "schema": "bogus/9"}]
+        assert any("schema" in p for p in validate_telemetry(wrong))
+
+    def test_flags_unknown_kinds_and_bad_timestamps(self):
+        records = [
+            {"kind": "start", "t": 1.0, "schema": TELEMETRY_SCHEMA},
+            {"kind": "mystery", "t": 2.0},
+            {"kind": "final", "t": 0.5},
+        ]
+        problems = validate_telemetry(records)
+        assert any("unknown kind" in p for p in problems)
+        assert any("backwards" in p for p in problems)
+
+    def test_flags_malformed_progress(self):
+        records = [
+            {"kind": "start", "t": 0.0, "schema": TELEMETRY_SCHEMA},
+            {"kind": "progress", "t": 1.0, "done": -1, "total": 2,
+             "distinct_traces": 0, "failing": 0, "crashes": 0},
+        ]
+        problems = validate_telemetry(records)
+        assert any("progress.done" in p for p in problems)
+        assert any("per_policy" in p for p in problems)
+
+    def test_status_payload_validates(self, tmp_path):
+        writer = _stream(tmp_path, clock=FakeClock())
+        explore_source(RACY, "racy.c", seeds=2, policies=("random",),
+                       telemetry=writer)
+        writer.final()
+        payload = CampaignStatus.from_file(writer.path).as_dict()
+        assert validate_status(payload) == []
+        assert payload["state"] == "finished"
+        broken = dict(payload, state="bogus", done=-1)
+        problems = validate_status(broken)
+        assert any("state" in p for p in problems)
+        assert any("done" in p for p in problems)
+
+
+class TestCampaignStatus:
+    def test_folds_stream_into_live_view(self, tmp_path):
+        writer = _stream(tmp_path, flush_every=1, clock=FakeClock())
+        summary = explore_source(RACY, "racy.c", seeds=4,
+                                 policies=("random", "pct"),
+                                 telemetry=writer)
+        writer.final()
+        status = CampaignStatus.from_file(writer.path)
+        assert status.finished and not status.interrupted
+        assert status.done == summary.schedules
+        assert status.distinct_traces == summary.distinct_traces
+        assert status.failing == len(summary.failures)
+        assert set(status.per_policy) == set(summary.per_policy)
+        # flush_every=1: one coverage sample per schedule, monotone x.
+        xs = [x for x, _ in status.coverage_curve]
+        assert xs == sorted(xs) and len(xs) == summary.schedules
+        text = status.render()
+        assert f"{status.done}/{status.total}" in text
+        assert "distinct traces" in text
+
+    def test_mid_campaign_stream_reads_as_running(self, tmp_path):
+        writer = _stream(tmp_path, flush_every=1, clock=FakeClock())
+        explore_source(RACY, "racy.c", seeds=2, policies=("random",),
+                       telemetry=writer)
+        writer.close()  # no final record: campaign still going
+        status = CampaignStatus.from_file(writer.path)
+        assert status.state == "running"
+        assert "current sweep" in status.render()
+
+    def test_interrupted_final_record(self, tmp_path):
+        writer = _stream(tmp_path, clock=FakeClock())
+        writer.final(interrupted=True)
+        status = CampaignStatus.from_file(writer.path)
+        assert status.state == "interrupted"
+
+
+class TestBitIdentity:
+    def test_telemetry_does_not_perturb_outcomes(self, tmp_path):
+        """The determinism contract: a telemetry-on sweep produces the
+        exact same outcome rows (steps, traces, reports, order) as a
+        telemetry-off sweep of the same grid."""
+        writer = _stream(tmp_path, flush_every=1, clock=FakeClock())
+        with_telemetry = explore_source(
+            RACY, "racy.c", seeds=5, policies=("random", "pct"),
+            telemetry=writer)
+        writer.final()
+        without = explore_source(
+            RACY, "racy.c", seeds=5, policies=("random", "pct"))
+        assert with_telemetry.outcomes == without.outcomes
+        assert with_telemetry.trace_hashes == without.trace_hashes
+
+    @pytest.mark.parametrize("backend", ["interp", "compiled"])
+    def test_backends_agree_under_telemetry(self, tmp_path, backend):
+        writer = _stream(tmp_path, clock=FakeClock())
+        summary = explore_source(RACY, "racy.c", seeds=3,
+                                 policies=("random",), backend=backend,
+                                 telemetry=writer)
+        writer.final()
+        baseline = explore_source(RACY, "racy.c", seeds=3,
+                                  policies=("random",))
+        assert [o.trace_hash for o in summary.outcomes] == \
+            [o.trace_hash for o in baseline.outcomes]
+        assert [o.steps for o in summary.outcomes] == \
+            [o.steps for o in baseline.outcomes]
+
+
+class TestProgressPrinter:
+    def test_live_mode_redraws_in_place(self):
+        out = io.StringIO()
+        printer = ProgressPrinter(out, live=True)
+        printer.update("1/10")
+        printer.update("2/10")
+        printer.close()
+        text = out.getvalue()
+        assert "\r\x1b[K" in text
+        assert text.endswith("\n")
+
+    def test_plain_mode_emits_clean_lines(self):
+        out = io.StringIO()
+        printer = ProgressPrinter(out, live=False)
+        printer.update("1/10")
+        printer.update("1/10")  # duplicate: suppressed
+        printer.update("2/10")
+        printer.close()
+        assert out.getvalue() == "1/10\n2/10\n"
+        assert "\x1b" not in out.getvalue()
+
+    def test_quiet_suppresses_everything(self):
+        out = io.StringIO()
+        printer = ProgressPrinter(out, quiet=True, live=True)
+        printer.update("1/10")
+        printer.close()
+        assert out.getvalue() == ""
+
+    def test_supports_live_detection(self, monkeypatch):
+        assert not supports_live(io.StringIO())  # no isatty -> False
+
+        class Tty(io.StringIO):
+            def isatty(self):
+                return True
+
+        monkeypatch.setenv("TERM", "xterm-256color")
+        assert supports_live(Tty())
+        monkeypatch.setenv("TERM", "dumb")
+        assert not supports_live(Tty())
+
+    def test_printer_defaults_to_stream_detection(self):
+        printer = ProgressPrinter(io.StringIO())
+        assert printer.live is False
+
+
+class TestFuzzTelemetry:
+    def test_fuzz_campaign_streams_scenarios(self, tmp_path):
+        from repro.fuzz import FuzzConfig, fuzz_campaign
+
+        writer = _stream(tmp_path, clock=FakeClock())
+        config = FuzzConfig(budget=2, seeds=2, policies=("random",),
+                            shrink=False, max_steps=40_000)
+        report = fuzz_campaign(config, telemetry=writer)
+        writer.final()
+        records = read_telemetry(writer.path)
+        assert validate_telemetry(records) == []
+        scenarios = [r for r in records if r["kind"] == "scenario"]
+        assert len(scenarios) == len(report.scenarios) == 2
+        # 3 sweeps per scenario: interp, compiled, eraser.
+        starts = [r for r in records if r["kind"] == "sweep-start"]
+        assert len(starts) == 6
+        backends = {s["backend"] for s in starts}
+        assert backends == {"interp", "compiled"}
+        final = records[-1]
+        assert final["done"] == final["total"]
+
+
+def test_module_reexports():
+    import repro.obs as obs
+
+    assert obs.TELEMETRY_SCHEMA == TELEMETRY_SCHEMA
+    assert obs.TelemetryWriter is TelemetryWriter
+    assert json.dumps(CampaignStatus().as_dict())  # JSON-serializable
