@@ -25,6 +25,11 @@ Subcommands mirror how the paper's tool is used:
   minimal interleaving (``--shrink``) or replay a saved one
   (``--replay``); ``--metrics-out`` writes a schema-validated
   ``metrics.json`` aggregating the sweep;
+- ``sharc campaign DIR`` — the fleet-scale tier above ``explore``: a
+  resumable sharded sweep over many workloads with batched worker IPC,
+  an on-disk deduplicating trace corpus, and coverage-guided budget
+  allocation; kill it any time and ``--resume DIR`` continues from the
+  last completed shard with a bit-identical final summary;
 - ``sharc status DIR``   — live (or final) view of an explore/fuzz
   campaign from its crash-safe ``telemetry.jsonl`` stream
   (``--watch`` keeps redrawing, ``--json`` emits the folded status);
@@ -458,6 +463,92 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if not sweep.failures else 1
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.explore.campaign import (
+        CampaignConfig, CampaignTarget, run_campaign,
+    )
+    from repro.obs import ProgressPrinter, TelemetryWriter
+
+    if args.resume:
+        if args.file or args.workload:
+            print("campaign: --resume reads targets from the campaign "
+                  "directory; don't pass FILE/--workload", file=sys.stderr)
+            return 2
+        if not os.path.exists(os.path.join(args.dir, "campaign.json")):
+            print(f"campaign: no campaign manifest in {args.dir}",
+                  file=sys.stderr)
+            return 2
+        targets = None
+        config = CampaignConfig(jobs=args.jobs)
+    else:
+        targets = []
+        try:
+            for name in args.workload or ():
+                targets.append(CampaignTarget.from_workload(name))
+            for path in args.file or ():
+                targets.append(CampaignTarget.from_file(
+                    path, max_steps=args.max_steps))
+        except (OSError, KeyError, ValueError) as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        if not targets:
+            print("campaign: need at least one FILE or --workload "
+                  "(or --resume)", file=sys.stderr)
+            return 2
+        labels = [t.label for t in targets]
+        if len(set(labels)) != len(labels):
+            print(f"campaign: duplicate target labels: {labels}",
+                  file=sys.stderr)
+            return 2
+        policies = (tuple(args.policy) if args.policy
+                    else ("random", "pct", "pb"))
+        config = CampaignConfig(
+            budget=args.budget, shard_size=args.shard_size,
+            jobs=args.jobs, policies=policies, checker=args.checker,
+            backend=args.backend, sites_every=args.sites_every,
+            seed_start=args.seed_start)
+
+    os.makedirs(args.dir, exist_ok=True)
+    telemetry = TelemetryWriter(
+        os.path.join(args.dir, "telemetry.jsonl"),
+        campaign=f"campaign:{args.dir}")
+
+    printer = ProgressPrinter(quiet=args.quiet or args.json)
+
+    def progress(done: int, budget: int, partial) -> None:
+        printer.update(
+            f"  {done}/{budget} schedules in "
+            f"{partial.shards_done} shards, "
+            f"{partial.distinct_traces} distinct traces, "
+            f"{len(partial.failures)} failing")
+
+    try:
+        summary = run_campaign(targets, args.dir, config=config,
+                               resume=args.resume,
+                               stop_after=args.stop_after,
+                               telemetry=telemetry, progress=progress)
+    except ValueError as exc:
+        printer.close()
+        telemetry.final(interrupted=True)
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        printer.close()
+    telemetry.final(interrupted=summary.interrupted)
+
+    print(json.dumps(summary.as_dict(), indent=2) if args.json
+          else summary.render())
+    if summary.complete and not args.json:
+        print(f"summary written to "
+              f"{os.path.join(args.dir, 'summary.json')}")
+    if summary.interrupted:
+        return 130
+    return 1 if summary.failures else 0
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     import json
 
@@ -848,6 +939,61 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the N hottest check sites with their "
                         "per-site cost attribution after the sweep")
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "campaign",
+        help="resumable sharded sweep over workloads/files: batched "
+             "worker IPC, on-disk deduplicating trace corpus, "
+             "coverage-guided budget allocation")
+    p.add_argument("dir",
+                   help="campaign directory (queue, corpus, telemetry, "
+                        "summary all live here)")
+    p.add_argument("file", nargs="*", default=None,
+                   help="mini-C sources to sweep")
+    p.add_argument("--workload", action="append", default=None,
+                   metavar="NAME",
+                   help="sweep a Table 1 workload model by name, "
+                        "repeatable (pfscan, aget, pbzip2, dillo, "
+                        "fftw, stunnel)")
+    p.add_argument("--budget", type=int, default=1000,
+                   help="total schedules to spend across all "
+                        "(target, policy) cells (default 1000)")
+    p.add_argument("--shard-size", type=int, default=32,
+                   help="schedules per shard — the unit of leasing, "
+                        "durability, and coverage feedback "
+                        "(default 32)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (never affects results, "
+                        "only wall-clock; resume may change it)")
+    p.add_argument("--policy", action="append", default=None,
+                   metavar="SPEC",
+                   help="scheduling policy spec, repeatable; "
+                        "default: random, pct, pb")
+    p.add_argument("--checker", choices=("sharc", "eraser"),
+                   default="sharc")
+    p.add_argument("--backend", choices=("interp", "compiled"),
+                   default="compiled",
+                   help="executor for every schedule (default "
+                        "compiled — bit-identical by seed, several "
+                        "times faster)")
+    p.add_argument("--max-steps", type=int, default=200_000,
+                   help="step bound for FILE targets (workloads carry "
+                        "their own)")
+    p.add_argument("--sites-every", type=int, default=8, metavar="N",
+                   help="sample full per-site cost attribution on one "
+                        "seed in N (0 disables; default 8)")
+    p.add_argument("--seed-start", type=int, default=0)
+    p.add_argument("--resume", action="store_true",
+                   help="continue a killed/paused campaign from its "
+                        "last completed shard (final summary is "
+                        "bit-identical to an uninterrupted run)")
+    p.add_argument("--stop-after", type=int, default=None, metavar="N",
+                   help="pause after N new shards this invocation "
+                        "(checkpointing; resume later with --resume)")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress the live progress line")
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser(
         "fuzz",

@@ -19,11 +19,21 @@ deterministic scheduler into a search tool:
   they run under the full pipeline;
 - :mod:`repro.explore.differential` — run the same schedules under the
   SharC checker and the Eraser lockset baseline and report
-  disagreements as replay seeds.
+  disagreements as replay seeds;
+- :mod:`repro.explore.campaign` (+ :mod:`~repro.explore.corpus`,
+  :mod:`~repro.explore.queue`) — the fleet-scale tier above the flat
+  sweep: resumable sharded campaigns with batched worker IPC, an
+  on-disk deduplicating trace corpus, a crash-safe work queue, and
+  coverage-guided budget allocation.
 
-CLI: ``sharc explore`` (see ``sharc explore --help``).
+CLI: ``sharc explore`` / ``sharc campaign`` (see ``--help``).
 """
 
+from repro.explore.campaign import (
+    CampaignConfig, CampaignSummary, CampaignTarget, run_campaign,
+)
+from repro.explore.corpus import BloomFilter, TraceCorpus
+from repro.explore.queue import WorkQueue
 from repro.explore.driver import (
     ExplorationSummary, ScheduleOutcome, explore_source, explore_workload,
 )
@@ -39,11 +49,17 @@ from repro.explore.differential import (
 
 __all__ = [
     "BackendDivergence",
+    "BloomFilter",
+    "CampaignConfig",
+    "CampaignSummary",
+    "CampaignTarget",
     "DifferentialSummary",
     "backend_divergences",
     "ExplorationSummary",
     "ScheduleOutcome",
     "ShrinkResult",
+    "TraceCorpus",
+    "WorkQueue",
     "differential_sweep",
     "explore_source",
     "explore_workload",
@@ -51,6 +67,7 @@ __all__ = [
     "racy_c_program",
     "render_c",
     "replay_artifact",
+    "run_campaign",
     "save_artifact",
     "shrink_failure",
 ]

@@ -1,0 +1,180 @@
+"""The on-disk deduplicating trace corpus.
+
+A campaign's coverage currency is the *distinct context-switch trace*:
+two schedules that interleave identically explore the same point of the
+schedule space, so only the first one buys coverage.  The flat sweep
+keeps that dedup in an in-memory set that dies with the process; the
+campaign engine keeps it here — an append-only file of trace hashes
+that survives restarts, fronted by a Bloom filter so the common case
+(an unseen trace) is decided by a few bit probes without touching the
+exact set.
+
+The Bloom front is *false-positive-free by construction* for the
+answers the corpus gives out: a negative probe means definitely-new
+(Bloom filters have no false negatives), and a positive probe is never
+trusted — it falls through to the exact set behind it.  The filter is
+therefore purely an accelerator; membership semantics are exactly those
+of a Python set.
+
+Durability model: hashes are buffered per :meth:`TraceCorpus.add` and
+made durable by :meth:`flush` — the campaign engine flushes once per
+completed shard, right before the shard's ``done`` lease record, so a
+killed campaign's corpus file never runs ahead of its queue.  A torn
+final line (the crash window) is detected and dropped on load, matching
+the telemetry stream's crash-safety contract.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+#: default Bloom geometry: 1 MiB of bits (2^23) with 4 probes holds ~1M
+#: traces below a ~2.4% maybe rate — and a "maybe" only costs one exact
+#: set lookup, so the geometry is a throughput knob, not a correctness
+#: one
+DEFAULT_BLOOM_BITS = 1 << 23
+DEFAULT_BLOOM_PROBES = 4
+
+
+class BloomFilter:
+    """A plain bit-array Bloom filter over trace-hash strings.
+
+    Trace hashes are already uniform hex digests
+    (:func:`repro.explore.driver.trace_hash`), so the k probe indices
+    are sliced straight out of the digest's integer value instead of
+    re-hashing.
+    """
+
+    def __init__(self, bits: int = DEFAULT_BLOOM_BITS,
+                 probes: int = DEFAULT_BLOOM_PROBES) -> None:
+        if bits < 8 or bits & (bits - 1):
+            raise ValueError(f"bits must be a power of two >= 8, "
+                             f"got {bits}")
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1, got {probes}")
+        self.bits = bits
+        self.probes = probes
+        self._mask = bits - 1
+        self._bytes = bytearray(bits // 8)
+
+    def _indices(self, digest: str) -> list[int]:
+        value = int(digest, 16)
+        shift = max(1, self.bits.bit_length() - 1)
+        out = []
+        for _ in range(self.probes):
+            out.append(value & self._mask)
+            value >>= shift
+            # Digest exhausted (short hashes x many probes): re-mix by
+            # squaring, which keeps the probe stream deterministic.
+            if value == 0:
+                value = (out[-1] * 2654435761 + 1) & ((1 << 64) - 1)
+        return out
+
+    def add(self, digest: str) -> None:
+        for index in self._indices(digest):
+            self._bytes[index >> 3] |= 1 << (index & 7)
+
+    def __contains__(self, digest: str) -> bool:
+        """True means *maybe present* (confirm against the exact set);
+        False means definitely absent."""
+        for index in self._indices(digest):
+            if not self._bytes[index >> 3] & 1 << (index & 7):
+                return False
+        return True
+
+
+def _valid_hash(line: str) -> bool:
+    """A corpus line is one lowercase hex trace hash; anything else is
+    the torn tail of a killed writer and is dropped on load."""
+    if not line:
+        return False
+    return all(c in "0123456789abcdef" for c in line)
+
+
+class TraceCorpus:
+    """The persistent distinct-trace set of one campaign directory.
+
+    Two membership layers, deliberately separate:
+
+    - the **working set** (:meth:`add` / :meth:`__contains__`): what the
+      current fold has seen.  Campaign resume rebuilds it by refolding
+      completed shards in lease order, so "was this trace new when
+      shard k folded?" has one deterministic answer regardless of how
+      many times the process restarted;
+    - the **persisted set** (the file): the union ever made durable.
+      :meth:`add` queues a hash for append only if the file does not
+      already hold it, so refolds after a restart never duplicate
+      lines.
+
+    ``preload=True`` seeds the working set from the file instead —
+    cross-campaign dedup for fresh campaigns pointed at an existing
+    corpus.
+    """
+
+    def __init__(self, path: Optional[str] = None, *,
+                 preload: bool = False,
+                 bits: int = DEFAULT_BLOOM_BITS,
+                 probes: int = DEFAULT_BLOOM_PROBES) -> None:
+        self.path = path
+        self.bloom = BloomFilter(bits, probes)
+        self._seen: set[str] = set()
+        self._persisted: set[str] = set()
+        self._pending: list[str] = []
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if _valid_hash(line):
+                        self._persisted.add(line)
+        if preload:
+            for digest in self._persisted:
+                self._seen.add(digest)
+                self.bloom.add(digest)
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, digest: str) -> bool:
+        # Bloom-negative: definitely new, no set probe.  Bloom-positive
+        # is only a hint — the exact set decides, so the corpus never
+        # reports a false positive.
+        if digest not in self.bloom:
+            return False
+        return digest in self._seen
+
+    @property
+    def persisted(self) -> int:
+        """Distinct hashes the on-disk file holds."""
+        return len(self._persisted) + sum(
+            1 for h in self._pending if h not in self._persisted)
+
+    def add(self, digest: str) -> bool:
+        """Folds one trace hash in; True iff it was new to the working
+        set.  New hashes not yet on disk are buffered until
+        :meth:`flush`."""
+        if digest in self:
+            return False
+        self._seen.add(digest)
+        self.bloom.add(digest)
+        if digest not in self._persisted:
+            self._pending.append(digest)
+        return True
+
+    def add_many(self, digests: Iterable[str]) -> int:
+        """Folds a batch; returns how many were new."""
+        return sum(1 for digest in digests if self.add(digest))
+
+    def flush(self) -> None:
+        """Appends buffered hashes to the file and fsyncs — called once
+        per completed shard, before the shard's ``done`` record."""
+        if not self._pending or self.path is None:
+            self._pending.clear()
+            return
+        with open(self.path, "a", encoding="utf-8") as handle:
+            for digest in self._pending:
+                handle.write(digest + "\n")
+                self._persisted.add(digest)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._pending.clear()

@@ -93,7 +93,10 @@ class ExplorationSummary:
     #: set when the sweep was cut short by Ctrl-C; the summary still
     #: holds every outcome collected before the interrupt
     interrupted: bool = False
-    #: report key -> the first schedule that produced it
+    #: report key -> the first schedule that produced it, "first" by
+    #: the deterministic sweep coordinates ``(policy rank, seed)`` —
+    #: NOT by arrival order, so unordered fan-out (``imap_unordered``)
+    #: aggregates to the same summary as a serial sweep
     first_failures: dict[str, ScheduleOutcome] = field(
         default_factory=dict)
     trace_hashes: set[str] = field(default_factory=set)
@@ -103,6 +106,16 @@ class ExplorationSummary:
     #: (:mod:`repro.obs.sitestats` layout)
     site_totals: dict = field(default_factory=dict)
     profiler: Profiler = field(default_factory=Profiler)
+
+    def coord_key(self, outcome: ScheduleOutcome) -> tuple:
+        """The deterministic sweep order of an outcome: policies in
+        declaration order, seeds ascending within a policy — exactly
+        the order a serial sweep runs them, independent of arrival."""
+        try:
+            rank = self.policies.index(outcome.policy)
+        except ValueError:  # a policy outside the sweep's declared set
+            rank = len(self.policies)
+        return (rank, outcome.policy, outcome.seed)
 
     def add(self, outcome: ScheduleOutcome) -> None:
         from repro.obs.sitestats import merge_sites
@@ -129,7 +142,10 @@ class ExplorationSummary:
             self.failures.append(outcome)
             bucket["failures"] += 1
             for key in outcome.report_keys:
-                self.first_failures.setdefault(key, outcome)
+                held = self.first_failures.get(key)
+                if held is None or (self.coord_key(outcome)
+                                    < self.coord_key(held)):
+                    self.first_failures[key] = outcome
 
     @property
     def distinct_traces(self) -> int:
@@ -164,7 +180,7 @@ class ExplorationSummary:
             "completed_schedules": self.completed_schedules,
             "crashes": [
                 {"seed": o.seed, "policy": o.policy, "error": o.error}
-                for o in self.crashes],
+                for o in sorted(self.crashes, key=self.coord_key)],
             "interrupted": self.interrupted,
             "distinct_traces": self.distinct_traces,
             "races_per_1k": round(self.races_per_1k, 3),
@@ -220,11 +236,21 @@ class ExplorationSummary:
 
 _CHECK_CACHE: dict = {}
 
+#: measured serial-run horizons, keyed by
+#: ``(source hash, checker, max_steps, max_burst, shadow_bytes)`` —
+#: campaign shards and repeated sweeps of the same source reuse the one
+#: probe run instead of each paying it (see :func:`_resolve_policies`)
+_HORIZON_CACHE: dict = {}
+
+
+def _source_hash(source: str) -> str:
+    return hashlib.sha1(source.encode()).hexdigest()
+
 
 def _checked_program(source: str, filename: str):
     from repro.sharc.checker import check_source
 
-    key = (hashlib.sha1(source.encode()).hexdigest(), filename)
+    key = (_source_hash(source), filename)
     checked = _CHECK_CACHE.get(key)
     if checked is None:
         checked = check_source(source, filename)
@@ -251,6 +277,7 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
                  checkelim: bool = True,
                  lockset: bool = True,
                  backend: Optional[str] = None,
+                 collect_sites: bool = True,
                  ) -> ScheduleOutcome:
     """Executes one (seed, policy) schedule and reduces it to an
     outcome.  ``checkelim=False`` ablates the static check eliminator
@@ -258,7 +285,13 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
     outcome field is guaranteed identical either way (the soundness
     gates of both passes), so sweeps default to both on.  ``backend``
     picks the executor; outcomes are backend-invariant by the same
-    guarantee (bit-identical steps, reports, and traces by seed)."""
+    guarantee (bit-identical steps, reports, and traces by seed).
+
+    ``collect_sites=False`` skips encoding the per-check-site
+    attribution into the outcome — the dominant share of its pickled
+    size — so campaign workers can sample attribution 1-in-N instead of
+    shipping the full ``sites`` payload through IPC for every single
+    schedule.  Every other field is unaffected."""
     from repro.obs.sitestats import encode_sites
     from repro.runtime.interp import run_checked
 
@@ -283,17 +316,19 @@ def run_schedule(source: str, filename: str, seed: int, policy: str,
         timeout=result.timeout,
         check_updates=result.stats.shadow_updates,
         check_fastpath=result.stats.shadow_fastpath_hits,
-        sites=encode_sites(result.stats.sites),
+        sites=(encode_sites(result.stats.sites) if collect_sites
+               else ()),
     )
 
 
 def _run_task(task) -> ScheduleOutcome:
     (source, filename, seed, policy, checker, max_steps, max_burst,
-     world_factory, shadow_bytes, backend) = task
+     world_factory, shadow_bytes, backend, collect_sites) = task
     try:
         return run_schedule(source, filename, seed, policy, checker,
                             max_steps, max_burst, world_factory,
-                            shadow_bytes, backend=backend)
+                            shadow_bytes, backend=backend,
+                            collect_sites=collect_sites)
     except Exception as exc:  # noqa: BLE001 - sweep survival
         # A crashing schedule (interpreter bug, bad world, recursion
         # blow-up) must not abort the whole sweep: pool.imap re-raises
@@ -326,6 +361,11 @@ def _resolve_policies(policies: Sequence[str], source: str,
     serial run appended — yielding a fully explicit ``pct:D:k`` spec, so
     every outcome stays replayable verbatim.  Specs that already carry a
     horizon are left alone.
+
+    The measured horizon is cached alongside ``_CHECK_CACHE``, keyed by
+    ``(source hash, checker, max_steps, max_burst, shadow_bytes)``, so
+    repeated sweeps of the same source — campaign shards above all —
+    pay the serial probe run exactly once per process.
     """
     from repro.runtime.interp import run_checked
 
@@ -335,13 +375,18 @@ def _resolve_policies(policies: Sequence[str], source: str,
 
     if not any(needs_horizon(p) for p in policies):
         return tuple(policies)
-    checked = _checked_program(source, filename)
-    world = world_factory() if world_factory is not None else None
-    probe = run_checked(checked, seed=0, policy="serial",
-                        checker=checker, max_steps=max_steps,
-                        max_burst=max_burst, world=world,
-                        shadow_bytes=shadow_bytes, record_trace=True)
-    horizon = max(1, sum(n for _, n in (probe.trace or [])))
+    cache_key = (_source_hash(source), checker, max_steps, max_burst,
+                 shadow_bytes)
+    horizon = _HORIZON_CACHE.get(cache_key)
+    if horizon is None:
+        checked = _checked_program(source, filename)
+        world = world_factory() if world_factory is not None else None
+        probe = run_checked(checked, seed=0, policy="serial",
+                            checker=checker, max_steps=max_steps,
+                            max_burst=max_burst, world=world,
+                            shadow_bytes=shadow_bytes, record_trace=True)
+        horizon = max(1, sum(n for _, n in (probe.trace or [])))
+        _HORIZON_CACHE[cache_key] = horizon
     resolved = []
     for spec in policies:
         if needs_horizon(spec):
@@ -360,6 +405,7 @@ def explore_source(source: str, filename: str = "<input>", *,
                    world_factory: Optional[Callable] = None,
                    shadow_bytes: int = DEFAULT_SHADOW_BYTES,
                    backend: Optional[str] = None,
+                   collect_sites: bool = True,
                    telemetry=None,
                    progress: Optional[Callable] = None,
                    ) -> ExplorationSummary:
@@ -388,7 +434,8 @@ def explore_source(source: str, filename: str = "<input>", *,
                                      world_factory, shadow_bytes)
     summary.policies = policies
     tasks = [(source, filename, seed, policy, checker, max_steps,
-              max_burst, world_factory, shadow_bytes, backend)
+              max_burst, world_factory, shadow_bytes, backend,
+              collect_sites)
              for policy in policies
              for seed in range(seed_start, seed_start + seeds)]
     if telemetry is not None:
@@ -405,9 +452,14 @@ def explore_source(source: str, filename: str = "<input>", *,
     with summary.profiler.phase("sweep"):
         try:
             if jobs > 1:
+                # Unordered: a slow schedule no longer head-of-line
+                # blocks finished ones.  Aggregation is order-invariant
+                # (first_failures key on sweep coordinates, coverage
+                # fields are sets/sums), so the summary is identical to
+                # the ordered walk — property-tested in test_explore.
                 with multiprocessing.Pool(jobs) as pool:
-                    for outcome in pool.imap(_run_task, tasks,
-                                             chunksize=8):
+                    for outcome in pool.imap_unordered(_run_task, tasks,
+                                                       chunksize=8):
                         took(outcome)
             else:
                 for task in tasks:

@@ -1,0 +1,140 @@
+"""The campaign's persistent work queue: shard leases on disk.
+
+A campaign's budget is carved into **shards** — contiguous seed ranges
+of one ``(target, policy)`` cell — and every shard's life cycle is
+recorded in ``queue.jsonl`` as append-only JSONL lease records:
+
+- ``{"kind": "lease", "shard": n, ...spec..., "rate": r, "picked": k}``
+  when the scheduler commits to running shard ``n`` (the coverage rate
+  and pick ordinal that chose it ride along, so the schedule of the
+  whole campaign replays from the file);
+- ``{"kind": "done", "shard": n}`` once the shard's result file is
+  durable.
+
+The result itself lands in ``shards/shard-NNNNN.json``, written to a
+temp file and atomically renamed, and the ``done`` record is appended
+only after the rename — so after any kill the queue is in one of two
+states per shard: fully complete (result file + done record) or safely
+re-runnable (schedules are deterministic, so re-running a leased shard
+reproduces the identical result file).  ``sharc campaign --resume``
+folds the completed prefix back in lease order and continues from the
+first shard without a result.
+
+No record in this file carries wall-clock time: the queue is part of
+the campaign's *deterministic* state (bit-identical across resumes and
+re-runs); rates and ETAs live in the telemetry stream instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+QUEUE_SCHEMA = "sharc-campaign-queue/1"
+
+#: fields a lease record must carry to be replayable
+LEASE_FIELDS = ("shard", "label", "policy", "seed_start", "seeds")
+
+
+class WorkQueue:
+    """The on-disk lease log + shard results of one campaign dir."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self.queue_path = os.path.join(directory, "queue.jsonl")
+        self.shards_dir = os.path.join(directory, "shards")
+        os.makedirs(self.shards_dir, exist_ok=True)
+
+    # -- the lease log -----------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Appends one record durably (flush + fsync, like telemetry)."""
+        with open(self.queue_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> list[dict]:
+        """Replays the lease log, tolerating a torn final line."""
+        records: list[dict] = []
+        if not os.path.exists(self.queue_path):
+            return records
+        with open(self.queue_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a kill mid-append
+                if isinstance(record, dict):
+                    records.append(record)
+        return records
+
+    def lease(self, shard: dict, *, rate: Optional[float],
+              picked: int) -> None:
+        record = {"kind": "lease", "picked": picked,
+                  "rate": rate if rate is None else round(rate, 6)}
+        record.update({key: shard[key] for key in LEASE_FIELDS})
+        self.append(record)
+
+    def mark_done(self, shard_id: int) -> None:
+        self.append({"kind": "done", "shard": shard_id})
+
+    # -- shard results -----------------------------------------------------
+
+    def shard_path(self, shard_id: int) -> str:
+        return os.path.join(self.shards_dir, f"shard-{shard_id:05d}.json")
+
+    def write_shard(self, shard_id: int, payload: dict) -> None:
+        """Atomic write: temp file in the same directory, fsync, then
+        rename — a kill leaves either no file or a complete one."""
+        path = self.shard_path(shard_id)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def load_shard(self, shard_id: int) -> Optional[dict]:
+        """The shard's result payload, or None when absent/corrupt
+        (a corrupt file is treated as absent: the shard re-runs and
+        atomically replaces it with the identical bytes)."""
+        path = self.shard_path(shard_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def completed(self) -> list[dict]:
+        """The completed prefix, in lease order: every lease record
+        whose shard has both a ``done`` record and a loadable result
+        file.  (A ``done`` record without a result file cannot happen
+        short of external deletion, but is treated as not-done so the
+        shard simply re-runs.)"""
+        leases = []
+        seen = set()
+        done = set()
+        for record in self.records():
+            if record.get("kind") == "lease":
+                # An orphan lease (killed before its shard finished)
+                # is re-leased verbatim on resume; keep the first
+                # record per shard id so the fold never doubles.
+                if record.get("shard") not in seen:
+                    seen.add(record.get("shard"))
+                    leases.append(record)
+            elif record.get("kind") == "done":
+                done.add(record.get("shard"))
+        out = []
+        for lease in leases:
+            shard_id = lease.get("shard")
+            if shard_id in done and \
+                    self.load_shard(shard_id) is not None:
+                out.append(lease)
+        return out

@@ -1,0 +1,152 @@
+"""Tests for the exploration-throughput benchmark
+(``python -m repro.bench.explore_bench`` -> BENCH_explore.json)."""
+
+import json
+import os
+
+from repro.bench.explore_bench import (
+    SCHEMA, bench_explore, check_canary, main, render_table,
+    validate_payload,
+)
+
+
+def _payload(flat_rate=8.0, camp_rate=28.0, speedup=3.5):
+    """A synthetic but schema-complete payload, shaped like a real
+    committed baseline."""
+    return {
+        "schema": SCHEMA,
+        "workload": "pbzip2",
+        "budget": 240,
+        "jobs": 4,
+        "policies": ["random", "pct", "pb"],
+        "modes": {
+            "flat": {"jobs": 4, "backend": "interp", "schedules": 240,
+                     "wall_seconds": 29.3,
+                     "schedules_per_sec": flat_rate,
+                     "distinct_traces": 200},
+            "campaign": {"jobs": 4, "backend": "compiled",
+                         "schedules": 240, "wall_seconds": 8.3,
+                         "schedules_per_sec": camp_rate,
+                         "distinct_traces": 210, "shard_size": 32,
+                         "sites_every": 8},
+        },
+        "speedup": speedup,
+    }
+
+
+class TestPayloadValidation:
+    def test_synthetic_payload_validates(self):
+        assert validate_payload(_payload()) == []
+
+    def test_missing_fields_flagged(self):
+        payload = _payload()
+        del payload["modes"]["campaign"]["schedules_per_sec"]
+        payload["schema"] = "bogus"
+        problems = validate_payload(payload)
+        assert any("schema" in p for p in problems)
+        assert any("schedules_per_sec" in p for p in problems)
+
+    def test_empty_payload_is_invalid(self):
+        assert validate_payload({}) != []
+
+    def test_committed_baseline_validates(self):
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_explore.json")
+        with open(path, encoding="utf-8") as handle:
+            assert validate_payload(json.load(handle)) == []
+
+
+class TestCanary:
+    def test_identical_payloads_pass(self):
+        assert check_canary(_payload(), _payload()) == []
+
+    def test_rate_cliff_fails(self):
+        current = _payload(camp_rate=28.0 / 10, speedup=3.5)
+        problems = check_canary(_payload(), current, factor=3)
+        assert len(problems) == 1
+        assert "campaign" in problems[0]
+        assert "canary floor" in problems[0]
+
+    def test_lost_speedup_fails(self):
+        current = _payload(speedup=1.01)
+        problems = check_canary(_payload(), current, min_speedup=1.5)
+        assert any("only 1.01x" in p for p in problems)
+
+    def test_min_speedup_zero_disables_ratio_gate(self):
+        current = _payload(speedup=0.9)
+        assert check_canary(_payload(), current, min_speedup=0) == []
+
+    def test_runner_spread_within_factor_passes(self):
+        # a uniformly 2x-slower runner shifts both modes but not the
+        # ratio: the cliff gate must tolerate it
+        current = _payload(flat_rate=4.0, camp_rate=14.0, speedup=3.5)
+        assert check_canary(_payload(), current, factor=3) == []
+
+    def test_bad_factor_rejected(self):
+        assert check_canary(_payload(), _payload(), factor=1.0)
+
+    def test_render_table_mentions_both_modes(self):
+        table = render_table(_payload())
+        assert "flat" in table and "campaign" in table
+        assert "speedup" in table
+
+
+class TestBenchRun:
+    """One real (tiny) flat-vs-campaign measurement; rates are not
+    asserted — timing on a shared runner is not a unit test — only the
+    deterministic axes."""
+
+    def test_small_run_produces_valid_payload(self):
+        payload = bench_explore("pbzip2", budget=6, jobs=1,
+                                shard_size=3,
+                                policies=("round-robin",))
+        assert validate_payload(payload) == []
+        assert payload["modes"]["flat"]["schedules"] == 6
+        assert payload["modes"]["campaign"]["schedules"] == 6
+        assert payload["modes"]["campaign"]["backend"] == "compiled"
+        # both engines explore the same schedule space
+        assert (payload["modes"]["flat"]["distinct_traces"]
+                == payload["modes"]["campaign"]["distinct_traces"])
+
+
+class TestBenchCLI:
+    def test_gate_fails_on_cliff_baseline(self, tmp_path, capsys):
+        inflated = _payload(flat_rate=1e9, camp_rate=1e9)
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(inflated))
+        code = main(["--workload", "pbzip2", "--budget", "6",
+                     "--jobs", "1", "--shard-size", "3",
+                     "--policy", "round-robin", "--out", "-",
+                     "--baseline", str(baseline), "--min-speedup", "0"])
+        assert code == 1
+        assert "canary FAILED" in capsys.readouterr().err
+
+    def test_no_gate_reports_but_exits_zero(self, tmp_path, capsys):
+        inflated = _payload(flat_rate=1e9, camp_rate=1e9)
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps(inflated))
+        code = main(["--workload", "pbzip2", "--budget", "6",
+                     "--jobs", "1", "--shard-size", "3",
+                     "--policy", "round-robin", "--out", "-",
+                     "--baseline", str(baseline), "--min-speedup", "0",
+                     "--no-gate"])
+        assert code == 0
+        assert "--no-gate" in capsys.readouterr().err
+
+    def test_bad_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        code = main(["--baseline", str(bad), "--out", "-"])
+        assert code == 2
+        assert "invalid baseline" in capsys.readouterr().err
+
+    def test_writes_payload_file(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_explore.json"
+        code = main(["--workload", "pbzip2", "--budget", "6",
+                     "--jobs", "1", "--shard-size", "3",
+                     "--policy", "round-robin", "--out", str(out),
+                     "--json"])
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert validate_payload(payload) == []
+        assert json.loads(capsys.readouterr().out) == payload

@@ -484,3 +484,114 @@ class TestSweepCrashTolerance:
         # sweep measures: crashes contribute nothing to coverage.
         assert flaky.distinct_traces == clean.distinct_traces
         assert flaky.races_per_1k == clean.races_per_1k
+
+
+class TestArrivalOrderInvariance:
+    """Satellite: imap_unordered fan-out may deliver outcomes in any
+    order; the folded summary must not depend on it."""
+
+    def _outcomes(self, policies=("round-robin", "random"), seeds=6):
+        outcomes = []
+        for policy in policies:
+            for seed in range(seeds):
+                outcomes.append(run_schedule(
+                    RACY_COUNTER, "racy.c", seed, policy, "sharc",
+                    2000, 8, None, 2))
+        return outcomes
+
+    @staticmethod
+    def _fold(outcomes, policies):
+        from repro.explore.driver import ExplorationSummary
+
+        summary = ExplorationSummary(filename="racy.c",
+                                     checker="sharc",
+                                     policies=tuple(policies))
+        for outcome in outcomes:
+            summary.add(outcome)
+        payload = summary.as_dict()
+        payload.pop("profile", None)  # the one wall-clock field
+        return payload
+
+    @given(shuffle=st.randoms(use_true_random=False))
+    @settings(max_examples=15, deadline=None)
+    def test_shuffled_arrival_same_summary(self, shuffle):
+        policies = ("round-robin", "random")
+        outcomes = self._outcomes(policies)
+        baseline = self._fold(outcomes, policies)
+        shuffled = list(outcomes)
+        shuffle.shuffle(shuffled)
+        assert self._fold(shuffled, policies) == baseline
+
+
+class TestOutcomePayloadSize:
+    """Satellite: collect_sites=False drops per-outcome site maps so
+    flat-sweep IPC ships small tuples — guarded by a pickle-size
+    regression bound."""
+
+    def test_collect_sites_false_empties_sites(self):
+        lean = run_schedule(RACY_COUNTER, "racy.c", 0, "round-robin",
+                            collect_sites=False)
+        full = run_schedule(RACY_COUNTER, "racy.c", 0, "round-robin",
+                            collect_sites=True)
+        assert lean.sites == ()
+        assert full.sites
+        # everything else is identical — sites are observational
+        assert lean.trace_hash == full.trace_hash
+        assert lean.reports == full.reports
+        assert lean.steps == full.steps
+
+    def test_lean_outcome_pickle_stays_small(self):
+        import pickle
+
+        lean = run_schedule(RACY_COUNTER, "racy.c", 0, "random",
+                            collect_sites=False)
+        full = run_schedule(RACY_COUNTER, "racy.c", 0, "random",
+                            collect_sites=True)
+        lean_size = len(pickle.dumps(lean))
+        full_size = len(pickle.dumps(full))
+        assert lean_size < full_size
+        # regression bound: a lean outcome is a fixed-size record; give
+        # it generous headroom but fail on reintroduced payload bloat
+        assert lean_size < 1024
+
+
+class TestHorizonProbeCache:
+    """Satellite: the PCT horizon probe (one serial run) happens once
+    per (source, checker, limits) per process, not once per sweep."""
+
+    def test_probe_runs_once_across_repeated_resolution(self, monkeypatch):
+        from repro.explore import driver
+        from repro.runtime import interp
+
+        monkeypatch.setattr(driver, "_HORIZON_CACHE", {})
+        calls = []
+        real = interp.run_checked
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(interp, "run_checked", counting)
+        args = (("pct", "pct:2"), RACY_COUNTER, "racy.c", "sharc",
+                2000, 8, None, 2)
+        first = driver._resolve_policies(*args)
+        assert len(calls) == 1
+        second = driver._resolve_policies(*args)
+        assert len(calls) == 1  # cache hit: no second probe
+        assert first == second
+        assert all(spec.count(":") == 2 for spec in first)
+
+    def test_explicit_horizons_skip_the_probe(self, monkeypatch):
+        from repro.explore import driver
+        from repro.runtime import interp
+
+        monkeypatch.setattr(driver, "_HORIZON_CACHE", {})
+
+        def boom(*args, **kwargs):
+            raise AssertionError("probe must not run")
+
+        monkeypatch.setattr(interp, "run_checked", boom)
+        resolved = driver._resolve_policies(
+            ("random", "pct:3:400", "pb:2"), RACY_COUNTER, "racy.c",
+            "sharc", 2000, 8, None, 2)
+        assert resolved == ("random", "pct:3:400", "pb:2")
