@@ -144,6 +144,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--no-checkelim", action="store_true",
                         help="ablation: run with the static check "
                              "eliminator disabled")
+    parser.add_argument("--no-absint", action="store_true",
+                        help="ablation: run with the abstract "
+                             "interpreter's interval-proved discharges "
+                             "disabled (the CI absint leg runs this "
+                             "non-gating, via --no-gate)")
     parser.add_argument("--backend", default="both",
                         choices=("interp", "compiled", "both"),
                         help="executor(s) to time (default both, which "
@@ -167,14 +172,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 2
 
     checkelim = not args.no_checkelim
+    absint = not args.no_absint
     try:
         results = bench_workloads(args.workloads or None, seed=args.seed,
-                                  checkelim=checkelim,
+                                  checkelim=checkelim, absint=absint,
                                   backend=args.backend)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    current = bench_payload(results, seed=args.seed, checkelim=checkelim)
+    current = bench_payload(results, seed=args.seed, checkelim=checkelim,
+                            absint=absint)
     problems = validate_payload(current)
     if problems:
         print("error: invalid canary payload:\n  "

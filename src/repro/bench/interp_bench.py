@@ -9,10 +9,11 @@ PRs.  It writes ``BENCH_interp.json``:
 .. code-block:: json
 
     {
-      "schema": "sharc-bench-interp/4",
+      "schema": "sharc-bench-interp/5",
       "seed": null,
       "checkelim": true,
       "lockset": true,
+      "absint": true,
       "backend": "both",
       "workloads": {
         "pfscan": {
@@ -29,6 +30,7 @@ PRs.  It writes ``BENCH_interp.json``:
           "checks_per_1k_steps": 12.4,
           "checks_elided_pct": 0.858,
           "checks_locked_pct": 0.0,
+          "checks_ai_elided_pct": 0.013,
           "lockset_refined": 0,
           "interp_steps_per_sec": 514867,
           "compiled_steps_per_sec": 2095421,
@@ -55,7 +57,11 @@ Schema history: ``/1`` lacked ``checks_per_1k_steps`` and
 (``backend``, ``interp_steps_per_sec``, ``compiled_steps_per_sec``,
 ``compiled_speedup``) that ``/4`` added with the compiled executor —
 upgraded payloads copy their single measured ``steps_per_sec`` into
-``interp_steps_per_sec``, since that is what older versions timed.  On the annotated Table 1 suite both lockset
+``interp_steps_per_sec``, since that is what older versions timed.
+``/5`` adds ``checks_ai_elided_pct`` (the abstract interpreter's
+interval-proved discharge share; see :mod:`repro.sharc.absint`) plus
+the top-level ``absint`` ablation knob — pre-/5 payloads backfill both
+to 0/false, since they ran without the pass.  On the annotated Table 1 suite both lockset
 fields are legitimately 0 — every consistently-locked location already
 carries a hand-written ``locked(l)``, so there is nothing left for the
 static refinement to convert; its wins show up on the unannotated
@@ -83,7 +89,8 @@ from repro.bench.workloads import all_workloads
 SCHEMA_V1 = "sharc-bench-interp/1"
 SCHEMA_V2 = "sharc-bench-interp/2"
 SCHEMA_V3 = "sharc-bench-interp/3"
-SCHEMA = "sharc-bench-interp/4"
+SCHEMA_V4 = "sharc-bench-interp/4"
+SCHEMA = "sharc-bench-interp/5"
 DEFAULT_OUT = "BENCH_interp.json"
 #: ``--compare`` flags a workload whose steps/sec fell below
 #: ``old * (1 - threshold)``; 0.5 tolerates the usual host jitter while
@@ -99,6 +106,10 @@ _V3_FIELDS = {"checks_locked_pct": 0.0, "lockset_refined": 0}
 #: measured ``steps_per_sec``, which is what pre-/4 versions timed)
 _V4_FIELDS = {"backend": "interp", "compiled_steps_per_sec": 0,
               "compiled_speedup": 0.0}
+#: fields new in /5 (the abstract-interpretation discharge column),
+#: backfilled for all older payloads — pre-/5 runs had no absint pass,
+#: so their AI discharge share is exactly 0
+_V5_FIELDS = {"checks_ai_elided_pct": 0.0}
 #: legal values for the ``backend`` knob
 _BACKEND_CHOICES = ("interp", "compiled", "both")
 
@@ -107,6 +118,7 @@ def bench_workloads(names: Optional[list[str]] = None, *,
                     seed: Optional[int] = None,
                     checkelim: bool = True,
                     lockset: bool = True,
+                    absint: bool = True,
                     backend: Optional[str] = None) -> list[BenchResult]:
     """Runs the requested workloads (all six by default).
 
@@ -130,14 +142,17 @@ def bench_workloads(names: Optional[list[str]] = None, *,
         selected = [by_name[n] for n in names]
     if backend != "both":
         return [run_workload(w, seed=seed, checkelim=checkelim,
-                             lockset=lockset, backend=backend)
+                             lockset=lockset, absint=absint,
+                             backend=backend)
                 for w in selected]
     results = []
     for w in selected:
         interp = run_workload(w, seed=seed, checkelim=checkelim,
-                              lockset=lockset, backend="interp")
+                              lockset=lockset, absint=absint,
+                              backend="interp")
         compiled = run_workload(w, seed=seed, checkelim=checkelim,
-                                lockset=lockset, backend="compiled")
+                                lockset=lockset, absint=absint,
+                                backend="compiled")
         if (compiled.sharc_steps != interp.sharc_steps
                 or compiled.reports != interp.reports):
             raise AssertionError(
@@ -153,7 +168,8 @@ def bench_workloads(names: Optional[list[str]] = None, *,
 def bench_payload(results: list[BenchResult],
                   seed: Optional[int] = None,
                   checkelim: bool = True,
-                  lockset: bool = True) -> dict:
+                  lockset: bool = True,
+                  absint: bool = True) -> dict:
     total_steps = sum(r.sharc_steps for r in results)
     total_wall = sum(r.wall_seconds for r in results)
     overheads = [r.time_overhead for r in results]
@@ -165,6 +181,7 @@ def bench_payload(results: list[BenchResult],
         "seed": seed,
         "checkelim": checkelim,
         "lockset": lockset,
+        "absint": absint,
         "backend": backends.pop() if len(backends) == 1 else "mixed",
         "workloads": {r.workload: r.bench_entry() for r in results},
         "summary": {
@@ -181,25 +198,30 @@ def bench_payload(results: list[BenchResult],
 
 
 def upgrade_payload(payload: dict) -> dict:
-    """Reader shim: accepts a ``/1``, ``/2``, ``/3``, or ``/4`` payload
-    and returns a ``/4`` one.  ``/4`` passes through untouched; older
-    schemas are deep-copied, re-stamped, and have the newer per-workload
-    fields backfilled (plus an ``upgraded_from`` marker).  Pre-/4
-    payloads timed the interpreter, so their ``steps_per_sec`` becomes
-    ``interp_steps_per_sec``.  Anything else raises ``ValueError``."""
+    """Reader shim: accepts a ``/1`` through ``/5`` payload and returns
+    a ``/5`` one.  ``/5`` passes through untouched; older schemas are
+    deep-copied, re-stamped, and have the newer per-workload fields
+    backfilled (plus an ``upgraded_from`` marker).  Pre-/4 payloads
+    timed the interpreter, so their ``steps_per_sec`` becomes
+    ``interp_steps_per_sec``; pre-/5 payloads had no absint pass, so
+    ``checks_ai_elided_pct`` backfills to 0.  Anything else raises
+    ``ValueError``."""
     schema = payload.get("schema")
     if schema == SCHEMA:
         return payload
-    if schema not in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3):
+    if schema not in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4):
         raise ValueError(
             f"unsupported bench schema {schema!r} "
-            f"(expected {SCHEMA!r}, {SCHEMA_V3!r}, {SCHEMA_V2!r}, "
-            f"or {SCHEMA_V1!r})")
+            f"(expected {SCHEMA!r}, {SCHEMA_V4!r}, {SCHEMA_V3!r}, "
+            f"{SCHEMA_V2!r}, or {SCHEMA_V1!r})")
     out = copy.deepcopy(payload)
     out["schema"] = SCHEMA
     out["upgraded_from"] = schema
     out.setdefault("backend", "interp")
-    backfill = dict(_V4_FIELDS)
+    out.setdefault("absint", False)
+    backfill = dict(_V5_FIELDS)
+    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3):
+        backfill.update(_V4_FIELDS)
     if schema in (SCHEMA_V1, SCHEMA_V2):
         backfill.update(_V3_FIELDS)
     if schema == SCHEMA_V1:
@@ -214,13 +236,14 @@ def upgrade_payload(payload: dict) -> dict:
 
 def validate_payload(payload: dict) -> list[str]:
     """Schema check for the benchmark smoke tests; returns problems.
-    Validates ``/4`` payloads directly and older payloads against their
+    Validates ``/5`` payloads directly and older payloads against their
     own field sets (consumers upgrade via :func:`upgrade_payload`)."""
     problems: list[str] = []
     schema = payload.get("schema")
-    if schema not in (SCHEMA, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
+    if schema not in (SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2, SCHEMA_V1):
         problems.append(f"schema != {SCHEMA!r} (or legacy "
-                        f"{SCHEMA_V3!r} / {SCHEMA_V2!r} / {SCHEMA_V1!r})")
+                        f"{SCHEMA_V4!r} / {SCHEMA_V3!r} / "
+                        f"{SCHEMA_V2!r} / {SCHEMA_V1!r})")
     workloads = payload.get("workloads")
     if not isinstance(workloads, dict) or not workloads:
         return problems + ["workloads missing or empty"]
@@ -229,17 +252,19 @@ def validate_payload(payload: dict) -> list[str]:
                 "steps_per_sec": int, "time_overhead": float,
                 "mem_overhead": float, "pct_dynamic": float,
                 "reports": int}
-    if schema in (SCHEMA, SCHEMA_V3, SCHEMA_V2):
+    if schema in (SCHEMA, SCHEMA_V4, SCHEMA_V3, SCHEMA_V2):
         required = dict(required, checks_per_1k_steps=float,
                         checks_elided_pct=float)
-    if schema in (SCHEMA, SCHEMA_V3):
+    if schema in (SCHEMA, SCHEMA_V4, SCHEMA_V3):
         required = dict(required, checks_locked_pct=float,
                         lockset_refined=int)
-    if schema == SCHEMA:
+    if schema in (SCHEMA, SCHEMA_V4):
         required = dict(required, backend=str,
                         interp_steps_per_sec=int,
                         compiled_steps_per_sec=int,
                         compiled_speedup=float)
+    if schema == SCHEMA:
+        required = dict(required, checks_ai_elided_pct=float)
     for name, entry in workloads.items():
         for key, kind in required.items():
             value = entry.get(key)
@@ -249,11 +274,12 @@ def validate_payload(payload: dict) -> list[str]:
         if isinstance(entry.get("wall_seconds"), (int, float)) \
                 and entry["wall_seconds"] < 0:
             problems.append(f"{name}.wall_seconds negative")
-        for pct_key in ("checks_elided_pct", "checks_locked_pct"):
+        for pct_key in ("checks_elided_pct", "checks_locked_pct",
+                        "checks_ai_elided_pct"):
             pct = entry.get(pct_key)
             if isinstance(pct, (int, float)) and not 0.0 <= pct <= 1.0:
                 problems.append(f"{name}.{pct_key} out of [0, 1]")
-        if schema == SCHEMA \
+        if schema in (SCHEMA, SCHEMA_V4) \
                 and entry.get("backend") not in (*_BACKEND_CHOICES, None):
             problems.append(f"{name}.backend not one of "
                             f"{', '.join(_BACKEND_CHOICES)}")
@@ -267,7 +293,7 @@ def render_table(results: list[BenchResult]) -> str:
     both = any(r.compiled_speedup > 0.0 for r in results)
     header = (f"{'workload':<10} {'sharc steps':>12} {'wall (s)':>9} "
               f"{'steps/sec':>10} {'overhead':>9} {'chk/1k':>7} "
-              f"{'elided':>7} {'locked':>7} {'refined':>8}")
+              f"{'elided':>7} {'locked':>7} {'ai':>6} {'refined':>8}")
     if both:
         header += f" {'compiled/s':>11} {'speedup':>8}"
     lines = [header]
@@ -278,6 +304,7 @@ def render_table(results: list[BenchResult]) -> str:
                 f"{r.checks_per_1k_steps:>7.1f} "
                 f"{r.checks_elided_pct:>7.1%} "
                 f"{r.checks_locked_pct:>7.1%} "
+                f"{r.checks_ai_elided_pct:>6.1%} "
                 f"{r.lockset_refined:>8d}")
         if both:
             line += (f" {r.compiled_steps_per_sec:>11,.0f} "
@@ -367,6 +394,10 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--no-lockset", action="store_true",
                         help="ablation: run with the locked(l) lockset "
                              "refinement disabled")
+    parser.add_argument("--no-absint", action="store_true",
+                        help="ablation: run with the abstract "
+                             "interpreter's interval-proved discharges "
+                             "disabled")
     parser.add_argument("--backend", default="both",
                         choices=_BACKEND_CHOICES,
                         help="executor(s) to time: 'both' (default) "
@@ -374,7 +405,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                              "columns; 'interp'/'compiled' time one")
     parser.add_argument("--compare", default=None, metavar="OLD.json",
                         help="diff against a previously written payload "
-                             "(schema /1 through /4); exits 3 on a "
+                             "(schema /1 through /5); exits 3 on a "
                              "throughput regression")
     parser.add_argument("--compare-threshold", type=float,
                         default=DEFAULT_COMPARE_THRESHOLD,
@@ -400,15 +431,16 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     checkelim = not args.no_checkelim
     lockset = not args.no_lockset
+    absint = not args.no_absint
     try:
         results = bench_workloads(args.workloads, seed=args.seed,
                                   checkelim=checkelim, lockset=lockset,
-                                  backend=args.backend)
+                                  absint=absint, backend=args.backend)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     payload = bench_payload(results, seed=args.seed, checkelim=checkelim,
-                            lockset=lockset)
+                            lockset=lockset, absint=absint)
     problems = validate_payload(payload)
     if problems:
         print("error: invalid benchmark payload:\n  "

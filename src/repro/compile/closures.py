@@ -126,11 +126,13 @@ def _make_dyn_check(info, size, is_write):
     in: branch structure, counter order, costs, and bus payloads are
     replicated exactly (the static marks decide at compile time which
     guards are even reachable; the runtime ablation switches
-    ``I.checkelim``/``I.lockset`` are still consulted)."""
+    ``I.checkelim``/``I.lockset``/``I.absint`` are still consulted)."""
     elide = info.elide
     refined = info.lockset_refined
     rlock = info.refined_lock
     range_walk = info.range_walk
+    ai_elide = info.ai_elide
+    ai_range = info.ai_range
     lvtext = info.lvalue_text
     loc = info.loc
     skey = info.site_key_w if is_write else info.site_key_r
@@ -142,11 +144,11 @@ def _make_dyn_check(info, size, is_write):
         stats.accesses_dynamic += 1
         site = stats.sites.get(skey)
         if site is None:
-            site = stats.sites[skey] = [0] * 8
+            site = stats.sites[skey] = [0] * 9
         tid = th.tid
         if I.sched.live_count <= 1:
             site[0] += 1  # solo
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             I._pending += 1
             stats.steps_total += 1
             stats.steps_checks += 1
@@ -159,7 +161,7 @@ def _make_dyn_check(info, size, is_write):
                 and shadow.recheck(addr, size, tid, is_write):
             stats.checks_elided += 1
             site[3] += 1  # elided
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             if I.history is not None:
                 I.history.record(addr, size, tid, lvtext, loc, is_write,
                                  stats.steps_total)
@@ -177,7 +179,7 @@ def _make_dyn_check(info, size, is_write):
                                           lvtext, loc):
             stats.checks_locked_refined += 1
             site[4] += 1  # locked
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             if I.history is not None:
                 I.history.record(addr, size, tid, lvtext, loc, is_write,
                                  stats.steps_total)
@@ -188,7 +190,22 @@ def _make_dyn_check(info, size, is_write):
                 I.bus.emit(CAT_CHECK, op, tid, dur=1, hit=True,
                            conflict=False, locked=True, lvalue=lvtext)
             return
-        if range_walk and I.checkelim:
+        if ai_elide and I.absint \
+                and shadow.recheck(addr, size, tid, is_write):
+            stats.checks_ai_elided += 1
+            site[5] += 1  # ai
+            site[8] += 1  # cost
+            if I.history is not None:
+                I.history.record(addr, size, tid, lvtext, loc, is_write,
+                                 stats.steps_total)
+            I._pending += 1
+            stats.steps_total += 1
+            stats.steps_checks += 1
+            if I.bus is not None:
+                I.bus.emit(CAT_CHECK, op, tid, dur=1, hit=True,
+                           conflict=False, ai=True, lvalue=lvtext)
+            return
+        if (range_walk and I.checkelim) or (ai_range and I.absint):
             chk = shadow.chkwrite_range if is_write else shadow.chkread_range
             stats.checks_range += 1
             site[2] += 1  # range
@@ -198,9 +215,9 @@ def _make_dyn_check(info, size, is_write):
             site[1] += 1  # full
         conflict, slow = chk(addr, size, tid, lvtext, loc)
         if slow:
-            site[5] += 1  # miss
+            site[6] += 1  # miss
         if conflict is not None:
-            site[6] += 1  # conflicts
+            site[7] += 1  # conflicts
             who = Access(tid, lvtext, loc)
             hist = (I.history.provenance(addr, size)
                     if I.history is not None else ())
@@ -209,7 +226,7 @@ def _make_dyn_check(info, size, is_write):
             I.history.record(addr, size, tid, lvtext, loc, is_write,
                              stats.steps_total)
         cost = 1 + 3 * slow
-        site[7] += cost
+        site[8] += cost
         I._pending += cost
         stats.steps_total += cost
         stats.steps_checks += cost

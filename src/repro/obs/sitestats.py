@@ -35,14 +35,16 @@ from typing import Optional, Sequence
 #: - ``elided``: statically elided checks revalidated by ``recheck``;
 #: - ``locked``: lockset-refined checks discharged via the held-lock
 #:   probe;
+#: - ``ai``: abstract-interpretation-marked checks revalidated by
+#:   ``recheck`` (interval-proved covers, repro.sharc.absint);
 #: - ``miss``: walks that left the fast path (``slow > 0`` granules);
 #: - ``conflicts``: walks that produced a conflict record;
 #: - ``cost``: total charged check steps at this site.
-SITE_FIELDS = ("solo", "full", "range", "elided", "locked", "miss",
-               "conflicts", "cost")
+SITE_FIELDS = ("solo", "full", "range", "elided", "locked", "ai",
+               "miss", "conflicts", "cost")
 
-(I_SOLO, I_FULL, I_RANGE, I_ELIDED, I_LOCKED, I_MISS, I_CONFLICTS,
- I_COST) = range(len(SITE_FIELDS))
+(I_SOLO, I_FULL, I_RANGE, I_ELIDED, I_LOCKED, I_AI, I_MISS,
+ I_CONFLICTS, I_COST) = range(len(SITE_FIELDS))
 
 N_FIELDS = len(SITE_FIELDS)
 
@@ -122,7 +124,8 @@ def reconcile(sites: dict, stats) -> list:
     - ``sum(range) == stats.checks_range``
     - ``sum(elided) == stats.checks_elided``
     - ``sum(locked) == stats.checks_locked_refined``
-    - ``sum(solo + full + range + elided + locked)
+    - ``sum(ai) == stats.checks_ai_elided``
+    - ``sum(solo + full + range + elided + locked + ai)
       == stats.accesses_dynamic``
     """
     got = totals(sites)
@@ -131,7 +134,8 @@ def reconcile(sites: dict, stats) -> list:
             ("full", stats.checks_full),
             ("range", stats.checks_range),
             ("elided", stats.checks_elided),
-            ("locked", stats.checks_locked_refined)):
+            ("locked", stats.checks_locked_refined),
+            ("ai", stats.checks_ai_elided)):
         if got[name] != expected:
             problems.append(f"sites.{name} = {got[name]} != "
                             f"stats {expected}")
@@ -158,16 +162,16 @@ def render_hot_sites(sites: dict, source: Optional[str] = None,
         f"hot check sites ({len(sites)} site(s), "
         f"{head['checks']} checks, cost {head['cost']}):",
         f"  {'site':<34} {'op':>2} {'cost':>8} {'full':>7} "
-        f"{'range':>7} {'elide':>7} {'lock':>6} {'solo':>7} "
-        f"{'miss':>6} {'confl':>5}",
+        f"{'range':>7} {'elide':>7} {'lock':>6} {'ai':>6} "
+        f"{'solo':>7} {'miss':>6} {'confl':>5}",
     ]
     for row in rows:
         where = f"{row['file']}:{row['line']} {row['lvalue']}"
         lines.append(
             f"  {where:<34} {row['op']:>2} {row['cost']:>8} "
             f"{row['full']:>7} {row['range']:>7} {row['elided']:>7} "
-            f"{row['locked']:>6} {row['solo']:>7} {row['miss']:>6} "
-            f"{row['conflicts']:>5}")
+            f"{row['locked']:>6} {row['ai']:>6} {row['solo']:>7} "
+            f"{row['miss']:>6} {row['conflicts']:>5}")
         if 0 < row["line"] <= len(src_lines):
             lines.append(f"      {row['line']:>4} | "
                          f"{src_lines[row['line'] - 1].strip()}")

@@ -206,6 +206,7 @@ class Interp:
                  checker: str = "sharc",
                  checkelim: bool = True,
                  lockset: bool = True,
+                 absint: bool = True,
                  record_trace: bool = False,
                  trace: Optional[TraceConfig] = None) -> None:
         self.checked = checked
@@ -222,6 +223,13 @@ class Interp:
         #: ``--no-lockset`` is bit-identical in reports, steps, and
         #: scheduler RNG.
         self.lockset = lockset
+        #: consume the abstract interpreter's interval-proved marks
+        #: (repro.sharc.absint)?  Same ablation contract again:
+        #: ``--no-absint`` is bit-identical in reports, steps, and
+        #: scheduler RNG — every ``ai_elide`` discharge revalidates
+        #: through ``ShadowMemory.recheck`` and every ``ai_range``
+        #: route uses the semantically identical range-batched APIs.
+        self.absint = absint
         #: "sharc" (mode-targeted checks) or "eraser" (the lockset
         #: baseline of Section 6.2: every access monitored)
         self.eraser = None
@@ -384,7 +392,7 @@ class Interp:
                                else info.site_key_r)
         if site is None:
             site = stats.sites[info.site_key_w if is_write
-                               else info.site_key_r] = [0] * 8
+                               else info.site_key_r] = [0] * 9
         if self.sched.live_count <= 1:
             # Only one live thread: a spawn happens-after every access
             # made so far, so these accesses can never be part of a race;
@@ -393,7 +401,7 @@ class Interp:
             # Provenance is still recorded: a later conflict's history
             # should show the single-threaded initialisation too.
             site[0] += 1  # solo
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             self._charge_check(1)
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
@@ -409,7 +417,7 @@ class Interp:
             # below are byte-identical to the elimination-off run.
             stats.checks_elided += 1
             site[3] += 1  # elided
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
                                     info.lvalue_text, info.loc, is_write,
@@ -440,7 +448,7 @@ class Interp:
             # the --no-lockset run.
             stats.checks_locked_refined += 1
             site[4] += 1  # locked
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             if self.history is not None:
                 self.history.record(addr, size, thread.tid,
                                     info.lvalue_text, info.loc, is_write,
@@ -453,10 +461,35 @@ class Interp:
                               conflict=False, locked=True,
                               lvalue=info.lvalue_text)
             return
+        if info.ai_elide and self.absint \
+                and self.shadow.recheck(addr, size, thread.tid, is_write):
+            # Interval-proved cover (repro.sharc.absint): same runtime
+            # guard as the checkelim elision — ``recheck`` replays the
+            # exact fast path the full check would have taken, so a
+            # wrong mark costs one predicate test and history, cost,
+            # and trace stay byte-identical to the --no-absint run.
+            stats.checks_ai_elided += 1
+            site[5] += 1  # ai
+            site[8] += 1  # cost
+            if self.history is not None:
+                self.history.record(addr, size, thread.tid,
+                                    info.lvalue_text, info.loc, is_write,
+                                    stats.steps_total)
+            self._charge_check(1)
+            if self.bus is not None:
+                self.bus.emit(CAT_CHECK,
+                              "chkwrite" if is_write else "chkread",
+                              thread.tid, dur=1, hit=True,
+                              conflict=False, ai=True,
+                              lvalue=info.lvalue_text)
+            return
         shadow = self.shadow
-        if info.range_walk and self.checkelim:
+        if (info.range_walk and self.checkelim) \
+                or (info.ai_range and self.absint):
             # Monotone array walk: the range-batched APIs (identical
             # semantics, page lookup hoisted out of the granule loop).
+            # ``ai_range`` marks come from the abstract interpreter
+            # (loops whose calls are all proven check-free).
             chk = (shadow.chkwrite_range if is_write
                    else shadow.chkread_range)
             stats.checks_range += 1
@@ -468,9 +501,9 @@ class Interp:
         conflict, slow = chk(addr, size, thread.tid, info.lvalue_text,
                              info.loc)
         if slow:
-            site[5] += 1  # miss (left the fast path)
+            site[6] += 1  # miss (left the fast path)
         if conflict is not None:
-            site[6] += 1  # conflicts
+            site[7] += 1  # conflicts
             who = Access(thread.tid, info.lvalue_text, info.loc)
             # Provenance is fetched *before* recording this access,
             # so the hist lines show the accesses leading up to it.
@@ -485,7 +518,7 @@ class Interp:
         # Fast path (bits already set): a load + test.  Slow path:
         # a cmpxchg per granule.
         cost = 1 + 3 * slow
-        site[7] += cost
+        site[8] += cost
         self._charge_check(cost)
         if self.bus is not None:
             self.bus.emit(CAT_CHECK,
@@ -511,10 +544,10 @@ class Interp:
                                     else info.site_key_r)
         if site is None:
             site = self.stats.sites[info.site_key_w if is_write
-                                    else info.site_key_r] = [0] * 8
+                                    else info.site_key_r] = [0] * 9
         if self._solo():
             site[0] += 1  # solo
-            site[7] += 1  # cost
+            site[8] += 1  # cost
             self._charge_check(1)
             if self.history is not None:
                 self.history.record(addr, length, thread.tid,
@@ -550,16 +583,16 @@ class Interp:
             self.stats.checks_range += 1
             site[2] += 1  # range
             if slow:
-                site[5] += 1  # miss
+                site[6] += 1  # miss
             if conflict is not None:
-                site[6] += 1  # conflicts
+                site[7] += 1  # conflicts
         if self.history is not None and rw:
             self.history.record(addr, length, thread.tid,
                                 info.lvalue_text, info.loc, is_write,
                                 self.stats.steps_total)
         cost = 1 + 3 * slow
         self._charge_check(cost)
-        site[7] += cost
+        site[8] += cost
         if self.bus is not None:
             self.bus.emit(CAT_CHECK,
                           "chkwrite" if is_write else "chkread",
@@ -1432,6 +1465,7 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
                 checker: str = "sharc",
                 checkelim: bool = True,
                 lockset: bool = True,
+                absint: bool = True,
                 record_trace: bool = False,
                 trace: Optional[TraceConfig] = None,
                 backend: Optional[str] = None) -> RunResult:
@@ -1439,17 +1473,20 @@ def run_checked(checked: CheckedProgram, *, seed: int = 0,
     spec string (``"random"``, ``"pct:4"``, ...) or a
     :class:`~repro.runtime.scheduler.SchedulingPolicy` instance.
     ``trace`` enables structured event tracing (:mod:`repro.obs`);
-    ``checkelim=False`` ablates the static check eliminator and
-    ``lockset=False`` the locked(l) qualifier refinement.  ``backend``
-    selects the executor: ``"interp"`` (the tree-walker) or
-    ``"compiled"`` (:mod:`repro.compile`), which runs the same program
-    bit-identically — same steps, reports, and scheduler RNG — at a
-    multiple of the throughput; ``None`` defers to ``SHARC_BACKEND``."""
+    ``checkelim=False`` ablates the static check eliminator,
+    ``lockset=False`` the locked(l) qualifier refinement, and
+    ``absint=False`` the abstract interpreter's interval-proved
+    discharges.  ``backend`` selects the executor: ``"interp"`` (the
+    tree-walker) or ``"compiled"`` (:mod:`repro.compile`), which runs
+    the same program bit-identically — same steps, reports, and
+    scheduler RNG — at a multiple of the throughput; ``None`` defers
+    to ``SHARC_BACKEND``."""
     interp = make_interp(checked, backend=backend, seed=seed, world=world,
                          policy=policy, rc_scheme=rc_scheme,
                          instrument=instrument, shadow_bytes=shadow_bytes,
                          max_burst=max_burst, checker=checker,
                          checkelim=checkelim, lockset=lockset,
+                         absint=absint,
                          record_trace=record_trace, trace=trace)
     result = interp.run(max_steps=max_steps)
     if record_trace:

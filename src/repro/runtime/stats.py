@@ -57,6 +57,10 @@ class RunStats:
     #: dynamic checks discharged through the held-lock log because the
     #: static lockset analysis refined the location to locked(l)
     checks_locked_refined: int = 0
+    #: statically marked checks discharged by ``ShadowMemory.recheck``
+    #: on the strength of the abstract interpreter's interval proofs
+    #: (repro.sharc.absint) — covers checkelim's dataflow cannot see
+    checks_ai_elided: int = 0
     rc_writes: int = 0
     rc_collections: int = 0
     lock_acquisitions: int = 0
@@ -121,10 +125,22 @@ class RunStats:
         """Fraction of would-be dynamic checks discharged through the
         held-lock log thanks to locked(l) lockset refinement."""
         total = (self.checks_full + self.checks_range
-                 + self.checks_elided + self.checks_locked_refined)
+                 + self.checks_elided + self.checks_locked_refined
+                 + self.checks_ai_elided)
         if total <= 0:
             return 0.0
         return self.checks_locked_refined / total
+
+    @property
+    def checks_ai_elided_pct(self) -> float:
+        """Fraction of would-be dynamic checks discharged by the
+        abstract interpreter's interval-proved marks."""
+        total = (self.checks_full + self.checks_range
+                 + self.checks_elided + self.checks_locked_refined
+                 + self.checks_ai_elided)
+        if total <= 0:
+            return 0.0
+        return self.checks_ai_elided / total
 
     @property
     def metadata_pages(self) -> int:

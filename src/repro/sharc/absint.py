@@ -1,0 +1,1149 @@
+"""Thread-modular abstract interpretation over the mini-C AST.
+
+The third static tier (after checkelim's syntactic dataflow and the
+whole-program lockset pass): an abstract interpreter with an interval
+domain (:mod:`repro.sharc.domains`), analysed per thread context with
+an interference fixpoint (:mod:`repro.sharc.interference`) in the
+style of Miné's static analysis of embedded parallel C.  Each context
+(``main`` plus every thread root) is walked as if sequential; reads of
+shared named locations observe the join of every context's abstract
+writes; the engine iterates until that interference environment
+stabilises, widening late rounds so it always terminates.
+
+Two consumers:
+
+- **Discharge** (``AccessInfo.ai_elide`` / ``ai_range``): interval
+  facts prove covers that the syntactic checkelim pass cannot see —
+  re-accesses across calls proven *check-free* (transitively touching
+  no shadow state), and accesses to the same or a nearby granule of an
+  array through *different* index texts whose symbolic offset the
+  intervals bound below the granule size (``buf[i]`` covering
+  ``buf[i + k]`` once the interference fixpoint pins ``k``).  Exactly
+  like checkelim and the lockset refinement, every mark is consumed
+  behind the runtime ``ShadowMemory.recheck`` guard: a wrong mark
+  costs one predicate test, never a missed race, and the ``--no-
+  absint`` ablation is bit-identical in reports, steps, and scheduler
+  RNG.  ``ai_range`` routes monotone walks through the range-batched
+  check APIs (identical semantics) in loops checkelim skipped because
+  they call functions — allowed here when every callee is check-free.
+
+- **Precision** (:class:`RaceVerdict`): each static race the lockset
+  pass reports is scored against the intervals — *interval-refuted*
+  when the racing contexts provably index disjoint slices of the
+  array (the fftw-style partitioning idiom), *interval-confirmed*
+  otherwise — with the per-context witness bounds attached.  The
+  verdicts ride into ``sharc analyze`` (schema ``sharc-analyze/2``)
+  and the differential sweep's AI precision column.
+
+Marks are always computed (like checkelim and lockset); the runtime
+``absint`` switch decides consumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfront import cast as A
+from repro.sharc import domains as D
+from repro.sharc.domains import Interval, TOP, const
+from repro.sharc.interference import (InterferenceEnv,
+                                      interference_fixpoint)
+from repro.sharc.libc import is_builtin
+from repro.sharc.lockset import (ACQUIRES, COND_WAITS, RELEASES, SPAWNS,
+                                 TAINTING, LocksetResult, key_text,
+                                 loc_key)
+from repro.sharc.seeds import SeedInfo
+
+#: shadow granule size in bytes (mirrors repro.runtime.shadow)
+GRANULE = 16
+
+#: cover strengths, as in checkelim
+_READ, _WRITE = 1, 2
+
+#: builtins that block, re-schedule wholesale, or touch shadow/rc
+#: state: a call to one of these kills covers even when it checks
+#: nothing itself (marks stay *guarded*, this only tunes mark quality)
+_DIRTY_BUILTINS = (ACQUIRES | RELEASES | COND_WAITS | TAINTING | SPAWNS
+                   | frozenset({"thread_join", "free", "malloc",
+                                "calloc", "realloc", "strdup",
+                                "barrier_init", "barrier_wait",
+                                "exit"}))
+
+#: loop-head widening: iterate once, widen, then verify (plus backstop)
+_LOOP_ITERS = 4
+#: interprocedural parameter-environment propagation rounds per context
+_PARAM_ROUNDS = 3
+#: call-inlining depth cap for the marking pass
+_INLINE_DEPTH = 10
+
+
+@dataclass
+class AbsintStats:
+    """Census of AI-discharged check sites."""
+
+    ai_elided_reads: int = 0
+    ai_elided_writes: int = 0
+    ai_range_reads: int = 0
+    ai_range_writes: int = 0
+
+    @property
+    def ai_elided(self) -> int:
+        return self.ai_elided_reads + self.ai_elided_writes
+
+    @property
+    def ai_ranges(self) -> int:
+        return self.ai_range_reads + self.ai_range_writes
+
+
+@dataclass
+class RaceVerdict:
+    """One lockset static race scored against the interval facts."""
+
+    key: tuple
+    line: int
+    refuted: bool
+    #: context name -> encoded index interval actually proven there
+    witness: dict = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        return key_text(self.key)
+
+    @property
+    def verdict(self) -> str:
+        return "interval-refuted" if self.refuted \
+            else "interval-confirmed"
+
+    def as_dict(self) -> dict:
+        return {"location": self.text, "line": self.line,
+                "verdict": self.verdict, "witness": dict(self.witness)}
+
+
+@dataclass
+class AbsintResult:
+    """Output of :func:`analyze_absint`."""
+
+    stats: AbsintStats = field(default_factory=AbsintStats)
+    #: interference fixpoint rounds actually taken
+    rounds: int = 0
+    #: structurally guaranteed by widening + caps; kept as an explicit
+    #: observable for the termination tests
+    terminated: bool = True
+    contexts: tuple = ()
+    #: function name -> proven check-free (no shadow effects, ever)
+    check_free: dict = field(default_factory=dict)
+    #: stabilised shared-value environment, ``key -> Interval``
+    interference: dict = field(default_factory=dict)
+    verdicts: list = field(default_factory=list)
+
+    @property
+    def refuted(self) -> int:
+        return sum(1 for v in self.verdicts if v.refuted)
+
+    @property
+    def confirmed(self) -> int:
+        return sum(1 for v in self.verdicts if not v.refuted)
+
+    def interference_encoded(self) -> dict:
+        return {key_text(k): D.encode(iv)
+                for k, iv in sorted(self.interference.items())}
+
+    def summary(self) -> str:
+        s = self.stats
+        return (f"absint: {s.ai_elided} AI-elidable check site(s) "
+                f"({s.ai_elided_reads} read, {s.ai_elided_writes} "
+                f"write), {s.ai_ranges} AI range-walk site(s), "
+                f"{self.refuted} race(s) interval-refuted / "
+                f"{self.confirmed} confirmed, "
+                f"{self.rounds} interference round(s)")
+
+
+# -- check-free function summaries ------------------------------------------
+
+def _call_is_dirty(e: A.Call, defined: dict, dirty: set) -> bool:
+    """Does this call site (transitively) touch shadow, lock, or
+    scheduling state?  ``dirty`` is the current fixpoint iterate."""
+    if e.callee.__class__ is not A.Ident:
+        return True
+    name = e.callee.name
+    if name in defined:
+        return name in dirty
+    if name in _DIRTY_BUILTINS:
+        return True
+    if not is_builtin(name):
+        return True
+    # A builtin with an attached access summary checks its buffers.
+    return bool(getattr(e, "arg_access", None))
+
+
+def compute_check_free(program: A.Program) -> dict:
+    """``fn name -> True`` when no execution of the function can
+    perform a dynamic/lock check, run a sharing cast, or call anything
+    that might — i.e. it cannot perturb the shadow state the
+    ``recheck`` guard consults.  Greatest-fixpoint over the call
+    graph: start from locally-clean and remove callers of dirty
+    functions."""
+    defined = {f.name: f for f in program.functions()
+               if f.body is not None}
+    locally_dirty = set()
+    calls: dict = {name: [] for name in defined}
+    for name, func in defined.items():
+        for e in A.all_exprs(func.body):
+            cls = e.__class__
+            if cls is A.SCastExpr:
+                locally_dirty.add(name)
+                continue
+            if cls is A.Call:
+                calls[name].append(e)
+                continue
+            for attr in ("sharc_read", "sharc_write", "sharc_src_write"):
+                info = getattr(e, attr, None)
+                if info is not None and (info.is_dynamic or info.is_lock):
+                    locally_dirty.add(name)
+                    break
+    dirty = set(locally_dirty)
+    changed = True
+    while changed:
+        changed = False
+        for name in defined:
+            if name in dirty:
+                continue
+            if any(_call_is_dirty(e, defined, dirty)
+                   for e in calls[name]):
+                dirty.add(name)
+                changed = True
+    return {name: name not in dirty for name in defined}
+
+
+# -- index decomposition -----------------------------------------------------
+
+def _anchor_of(e: A.Expr, evaluate) -> tuple | None:
+    """Decompose an index expression as ``anchor_var + offset``:
+    ``("i", [0,0])`` for ``i``, ``("i", iv(k))`` for ``i + k``, and
+    ``("", iv(e))`` for fully-evaluable indices.  ``None`` when the
+    shape is not affine-in-one-variable — those never participate in
+    adjacency covers."""
+    cls = e.__class__
+    if cls is A.Ident:
+        return (e.name, const(0))
+    if cls is A.Binop and e.op in ("+", "-"):
+        lhs, rhs = e.lhs, e.rhs
+        if lhs.__class__ is A.Ident:
+            off = evaluate(rhs)
+            if e.op == "-":
+                off = off.neg()
+            return (lhs.name, off)
+        if e.op == "+" and rhs.__class__ is A.Ident:
+            return (rhs.name, evaluate(lhs))
+    iv = evaluate(e)
+    if iv.is_bounded:
+        return ("", iv)
+    return None
+
+
+def _base_text(e: A.Expr) -> str | None:
+    """A stable textual key for an array/pointer base expression."""
+    cls = e.__class__
+    if cls is A.Ident:
+        return e.name
+    if cls is A.Member:
+        obj = _base_text(e.obj)
+        if obj is None:
+            return None
+        return f"{obj}{'->' if e.arrow else '.'}{e.name}"
+    if cls is A.Unop and e.op == "*":
+        inner = _base_text(e.operand)
+        return None if inner is None else f"*{inner}"
+    return None
+
+
+# -- the analyzer ------------------------------------------------------------
+
+class _Return(Exception):
+    """Internal: unwinds the marking pass out of an inlined callee.
+    (Value analysis never raises it — returns just stop contributing.)"""
+
+
+class _Analyzer:
+    """One whole-program analysis: value environments + cover marking.
+
+    Two modes share the walk:
+
+    - **summary mode** (``inline=False``): per-context value analysis
+      feeding the interference fixpoint.  Calls to defined functions
+      join argument intervals into the callee's parameter environment
+      (propagated over :data:`_PARAM_ROUNDS` rounds) and yield its
+      joined return interval.
+    - **marking mode** (``inline=True, marking=True``): one walk per
+      context after the fixpoint stabilises, inlining defined calls so
+      covers flow through check-free callees, marking ``ai_elide`` /
+      ``ai_range`` sites.
+    """
+
+    def __init__(self, program: A.Program, seeds: SeedInfo,
+                 structs) -> None:
+        self.program = program
+        self.structs = structs
+        self.defined = {f.name: f for f in program.functions()
+                        if f.body is not None}
+        self.global_names = frozenset(g.name for g in program.globals())
+        self.check_free = compute_check_free(program)
+        self.stats = AbsintStats()
+        roots = sorted(r for r in seeds.thread_roots if r in self.defined)
+        self.contexts = tuple(["main"] + [r for r in roots
+                                          if r != "main"]
+                              ) if "main" in self.defined else tuple(roots)
+        # Direct-call graph for per-context reachability.  Spawn
+        # targets are *not* edges: they run in their own context.
+        self.calls: dict = {}
+        for name, func in self.defined.items():
+            self.calls[name] = {
+                e.callee.name for e in A.all_exprs(func.body)
+                if e.__class__ is A.Call
+                and e.callee.__class__ is A.Ident
+                and e.callee.name in self.defined}
+        # interprocedural value state (re-seeded per fixpoint round)
+        self.param_envs: dict = {}     # fn -> {param -> Interval}
+        self.ret_ivs: dict = {}        # fn -> Interval
+        # per-(context, key, 'r'|'w') index ranges for refutation
+        self.idx_ranges: dict = {}
+        # walk-local state
+        self.env: dict = {}
+        self.covers: dict = {}
+        self.acovers: dict = {}
+        self.context = ""
+        self.inter: InterferenceEnv | None = None
+        self.inline = False
+        self.marking = False
+        self.depth = 0
+        self.call_stack: list = []
+        self.cur_ret: Interval | None = None
+        self._continues: list = []
+        self._breaks: list = []
+
+    # -- reachability --------------------------------------------------------
+
+    def reachable(self, root: str) -> list:
+        """Functions reachable from ``root`` over direct calls, in BFS
+        order (callers before callees, approximately)."""
+        order, seen = [], set()
+        work = [root]
+        while work:
+            name = work.pop(0)
+            if name in seen or name not in self.defined:
+                continue
+            seen.add(name)
+            order.append(name)
+            work.extend(sorted(self.calls.get(name, ())))
+        return order
+
+    # -- initial shared values ----------------------------------------------
+
+    def initial_env(self) -> dict:
+        """Global initialiser values (zero-init when absent), keyed
+        like the interference environment."""
+        init: dict = {}
+        for g in self.program.globals():
+            key = ("global", g.name)
+            iv = None
+            e = g.init
+            if e is None:
+                iv = const(0)  # mini-C globals are zero-initialised
+            else:
+                cls = e.__class__
+                if cls in (A.IntLit, A.CharLit):
+                    iv = const(e.value)
+                elif cls is A.Unop and e.op == "-" \
+                        and e.operand.__class__ in (A.IntLit, A.CharLit):
+                    iv = const(-e.operand.value)
+            if iv is not None:
+                init[key] = iv
+        return init
+
+    # -- shared-location access ---------------------------------------------
+
+    def _shared_read(self, key) -> Interval:
+        iv = self.inter.read(key)
+        return TOP if iv is None else iv
+
+    def _shared_write(self, key, iv: Interval) -> None:
+        self.inter.record(self.context, key, iv)
+
+    def _record_idx(self, key, is_write: bool, idx_iv: Interval) -> None:
+        rk = (self.context, key, "w" if is_write else "r")
+        prev = self.idx_ranges.get(rk)
+        self.idx_ranges[rk] = idx_iv if prev is None \
+            else prev.join(idx_iv)
+
+    # -- cover state ---------------------------------------------------------
+
+    def _snap(self) -> tuple:
+        return dict(self.env), dict(self.covers), dict(self.acovers)
+
+    def _restore(self, snap: tuple) -> None:
+        self.env, self.covers, self.acovers = \
+            dict(snap[0]), dict(snap[1]), dict(snap[2])
+
+    def _merge_from(self, snap_a: tuple, snap_b: tuple) -> None:
+        """Install the path-join of two walk states."""
+        env_a, cov_a, ac_a = snap_a
+        env_b, cov_b, ac_b = snap_b
+        if cov_a.pop(_UNREACH, None) is not None:
+            self.env, self.covers, self.acovers = \
+                dict(env_b), dict(cov_b), dict(ac_b)
+            return
+        if cov_b.pop(_UNREACH, None) is not None:
+            self.env, self.covers, self.acovers = \
+                dict(env_a), dict(cov_a), dict(ac_a)
+            return
+        self.env = D.join_env(env_a, env_b)
+        self.covers = {k: min(s, cov_b.get(k, 0))
+                       for k, s in cov_a.items() if cov_b.get(k, 0)}
+        merged = {}
+        for base, (anchor, off, strength) in ac_a.items():
+            other = ac_b.get(base)
+            if other is not None and other[0] == anchor:
+                merged[base] = (anchor, off.join(other[1]),
+                                min(strength, other[2]))
+        self.acovers = merged
+
+    def _kill_covers(self) -> None:
+        self.covers.clear()
+        self.acovers.clear()
+
+    def _invalidate_anchor(self, name: str) -> None:
+        """A variable was reassigned: drop adjacency covers anchored on
+        it (their symbolic offset no longer relates to new accesses)."""
+        if self.acovers:
+            self.acovers = {
+                base: entry for base, entry in self.acovers.items()
+                if entry[0] != name and base != name}
+
+    # -- checks --------------------------------------------------------------
+
+    def _elem_size(self, node: A.Expr) -> int:
+        qt = getattr(node, "ctype", None)
+        if qt is None:
+            return 8
+        try:
+            return qt.base.size(self.structs)
+        except Exception:
+            return 8
+
+    def check(self, node: A.Expr, info, is_write: bool,
+              base: str | None = None,
+              anchor: tuple | None = None,
+              idx_iv: Interval | None = None) -> None:
+        """One runtime check firing at ``node``.  Mirrors
+        ``checkelim._Walker.check`` with the extra interval-powered
+        adjacency cover."""
+        if info is None or not info.is_dynamic:
+            return
+        need = _WRITE if is_write else _READ
+        key = info.lvalue_text
+        if self.marking and not info.elide \
+                and not info.lockset_refined and not info.ai_elide:
+            covered = self.covers.get(key, 0) >= need
+            if not covered and base is not None and anchor is not None:
+                prev = self.acovers.get(base)
+                if prev is not None and prev[0] == anchor[0] \
+                        and prev[2] >= need:
+                    delta = anchor[1].sub(prev[1])
+                    esize = self._elem_size(node)
+                    if delta.is_bounded and delta.lo >= 0 \
+                            and delta.hi * esize < GRANULE:
+                        covered = True
+            if covered:
+                info.ai_elide = True
+                node.sharc_ai_elided = True  # type: ignore[attr-defined]
+                if is_write:
+                    self.stats.ai_elided_writes += 1
+                else:
+                    self.stats.ai_elided_reads += 1
+        if self.covers.get(key, 0) < need:
+            self.covers[key] = need
+        if base is not None and anchor is not None:
+            prev = self.acovers.get(base)
+            strength = need
+            if prev is not None and prev[0] == anchor[0] \
+                    and prev[1] == anchor[1]:
+                strength = max(need, prev[2])
+            self.acovers[base] = (anchor[0], anchor[1], strength)
+        # refutation bookkeeping: per-context index ranges on arrays
+        if idx_iv is not None:
+            lk = loc_key(node, self.global_names)
+            if lk is not None:
+                self._record_idx(lk, is_write, idx_iv)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def eval(self, e) -> Interval:
+        if e is None:
+            return TOP
+        cls = e.__class__
+        if cls is A.IntLit or cls is A.CharLit:
+            return const(e.value)
+        if cls in (A.FloatLit, A.NullLit, A.StrLit):
+            return TOP
+        if cls is A.SizeofExpr:
+            return TOP  # operand never evaluated at runtime
+        if cls is A.Ident:
+            self.check(e, getattr(e, "sharc_read", None), False)
+            if e.name in self.global_names:
+                return self._shared_read(("global", e.name))
+            iv = self.env.get(e.name)
+            return TOP if iv is None else iv
+        if cls is A.Member:
+            self._walk_lvalue(e)
+            lk = loc_key(e, self.global_names)
+            self.check(e, getattr(e, "sharc_read", None), False,
+                       base=_base_text(e), anchor=("", const(0)))
+            return self._shared_read(lk) if lk is not None else TOP
+        if cls is A.Index:
+            base, anchor, idx_iv = self._index_parts(e)
+            lk = loc_key(e, self.global_names)
+            self.check(e, getattr(e, "sharc_read", None), False,
+                       base=base, anchor=anchor, idx_iv=idx_iv)
+            return self._shared_read(lk) if lk is not None else TOP
+        if cls is A.Unop:
+            if e.op == "&":
+                self._walk_lvalue(e.operand)
+                return TOP
+            if e.op == "*":
+                self.eval(e.operand)
+                self.check(e, getattr(e, "sharc_read", None), False)
+                return TOP
+            if e.op in ("++", "--"):
+                op = e.operand
+                self._walk_lvalue(op)
+                iv = self._lvalue_read(op)
+                self.check(op, getattr(op, "sharc_read", None), False,
+                           *self._access_parts(op))
+                delta = const(1) if e.op == "++" else const(-1)
+                new = iv.add(delta)
+                self._store(op, new)
+                return iv if e.postfix else new
+            iv = self.eval(e.operand)
+            if e.op == "-":
+                return iv.neg()
+            if e.op == "!":
+                return Interval(0, 1)
+            return TOP
+        if cls is A.Binop:
+            return self._binop(e)
+        if cls is A.Assign:
+            return self._assign(e)
+        if cls is A.Call:
+            return self._call(e)
+        if cls is A.SCastExpr:
+            self._walk_lvalue(e.expr)
+            self.check(e.expr, getattr(e.expr, "sharc_read", None),
+                       False)
+            self.check(e, getattr(e, "sharc_src_write", None), True)
+            # sharing casts reset the object's granule bitmaps
+            self._kill_covers()
+            return TOP
+        if cls is A.CastExpr:
+            return self.eval(e.expr)
+        if cls is A.CondExpr:
+            self.eval(e.cond)
+            snap = self._snap()
+            self._refine(e.cond, True)
+            then_iv = self.eval(e.then)
+            then_snap = self._snap()
+            self._restore(snap)
+            self._refine(e.cond, False)
+            other_iv = self.eval(e.other)
+            self._merge_from(then_snap, self._snap())
+            return then_iv.join(other_iv)
+        if cls is A.CommaExpr:
+            iv = TOP
+            for part in e.parts:
+                iv = self.eval(part)
+            return iv
+        return TOP
+
+    def _binop(self, e: A.Binop) -> Interval:
+        op = e.op
+        if op in ("&&", "||"):
+            self.eval(e.lhs)
+            snap = self._snap()
+            if op == "&&":
+                self._refine(e.lhs, True)
+            else:
+                self._refine(e.lhs, False)
+            self.eval(e.rhs)
+            self._merge_from(snap, self._snap())
+            return Interval(0, 1)
+        a = self.eval(e.lhs)
+        b = self.eval(e.rhs)
+        if op == "+":
+            return a.add(b)
+        if op == "-":
+            return a.sub(b)
+        if op == "*":
+            return a.mul(b)
+        if op == "%":
+            return a.mod(b)
+        if op == "/":
+            if b.is_const and b.lo != 0 and a.is_bounded:
+                lo, hi = a.lo, a.hi
+                cands = [int(lo / b.lo), int(hi / b.lo)]
+                return Interval(min(cands), max(cands))
+            return TOP
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return Interval(0, 1)
+        return TOP
+
+    def _assign(self, e: A.Assign) -> Interval:
+        lhs = e.lhs
+        lhs_qt = getattr(lhs, "ctype", None)
+        if e.op == "=" and lhs_qt is not None and lhs_qt.is_struct:
+            self._walk_lvalue(e.rhs)
+            self._walk_lvalue(lhs)
+            self.check(lhs, getattr(lhs, "sharc_write", None), True)
+            self.check(e.rhs, getattr(e.rhs, "sharc_read", None), False)
+            return TOP
+        rhs_iv = self.eval(e.rhs)
+        self._walk_lvalue(lhs)
+        base, anchor, idx_iv = self._access_parts(lhs)
+        if e.op != "=":
+            self.check(lhs, getattr(lhs, "sharc_read", None), False,
+                       base=base, anchor=anchor, idx_iv=idx_iv)
+            cur = self._lvalue_read(lhs)
+            op = e.op[0]
+            if op == "+":
+                rhs_iv = cur.add(rhs_iv)
+            elif op == "-":
+                rhs_iv = cur.sub(rhs_iv)
+            elif op == "*":
+                rhs_iv = cur.mul(rhs_iv)
+            else:
+                rhs_iv = TOP
+        self.check(lhs, getattr(lhs, "sharc_write", None), True,
+                   base=base, anchor=anchor, idx_iv=idx_iv)
+        self._store(lhs, rhs_iv)
+        return rhs_iv
+
+    # -- lvalue plumbing -----------------------------------------------------
+
+    def _walk_lvalue(self, e: A.Expr) -> None:
+        """Address computation only (mirrors checkelim.lvalue)."""
+        cls = e.__class__
+        if cls is A.Ident:
+            return
+        if cls is A.Unop and e.op == "*":
+            self.eval(e.operand)
+            return
+        if cls is A.Member:
+            if e.arrow:
+                self.eval(e.obj)
+            else:
+                self._walk_lvalue(e.obj)
+            return
+        if cls is A.Index:
+            if getattr(e, "sharc_on_array", False):
+                self._walk_lvalue(e.arr)
+            else:
+                self.eval(e.arr)
+            self.eval(e.idx)
+            return
+
+    def _quiet_eval(self, e) -> Interval:
+        """Evaluate for the *value* only: no checks, no cover updates
+        (the expression was already walked)."""
+        cls = e.__class__
+        if cls is A.IntLit or cls is A.CharLit:
+            return const(e.value)
+        if cls is A.Ident:
+            if e.name in self.global_names:
+                return self._shared_read(("global", e.name))
+            iv = self.env.get(e.name)
+            return TOP if iv is None else iv
+        if cls is A.Unop and e.op == "-":
+            return self._quiet_eval(e.operand).neg()
+        if cls is A.Binop and e.op in ("+", "-", "*", "%"):
+            a = self._quiet_eval(e.lhs)
+            b = self._quiet_eval(e.rhs)
+            return {"+": a.add, "-": a.sub, "*": a.mul,
+                    "%": a.mod}[e.op](b)
+        if cls is A.CastExpr:
+            return self._quiet_eval(e.expr)
+        return TOP
+
+    def _index_parts(self, e: A.Index) -> tuple:
+        """Walk an Index node's address computation and return
+        ``(base text, anchor decomposition, index interval)``."""
+        self._walk_lvalue(e)
+        base = _base_text(e.arr)
+        anchor = _anchor_of(e.idx, self._quiet_eval)
+        idx_iv = self._quiet_eval(e.idx)
+        return base, anchor, idx_iv
+
+    def _access_parts(self, lhs: A.Expr) -> tuple:
+        cls = lhs.__class__
+        if cls is A.Index:
+            base = _base_text(lhs.arr)
+            return (base, _anchor_of(lhs.idx, self._quiet_eval),
+                    self._quiet_eval(lhs.idx))
+        if cls is A.Member:
+            return (_base_text(lhs), ("", const(0)), None)
+        return (None, None, None)
+
+    def _lvalue_read(self, lhs: A.Expr) -> Interval:
+        cls = lhs.__class__
+        if cls is A.Ident:
+            if lhs.name in self.global_names:
+                return self._shared_read(("global", lhs.name))
+            iv = self.env.get(lhs.name)
+            return TOP if iv is None else iv
+        lk = loc_key(lhs, self.global_names)
+        if lk is not None:
+            return self._shared_read(lk)
+        return TOP
+
+    def _store(self, lhs: A.Expr, iv: Interval) -> None:
+        cls = lhs.__class__
+        if cls is A.Ident:
+            if lhs.name in self.global_names:
+                self._shared_write(("global", lhs.name), iv)
+            else:
+                self.env[lhs.name] = iv
+                self._invalidate_anchor(lhs.name)
+            return
+        lk = loc_key(lhs, self.global_names)
+        if lk is not None:
+            self._shared_write(lk, iv)
+
+    # -- calls ---------------------------------------------------------------
+
+    def _call(self, e: A.Call) -> Interval:
+        if e.callee.__class__ is not A.Ident:
+            self.eval(e.callee)
+            for arg in e.args:
+                self.eval(arg)
+            self._kill_covers()
+            return TOP
+        name = e.callee.name
+        arg_ivs = [self.eval(arg) for arg in e.args]
+        if name in SPAWNS:
+            # The spawned root runs in its own context; the spawn
+            # itself is a scheduling event.
+            self._kill_covers()
+            return TOP
+        func = self.defined.get(name)
+        if func is None:
+            if _call_is_dirty(e, self.defined, set()):
+                self._kill_covers()
+            return TOP
+        # defined function
+        penv = self.param_envs.setdefault(name, {})
+        for pname, iv in zip(func.param_names, arg_ivs):
+            prev = penv.get(pname)
+            penv[pname] = iv if prev is None else prev.join(iv)
+        if self.inline and name not in self.call_stack \
+                and self.depth < _INLINE_DEPTH:
+            return self._inline_call(func, arg_ivs)
+        if not self.check_free.get(name, False):
+            self._kill_covers()
+        return self.ret_ivs.get(name, TOP)
+
+    def _inline_call(self, func: A.FuncDef, arg_ivs: list) -> Interval:
+        saved_env = self.env
+        saved_ret = self.cur_ret
+        self.env = {pname: iv for pname, iv
+                    in zip(func.param_names, arg_ivs)}
+        self.cur_ret = None
+        self.call_stack.append(func.name)
+        self.depth += 1
+        try:
+            self.stmt(func.body)
+        finally:
+            self.depth -= 1
+            self.call_stack.pop()
+            ret = self.cur_ret
+            self.env = saved_env
+            self.cur_ret = saved_ret
+        return ret if ret is not None else TOP
+
+    # -- guard refinement ----------------------------------------------------
+
+    def _refine(self, cond, truth: bool) -> None:
+        """Narrow the environment by assuming ``cond`` is ``truth``.
+        Handles the comparison shapes mini-C loops actually use."""
+        if cond is None:
+            return
+        cls = cond.__class__
+        if cls is A.Unop and cond.op == "!":
+            self._refine(cond.operand, not truth)
+            return
+        if cls is not A.Binop:
+            return
+        op = cond.op
+        if op == "&&" and truth:
+            self._refine(cond.lhs, True)
+            self._refine(cond.rhs, True)
+            return
+        if op == "||" and not truth:
+            self._refine(cond.lhs, False)
+            self._refine(cond.rhs, False)
+            return
+        if op not in ("<", ">", "<=", ">=", "==", "!="):
+            return
+        if not truth:
+            op = {"<": ">=", ">": "<=", "<=": ">", ">=": "<",
+                  "==": "!=", "!=": "=="}[op]
+        self._refine_cmp(cond.lhs, op, cond.rhs)
+        flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=",
+                   "==": "==", "!=": "!="}[op]
+        self._refine_cmp(cond.rhs, flipped, cond.lhs)
+
+    def _refine_cmp(self, lhs, op: str, rhs) -> None:
+        if lhs.__class__ is not A.Ident \
+                or lhs.name in self.global_names:
+            return
+        cur = self.env.get(lhs.name)
+        if cur is None:
+            cur = TOP
+        bound = self._quiet_eval(rhs)
+        new = None
+        if op == "<" and bound.hi != D.INF:
+            new = cur.below(bound.hi, strict=True)
+        elif op == "<=" and bound.hi != D.INF:
+            new = cur.below(bound.hi, strict=False)
+        elif op == ">" and bound.lo != -D.INF:
+            new = cur.above(bound.lo, strict=True)
+        elif op == ">=" and bound.lo != -D.INF:
+            new = cur.above(bound.lo, strict=False)
+        elif op == "==":
+            met = cur.meet(bound)
+            new = met
+        elif op == "!=":
+            return
+        if new is not None:
+            self.env[lhs.name] = new
+
+    # -- statements ----------------------------------------------------------
+
+    def stmt(self, s) -> None:
+        if s is None:
+            return
+        cls = s.__class__
+        if cls is A.Compound:
+            for sub in s.stmts:
+                self.stmt(sub)
+            return
+        if cls is A.ExprStmt:
+            self.eval(s.expr)
+            return
+        if cls is A.DeclStmt:
+            for d in s.decls:
+                if d.init is not None:
+                    iv = self.eval(d.init)
+                    self.env[d.name] = iv
+                    self._invalidate_anchor(d.name)
+            return
+        if cls is A.If:
+            self.eval(s.cond)
+            snap = self._snap()
+            self._refine(s.cond, True)
+            self.stmt(s.then)
+            then_snap = self._snap()
+            self._restore(snap)
+            self._refine(s.cond, False)
+            if s.other is not None:
+                self.stmt(s.other)
+            self._merge_from(then_snap, self._snap())
+            return
+        if cls in (A.While, A.DoWhile, A.For):
+            self._loop(s, cls)
+            return
+        if cls is A.Return:
+            if s.value is not None:
+                iv = self.eval(s.value)
+            else:
+                iv = TOP
+            self.cur_ret = iv if self.cur_ret is None \
+                else self.cur_ret.join(iv)
+            return
+        if cls is A.Break:
+            if self._breaks:
+                self._breaks[-1].append(self._snap())
+                self.covers = {_UNREACH: _WRITE}
+                self.acovers = {}
+            return
+        if cls is A.Continue:
+            if self._continues:
+                self._continues[-1].append(self._snap())
+                self.covers = {_UNREACH: _WRITE}
+                self.acovers = {}
+            return
+
+    # -- loops ---------------------------------------------------------------
+
+    def _loop(self, s, cls) -> None:
+        is_for = cls is A.For
+        if is_for:
+            if isinstance(s.init, A.DeclStmt):
+                self.stmt(s.init)
+            elif s.init is not None:
+                self.eval(s.init)
+        cond = getattr(s, "cond", None)
+        # 1. value fixpoint at the loop head (marking suppressed so
+        #    unstable iterates cannot leak into the mark decisions)
+        saved_marking = self.marking
+        self.marking = False
+        pre = self._snap()
+        if cond is not None and cls is not A.DoWhile:
+            self.eval(cond)
+        head = dict(self.env)
+        for it in range(_LOOP_ITERS):
+            self.env = dict(head)
+            if cond is not None:
+                self._refine(cond, True)
+            self._continues.append([])
+            self._breaks.append([])
+            self.stmt(s.body)
+            for snap in self._continues.pop():
+                self.env = D.join_env(self.env, snap[0]) \
+                    if not self.covers.get(_UNREACH) else dict(snap[0])
+                self.covers.pop(_UNREACH, None)
+            self._breaks.pop()
+            if is_for and s.step is not None:
+                self.eval(s.step)
+            if cond is not None:
+                self.eval(cond)
+            new_head = D.join_env(head, self.env)
+            if it >= 1:
+                new_head = D.widen_env(head, new_head)
+            if D.env_equal(new_head, head):
+                break
+            head = new_head
+        self.marking = saved_marking
+        # 2. marking double-pass from the stabilised head (covers carry
+        #    around the back-edge, continue edges joined like the body's
+        #    normal exit — the fixed checkelim semantics)
+        self._restore(pre)
+        self.env = dict(head)
+        exits = []
+        if cond is not None and cls is not A.DoWhile:
+            exits.append((dict(self.covers), dict(self.acovers)))
+        break_envs = []
+        for _ in range(2):
+            self.env = dict(head)
+            if cond is not None:
+                self._refine(cond, True)
+            self._continues.append([])
+            self._breaks.append([])
+            self.stmt(s.body)
+            cont_snaps = self._continues.pop()
+            break_snaps = self._breaks.pop()
+            for snap in cont_snaps:
+                self._merge_from(self._snap(), snap)
+            if is_for and s.step is not None:
+                self.eval(s.step)
+            if cond is not None:
+                self.eval(cond)
+            if break_snaps:
+                exits = None  # break exits mid-iteration: clear below
+                break_envs = [snap[0] for snap in break_snaps]
+            if exits is not None:
+                exits.append((dict(self.covers), dict(self.acovers)))
+        if self.marking:
+            self._mark_ranges(s.body, s.step if is_for else None)
+        # 3. post-loop state: head refined by the exit condition, joined
+        #    with every break edge's environment
+        self.env = dict(head)
+        if cond is not None:
+            self._refine(cond, False)
+        for benv in break_envs:
+            self.env = D.join_env(self.env, benv)
+        if exits is None:
+            self._kill_covers()
+        else:
+            covers, acovers = exits[0]
+            for cov_b, ac_b in exits[1:]:
+                covers = {k: min(v, cov_b.get(k, 0))
+                          for k, v in covers.items() if cov_b.get(k, 0)}
+                merged = {}
+                for bse, (anch, off, strg) in acovers.items():
+                    other = ac_b.get(bse)
+                    if other is not None and other[0] == anch:
+                        merged[bse] = (anch, off.join(other[1]),
+                                       min(strg, other[2]))
+                acovers = merged
+            covers.pop(_UNREACH, None)
+            self.covers, self.acovers = covers, acovers
+
+    def _mark_ranges(self, body, step) -> None:
+        """AI range-walk marking: like ``checkelim._mark_ranges`` but
+        calls to proven check-free functions are allowed in the body
+        (the range APIs are semantically identical per access, so this
+        is pure routing)."""
+        exprs = list(A.all_exprs(body))
+        if step is not None:
+            exprs.extend(A.walk_expr(step))
+        stepped = set()
+        for e in exprs:
+            cls = e.__class__
+            if cls is A.SCastExpr:
+                return
+            if cls is A.Call:
+                if e.callee.__class__ is not A.Ident \
+                        or not self.check_free.get(e.callee.name, False):
+                    return
+            elif cls is A.Unop and e.op in ("++", "--") \
+                    and e.operand.__class__ is A.Ident:
+                stepped.add(e.operand.name)
+            elif cls is A.Assign and e.lhs.__class__ is A.Ident:
+                if e.op in ("+=", "-="):
+                    stepped.add(e.lhs.name)
+                elif e.op == "=" and e.rhs.__class__ is A.Binop \
+                        and e.rhs.op in ("+", "-") \
+                        and e.lhs.name in {sub.name
+                                           for sub in A.walk_expr(e.rhs)
+                                           if sub.__class__ is A.Ident}:
+                    stepped.add(e.lhs.name)
+        if not stepped:
+            return
+        for e in exprs:
+            if e.__class__ is not A.Index:
+                continue
+            idents = {sub.name for sub in A.walk_expr(e.idx)
+                      if sub.__class__ is A.Ident}
+            if not (idents & stepped):
+                continue
+            for attr, is_write in (("sharc_read", False),
+                                   ("sharc_write", True)):
+                info = getattr(e, attr, None)
+                if info is None or not info.is_dynamic \
+                        or info.range_walk or info.ai_range:
+                    continue
+                info.ai_range = True
+                e.sharc_ai_range = True  # type: ignore[attr-defined]
+                if is_write:
+                    self.stats.ai_range_writes += 1
+                else:
+                    self.stats.ai_range_reads += 1
+
+
+#: sentinel cover key marking a dead (post-break/continue) path; never
+#: collides with an lvalue text
+_UNREACH = "\0unreachable"
+
+
+# -- driver ------------------------------------------------------------------
+
+def analyze_absint(program: A.Program, seeds: SeedInfo,
+                   lockset_result: LocksetResult | None = None,
+                   structs=None) -> AbsintResult:
+    """Runs the thread-modular interval analysis and writes the
+    ``ai_elide`` / ``ai_range`` marks back onto the typechecker's
+    :class:`AccessInfo` records in place."""
+    result = AbsintResult()
+    funcs = program.functions()
+    if not funcs:
+        return result
+    an = _Analyzer(program, seeds, structs
+                   if structs is not None else program.structs)
+    result.check_free = an.check_free
+    result.contexts = an.contexts
+    if not an.contexts:
+        return result
+
+    def analyze_context(context: str, env: InterferenceEnv) -> None:
+        an.context = context
+        an.inter = env
+        an.inline = False
+        an.marking = False
+        order = an.reachable(context)
+        for _ in range(_PARAM_ROUNDS):
+            for name in order:
+                func = an.defined[name]
+                an.env = dict(an.param_envs.get(name, {})) \
+                    if name != context else {}
+                an.covers = {}
+                an.acovers = {}
+                an.cur_ret = None
+                an.stmt(func.body)
+                prev = an.ret_ivs.get(name)
+                cur = an.cur_ret if an.cur_ret is not None else TOP
+                an.ret_ivs[name] = cur if prev is None \
+                    else prev.join(cur)
+
+    env, rounds = interference_fixpoint(
+        an.contexts, analyze_context, an.initial_env())
+    result.rounds = rounds
+    result.interference = dict(env.env)
+
+    # marking pass: one inlined walk per context over the stable env
+    an.idx_ranges = {}  # keep only the stabilised final-round ranges
+    env.writes = {}
+    for context in an.contexts:
+        an.context = context
+        an.inter = env
+        an.inline = True
+        an.marking = True
+        an.env = {}
+        an.covers = {}
+        an.acovers = {}
+        an.cur_ret = None
+        an.call_stack = [context]
+        an.stmt(an.defined[context].body)
+    result.stats = an.stats
+
+    # refutation consumer: score the lockset pass's static races
+    if lockset_result is not None:
+        multi = lockset_result.multi_spawned
+        for diag in lockset_result.races:
+            result.verdicts.append(
+                _score_race(diag, an.idx_ranges, an.contexts, multi))
+    return result
+
+
+def _score_race(diag, idx_ranges: dict, contexts: tuple,
+                multi_spawned: frozenset) -> RaceVerdict:
+    """Interval-refute a static race when every pair of contexts
+    provably indexes disjoint, bounded slices of the location."""
+    key = getattr(diag, "race_key_tuple", None)
+    text = diag.message_key.split("@", 1)[0]
+    line = int(diag.message_key.rsplit("@", 1)[1])
+    if key is None:
+        if "." in text:
+            sname, fname = text.split(".", 1)
+            key = ("field", sname, fname)
+        else:
+            key = ("global", text)
+    per_ctx: dict = {}
+    for ctx in contexts:
+        w = idx_ranges.get((ctx, key, "w"))
+        r = idx_ranges.get((ctx, key, "r"))
+        if w is None and r is None:
+            continue
+        per_ctx[ctx] = (w, r)
+    verdict = RaceVerdict(key, line, refuted=False)
+    touching = sorted(per_ctx)
+    if len(touching) < 2:
+        return verdict
+    spans = {}
+    for ctx, (w, r) in per_ctx.items():
+        span = w if r is None else (r if w is None else w.join(r))
+        if not span.is_bounded:
+            return verdict
+        spans[ctx] = span
+        if ctx in multi_spawned and w is not None:
+            # two instances of the same root share a context: their
+            # intervals cannot be told apart, so never refute
+            return verdict
+    for i, c1 in enumerate(touching):
+        w1 = per_ctx[c1][0]
+        for c2 in touching[i + 1:]:
+            w2 = per_ctx[c2][0]
+            if w1 is not None and not w1.disjoint(spans[c2]):
+                return verdict
+            if w2 is not None and not w2.disjoint(spans[c1]):
+                return verdict
+    verdict.refuted = True
+    verdict.witness = {ctx: D.encode(span)
+                       for ctx, span in sorted(spans.items())}
+    return verdict

@@ -14,7 +14,11 @@ mirrors the interpreter:
   sharing casts (which reset granule bitmaps), and loop boundaries are
   the kill points.  Loop bodies are walked twice so covers carried
   around the back-edge (``h[i]`` in a scan loop covering itself) are
-  found.
+  found.  ``continue`` edges re-enter the head too, so the back-edge
+  state is the meet of the end-of-body state with the state at every
+  continue point — a cover killed on a continue path (say by a call
+  before the ``continue``) must not carry around the loop just because
+  the body tail re-established it.
 
 - **Range-walk marking** (``AccessInfo.range_walk`` /
   ``node.sharc_range_check``): an indexed access inside a call-free
@@ -118,6 +122,11 @@ class _Walker:
 
     def __init__(self, stats: ElimStats) -> None:
         self.stats = stats
+        #: per enclosing loop, the cover states snapshot at each
+        #: ``continue`` — the loop head is re-entered from every one of
+        #: them, so the back-edge state is their meet with the
+        #: end-of-body state
+        self._continues: list[list[dict]] = []
 
     # -- marking -------------------------------------------------------------
 
@@ -298,7 +307,7 @@ class _Walker:
                 # Pass 1 marks straight-line covers; pass 2 re-enters
                 # with the state carried around the back-edge, finding
                 # the loop-carried self-covers that dominate scan loops.
-                self.stmt(s.body, body_st)
+                self._loop_body(s.body, body_st)
                 self.expr(s.cond, body_st)
                 exits.append(dict(body_st))
             self._mark_ranges(s.body, None)
@@ -308,7 +317,7 @@ class _Walker:
             exits = []  # the body always runs at least once
             body_st = dict(st)
             for _ in range(2):
-                self.stmt(s.body, body_st)
+                self._loop_body(s.body, body_st)
                 self.expr(s.cond, body_st)
                 exits.append(dict(body_st))
             self._mark_ranges(s.body, None)
@@ -324,7 +333,7 @@ class _Walker:
             exits = [dict(st)]
             body_st = dict(st)
             for _ in range(2):
-                self.stmt(s.body, body_st)
+                self._loop_body(s.body, body_st)
                 if s.step is not None:
                     self.expr(s.step, body_st)
                 if s.cond is not None:
@@ -337,8 +346,30 @@ class _Walker:
             if s.value is not None:
                 self.expr(s.value, st)
             return
-        # Break / Continue: the loop's post-state is already cleared
+        if cls is A.Continue:
+            # The innermost loop's head is re-entered from here having
+            # skipped the body tail; snapshot the state so the
+            # back-edge meet accounts for this path too.
+            if self._continues:
+                self._continues[-1].append(dict(st))
+            return
+        # Break: the loop's post-state is already cleared
         # conservatively, so early exits need no extra bookkeeping.
+
+    def _loop_body(self, body, body_st: dict) -> None:
+        """Walk a loop body and fold every ``continue`` edge into the
+        back-edge state: the head is re-entered both from the end of
+        the body and from each continue point, so only covers that
+        survive *all* of those paths carry around the loop."""
+        self._continues.append([])
+        try:
+            self.stmt(body, body_st)
+        finally:
+            snaps = self._continues.pop()
+        for snap in snaps:
+            met = _meet(body_st, snap)
+            body_st.clear()
+            body_st.update(met)
 
     def _loop_exit(self, body, exits: list, st: dict) -> None:
         """Post-loop state: the meet of every normal exit state (zero

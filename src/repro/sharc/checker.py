@@ -21,6 +21,7 @@ from repro.errors import Diagnostic, DiagnosticSink, SharcError
 from repro.cfront import cast as A
 from repro.cfront.parser import parse_program
 from repro.cfront.pretty import pretty_program
+from repro.sharc.absint import AbsintResult, analyze_absint
 from repro.sharc.checkelim import ElimStats, mark_elisions
 from repro.sharc.inference import InferenceResult, infer_program
 from repro.sharc.instrument import (
@@ -51,6 +52,12 @@ class CheckedProgram:
     #: interpreter's ``lockset`` switch decides whether they are
     #: consumed.  Static races are warnings kept out of ``ok``.
     lockset_result: LocksetResult = field(default_factory=LocksetResult)
+    #: thread-modular abstract interpretation (repro.sharc.absint):
+    #: interval-proved discharge marks (``ai_elide`` / ``ai_range``) and
+    #: interval verdicts on the lockset pass's static races.  Marks are
+    #: always computed; the runtime ``absint`` switch decides
+    #: consumption, so the ablation stays bit-identical.
+    absint_result: AbsintResult = field(default_factory=AbsintResult)
 
     @property
     def ok(self) -> bool:
@@ -91,8 +98,12 @@ def check_program(program: A.Program, source: str = "",
     rc_stats = mark_rc_writes(program, inference, rc_all=rc_all)
     elim_stats = mark_elisions(program)
     lockset_result = analyze_locksets(program, inference.seeds)
+    absint_result = analyze_absint(program, inference.seeds,
+                                   lockset_result,
+                                   structs=program.structs)
     return CheckedProgram(program, sink, inference, stats, rc_stats,
-                          source, filename, elim_stats, lockset_result)
+                          source, filename, elim_stats, lockset_result,
+                          absint_result)
 
 
 def check_source(source: str, filename: str = "<input>",

@@ -1,0 +1,186 @@
+"""Abstract domains for the thread-modular abstract interpreter.
+
+The interval domain of Cousot & Cousot, as used by Miné's static
+analysis of embedded parallel C (PAPERS.md): each integer-valued
+expression is approximated by a closed interval ``[lo, hi]`` with
+``±inf`` endpoints.  Bottom (unreachable / no value) is represented by
+``None`` at use sites rather than a sentinel object, so the common
+case — a real interval — never pays an ``is_bottom`` test.
+
+The lattice operations the fixpoint engine needs:
+
+- ``join`` (path merge, interference accumulation),
+- ``meet`` (branch-condition refinement; may return ``None`` = bottom),
+- ``widen`` (loop heads and late interference rounds: any endpoint
+  still moving jumps straight to ``±inf``, which is what guarantees
+  termination of every fixpoint in :mod:`repro.sharc.absint`).
+
+Arithmetic transfer functions cover what the mini-C workloads actually
+compute with indices and bounds: ``+ - *``, unary minus, ``%`` (value
+range of the remainder), and comparison-guard refinement.  Anything
+else conservatively returns ``TOP``.
+"""
+
+from __future__ import annotations
+
+INF = float("inf")
+
+
+class Interval:
+    """A closed integer interval ``[lo, hi]``; endpoints may be ±inf.
+
+    Immutable by convention: every operation returns a fresh interval
+    (or a shared constant such as :data:`TOP`).
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo, hi):
+        self.lo = lo
+        self.hi = hi
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"[{self.lo}, {self.hi}]"
+
+    def __eq__(self, other):
+        return (other.__class__ is Interval
+                and self.lo == other.lo and self.hi == other.hi)
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi and self.lo not in (INF, -INF)
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == -INF and self.hi == INF
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lo != -INF and self.hi != INF
+
+    def contains(self, v) -> bool:
+        return self.lo <= v <= self.hi
+
+    def disjoint(self, other: "Interval") -> bool:
+        return self.hi < other.lo or other.hi < self.lo
+
+    def subset(self, other: "Interval") -> bool:
+        return other.lo <= self.lo and self.hi <= other.hi
+
+    # -- lattice ------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval"):
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None  # bottom
+        return Interval(lo, hi)
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard interval widening: an endpoint that moved outward
+        since the previous iterate jumps to infinity."""
+        lo = self.lo if other.lo >= self.lo else -INF
+        hi = self.hi if other.hi <= self.hi else INF
+        return Interval(lo, hi)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        cands = []
+        for a in (self.lo, self.hi):
+            for b in (other.lo, other.hi):
+                if 0 in (a, b):  # avoid inf * 0 = nan
+                    cands.append(0)
+                else:
+                    cands.append(a * b)
+        return Interval(min(cands), max(cands))
+
+    def mod(self, other: "Interval") -> "Interval":
+        """Value range of ``a % b`` under C-like semantics; only the
+        all-positive-divisor case is refined, everything else is TOP."""
+        if other.lo > 0 and other.hi != INF:
+            hi = other.hi - 1
+            if self.lo >= 0:
+                return Interval(0, min(self.hi, hi))
+            return Interval(-hi, hi)
+        return TOP
+
+    # -- guard refinement ---------------------------------------------------
+
+    def below(self, bound, strict: bool) -> "Interval | None":
+        """Refine by ``x < bound`` / ``x <= bound``."""
+        hi = bound - 1 if strict else bound
+        if self.lo > hi:
+            return None
+        return Interval(self.lo, min(self.hi, hi))
+
+    def above(self, bound, strict: bool) -> "Interval | None":
+        """Refine by ``x > bound`` / ``x >= bound``."""
+        lo = bound + 1 if strict else bound
+        if self.hi < lo:
+            return None
+        return Interval(max(self.lo, lo), self.hi)
+
+
+TOP = Interval(-INF, INF)
+
+
+def const(v) -> Interval:
+    return Interval(v, v)
+
+
+def from_pair(pair) -> Interval:
+    """Decode the JSON form produced by :func:`encode` (``null`` =
+    unbounded endpoint)."""
+    lo, hi = pair
+    return Interval(-INF if lo is None else lo, INF if hi is None else hi)
+
+
+def encode(iv: Interval) -> list:
+    """JSON-encodable ``[lo, hi]`` with ``None`` for ±inf endpoints."""
+    return [None if iv.lo == -INF else int(iv.lo),
+            None if iv.hi == INF else int(iv.hi)]
+
+
+def join_env(dst: dict, src: dict) -> dict:
+    """Pointwise join of two ``name -> Interval`` environments.  A name
+    absent on either side is unknown there, so the join is TOP-absent
+    (simply dropped): reads of absent names default to TOP."""
+    out = {}
+    for name, iv in dst.items():
+        other = src.get(name)
+        if other is not None:
+            out[name] = iv.join(other)
+    return out
+
+
+def widen_env(old: dict, new: dict) -> dict:
+    """Pointwise widening of ``new`` against the previous iterate."""
+    out = {}
+    for name, iv in new.items():
+        prev = old.get(name)
+        out[name] = prev.widen(iv) if prev is not None else iv
+    return out
+
+
+def env_equal(a: dict, b: dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(b[k] == iv for k, iv in a.items())

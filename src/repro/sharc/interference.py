@@ -1,0 +1,89 @@
+"""Thread interference environment for the abstract interpreter.
+
+Miné's thread-modular scheme (PAPERS.md): each thread context is
+analysed *as if sequential*, except that every read of a shared
+location also observes the **interference environment** — the join of
+every abstract value any *other* context may have written there.  The
+engine iterates context analyses until the interference environment
+stops changing; late rounds widen, so the fixpoint terminates on any
+program.
+
+Shared locations use the same abstract-location keys as the lockset
+pass (:func:`repro.sharc.lockset.loc_key`): ``("global", g)`` for
+globals and global arrays, ``("field", struct, field)`` for struct
+members.  Values are :class:`repro.sharc.domains.Interval`.
+"""
+
+from __future__ import annotations
+
+from repro.sharc.domains import Interval, env_equal, join_env, widen_env
+
+#: interference rounds before widening kicks in
+WIDEN_AFTER = 3
+#: hard cap on interference rounds — with widening the env can only
+#: grow a bounded number of times, so this is a backstop, not a limit
+#: real programs hit
+MAX_ROUNDS = 12
+
+
+class InterferenceEnv:
+    """``loc key -> Interval`` of every value any context may store."""
+
+    def __init__(self, initial: dict | None = None) -> None:
+        #: baseline: global initialiser values (main's pre-thread state)
+        self.initial: dict = dict(initial or {})
+        #: accumulated writes, per analysis context (function name)
+        self.writes: dict = {}
+        self.env: dict = dict(self.initial)
+
+    def read(self, key) -> Interval | None:
+        """The abstract value a shared read may observe; ``None`` means
+        the location is never written and has no known initialiser
+        (treat as TOP at the caller)."""
+        return self.env.get(key)
+
+    def record(self, context: str, key, iv: Interval) -> None:
+        ctx = self.writes.setdefault(context, {})
+        prev = ctx.get(key)
+        ctx[key] = iv if prev is None else prev.join(iv)
+
+    def merged(self) -> dict:
+        """initial ⊔ every context's writes."""
+        out = dict(self.initial)
+        for ctx in self.writes.values():
+            for key, iv in ctx.items():
+                prev = out.get(key)
+                out[key] = iv if prev is None else prev.join(iv)
+        return out
+
+
+def interference_fixpoint(contexts, analyze_one,
+                          initial: dict | None = None):
+    """Drive ``analyze_one(context, env)`` over every context until the
+    interference environment stabilises.
+
+    ``analyze_one`` must *record* shared writes into the passed
+    :class:`InterferenceEnv` and read shared state through it.  Returns
+    ``(env, rounds)``; termination is guaranteed by widening after
+    :data:`WIDEN_AFTER` rounds plus the :data:`MAX_ROUNDS` backstop.
+    """
+    env = InterferenceEnv(initial)
+    rounds = 0
+    for rounds in range(1, MAX_ROUNDS + 1):
+        env.writes = {}
+        for context in contexts:
+            analyze_one(context, env)
+        new = env.merged()
+        if env_equal(new, env.env):
+            break
+        if rounds >= WIDEN_AFTER:
+            new = widen_env(env.env, new)
+            if env_equal(new, env.env):
+                env.env = new
+                break
+        env.env = new
+    return env, rounds
+
+
+__all__ = ["InterferenceEnv", "interference_fixpoint", "join_env",
+           "WIDEN_AFTER", "MAX_ROUNDS"]

@@ -27,8 +27,11 @@ flow-sensitively through each function body, interprocedurally:
 Locks are tracked by name only when the argument of an acquire/release
 is ``&g`` or ``g`` for a program global ``g``; anything else (locks
 through pointers, trylocks, reader-writer locks) raises the *taint*
-top element, which can suppress static race reports but never enables
-a refinement.
+flag for that context.  Taint is per-context, not a global top: it
+flows through call chains (callee summaries, call sites) where it can
+suppress static race reports, but it never adds a named lock and
+never leaks into the must-held summaries of functions outside the
+tainted call chain.
 
 Two consumers:
 
@@ -148,10 +151,18 @@ class _LockState:
             self.minus.add(name)
 
     def release_unknown(self) -> None:
-        """An unresolvable unlock may release anything."""
-        self.plus.clear()
-        self.minus.clear()
-        self.kill_all = True
+        """An unresolvable unlock may release anything — but erasing
+        the named held set here would let one pointer-typed unlock in
+        a callee wipe every caller's must-held summary, and the
+        untainted empty lockset then reports the caller's
+        consistently-locked accesses as static races.  Instead the
+        named locks stay and the *context* is tainted: taint flows
+        through the call chain (summaries, call sites) and suppresses
+        race reports there, while unrelated functions keep their
+        summaries; a refinement kept alive by a lock this unlock in
+        fact released costs one guarded runtime lookup, never a
+        missed race."""
+        self.taint = True
 
     def apply(self, s: "Summary") -> None:
         """Composes a callee's summary onto this state."""
@@ -327,6 +338,8 @@ class StaticRace:
         # Stable key used by the differential sweep to line static
         # findings up against dynamic report keys.
         diag.message_key = f"{self.text}@{self.write.loc.line}"
+        # Abstract-location key for downstream scoring (absint verdicts).
+        diag.race_key_tuple = self.key
         return diag
 
 
@@ -581,13 +594,17 @@ class _Walker:
         st.kill_all, st.taint = met.kill_all, met.taint
 
 
-def _compute_summaries(walker: _Walker, funcs: list) -> dict:
+def _compute_summaries(walker: _Walker, funcs: list,
+                       rounds: Optional[int] = None) -> dict:
     """Phase 1: relative (minus, plus, taint) summaries to fixpoint."""
     summaries = {f.name: Summary() for f in funcs}
     calls: dict = {}
     walker.summaries = summaries
-    for round_ in range(2 * len(funcs) + 4):
-        changed = False
+    if rounds is None:
+        rounds = 2 * len(funcs) + 4
+    last_changed: set = set()
+    for round_ in range(rounds):
+        last_changed = set()
         for func in funcs:
             walker.calls = set()
             st = _LockState()
@@ -596,13 +613,29 @@ def _compute_summaries(walker: _Walker, funcs: list) -> dict:
             new = st.freeze()
             if new != summaries[func.name]:
                 summaries[func.name] = new
-                changed = True
-        if not changed:
+                last_changed.add(func.name)
+        if not last_changed:
             break
     else:
-        # Did not converge (deep mutual recursion): give up soundly.
-        summaries = {name: Summary(kill_all=True, taint=True)
-                     for name in summaries}
+        # Did not converge (deep mutual recursion): give up soundly —
+        # but only on the functions still oscillating and their
+        # transitive callers, whose summaries were computed against
+        # stale callee values.  Unrelated functions keep their stable
+        # summaries instead of the whole program collapsing to top.
+        callers: dict = {}
+        for caller, callees in calls.items():
+            for callee in callees:
+                callers.setdefault(callee, set()).add(caller)
+        unstable: set = set()
+        worklist = list(last_changed)
+        while worklist:
+            name = worklist.pop()
+            if name in unstable:
+                continue
+            unstable.add(name)
+            worklist.extend(callers.get(name, ()))
+        for name in unstable:
+            summaries[name] = Summary(kill_all=True, taint=True)
     walker.func_calls = calls
     return summaries
 

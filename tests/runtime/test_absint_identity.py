@@ -1,0 +1,167 @@
+"""The abstract interpreter's soundness gate: running with ``absint``
+on vs off must be *bit-identical* — same reports, same step counts,
+same scheduling decisions — across seeds, scheduling policies, and
+both execution backends.  Only the check-mix accounting (full vs
+AI-elided) and therefore wall time may differ.
+
+Like check elimination and the lockset refinement, this holds by
+construction: an ``ai_elide`` site still runs the
+``ShadowMemory.recheck`` guard — the exact cache-hit prefix of the
+full check — and falls back to the full check on a miss.  These tests
+keep the construction honest (they are the absint twin of
+``test_checkelim_identity.py``)."""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import check_ok
+from repro.explore.driver import run_schedule
+from repro.runtime.interp import run_checked
+
+# The g covers flow through the check-free callee `pump` — a site only
+# the interval tier marks (checkelim kills covers at any call), so the
+# absint discharge genuinely fires at runtime here.
+RACY = """
+int shared = 0;
+int buf[32];
+int pump() { int y; y = 2; return y; }
+void *w(void *a) {
+  int i; int x;
+  for (i = 0; i < 16; i++) {
+    x = shared;
+    pump();
+    shared = x + shared;
+    buf[0] = buf[0] + 1;
+    buf[1] = buf[1] + buf[0];
+  }
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(w, NULL);
+  int t2 = thread_create(w, NULL);
+  thread_join(t1);
+  thread_join(t2);
+  return 0;
+}
+"""
+
+POLICIES = ["random", "round-robin", "pct", "pb"]
+
+
+def _run(checked, seed, policy, absint, backend=None):
+    return run_checked(checked, seed=seed, policy=policy,
+                       absint=absint, backend=backend,
+                       record_trace=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_on_off_runs_are_bit_identical(seed, policy):
+    checked = check_ok(RACY)
+    on = _run(checked, seed, policy, True)
+    off = _run(checked, seed, policy, False)
+    assert on.stats.steps_total == off.stats.steps_total
+    assert on.trace == off.trace  # every context switch, in order
+    assert on.report_counts == off.report_counts
+    assert [r.render() for r in on.reports] == \
+        [r.render() for r in off.reports]
+    assert on.output == off.output
+    assert (on.deadlock, on.error, on.timeout, on.exit_code) == \
+        (off.deadlock, off.error, off.timeout, off.exit_code)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_compiled_backend_is_bit_identical_too(seed, policy):
+    checked = check_ok(RACY)
+    on = _run(checked, seed, policy, True, backend="compiled")
+    off = _run(checked, seed, policy, False, backend="compiled")
+    assert on.stats.steps_total == off.stats.steps_total
+    assert on.trace == off.trace
+    assert on.report_counts == off.report_counts
+    # ...and the discharge accounting agrees across backends
+    interp_on = _run(checked, seed, policy, True, backend="interp")
+    assert on.stats.checks_ai_elided == interp_on.stats.checks_ai_elided
+    assert on.stats.sites == interp_on.stats.sites
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=40),
+       policy=st.sampled_from(POLICIES))
+def test_explore_outcomes_are_identical(seed, policy):
+    """The ``sharc explore`` path (trace hash included) can't tell the
+    two configurations apart either."""
+    on = run_schedule(RACY, "t.c", seed, policy, absint=True)
+    off = run_schedule(RACY, "t.c", seed, policy, absint=False)
+    assert on.trace_hash == off.trace_hash
+    assert on.report_keys == off.report_keys
+    assert (on.steps, on.switches, on.deadlock, on.error) == \
+        (off.steps, off.switches, off.deadlock, off.error)
+
+
+class TestCheckMix:
+    """What IS allowed to change: how the same checks get discharged."""
+
+    def test_ai_discharge_actually_fires(self):
+        checked = check_ok(RACY)
+        on = _run(checked, 3, "random", True)
+        assert on.stats.checks_ai_elided > 0
+        assert on.stats.checks_ai_elided_pct > 0.0
+
+    def test_off_run_never_ai_elides(self):
+        checked = check_ok(RACY)
+        off = _run(checked, 3, "random", False)
+        assert off.stats.checks_ai_elided == 0
+        assert off.stats.checks_ai_elided_pct == 0.0
+
+    def test_total_dynamic_checks_are_conserved(self):
+        checked = check_ok(RACY)
+        on = _run(checked, 3, "random", True)
+        off = _run(checked, 3, "random", False)
+        total = lambda s: (s.checks_full + s.checks_range
+                           + s.checks_elided + s.checks_locked_refined
+                           + s.checks_ai_elided)
+        assert total(on.stats) == total(off.stats)
+        assert on.stats.accesses_dynamic == off.stats.accesses_dynamic
+
+    def test_sites_reconcile_with_ai_column(self):
+        from repro.obs.sitestats import reconcile, totals
+
+        checked = check_ok(RACY)
+        on = _run(checked, 3, "random", True)
+        assert reconcile(on.stats.sites, on.stats) == []
+        assert totals(on.stats.sites)["ai"] == \
+            on.stats.checks_ai_elided > 0
+
+
+class TestWorkloadDischarge:
+    """The acceptance criterion: on >= 3 Table 1 workloads the absint
+    tier discharges checks at *runtime* (checks_ai_elided > 0) that
+    checkelim alone left as full walks — with everything observable
+    identical on vs off."""
+
+    def _pair(self, name, annotated):
+        from repro.bench.harness import run_workload
+        from repro.bench.workloads import get_workload
+
+        workload = get_workload(name)
+        on = run_workload(workload, annotated=annotated, absint=True)
+        off = run_workload(workload, annotated=annotated, absint=False)
+        return on, off
+
+    def _assert_discharges(self, name, annotated):
+        on, off = self._pair(name, annotated)
+        assert on.sharc_steps == off.sharc_steps
+        assert on.reports == off.reports
+        assert on.sharc_result.stats.checks_ai_elided > 0, name
+        assert off.sharc_result.stats.checks_ai_elided == 0
+
+    def test_pfscan_annotated_discharges(self):
+        self._assert_discharges("pfscan", True)
+
+    def test_aget_unannotated_discharges(self):
+        self._assert_discharges("aget", False)
+
+    def test_stunnel_unannotated_discharges(self):
+        self._assert_discharges("stunnel", False)

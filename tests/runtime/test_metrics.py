@@ -344,6 +344,32 @@ class TestSchemaUpgrades:
         assert validate_metrics(upgraded) == []
         assert upgraded["sites"]["rows"] == []
 
+    def test_v4_upgrade_adds_absint_and_ai_column(self):
+        """/4 predates the abstract interpreter: the shim synthesizes
+        a neutral absint section and backfills ``ai: 0`` into the site
+        totals and every site row — without inventing discharges."""
+        registry = MetricsRegistry()
+        registry.record_sweep(explore_source(RACY, "racy.c", seeds=1,
+                                             policies=("random",)))
+        v4 = registry.as_dict()
+        v4["schema"] = "sharc-metrics/4"
+        del v4["absint"]
+        del v4["sites"]["totals"]["ai"]
+        assert v4["sites"]["rows"], "need site rows to test backfill"
+        for row in v4["sites"]["rows"]:
+            del row["ai"]
+        upgraded = upgrade_metrics_payload(v4)
+        assert upgraded["schema"] == METRICS_SCHEMA
+        assert validate_metrics(upgraded) == []
+        assert upgraded["absint"] == {"refuted": 0, "confirmed": 0,
+                                      "verdicts": []}
+        assert upgraded["sites"]["totals"]["ai"] == 0
+        assert all(row["ai"] == 0
+                   for row in upgraded["sites"]["rows"])
+        # nothing else about the sites section was perturbed
+        assert upgraded["sites"]["totals"]["cost"] == \
+            sum(r["cost"] for r in upgraded["sites"]["rows"])
+
     def test_current_payload_passes_through(self):
         registry = MetricsRegistry()
         registry.record_sweep(_summary([_outcome(0, "random")]))

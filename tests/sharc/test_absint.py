@@ -1,0 +1,254 @@
+"""Tests for the thread-modular abstract interpreter
+(:mod:`repro.sharc.absint` + ``domains`` + ``interference``).
+
+Three load-bearing properties:
+
+- **termination**: the interference fixpoint (widening at loop heads)
+  stabilises on every Table 1 workload variant and every fuzz scenario
+  family — an analysis that spins is worse than none;
+- **discharge**: interval reasoning marks ``ai_elide`` / ``ai_range``
+  on sites the checkelim dataflow cannot see (covers flowing through
+  check-free callees, same-granule adjacent accesses, monotone walks
+  around check-free calls) — the runtime half (bit-identity, counter
+  plumbing) lives in ``tests/runtime/test_absint_identity.py``;
+- **refutation**: per-context index intervals refute static lockset
+  races on partitioned arrays, with witness bounds, and confirm the
+  overlapping control.
+"""
+
+import pytest
+
+from tests.conftest import check_ok
+
+SIX_WORKLOADS = ("pfscan", "aget", "pbzip2", "dillo", "fftw", "stunnel")
+
+
+def _prog(body: str, extra: str = "") -> str:
+    return f"""
+    int g = 0;
+    int buf[64];
+    {extra}
+    void *w(void *a) {{
+      int x; int i;
+      {body}
+      return NULL;
+    }}
+    int main() {{
+      int t1 = thread_create(w, NULL);
+      int t2 = thread_create(w, NULL);
+      thread_join(t1); thread_join(t2);
+      return 0;
+    }}
+    """
+
+
+class TestFixpointTermination:
+    @pytest.mark.parametrize("name", SIX_WORKLOADS)
+    @pytest.mark.parametrize("variant", ["annotated", "unannotated"])
+    def test_workloads_terminate(self, name, variant):
+        from repro.bench.workloads import get_workload
+
+        workload = get_workload(name)
+        source = (workload.annotated_source if variant == "annotated"
+                  else workload.unannotated_source)
+        ai = check_ok(source, f"{name}.c").absint_result
+        assert ai.terminated, f"{name}/{variant} did not stabilise"
+        assert 1 <= ai.rounds <= 12
+
+    def test_fuzz_scenario_families_terminate(self):
+        from repro.fuzz.gen import generate_scenario
+        from repro.fuzz.scenarios import (RACE_KINDS,
+                                          SUPPORTED_FAMILIES,
+                                          ScenarioSpec)
+
+        for topology, idiom in SUPPORTED_FAMILIES:
+            for race_kinds in ((), RACE_KINDS):
+                scenario = generate_scenario(
+                    ScenarioSpec(topology=topology, idiom=idiom,
+                                 race_kinds=race_kinds, gen_seed=11))
+                ai = check_ok(scenario.source,
+                              scenario.filename).absint_result
+                assert ai.terminated, scenario.filename
+
+    def test_widening_bounds_an_unbounded_loop(self):
+        # No constant bound exists: only widening can stabilise this.
+        ai = check_ok(_prog(
+            "while (g < x) { g = g + 1; }")).absint_result
+        assert ai.terminated
+
+
+class TestDischargeMarks:
+    def _marks(self, checked):
+        from repro.cfront import cast as A
+
+        elided, ranged = [], []
+        for func in checked.program.functions():
+            for e in A.all_exprs(func.body):
+                for attr in ("sharc_read", "sharc_write"):
+                    info = getattr(e, attr, None)
+                    if info is None:
+                        continue
+                    if info.ai_elide:
+                        elided.append(info.lvalue_text)
+                    if info.ai_range:
+                        ranged.append(info.lvalue_text)
+        return elided, ranged
+
+    def test_cover_flows_through_check_free_callee(self):
+        """checkelim kills covers at *any* call; absint inlines a
+        callee it proved check-free, so the cover survives."""
+        checked = check_ok(_prog(
+            "x = g; frob(); x = x + g;",
+            extra="int frob() { int y; y = 2; return y; }"))
+        assert checked.absint_result.stats.ai_elided >= 1
+        assert "g" in self._marks(checked)[0]
+        # ...and checkelim itself did not already claim the site
+        assert checked.elim_stats.elided == 0
+
+    def test_checked_callee_is_modelled_not_blocked(self):
+        """Unlike checkelim, a *defined* callee with checks of its own
+        is inlined and modelled precisely: its write of g covers the
+        read after the call (and its own read is covered by the
+        caller's)."""
+        checked = check_ok(_prog(
+            "x = g; frob(); x = x + g;",
+            extra="int frob() { g = g + 1; return 0; }"))
+        assert self._marks(checked)[0] == ["g", "g"]
+
+    def test_undefined_callee_blocks_the_cover(self):
+        """A declared-but-undefined function stays opaque: nothing to
+        inline, so the covers die at the call like any yield point."""
+        checked = check_ok(_prog(
+            "x = g; ext(); x = x + g;",
+            extra="void ext(void);"))
+        assert checked.absint_result.stats.ai_elided == 0
+        assert self._marks(checked)[0] == []
+
+    def test_adjacent_same_granule_access_elided(self):
+        """buf[0] and buf[1] share a 16-byte granule: the interval
+        delta proves the second check re-tests the same granule."""
+        checked = check_ok(_prog(
+            "buf[0] = 1; buf[1] = 2; x = buf[0] + buf[1];"))
+        assert checked.absint_result.stats.ai_elided >= 1
+
+    def test_range_walk_around_check_free_call(self):
+        """checkelim refuses range marks when the loop body calls
+        anything; absint permits calls it proved check-free."""
+        checked = check_ok(_prog(
+            "for (i = 0; i < 64; i++) { frob(); x = x + buf[i]; }",
+            extra="int frob() { int y; y = 1; return y; }"))
+        assert checked.absint_result.stats.ai_ranges >= 1
+        assert "buf[i]" in self._marks(checked)[1]
+        assert checked.elim_stats.ranges == 0
+
+    def test_marks_never_stack_on_checkelim_sites(self):
+        """An absint mark is only placed where neither checkelim nor
+        lockset already discharged the site — the runtime consults
+        them in that order."""
+        from repro.cfront import cast as A
+
+        for source in (
+                _prog("x = g; x = x + g;"),
+                _prog("for (i = 0; i < 64; i++) x = x + buf[i];")):
+            checked = check_ok(source)
+            for func in checked.program.functions():
+                for e in A.all_exprs(func.body):
+                    for attr in ("sharc_read", "sharc_write"):
+                        info = getattr(e, attr, None)
+                        if info is None:
+                            continue
+                        assert not (info.elide and info.ai_elide)
+                        assert not (info.range_walk and info.ai_range)
+
+    def test_check_free_classification(self):
+        checked = check_ok(_prog(
+            "x = g; frob(); x = x + g;",
+            extra="int frob() { int y; y = 2; return y; }"))
+        cf = checked.absint_result.check_free
+        assert cf["frob"] is True
+        assert cf["w"] is False       # reads/writes g dynamically
+
+
+class TestWorkloadDischarge:
+    """Acceptance anchor: on >= 3 of the six Table 1 workloads the
+    absint tier statically marks sites checkelim alone could not."""
+
+    def _stats(self, name, variant):
+        from repro.bench.workloads import get_workload
+
+        workload = get_workload(name)
+        source = (workload.annotated_source if variant == "annotated"
+                  else workload.unannotated_source)
+        return check_ok(source, f"{name}.c").absint_result.stats
+
+    def test_pfscan_annotated_gains_marks(self):
+        assert self._stats("pfscan", "annotated").ai_elided >= 1
+
+    def test_aget_unannotated_gains_marks(self):
+        assert self._stats("aget", "unannotated").ai_elided >= 1
+
+    def test_stunnel_unannotated_gains_marks(self):
+        assert self._stats("stunnel", "unannotated").ai_elided >= 1
+
+    def test_dillo_unannotated_gains_marks(self):
+        assert self._stats("dillo", "unannotated").ai_elided >= 1
+
+
+PARTITIONED = """
+int buf[64];
+void *lowhalf(void *a) {
+  int i;
+  for (i = 0; i < 32; i++) buf[i] = buf[i] + 1;
+  return NULL;
+}
+void *highhalf(void *a) {
+  int i;
+  for (i = 32; i < 64; i++) buf[i] = buf[i] + 1;
+  return NULL;
+}
+int main() {
+  int t1 = thread_create(lowhalf, NULL);
+  int t2 = thread_create(highhalf, NULL);
+  thread_join(t1); thread_join(t2);
+  return 0;
+}
+"""
+
+
+class TestRefutation:
+    def test_partitioned_array_race_is_interval_refuted(self):
+        """The lockset pass reports the classic partitioned-array
+        false positive; disjoint per-thread index intervals refute it
+        with witness bounds."""
+        checked = check_ok(PARTITIONED, "part.c")
+        assert checked.lockset_result.race_keys \
+            == ["static-race buf@5"]
+        verdicts = checked.absint_result.verdicts
+        assert [v.verdict for v in verdicts] == ["interval-refuted"]
+        assert verdicts[0].witness == {"lowhalf": [0, 31],
+                                       "highhalf": [32, 63]}
+        assert checked.absint_result.refuted == 1
+        assert checked.absint_result.confirmed == 0
+
+    def test_overlapping_ranges_are_confirmed(self):
+        source = PARTITIONED.replace("for (i = 32; i < 64; i++)",
+                                     "for (i = 0; i < 64; i++)")
+        checked = check_ok(source, "part2.c")
+        verdicts = checked.absint_result.verdicts
+        assert [v.verdict for v in verdicts] == ["interval-confirmed"]
+        assert checked.absint_result.refuted == 0
+
+    def test_verdicts_serialize_with_location_and_line(self):
+        checked = check_ok(PARTITIONED, "part.c")
+        d = checked.absint_result.verdicts[0].as_dict()
+        assert d["location"] == "buf"
+        assert d["line"] == 5  # the lowhalf write, like the race key
+        assert d["verdict"] == "interval-refuted"
+        assert d["witness"]
+
+    def test_refutation_never_drops_the_diagnostic(self):
+        """Verdicts decorate the lockset findings; the static-race
+        diagnostic itself must survive (the refutation is advisory —
+        it has no soundness guarantee to stand on)."""
+        checked = check_ok(PARTITIONED, "part.c")
+        assert checked.lockset_result.races

@@ -107,6 +107,47 @@ class TestRedundantCheckElision:
         assert "g" not in _marks(with_break)[0]
         assert "g" in _marks(without)[0]
 
+    def test_continue_path_kill_reaches_the_back_edge(self):
+        # The continue edge re-enters the loop head having skipped the
+        # body tail.  Here the continue path calls helper() — a yield
+        # point that kills the g cover — and only the tail (skipped on
+        # continue) re-establishes it, so the head read of g must NOT
+        # be elided: on a continue iteration another thread may have
+        # taken the granule during the call.  Without the call on the
+        # continue path the head read's own cover legitimately carries
+        # around both edges.
+        racy = check_ok(_prog(
+            "while (x < 8) { x = g;"
+            " if (h) { helper(); x = x + 1; continue; }"
+            " g = x; x = x + 1; }"))
+        control = check_ok(_prog(
+            "while (x < 8) { x = g;"
+            " if (h) { x = x + 1; continue; }"
+            " g = x; x = x + 1; }"))
+        assert "g" not in _marks(racy)[0]
+        assert "g" in _marks(control)[0]
+
+    def test_continue_path_kill_in_for_and_dowhile(self):
+        for_loop = check_ok(_prog(
+            "for (i = 0; i < 8; i++) { x = g;"
+            " if (h) { helper(); continue; }"
+            " g = x; }"))
+        do_loop = check_ok(_prog(
+            "do { x = g;"
+            " if (h) { helper(); x = x + 1; continue; }"
+            " g = x; x = x + 1; } while (x < 8);"))
+        assert "g" not in _marks(for_loop)[0]
+        assert "g" not in _marks(do_loop)[0]
+
+    def test_continue_in_nested_loop_does_not_kill_outer(self):
+        # The inner loop's continue targets the inner loop; the outer
+        # loop's loop-carried cover is untouched.
+        checked = check_ok(_prog(
+            "while (x < 8) { x = g; g = x;"
+            " for (i = 0; i < 2; i++) { if (i) continue; x = x + 1; }"
+            " x = x + 1; }"))
+        assert "g" in _marks(checked)[0]
+
     def test_remarking_is_a_no_op(self):
         # Existing marks persist; a second pass finds nothing new to
         # count, so accidental double-marking can't inflate the stats.

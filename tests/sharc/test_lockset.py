@@ -159,6 +159,73 @@ class TestRefinement:
         """).lockset_result
         assert not ls.refinements
 
+    def test_pointer_unlock_in_callee_keeps_caller_locks(self):
+        """A callee that unlocks through a pointer taints its call
+        chain but must NOT erase the caller's named must-held set —
+        erasing it (the old global-top behavior) left the caller's
+        consistently-locked write with an empty, untainted lockset,
+        i.e. a spurious static race."""
+        ls = check_ok("""
+        mutex lk;
+        mutex other;
+        int total = 0;
+        void drop(void) {
+          mutex *p = &other;
+          mutexUnlock(p);
+        }
+        void *w(void *arg) {
+          mutexLock(&lk);
+          drop();
+          total = total + 1;
+          mutexUnlock(&lk);
+          return NULL;
+        }
+        int main() {
+          int t1 = thread_create(w, NULL);
+          int t2 = thread_create(w, NULL);
+          thread_join(t1); thread_join(t2);
+          return 0;
+        }
+        """).lockset_result
+        assert not ls.races
+        assert [r.lock for r in ls.refinements] == ["lk"]
+
+    def test_taint_stays_inside_its_call_chain(self):
+        """The pointer-locking worker taints itself; an unrelated
+        worker with a clean named-lock discipline keeps its
+        refinement."""
+        ls = check_ok("""
+        mutex lk;
+        mutex plk;
+        int clean = 0;
+        int messy = 0;
+        void *tainted(void *arg) {
+          mutex *p = &plk;
+          mutexLock(p);
+          messy = messy + 1;
+          mutexUnlock(p);
+          return NULL;
+        }
+        void *neat(void *arg) {
+          mutexLock(&lk);
+          clean = clean + 1;
+          mutexUnlock(&lk);
+          return NULL;
+        }
+        int main() {
+          int t1 = thread_create(tainted, NULL);
+          int t2 = thread_create(tainted, NULL);
+          int t3 = thread_create(neat, NULL);
+          int t4 = thread_create(neat, NULL);
+          thread_join(t1); thread_join(t2);
+          thread_join(t3); thread_join(t4);
+          return 0;
+        }
+        """).lockset_result
+        assert [(r.text, r.lock) for r in ls.refinements] == \
+            [("clean", "lk")]
+        assert not ls.races  # 'messy' is tainted, never a static race
+
     def test_two_locks_intersection_survives(self):
         """Accesses under {a,b} and {a} intersect to {a}."""
         ls = check_ok("""
@@ -307,3 +374,66 @@ class TestResultSurface:
         """).lockset_result
         assert not ls.refinements
         assert not ls.races
+
+
+class TestSummaryFallback:
+    def test_nonconvergence_poisons_only_the_unstable_chain(self):
+        """When the summary fixpoint runs out of rounds, only the
+        still-oscillating functions and their transitive callers fall
+        to top; an unrelated function keeps its stable summary (the
+        old fallback collapsed every summary to global top)."""
+        from repro.cfront.parser import parse_program
+        from repro.sharc.lockset import (
+            Summary, _Walker, _compute_summaries)
+
+        program = parse_program("""
+        mutex a;
+        void g(void);
+        void f(void) { g(); }
+        void g(void) { f(); mutexLock(&a); }
+        void h(void) { mutexLock(&a); }
+        int main() { return 0; }
+        """, "t.c")
+        funcs = [f for f in program.functions() if f.body is not None]
+        walker = _Walker(frozenset(["a"]), {f.name: f for f in funcs},
+                         {})
+        # Two rounds are not enough for the f <-> g cycle: the `else`
+        # fallback fires, but must leave h's converged summary alone.
+        summaries = _compute_summaries(walker, funcs, rounds=2)
+        assert summaries["f"] == Summary(kill_all=True, taint=True)
+        assert summaries["g"] == Summary(kill_all=True, taint=True)
+        assert summaries["h"] == Summary(plus=frozenset(["a"]))
+        assert summaries["main"] == Summary()
+
+
+class TestWorkloadRegression:
+    """Pins EXPERIMENTS.md's Table 1 static-race census: annotated
+    fftw keeps exactly its two documented ownership-transfer false
+    positives (the planner handoff lockset reasoning cannot see), and
+    the taint fixes above must not perturb any workload's keys."""
+
+    def _races(self, name, variant):
+        from repro.bench.workloads import get_workload
+
+        workload = get_workload(name)
+        source = (workload.annotated_source if variant == "annotated"
+                  else workload.unannotated_source)
+        return check_ok(source, f"{name}.c").lockset_result.race_keys
+
+    def test_annotated_fftw_has_exactly_the_two_documented_fps(self):
+        assert self._races("fftw", "annotated") == [
+            "static-race plan.checksum@62",
+            "static-race plan.data@63",
+        ]
+
+    def test_unannotated_fftw_adds_exactly_two_more(self):
+        assert self._races("fftw", "unannotated") == [
+            "static-race plan.checksum@62",
+            "static-race plan.data@63",
+            "static-race plan.n@75",
+            "static-race plan.reps@77",
+        ]
+
+    def test_other_annotated_workloads_stay_statically_clean(self):
+        for name in ("pfscan", "aget", "pbzip2", "dillo", "stunnel"):
+            assert self._races(name, "annotated") == [], name
